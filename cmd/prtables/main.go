@@ -1,0 +1,120 @@
+// Command prtables prints the PR state a router would hold: the cycle
+// following tables of the embedding (paper Table 1) and the routing table
+// with the added distance-discriminator column (§4.3).
+//
+//	prtables -topo paper            # every node's tables, paper example
+//	prtables -topo abilene -node Denver
+//	prtables -topo geant -faces     # the embedding's cycle system
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recycle/internal/core"
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "paper", "built-in topology (paper, abilene, geant, teleglobe)")
+		nodeName = flag.String("node", "", "print only this node's tables")
+		faces    = flag.Bool("faces", false, "print the embedding's cycle system")
+		dot      = flag.Bool("dot", false, "emit the embedding as Graphviz DOT (faces on edge labels)")
+		disc     = flag.String("dd", "hops", "distance discriminator: hops or weight")
+	)
+	flag.Parse()
+
+	tp, err := topo.ByName(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	g := tp.Graph
+	sys := tp.Embedding
+	if sys == nil {
+		sys, err = (embedding.Auto{Seed: 1}).Embed(g)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	d := route.HopCount
+	if *disc == "weight" {
+		d = route.WeightSum
+	}
+	tbl := route.Build(g, d)
+	prot, err := core.New(g, sys, tbl, core.Config{Variant: core.Full})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dot {
+		if err := rotation.WriteDOT(os.Stdout, sys); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("topology %s: %d nodes, %d links, genus %d, PR header %d bits (1 PR + %d DD)\n\n",
+		tp.Name, g.NumNodes(), g.NumLinks(), sys.Genus(), 1+tbl.DDBits(), tbl.DDBits())
+
+	if *faces {
+		printFaces(g, sys)
+		return
+	}
+
+	nodes := allNodes(g)
+	if *nodeName != "" {
+		id := g.NodeByName(*nodeName)
+		if id == graph.NoNode {
+			fatal(fmt.Errorf("unknown node %q", *nodeName))
+		}
+		nodes = []graph.NodeID{id}
+	}
+	for _, n := range nodes {
+		fmt.Println(prot.FormatCycleTable(n))
+		printRoutingTable(g, tbl, n)
+		fmt.Println()
+	}
+}
+
+func allNodes(g *graph.Graph) []graph.NodeID {
+	out := make([]graph.NodeID, g.NumNodes())
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+func printRoutingTable(g *graph.Graph, tbl *route.Table, n graph.NodeID) {
+	fmt.Printf("Routing table at node %s (with DD column, %s)\n", g.Name(n), tbl.DiscriminatorKind())
+	fmt.Printf("%-14s %-14s %-8s\n", "Destination", "NextHop", "DD")
+	for d := 0; d < g.NumNodes(); d++ {
+		dst := graph.NodeID(d)
+		if dst == n || !tbl.Reachable(n, dst) {
+			continue
+		}
+		fmt.Printf("%-14s %-14s %-8g\n", g.Name(dst), g.Name(tbl.NextNode(n, dst)), tbl.DD(n, dst))
+	}
+}
+
+func printFaces(g *graph.Graph, sys *rotation.System) {
+	fs := sys.Faces()
+	fmt.Printf("cycle system: %d oriented faces\n", len(fs.Faces))
+	for _, f := range fs.Faces {
+		fmt.Printf("  c%-3d (%d darts):", f.Index+1, f.Len())
+		for _, d := range f.Darts {
+			dart := sys.Dart(d)
+			fmt.Printf(" %s→%s", g.Name(dart.Tail), g.Name(dart.Head))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prtables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command topogen emits topologies in the library's edge-list format, for
+// feeding custom experiments or external tools:
+//
+//	topogen -topo abilene                 # built-in, distance weights
+//	topogen -topo geant -weights unit
+//	topogen -gen ring -n 10               # synthetic generators
+//	topogen -gen random -n 20 -m 35 -seed 7
+//	topogen -gen torus -rows 4 -cols 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"recycle/internal/graph"
+	"recycle/internal/topo"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "", "built-in topology (paper, abilene, geant, teleglobe)")
+		gen      = flag.String("gen", "", "generator: ring, grid, torus, complete, random, planar")
+		n        = flag.Int("n", 10, "node count for generators")
+		m        = flag.Int("m", 0, "link count for the random generator")
+		rows     = flag.Int("rows", 3, "rows for grid/torus")
+		cols     = flag.Int("cols", 3, "cols for grid/torus")
+		seed     = flag.Int64("seed", 1, "seed for random generators")
+		weights  = flag.String("weights", "distance", "built-in weighting: distance or unit")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *topoName != "":
+		w := topo.DistanceWeights
+		if *weights == "unit" {
+			w = topo.UnitWeights
+		}
+		tp, err := builtin(*topoName, w)
+		if err != nil {
+			fatal(err)
+		}
+		g = tp.Graph
+	case *gen != "":
+		switch *gen {
+		case "ring":
+			g = graph.Ring(*n)
+		case "grid":
+			g = graph.Grid(*rows, *cols)
+		case "torus":
+			g = graph.Torus(*rows, *cols)
+		case "complete":
+			g = graph.Complete(*n)
+		case "random":
+			links := *m
+			if links == 0 {
+				links = 2 * *n
+			}
+			g = graph.RandomTwoConnected(*n, links, *seed)
+		case "planar":
+			g = graph.RandomPlanarLike(*n, *seed)
+		default:
+			fatal(fmt.Errorf("unknown generator %q", *gen))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := graph.Write(os.Stdout, g); err != nil {
+		fatal(err)
+	}
+}
+
+// builtin resolves a built-in topology with the requested weighting (the
+// generic ByName always uses distance weights for ISP topologies).
+func builtin(name string, w topo.Weighting) (topo.Topology, error) {
+	switch name {
+	case "paper", "example", "fig1":
+		return topo.PaperExample(), nil
+	case "abilene":
+		return topo.Abilene(w), nil
+	case "geant":
+		return topo.Geant(w), nil
+	case "teleglobe":
+		return topo.Teleglobe(w), nil
+	}
+	return topo.Topology{}, fmt.Errorf("unknown topology %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topogen:", err)
+	os.Exit(1)
+}

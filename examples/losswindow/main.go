@@ -1,0 +1,53 @@
+// Losswindow reproduces the paper's §1 motivation with live traffic in the
+// event-driven simulator: during a one-second outage on a loaded link, a
+// reconverging IGP drops packets for its whole convergence window, while PR
+// (and FCP) lose only what is emitted before local failure detection fires.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"recycle"
+	"recycle/internal/sim"
+)
+
+func main() {
+	net, err := recycle.FromTopology("abilene")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := net.Graph()
+	src, _ := net.Node("Seattle")
+	dst, _ := net.Node("LosAngeles")
+
+	// A 20%-loaded OC-192 at 1 kB packets carries ≈243k pps; simulate at
+	// 1:100 scale (losses scale linearly with the rate).
+	const pps = 2430.0
+	const scale = 100.0
+
+	schemes := []sim.Scheme{
+		&sim.PRScheme{Protocol: net.Protocol()},
+		&sim.FCPScheme{},
+		&sim.ReconvScheme{},
+	}
+	fmt.Println("one-second outage on the Seattle→Sunnyvale link, 50 ms detection")
+	fmt.Printf("%-28s %-10s %-10s %-14s\n", "scheme", "generated", "delivered", "lost at OC-192")
+	for _, s := range schemes {
+		res, err := sim.RunLossWindow(sim.Config{
+			Graph:          g,
+			Scheme:         s,
+			Horizon:        3 * time.Second,
+			DetectionDelay: 50 * time.Millisecond,
+		}, src, dst, pps, time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lost := float64(res.Generated-res.Delivered) * scale
+		fmt.Printf("%-28s %-10d %-10d %-14.0f\n", res.Scheme, res.Generated, res.Delivered, lost)
+	}
+	fmt.Println()
+	fmt.Println("PR's loss window is exactly the local detection delay; the IGP keeps")
+	fmt.Println("blackholing until flooding, SPF and FIB installation complete.")
+}

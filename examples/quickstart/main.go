@@ -1,0 +1,42 @@
+// Quickstart: build a PR-enabled network over the Abilene backbone, fail a
+// link, and watch a packet re-cycle around it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"recycle"
+)
+
+func main() {
+	// Every built-in topology is embedded offline at construction time —
+	// Abilene is planar, so the embedding is exact (genus 0).
+	net, err := recycle.FromTopology("abilene")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net.Describe())
+
+	// Fail the Denver–Kansas City link and send a packet across it.
+	fails := recycle.NewFailureSet(net.MustLinkBetween("Denver", "KansasCity"))
+	res, err := net.Route("Seattle", "NewYork", fails)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\noutcome: %v, stretch %.2f, %d hops\n", res.Outcome, res.Stretch, res.Hops())
+	fmt.Println("per-hop transcript:")
+	g := net.Graph()
+	for _, s := range res.Steps {
+		fmt.Printf("  %-14s %-9s PR=%-5v DD=%g\n",
+			g.Name(s.Node), s.Event, s.Header.PR, s.Header.DD)
+	}
+
+	// Without failures the same packet follows the shortest path.
+	clean, err := net.Route("Seattle", "NewYork", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfailure-free: stretch %.2f over %d hops\n", clean.Stretch, clean.Hops())
+}

@@ -1,0 +1,68 @@
+package recycle
+
+import (
+	"io"
+
+	"recycle/internal/eval"
+	"recycle/internal/graph"
+)
+
+// Experiment is a completed stretch experiment (one Figure 2 panel).
+type Experiment = eval.Experiment
+
+// Scheme identifies a recovery scheme in experiments.
+type Scheme = eval.Scheme
+
+// Schemes compared by the paper's evaluation.
+const (
+	// Reconvergence is the optimal post-convergence baseline.
+	Reconvergence = eval.Reconvergence
+	// FCP is the Failure-Carrying Packets baseline.
+	FCP = eval.FCP
+	// PR is Packet Re-cycling (Full variant).
+	PR = eval.PR
+)
+
+// Figures lists the paper's Figure 2 panels ("2a".."2f").
+func Figures() []eval.Figure { return eval.Figures() }
+
+// RunFigure regenerates one Figure 2 panel by ID.
+func RunFigure(id string) (*Experiment, error) {
+	f, err := eval.FigureByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return eval.RunFigure(f)
+}
+
+// WriteFigure runs a panel and renders its CCDF data table to w.
+func WriteFigure(w io.Writer, id string) error {
+	f, err := eval.FigureByID(id)
+	if err != nil {
+		return err
+	}
+	exp, err := eval.RunFigure(f)
+	if err != nil {
+		return err
+	}
+	return eval.WriteCCDF(w, exp, f.Title)
+}
+
+// WriteOverheads renders the §6 overhead comparison for the named built-in
+// topologies (nil = all three ISP topologies).
+func WriteOverheads(w io.Writer, names []string) error {
+	if names == nil {
+		names = []string{"abilene", "geant", "teleglobe"}
+	}
+	return eval.WriteOverheadReport(w, names)
+}
+
+// SingleFailures enumerates every connectivity-preserving single-link
+// failure of a graph.
+func SingleFailures(g *Graph) []*FailureSet { return graph.SingleFailureScenarios(g) }
+
+// SampleFailures draws count connectivity-preserving failure sets of k
+// links each, deterministically from seed.
+func SampleFailures(g *Graph, k, count int, seed int64) ([]*FailureSet, error) {
+	return graph.SampleFailureScenarios(g, k, count, seed)
+}

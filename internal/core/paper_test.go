@@ -1,0 +1,297 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+// paperProtocol builds the protocol over the paper's Figure 1 network with
+// its published embedding and hop-count discriminators.
+func paperProtocol(t *testing.T, v Variant) *Protocol {
+	t.Helper()
+	tp := topo.PaperExample()
+	tbl := route.Build(tp.Graph, route.HopCount)
+	p, err := New(tp.Graph, tp.Embedding, tbl, Config{Variant: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func nodesOf(t *testing.T, g *graph.Graph, names ...string) []graph.NodeID {
+	t.Helper()
+	out := make([]graph.NodeID, len(names))
+	for i, n := range names {
+		out[i] = g.NodeByName(n)
+		if out[i] == graph.NoNode {
+			t.Fatalf("no node %q", n)
+		}
+	}
+	return out
+}
+
+func failLinks(t *testing.T, g *graph.Graph, pairs ...[2]string) *graph.FailureSet {
+	t.Helper()
+	fs := graph.NewFailureSet()
+	for _, pr := range pairs {
+		l := g.FindLink(g.NodeByName(pr[0]), g.NodeByName(pr[1]))
+		if l == graph.NoLink {
+			t.Fatalf("no link %s-%s", pr[0], pr[1])
+		}
+		fs.Add(l)
+	}
+	return fs
+}
+
+func pathNames(g *graph.Graph, r Result) string {
+	names := make([]string, 0, len(r.Steps))
+	for _, s := range r.Steps {
+		names = append(names, g.Name(s.Node))
+	}
+	return strings.Join(names, "→")
+}
+
+// TestTable1Reproduction pins the paper's Table 1: the cycle-following
+// table at node D, including the cycle labels.
+func TestTable1Reproduction(t *testing.T) {
+	p := paperProtocol(t, Full)
+	g := p.Graph()
+	d := g.NodeByName("D")
+
+	// Expected, from the paper:
+	//   I_BD → I_DF (c4) | I_DE (c1)
+	//   I_ED → I_DB (c2) | I_DF (c4)
+	//   I_FD → I_DE (c1) | I_DB (c2)
+	want := map[string][2]string{
+		"B": {"F", "E"},
+		"E": {"B", "F"},
+		"F": {"E", "B"},
+	}
+	rows := p.CycleTable(d)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d; want 3", len(rows))
+	}
+	for _, r := range rows {
+		from := g.Name(p.System().Dart(r.Ingress).Tail)
+		follow := g.Name(p.System().Dart(r.Following).Head)
+		comp := g.Name(p.System().Dart(r.Complementary).Head)
+		w, ok := want[from]
+		if !ok {
+			t.Fatalf("unexpected ingress from %s", from)
+		}
+		if follow != w[0] || comp != w[1] {
+			t.Errorf("ingress I%sD: got (I D%s, I D%s); want (I D%s, I D%s)", from, follow, comp, w[0], w[1])
+		}
+	}
+
+	// The rendered table must carry the paper's cycle structure: the
+	// rendering includes interface names and cycle labels.
+	text := p.FormatCycleTable(d)
+	for _, frag := range []string{"IBD", "IED", "IFD", "IDF", "IDB", "IDE"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("rendered table missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+// TestFigure1bWalk: single failure D-E, packet A→F. The paper's narrative:
+// A→B→D (shortest path), D detects, cycle c2 via B and C, E clears the PR
+// bit and delivers via F. Expected node sequence: A B D B C E F.
+func TestFigure1bWalk(t *testing.T) {
+	for _, v := range []Variant{Basic, Full} {
+		p := paperProtocol(t, v)
+		g := p.Graph()
+		ids := nodesOf(t, g, "A", "F")
+		fails := failLinks(t, g, [2]string{"D", "E"})
+
+		r := p.Walk(ids[0], ids[1], fails)
+		if !r.Delivered() {
+			t.Fatalf("%v: outcome = %v; want delivered", v, r.Outcome)
+		}
+		if got, want := pathNames(g, r), "A→B→D→B→C→E→F"; got != want {
+			t.Fatalf("%v: path = %s; want %s", v, got, want)
+		}
+		// Event sequence: route, route, detect, cycle, cycle, resume, deliver.
+		wantEvents := []Event{EventRoute, EventRoute, EventDetect, EventCycle, EventCycle, EventResume, EventDeliver}
+		for i, s := range r.Steps {
+			if s.Event != wantEvents[i] {
+				t.Fatalf("%v: step %d event = %v; want %v", v, i, s.Event, wantEvents[i])
+			}
+		}
+		// Full variant: D stamps DD = 2 (its hop count to F).
+		if v == Full {
+			if dd := r.Steps[2].Header.DD; dd != 2 {
+				t.Fatalf("DD stamped at D = %v; want 2", dd)
+			}
+		}
+		// The PR bit is set from D through C and cleared at E.
+		if !r.Steps[3].Header.PR || !r.Steps[4].Header.PR {
+			t.Fatal("PR bit should be set while cycling via B and C")
+		}
+		if r.Steps[5].Header.PR {
+			t.Fatal("PR bit should be cleared at E")
+		}
+	}
+}
+
+// TestFigure1cWalkFull: failures {D-E, B-C}, packet A→F, Full variant.
+// Paper narrative (§4.3): D stamps DD=2 and sends the packet on c2; B
+// (DD 3 ≥ 2) continues on c3 via A; C (DD 2 ≥ 2) continues on c2 to E;
+// E (DD 1 < 2) terminates and delivers. Node sequence: A B D B A C E F.
+func TestFigure1cWalkFull(t *testing.T) {
+	p := paperProtocol(t, Full)
+	g := p.Graph()
+	ids := nodesOf(t, g, "A", "F")
+	fails := failLinks(t, g, [2]string{"D", "E"}, [2]string{"B", "C"})
+
+	r := p.Walk(ids[0], ids[1], fails)
+	if !r.Delivered() {
+		t.Fatalf("outcome = %v; want delivered", r.Outcome)
+	}
+	if got, want := pathNames(g, r), "A→B→D→B→A→C→E→F"; got != want {
+		t.Fatalf("path = %s; want %s", got, want)
+	}
+	wantEvents := []Event{EventRoute, EventRoute, EventDetect, EventContinue, EventCycle, EventContinue, EventResume, EventDeliver}
+	for i, s := range r.Steps {
+		if s.Event != wantEvents[i] {
+			t.Fatalf("step %d (%s) event = %v; want %v", i, g.Name(s.Node), s.Event, wantEvents[i])
+		}
+	}
+	// DD stays 2 for the whole episode.
+	for i := 2; i <= 5; i++ {
+		if r.Steps[i].Header.DD != 2 || !r.Steps[i].Header.PR {
+			t.Fatalf("step %d header = %+v; want PR set, DD 2", i, r.Steps[i].Header)
+		}
+	}
+}
+
+// TestFigure1cBasicLoops: the same scenario under the §4.2 protocol loops
+// (the paper's motivation for the DD mechanism) and the walk engine detects
+// it rather than spinning.
+func TestFigure1cBasicLoops(t *testing.T) {
+	p := paperProtocol(t, Basic)
+	g := p.Graph()
+	ids := nodesOf(t, g, "A", "F")
+	fails := failLinks(t, g, [2]string{"D", "E"}, [2]string{"B", "C"})
+
+	r := p.Walk(ids[0], ids[1], fails)
+	if r.Outcome != Looped {
+		t.Fatalf("outcome = %v; want looped (Figure 1(c) under the basic protocol)", r.Outcome)
+	}
+}
+
+// TestSection42DoubleFailure: failures {A-B, D-E}, packet A→F. §4.2 claims
+// even the basic scheme recovers: c3 brings the packet to B, routing
+// resumes, fails again at D, and recovery proceeds as in Figure 1(b).
+// Expected node sequence: A C B D B C E F.
+func TestSection42DoubleFailure(t *testing.T) {
+	for _, v := range []Variant{Basic, Full} {
+		p := paperProtocol(t, v)
+		g := p.Graph()
+		ids := nodesOf(t, g, "A", "F")
+		fails := failLinks(t, g, [2]string{"A", "B"}, [2]string{"D", "E"})
+
+		r := p.Walk(ids[0], ids[1], fails)
+		if !r.Delivered() {
+			t.Fatalf("%v: outcome = %v; want delivered", v, r.Outcome)
+		}
+		if got, want := pathNames(g, r), "A→C→B→D→B→C→E→F"; got != want {
+			t.Fatalf("%v: path = %s; want %s", v, got, want)
+		}
+	}
+}
+
+// TestFigure1bStretch: the Fig 1(b) walk costs 1+1+1+2+2+1 = 8 versus the
+// failure-free shortest path cost 4, stretch 2.
+func TestFigure1bStretch(t *testing.T) {
+	p := paperProtocol(t, Full)
+	g := p.Graph()
+	ids := nodesOf(t, g, "A", "F")
+	r := p.Walk(ids[0], ids[1], failLinks(t, g, [2]string{"D", "E"}))
+	if r.Cost != 8 {
+		t.Fatalf("cost = %v; want 8", r.Cost)
+	}
+	if r.Stretch != 2 {
+		t.Fatalf("stretch = %v; want 2", r.Stretch)
+	}
+	if r.Hops() != 6 {
+		t.Fatalf("hops = %d; want 6", r.Hops())
+	}
+}
+
+// TestNoFailureIsShortestPath: with no failures PR must not perturb routing.
+func TestNoFailureIsShortestPath(t *testing.T) {
+	p := paperProtocol(t, Full)
+	g := p.Graph()
+	tbl := p.Routes()
+	for src := 0; src < g.NumNodes(); src++ {
+		for dst := 0; dst < g.NumNodes(); dst++ {
+			r := p.Walk(graph.NodeID(src), graph.NodeID(dst), nil)
+			if !r.Delivered() {
+				t.Fatalf("%d→%d: not delivered without failures", src, dst)
+			}
+			if src != dst {
+				if r.Cost != tbl.PathCost(graph.NodeID(src), graph.NodeID(dst)) {
+					t.Fatalf("%d→%d: cost %v != SP cost", src, dst, r.Cost)
+				}
+				if r.Stretch != 1 {
+					t.Fatalf("%d→%d: stretch %v; want 1", src, dst, r.Stretch)
+				}
+				for _, s := range r.Steps {
+					if s.Header.PR {
+						t.Fatalf("%d→%d: PR bit set without failures", src, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMemoryFootprint checks the §6 memory accounting at node D: 3
+// interfaces → 6 cycle entries, 5 DD entries.
+func TestMemoryFootprint(t *testing.T) {
+	p := paperProtocol(t, Full)
+	d := p.Graph().NodeByName("D")
+	m := p.Memory(d)
+	if m.CycleTableEntries != 6 || m.DDEntries != 5 {
+		t.Fatalf("memory = %+v; want 6 cycle entries, 5 DD entries", m)
+	}
+}
+
+func TestNewRejectsMismatchedComponents(t *testing.T) {
+	tp := topo.PaperExample()
+	other := topo.Abilene(topo.UnitWeights)
+	tbl := route.Build(tp.Graph, route.HopCount)
+	otherTbl := route.Build(other.Graph, route.HopCount)
+	if _, err := New(tp.Graph, tp.Embedding, otherTbl, Config{}); err == nil {
+		t.Fatal("accepted routing table over a different graph")
+	}
+	otherSys := rotation.AdjacencyOrder(other.Graph)
+	if _, err := New(tp.Graph, otherSys, tbl, Config{}); err == nil {
+		t.Fatal("accepted rotation system over a different graph")
+	}
+}
+
+func TestVariantAndOutcomeStrings(t *testing.T) {
+	if Basic.String() != "basic" || Full.String() != "full" {
+		t.Fatal("variant names wrong")
+	}
+	for _, o := range []Outcome{Delivered, Looped, Isolated, NoRoute} {
+		if o.String() == "" {
+			t.Fatal("outcome must render")
+		}
+	}
+	for _, e := range []Event{EventRoute, EventDetect, EventCycle, EventContinue, EventResume, EventDeliver} {
+		if e.String() == "" {
+			t.Fatal("event must render")
+		}
+	}
+	if Variant(9).String() == "" || Outcome(9).String() == "" || Event(9).String() == "" {
+		t.Fatal("unknown enums must render")
+	}
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"testing"
+
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+// stretchEps absorbs floating-point accumulation-order differences between
+// a walk's cost sum and Dijkstra's distance.
+const stretchEps = 1e-9
+
+func buildProtocol(t *testing.T, g *graph.Graph, sys *rotation.System, v Variant, disc route.Discriminator) *Protocol {
+	t.Helper()
+	p, err := New(g, sys, route.Build(g, disc), Config{Variant: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// planarSystem embeds g at genus 0, skipping the test if g is not planar.
+// The paper's §5 delivery guarantee relies on embeddings in which every
+// link separates two distinct cells — guaranteed by genus-0 embeddings of
+// 2-edge-connected graphs (see TestEmbeddingQualityMatters for what happens
+// otherwise).
+func planarSystem(t *testing.T, g *graph.Graph) *rotation.System {
+	t.Helper()
+	s, err := (embedding.Planar{}).Embed(g)
+	if err != nil {
+		t.Skipf("graph not planar: %v", err)
+	}
+	return s
+}
+
+// planarTwoConnected generates a random planar 2-edge-connected graph:
+// a fan-triangulated ring, which the generator guarantees planar, and ring
+// edges make 2-edge-connected.
+func planarTwoConnected(n int, seed int64) *graph.Graph {
+	return graph.RandomPlanarLike(n, seed)
+}
+
+// TestBasicSingleFailureCoverage verifies the §4.2 guarantee: on
+// 2-edge-connected networks with a genus-0 embedding, the Basic variant
+// recovers from every single link failure for every affected pair.
+func TestBasicSingleFailureCoverage(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g := planarTwoConnected(8+int(seed%9), seed)
+		sys := planarSystem(t, g)
+		p := buildProtocol(t, g, sys, Basic, route.HopCount)
+		for _, fs := range graph.SingleFailureScenarios(g) {
+			for src := 0; src < g.NumNodes(); src++ {
+				for dst := 0; dst < g.NumNodes(); dst++ {
+					if src == dst {
+						continue
+					}
+					r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+					if !r.Delivered() {
+						t.Fatalf("seed %d failures %v: %d→%d outcome %v; want delivered",
+							seed, fs, src, dst, r.Outcome)
+					}
+					if r.Stretch < 1-stretchEps {
+						t.Fatalf("stretch %v < 1", r.Stretch)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFullMultiFailureCoverage is the paper's headline claim (§5): the Full
+// variant delivers every packet under any failure combination that keeps
+// source and destination connected — here across random planar topologies
+// with genus-0 embeddings, failure sets of 2..6 links, both discriminators.
+func TestFullMultiFailureCoverage(t *testing.T) {
+	total := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		g := planarTwoConnected(10+int(seed%8), seed*13)
+		sys := planarSystem(t, g)
+		for _, disc := range []route.Discriminator{route.HopCount, route.WeightSum} {
+			p := buildProtocol(t, g, sys, Full, disc)
+			for k := 2; k <= 6; k++ {
+				scenarios, err := graph.SampleFailureScenarios(g, k, 6, seed*100+int64(k))
+				if err != nil {
+					continue // this k cannot keep the graph connected
+				}
+				for _, fs := range scenarios {
+					for src := 0; src < g.NumNodes(); src++ {
+						for dst := 0; dst < g.NumNodes(); dst++ {
+							if src == dst {
+								continue
+							}
+							total++
+							r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+							if !r.Delivered() {
+								t.Fatalf("seed %d disc %v failures %v: %d→%d outcome %v (§5 guarantee violated on a genus-0 embedding)",
+									seed, disc, fs, src, dst, r.Outcome)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no scenarios exercised")
+	}
+	t.Logf("full-variant delivery verified on %d walks", total)
+}
+
+// TestEmbeddingQualityMatters is a reproduction finding, pinned as a
+// regression test: with an arbitrary (non-genus-0) rotation system the §5
+// guarantee does NOT hold. On Abilene under the adjacency-order embedding,
+// the Sunnyvale-LosAngeles link has both of its darts on a single face
+// (§5.1's "curved cell"); deleting it splits that face into two boundary
+// components, the packet follows the component that never reaches
+// LosAngeles, and no router on it has a smaller discriminator than the
+// header's — a forwarding loop under a SINGLE failure. The evaluation
+// therefore uses genus-0 embeddings throughout (see EXPERIMENTS.md).
+func TestEmbeddingQualityMatters(t *testing.T) {
+	tp := topo.Abilene(topo.UnitWeights)
+	g := tp.Graph
+	badSys := rotation.AdjacencyOrder(g)
+	p := buildProtocol(t, g, badSys, Full, route.HopCount)
+
+	sun := g.NodeByName("Sunnyvale")
+	la := g.NodeByName("LosAngeles")
+	link := g.FindLink(sun, la)
+	// Confirm the precondition: both darts share a face in this embedding.
+	ab, ba := rotation.DartsOf(link)
+	if !badSys.Faces().SameFace(ab, ba) {
+		t.Fatal("precondition changed: link darts no longer share a face")
+	}
+	r := p.Walk(g.NodeByName("Seattle"), la, graph.NewFailureSet(link))
+	if r.Outcome != Looped {
+		t.Fatalf("outcome = %v; this scenario is the documented single-failure loop under a bad embedding", r.Outcome)
+	}
+
+	// The same scenario under the genus-0 embedding delivers.
+	goodSys, err := (embedding.Planar{}).Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := buildProtocol(t, g, goodSys, Full, route.HopCount)
+	if r := good.Walk(g.NodeByName("Seattle"), la, graph.NewFailureSet(link)); !r.Delivered() {
+		t.Fatalf("genus-0 embedding: outcome = %v; want delivered", r.Outcome)
+	}
+}
+
+// TestArbitraryEmbeddingAlwaysTerminates: even under rotation systems with
+// no quality guarantee, every walk must terminate with a classified
+// outcome — the loop detector and isolation handling must never hang.
+func TestArbitraryEmbeddingAlwaysTerminates(t *testing.T) {
+	delivered, looped, total := 0, 0, 0
+	for seed := int64(1); seed <= 8; seed++ {
+		g := graph.RandomTwoConnected(12, 22, seed)
+		sys := rotation.Random(g, seed*31)
+		p := buildProtocol(t, g, sys, Full, route.HopCount)
+		scenarios, err := graph.SampleFailureScenarios(g, 3, 8, seed)
+		if err != nil {
+			continue
+		}
+		for _, fs := range scenarios {
+			for src := 0; src < g.NumNodes(); src++ {
+				for dst := 0; dst < g.NumNodes(); dst++ {
+					if src == dst {
+						continue
+					}
+					total++
+					r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+					switch r.Outcome {
+					case Delivered:
+						delivered++
+					case Looped:
+						looped++
+					case Isolated:
+					default:
+						t.Fatalf("unclassified outcome %v", r.Outcome)
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no walks exercised")
+	}
+	t.Logf("random embeddings: %d delivered, %d looped of %d (loops expected without genus control)", delivered, looped, total)
+}
+
+// TestFullDisconnectingFailures: when failures disconnect src from dst no
+// scheme can deliver; the walk must terminate with a drop, not spin.
+func TestFullDisconnectingFailures(t *testing.T) {
+	g := graph.Ring(6)
+	sys := planarSystem(t, g)
+	p := buildProtocol(t, g, sys, Full, route.HopCount)
+	// Fail links 0 (0-1) and 3 (3-4): nodes {1,2,3} split from {4,5,0}.
+	fs := graph.NewFailureSet(0, 3)
+	if graph.ConnectedUnder(g, fs) {
+		t.Fatal("test expects a disconnecting failure set")
+	}
+	r := p.Walk(1, 5, fs)
+	if r.Delivered() {
+		t.Fatal("delivered across a cut")
+	}
+	if r.Outcome != Looped && r.Outcome != Isolated {
+		t.Fatalf("outcome = %v; want a detected drop", r.Outcome)
+	}
+	// Pairs on the same side still deliver.
+	r = p.Walk(1, 3, fs)
+	if !r.Delivered() {
+		t.Fatalf("same-side pair not delivered: %v", r.Outcome)
+	}
+}
+
+// TestNodeFailureRecovery: node failures are all-incident-link failures
+// (§4); remaining pairs must still be delivered by the Full variant when
+// connectivity survives, under the genus-0 embedding.
+func TestNodeFailureRecovery(t *testing.T) {
+	tp := topo.Abilene(topo.UnitWeights)
+	g := tp.Graph
+	sys := planarSystem(t, g)
+	p := buildProtocol(t, g, sys, Full, route.HopCount)
+	for dead := 0; dead < g.NumNodes(); dead++ {
+		fs := graph.FailNode(g, graph.NodeID(dead))
+		reach := graph.ReachableUnder(g, firstOther(g, graph.NodeID(dead)), fs)
+		for src := 0; src < g.NumNodes(); src++ {
+			for dst := 0; dst < g.NumNodes(); dst++ {
+				if src == dst || src == dead || dst == dead {
+					continue
+				}
+				r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+				if reach[src] && reach[dst] {
+					if !r.Delivered() {
+						t.Fatalf("node %s dead: %d→%d outcome %v; want delivered",
+							g.Name(graph.NodeID(dead)), src, dst, r.Outcome)
+					}
+				} else if r.Delivered() {
+					t.Fatalf("node %s dead: %d→%d delivered across a cut", g.Name(graph.NodeID(dead)), src, dst)
+				}
+			}
+		}
+	}
+}
+
+func firstOther(g *graph.Graph, not graph.NodeID) graph.NodeID {
+	for i := 0; i < g.NumNodes(); i++ {
+		if graph.NodeID(i) != not {
+			return graph.NodeID(i)
+		}
+	}
+	return graph.NoNode
+}
+
+// TestEpisodeDDsStrictlyDecrease: §5.3's progress argument — successive
+// EventDetect stampings within one walk carry strictly decreasing DD.
+func TestEpisodeDDsStrictlyDecrease(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := planarTwoConnected(12, seed)
+		sys := planarSystem(t, g)
+		p := buildProtocol(t, g, sys, Full, route.HopCount)
+		scenarios, err := graph.SampleFailureScenarios(g, 4, 5, seed)
+		if err != nil {
+			continue
+		}
+		for _, fs := range scenarios {
+			for src := 0; src < g.NumNodes(); src++ {
+				for dst := 0; dst < g.NumNodes(); dst++ {
+					if src == dst {
+						continue
+					}
+					r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+					last := -1.0
+					for _, s := range r.Steps {
+						if s.Event != EventDetect {
+							continue
+						}
+						if last >= 0 && s.Header.DD >= last {
+							t.Fatalf("seed %d %d→%d: episode DD %v did not decrease below %v",
+								seed, src, dst, s.Header.DD, last)
+						}
+						last = s.Header.DD
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWalkTrivialCases: src == dst, unreachable destinations.
+func TestWalkTrivialCases(t *testing.T) {
+	g := graph.New(3, 1)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	island := g.AddNode("island")
+	g.MustAddLink(a, b, 1)
+	g.Freeze()
+	p := buildProtocol(t, g, rotation.AdjacencyOrder(g), Full, route.HopCount)
+
+	r := p.Walk(a, a, nil)
+	if !r.Delivered() || r.Cost != 0 || r.Hops() != 0 {
+		t.Fatalf("self delivery wrong: %+v", r)
+	}
+	r = p.Walk(a, island, nil)
+	if r.Outcome != NoRoute {
+		t.Fatalf("unreachable outcome = %v; want no-route", r.Outcome)
+	}
+}
+
+// TestIsolatedSource: every link at the source is down → Isolated.
+func TestIsolatedSource(t *testing.T) {
+	g := graph.Ring(4)
+	p := buildProtocol(t, g, rotation.AdjacencyOrder(g), Full, route.HopCount)
+	fs := graph.FailNode(g, 0)
+	r := p.Walk(0, 2, fs)
+	if r.Outcome != Isolated {
+		t.Fatalf("outcome = %v; want isolated", r.Outcome)
+	}
+}
+
+// TestWalkDeterminism: identical inputs give identical transcripts.
+func TestWalkDeterminism(t *testing.T) {
+	g := graph.RandomTwoConnected(10, 18, 4)
+	sys := rotation.Random(g, 9)
+	p := buildProtocol(t, g, sys, Full, route.HopCount)
+	fs := graph.NewFailureSet(1, 5)
+	a := p.Walk(0, 7, fs)
+	b := p.Walk(0, 7, fs)
+	if len(a.Steps) != len(b.Steps) || a.Cost != b.Cost || a.Outcome != b.Outcome {
+		t.Fatal("walks not deterministic")
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}
+
+// TestWeightSumDiscriminatorDelivers: the paper's alternative DD function
+// must preserve the delivery guarantee (genus-0 embedding).
+func TestWeightSumDiscriminatorDelivers(t *testing.T) {
+	tp := topo.Geant(topo.DistanceWeights)
+	g := tp.Graph
+	sys := planarSystem(t, g)
+	p := buildProtocol(t, g, sys, Full, route.WeightSum)
+	scenarios, err := graph.SampleFailureScenarios(g, 5, 10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range scenarios {
+		for src := 0; src < g.NumNodes(); src += 3 {
+			for dst := 0; dst < g.NumNodes(); dst += 2 {
+				if src == dst {
+					continue
+				}
+				r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+				if !r.Delivered() {
+					t.Fatalf("failures %v: %d→%d outcome %v", fs, src, dst, r.Outcome)
+				}
+			}
+		}
+	}
+}
+
+// TestStretchAlwaysAtLeastOne across many random walks.
+func TestStretchAlwaysAtLeastOne(t *testing.T) {
+	g := planarTwoConnected(16, 11)
+	sys := planarSystem(t, g)
+	p := buildProtocol(t, g, sys, Full, route.HopCount)
+	scenarios, err := graph.SampleFailureScenarios(g, 3, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range scenarios {
+		for src := 0; src < g.NumNodes(); src++ {
+			for dst := 0; dst < g.NumNodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				if r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs); r.Delivered() && r.Stretch < 1-stretchEps {
+					t.Fatalf("stretch %v < 1", r.Stretch)
+				}
+			}
+		}
+	}
+}
+
+// TestBasicVariantTerminates: Basic may loop under multi-failures, but the
+// walk engine must always terminate with a classified outcome.
+func TestBasicVariantTerminates(t *testing.T) {
+	g := graph.RandomTwoConnected(10, 16, 8)
+	p := buildProtocol(t, g, rotation.Random(g, 2), Basic, route.HopCount)
+	scenarios, err := graph.SampleFailureScenarios(g, 4, 10, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range scenarios {
+		for src := 0; src < g.NumNodes(); src++ {
+			for dst := 0; dst < g.NumNodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+				switch r.Outcome {
+				case Delivered, Looped, Isolated:
+					// all legitimate for Basic under multi-failures
+				default:
+					t.Fatalf("outcome = %v", r.Outcome)
+				}
+			}
+		}
+	}
+}
+
+// TestFullCoverageOnISPTopologies runs the headline guarantee on the actual
+// evaluation topologies with the genus-0 embeddings the experiments use.
+func TestFullCoverageOnISPTopologies(t *testing.T) {
+	// Failure counts follow the paper's per-topology experiments; Abilene
+	// (14 links, 11 nodes) cannot stay connected above 4 failures.
+	ks := map[string][]int{
+		"abilene":   {1, 3, 4},
+		"geant":     {1, 3, 5},
+		"teleglobe": {1, 3, 5},
+	}
+	for _, name := range []string{"abilene", "geant", "teleglobe"} {
+		tp, err := topo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := tp.Graph
+		sys := planarSystem(t, g)
+		p := buildProtocol(t, g, sys, Full, route.HopCount)
+		for _, k := range ks[name] {
+			scenarios, err := graph.SampleFailureScenarios(g, k, 8, 3)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			for _, fs := range scenarios {
+				for src := 0; src < g.NumNodes(); src++ {
+					for dst := 0; dst < g.NumNodes(); dst++ {
+						if src == dst {
+							continue
+						}
+						r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+						if !r.Delivered() {
+							t.Fatalf("%s failures %v: %s→%s outcome %v",
+								name, fs, g.Name(graph.NodeID(src)), g.Name(graph.NodeID(dst)), r.Outcome)
+						}
+					}
+				}
+			}
+		}
+	}
+}

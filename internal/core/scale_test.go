@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/route"
+)
+
+// TestScaleLargePlanarNetwork runs the Full variant on a 200-node planar
+// 2-edge-connected graph: the §5 guarantee and the walk engine must hold up
+// well beyond ISP-backbone sizes.
+func TestScaleLargePlanarNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const n = 200
+	g := graph.RandomPlanarLike(n, 424242)
+	if !graph.TwoEdgeConnected(g) {
+		t.Fatal("generator must produce a 2-edge-connected graph")
+	}
+	sys, err := (embedding.Planar{}).Embed(g)
+	if err != nil {
+		t.Fatalf("planar embed: %v", err)
+	}
+	if sys.Genus() != 0 {
+		t.Fatalf("genus = %d", sys.Genus())
+	}
+	p, err := New(g, sys, route.Build(g, route.HopCount), Config{Variant: Full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios, err := graph.SampleFailureScenarios(g, 8, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walks := 0
+	for _, fs := range scenarios {
+		for src := 0; src < n; src += 7 {
+			for dst := 0; dst < n; dst += 11 {
+				if src == dst {
+					continue
+				}
+				r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+				if !r.Delivered() {
+					t.Fatalf("failures %v: %d→%d outcome %v", fs, src, dst, r.Outcome)
+				}
+				walks++
+			}
+		}
+	}
+	t.Logf("scale: %d nodes, %d links, %d walks under 8-link failures, all delivered",
+		n, g.NumLinks(), walks)
+}
+
+// TestScaleEmbeddingPipeline: the offline pipeline (embed + route build +
+// protocol construction) on a 300-node graph stays well-formed.
+func TestScaleEmbeddingPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	g := graph.RandomPlanarLike(300, 7)
+	sys, err := (embedding.Auto{Seed: 3}).Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tbl := route.Build(g, route.HopCount)
+	if _, err := New(g, sys, tbl, Config{Variant: Full}); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: faces partition darts at scale.
+	total := 0
+	for _, f := range sys.Faces().Faces {
+		total += f.Len()
+	}
+	if total != sys.NumDarts() {
+		t.Fatalf("face darts %d != %d", total, sys.NumDarts())
+	}
+}

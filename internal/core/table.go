@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+// CycleRow is one entry of a router's cycle-following table (paper
+// Table 1): for packets arriving on Ingress with the PR bit set, forward on
+// Following; if Following has failed, the complementary cycle continues on
+// Complementary.
+type CycleRow struct {
+	// Ingress is the arriving dart (tail = upstream neighbour, head = this
+	// router).
+	Ingress rotation.DartID
+	// Following is φ(Ingress): the next dart of the ingress dart's cycle.
+	Following rotation.DartID
+	// Complementary is σ(Following): the egress used when Following's link
+	// is down — the next hop on the complementary cycle.
+	Complementary rotation.DartID
+}
+
+// CycleTable returns node n's cycle-following table, one row per incident
+// link, ordered by the upstream neighbour's node ID (then link ID) so the
+// rendering is deterministic.
+func (p *Protocol) CycleTable(n graph.NodeID) []CycleRow {
+	rows := make([]CycleRow, 0, p.g.Degree(n))
+	for _, nb := range p.g.Neighbors(n) {
+		in := rotation.ReverseID(p.sys.OutgoingDart(n, nb.Link))
+		follow := p.sys.FaceNext(in)
+		rows = append(rows, CycleRow{
+			Ingress:       in,
+			Following:     follow,
+			Complementary: p.sys.Complementary(follow),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Ingress < rows[j].Ingress })
+	return rows
+}
+
+// FormatCycleTable renders node n's cycle-following table in the paper's
+// Table 1 notation, where I_{YX} is the interface at X receiving packets
+// from Y, annotated with the cycle (face) index of each egress.
+func (p *Protocol) FormatCycleTable(n graph.NodeID) string {
+	faces := p.sys.Faces()
+	ifName := func(d rotation.DartID) string {
+		dart := p.sys.Dart(d)
+		return fmt.Sprintf("I%s%s", p.g.Name(dart.Tail), p.g.Name(dart.Head))
+	}
+	egName := func(d rotation.DartID) string {
+		return fmt.Sprintf("%s (c%d)", ifName(d), faces.FaceIndexOf(d)+1)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cycle following table at node %s\n", p.g.Name(n))
+	fmt.Fprintf(&b, "%-10s %-16s %-16s\n", "Incoming", "CycleFollowing", "Complementary")
+	for _, r := range p.CycleTable(n) {
+		fmt.Fprintf(&b, "%-10s %-16s %-16s\n", ifName(r.Ingress), egName(r.Following), egName(r.Complementary))
+	}
+	return b.String()
+}
+
+// MemoryFootprint estimates the additional per-router state PR requires
+// (§6): the cycle-following table (interfaces × 2 egress entries) plus the
+// DD column in the routing table (one value per destination). Returned as
+// entry counts, deliberately unit-free.
+type MemoryFootprint struct {
+	// CycleTableEntries counts (following, complementary) pairs: 2 per
+	// interface.
+	CycleTableEntries int
+	// DDEntries counts the extra routing-table column: destinations − 1.
+	DDEntries int
+}
+
+// Memory returns the PR memory footprint of node n.
+func (p *Protocol) Memory(n graph.NodeID) MemoryFootprint {
+	return MemoryFootprint{
+		CycleTableEntries: 2 * p.g.Degree(n),
+		DDEntries:         p.g.NumNodes() - 1,
+	}
+}

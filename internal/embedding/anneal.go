@@ -1,0 +1,159 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+// Annealer reduces embedding genus by seeded simulated annealing over
+// rotation systems. The state space is the set of per-node cyclic orders;
+// a move relocates one link within one node's order; the objective is the
+// face count (maximising faces minimises genus by Euler's formula).
+//
+// The paper notes (§7) that minimum-genus embedding is NP-hard in general;
+// annealing is the standard practical fallback for the non-planar cases
+// where the left-right embedder does not apply.
+type Annealer struct {
+	// Seed drives all randomness; equal seeds give equal results.
+	Seed int64
+	// Iterations bounds the number of proposed moves. Zero selects a
+	// size-dependent default (200 × links).
+	Iterations int
+	// Start produces the initial embedding. Nil defaults to Greedy.
+	Start Embedder
+}
+
+// Name implements Embedder.
+func (a Annealer) Name() string { return "anneal" }
+
+// Embed implements Embedder.
+func (a Annealer) Embed(g *graph.Graph) (*rotation.System, error) {
+	start := a.Start
+	if start == nil {
+		start = Greedy{}
+	}
+	init, err := start.Embed(g)
+	if err != nil {
+		return nil, err
+	}
+	iters := a.Iterations
+	if iters == 0 {
+		iters = 200 * g.NumLinks()
+	}
+	if g.NumLinks() == 0 || iters <= 0 {
+		return init, nil
+	}
+
+	rng := rand.New(rand.NewSource(a.Seed))
+	cur := ordersOf(g, init)
+	curFaces := faceCount(g, cur)
+	best := cloneOrders(cur)
+	bestFaces := curFaces
+
+	// Moves only help at nodes of degree ≥ 3: cyclic orders of shorter
+	// rotations are all equivalent.
+	var movable []graph.NodeID
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.Degree(graph.NodeID(n)) >= 3 {
+			movable = append(movable, graph.NodeID(n))
+		}
+	}
+	if len(movable) == 0 {
+		return init, nil
+	}
+
+	// Geometric cooling from T0 to Tend over the iteration budget.
+	const t0, tEnd = 2.0, 0.01
+	cool := math.Pow(tEnd/t0, 1/float64(iters))
+	temp := t0
+	for it := 0; it < iters; it++ {
+		n := movable[rng.Intn(len(movable))]
+		ord := cur[n]
+		from := rng.Intn(len(ord))
+		to := rng.Intn(len(ord))
+		if from == to {
+			temp *= cool
+			continue
+		}
+		moveWithin(ord, from, to)
+		faces := faceCount(g, cur)
+		delta := faces - curFaces
+		if delta >= 0 || rng.Float64() < math.Exp(float64(delta)/temp) {
+			curFaces = faces
+			if faces > bestFaces {
+				bestFaces = faces
+				best = cloneOrders(cur)
+			}
+		} else {
+			moveWithin(ord, to, from) // revert
+		}
+		temp *= cool
+	}
+	return rotation.FromLinkOrders(g, toLinkOrders(best))
+}
+
+// ordersOf extracts mutable per-node dart orders from a system.
+func ordersOf(g *graph.Graph, s *rotation.System) [][]rotation.DartID {
+	out := make([][]rotation.DartID, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		out[n] = append([]rotation.DartID(nil), s.Rotation(graph.NodeID(n))...)
+	}
+	return out
+}
+
+func cloneOrders(orders [][]rotation.DartID) [][]rotation.DartID {
+	out := make([][]rotation.DartID, len(orders))
+	for i, o := range orders {
+		out[i] = append([]rotation.DartID(nil), o...)
+	}
+	return out
+}
+
+func toLinkOrders(orders [][]rotation.DartID) [][]graph.LinkID {
+	out := make([][]graph.LinkID, len(orders))
+	for i, o := range orders {
+		out[i] = make([]graph.LinkID, len(o))
+		for j, d := range o {
+			out[i][j] = rotation.LinkOf(d)
+		}
+	}
+	return out
+}
+
+// moveWithin relocates the element at index from to index to, shifting the
+// slice between them.
+func moveWithin(s []rotation.DartID, from, to int) {
+	d := s[from]
+	if from < to {
+		copy(s[from:], s[from+1:to+1])
+	} else {
+		copy(s[to+1:], s[to:from])
+	}
+	s[to] = d
+}
+
+// faceCount counts φ orbits of the full rotation described by orders.
+func faceCount(g *graph.Graph, orders [][]rotation.DartID) int {
+	nd := 2 * g.NumLinks()
+	next := make([]rotation.DartID, nd)
+	for _, darts := range orders {
+		for i, d := range darts {
+			next[d] = darts[(i+1)%len(darts)]
+		}
+	}
+	seen := make([]bool, nd)
+	faces := 0
+	for d := 0; d < nd; d++ {
+		if seen[d] {
+			continue
+		}
+		faces++
+		for e := rotation.DartID(d); !seen[e]; e = next[rotation.ReverseID(e)] {
+			seen[e] = true
+		}
+	}
+	return faces
+}

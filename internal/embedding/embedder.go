@@ -1,0 +1,89 @@
+package embedding
+
+import (
+	"errors"
+	"fmt"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+// Embedder computes a cellular embedding (rotation system) for a graph.
+// Implementations must be deterministic: equal inputs (and seeds) yield
+// equal embeddings, so that routing experiments are reproducible.
+type Embedder interface {
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+	// Embed returns a rotation system for g.
+	Embed(g *graph.Graph) (*rotation.System, error)
+}
+
+// Adjacency is the trivial embedder: rotations follow the graph's frozen
+// adjacency lists. Always succeeds; typically poor genus. It is the
+// baseline the ablation benchmarks measure other embedders against.
+type Adjacency struct{}
+
+// Name implements Embedder.
+func (Adjacency) Name() string { return "adjacency" }
+
+// Embed implements Embedder.
+func (Adjacency) Embed(g *graph.Graph) (*rotation.System, error) {
+	return rotation.AdjacencyOrder(g), nil
+}
+
+// RandomOrder embeds with a uniformly random, seeded rotation system. Used
+// by property tests: PR must deliver packets under any rotation system.
+type RandomOrder struct {
+	Seed int64
+}
+
+// Name implements Embedder.
+func (RandomOrder) Name() string { return "random" }
+
+// Embed implements Embedder.
+func (r RandomOrder) Embed(g *graph.Graph) (*rotation.System, error) {
+	return rotation.Random(g, r.Seed), nil
+}
+
+// Auto picks the best available embedding: exact genus 0 from the planarity
+// test when the graph is planar, otherwise the better of Greedy and an
+// annealing pass seeded from it. This mirrors the paper's deployment story:
+// an offline server computes the embedding with whatever algorithm fits the
+// topology (§7).
+type Auto struct {
+	// Seed drives the annealing fallback.
+	Seed int64
+	// AnnealIterations bounds the fallback's move budget (0 = default).
+	AnnealIterations int
+}
+
+// Name implements Embedder.
+func (Auto) Name() string { return "auto" }
+
+// Embed implements Embedder.
+func (a Auto) Embed(g *graph.Graph) (*rotation.System, error) {
+	if planar, err := (Planar{}).Embed(g); err == nil {
+		return planar, nil
+	} else if !errors.Is(err, ErrNonPlanar) && !errors.Is(err, ErrMultigraph) {
+		return nil, err
+	}
+	greedy, err := (Greedy{}).Embed(g)
+	if err != nil {
+		return nil, fmt.Errorf("embedding: greedy fallback: %w", err)
+	}
+	annealed, err := Annealer{Seed: a.Seed, Iterations: a.AnnealIterations, Start: Greedy{}}.Embed(g)
+	if err != nil {
+		return greedy, nil
+	}
+	if !graph.Connected(g) {
+		// Genus comparison requires connectivity; fall back to face count.
+		if annealed.CountFaces() >= greedy.CountFaces() {
+			return annealed, nil
+		}
+		return greedy, nil
+	}
+	if annealed.Genus() <= greedy.Genus() {
+		return annealed, nil
+	}
+	return greedy, nil
+}

@@ -1,0 +1,229 @@
+package embedding
+
+import (
+	"testing"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+func TestGreedyRing(t *testing.T) {
+	s, err := (Greedy{}).Embed(graph.Ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A ring has a unique embedding with two faces: genus 0.
+	if gen := s.Genus(); gen != 0 {
+		t.Fatalf("ring genus = %d; want 0", gen)
+	}
+}
+
+func TestGreedyTreeSingleFace(t *testing.T) {
+	// Star K1,4: tree → one face, genus 0.
+	g := graph.New(5, 4)
+	c := g.AddNode("hub")
+	for i := 0; i < 4; i++ {
+		leaf := g.AddNode("leaf")
+		g.MustAddLink(c, leaf, 1)
+	}
+	g.Freeze()
+	s, err := (Greedy{}).Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := s.CountFaces(); f != 1 {
+		t.Fatalf("tree faces = %d; want 1", f)
+	}
+	if gen := s.Genus(); gen != 0 {
+		t.Fatalf("tree genus = %d; want 0", gen)
+	}
+}
+
+func TestGreedyOnPlanarGraphsNearGenusZero(t *testing.T) {
+	// Greedy is a heuristic: exact on small/simple planar graphs, and
+	// allowed one unit of slack on the grid, where its local optimum is
+	// genus 1 (Auto uses the exact planar embedder for planar inputs).
+	cases := []struct {
+		name     string
+		g        *graph.Graph
+		maxGenus int
+	}{
+		{"K4", graph.Complete(4), 0},
+		{"grid3x3", graph.Grid(3, 3), 1},
+		{"C6", graph.Ring(6), 0},
+	}
+	for _, tc := range cases {
+		s, err := (Greedy{}).Embed(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if gen := s.Genus(); gen > tc.maxGenus {
+			t.Errorf("%s: greedy genus = %d; want ≤ %d", tc.name, gen, tc.maxGenus)
+		}
+	}
+}
+
+func TestGreedyK5GenusOne(t *testing.T) {
+	// The orientable genus of K5 is exactly 1; greedy must not do worse
+	// than 2 on such a small instance and can never do better than 1.
+	s, err := (Greedy{}).Embed(graph.Complete(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := s.Genus(); gen < 1 || gen > 2 {
+		t.Fatalf("K5 greedy genus = %d; want 1 (or at worst 2)", gen)
+	}
+}
+
+func TestAnnealerImprovesOrMatchesGreedy(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Complete(5),
+		graph.CompleteBipartite(3, 3),
+		graph.Torus(3, 3),
+		graph.RandomTwoConnected(10, 20, 5),
+	}
+	for i, g := range cases {
+		greedy, err := (Greedy{}).Embed(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		annealed, err := Annealer{Seed: 1, Iterations: 4000}.Embed(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := annealed.Validate(); err != nil {
+			t.Fatalf("case %d: invalid annealed system: %v", i, err)
+		}
+		if annealed.Genus() > greedy.Genus() {
+			t.Errorf("case %d: anneal genus %d > greedy genus %d", i, annealed.Genus(), greedy.Genus())
+		}
+	}
+}
+
+func TestAnnealerFindsK5MinimumGenus(t *testing.T) {
+	// genus(K5) = 1. With a reasonable budget annealing should reach it.
+	s, err := Annealer{Seed: 7, Iterations: 20000}.Embed(graph.Complete(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := s.Genus(); gen != 1 {
+		t.Fatalf("K5 annealed genus = %d; want 1", gen)
+	}
+}
+
+func TestAnnealerDeterministic(t *testing.T) {
+	g := graph.RandomTwoConnected(9, 16, 2)
+	a, err := Annealer{Seed: 3, Iterations: 1000}.Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Annealer{Seed: 3, Iterations: 1000}.Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := rotation.DartID(0); int(d) < a.NumDarts(); d++ {
+		if a.NextAround(d) != b.NextAround(d) {
+			t.Fatal("annealer not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestAdjacencyAndRandomEmbedders(t *testing.T) {
+	g := graph.Grid(3, 3)
+	for _, e := range []Embedder{Adjacency{}, RandomOrder{Seed: 4}} {
+		s, err := e.Embed(g)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if e.Name() == "" {
+			t.Fatal("embedder must have a name")
+		}
+	}
+}
+
+func TestAutoUsesPlanarWhenPossible(t *testing.T) {
+	s, err := (Auto{Seed: 1}).Embed(graph.Grid(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := s.Genus(); gen != 0 {
+		t.Fatalf("auto on planar grid: genus = %d; want 0", gen)
+	}
+}
+
+func TestAutoFallsBackOnNonPlanar(t *testing.T) {
+	s, err := (Auto{Seed: 1, AnnealIterations: 5000}).Embed(graph.Complete(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := s.Genus(); gen < 1 || gen > 2 {
+		t.Fatalf("auto on K5: genus = %d; want 1 or 2", gen)
+	}
+}
+
+func TestAutoHandlesMultigraph(t *testing.T) {
+	g := graph.New(3, 4)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustAddLink(a, b, 1)
+	g.MustAddLink(a, b, 1) // parallel
+	g.MustAddLink(b, c, 1)
+	g.MustAddLink(a, c, 1)
+	g.Freeze()
+	s, err := (Auto{Seed: 2}).Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyDisconnected(t *testing.T) {
+	g := graph.New(6, 6)
+	for i := 0; i < 6; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	g.MustAddLink(0, 1, 1)
+	g.MustAddLink(1, 2, 1)
+	g.MustAddLink(0, 2, 1)
+	g.MustAddLink(3, 4, 1)
+	g.MustAddLink(4, 5, 1)
+	g.MustAddLink(3, 5, 1)
+	g.Freeze()
+	s, err := (Greedy{}).Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := s.CountFaces(); f != 4 {
+		t.Fatalf("two triangles: faces = %d; want 4", f)
+	}
+}
+
+// TestEmbeddersProduceValidSystems runs every embedder over random graphs
+// and validates structural invariants.
+func TestEmbeddersProduceValidSystems(t *testing.T) {
+	embedders := []Embedder{Adjacency{}, RandomOrder{Seed: 9}, Greedy{}, Annealer{Seed: 9, Iterations: 500}, Auto{Seed: 9, AnnealIterations: 500}}
+	for seed := int64(1); seed <= 5; seed++ {
+		g := graph.RandomTwoConnected(8, 14, seed)
+		for _, e := range embedders {
+			s, err := e.Embed(g)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", e.Name(), seed, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s seed %d: %v", e.Name(), seed, err)
+			}
+			if s.Genus() < 0 {
+				t.Fatalf("%s seed %d: negative genus", e.Name(), seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package embedding
+
+import (
+	"fmt"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+// Exhaustive enumerates rotation systems to find a minimum-genus embedding.
+// The search space is Π_v (deg(v)−1)! (cyclic orders per node, first
+// neighbour pinned), so this is only feasible for small or low-degree
+// graphs — exactly the regime where it serves as ground truth for the
+// heuristic embedders (the paper notes minimum-genus embedding is NP-hard
+// in general, §7). The enumeration aborts with an error once Budget
+// candidate systems have been evaluated, unless a genus-0 system is found
+// earlier (genus 0 is always optimal, so the search can stop).
+type Exhaustive struct {
+	// Budget caps evaluated rotation systems (default 2_000_000).
+	Budget int
+}
+
+// Name implements Embedder.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// ErrBudgetExceeded is returned when the search space exceeds the budget
+// before completing the enumeration.
+var ErrBudgetExceeded = fmt.Errorf("embedding: exhaustive search budget exceeded")
+
+// Embed implements Embedder.
+func (e Exhaustive) Embed(g *graph.Graph) (*rotation.System, error) {
+	budget := e.Budget
+	if budget == 0 {
+		budget = 2_000_000
+	}
+	if !graph.Connected(g) {
+		return nil, fmt.Errorf("embedding: exhaustive search requires a connected graph")
+	}
+
+	// Per node: the incident links; we permute positions 1..d-1 and keep
+	// position 0 fixed (cyclic orders are rotation-invariant).
+	incident := make([][]graph.LinkID, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		for _, nb := range g.Neighbors(graph.NodeID(n)) {
+			incident[n] = append(incident[n], nb.Link)
+		}
+	}
+
+	orders := make([][]graph.LinkID, g.NumNodes())
+	for n := range orders {
+		orders[n] = append([]graph.LinkID(nil), incident[n]...)
+	}
+
+	var best *rotation.System
+	bestFaces := -1
+	evaluated := 0
+
+	var rec func(node int) error
+	rec = func(node int) error {
+		if evaluated >= budget {
+			return ErrBudgetExceeded
+		}
+		if node == g.NumNodes() {
+			evaluated++
+			sys, err := rotation.FromLinkOrders(g, orders)
+			if err != nil {
+				return err
+			}
+			if f := sys.CountFaces(); f > bestFaces {
+				bestFaces = f
+				best = sys
+			}
+			return nil
+		}
+		// Heap-style permutation of positions 1..d-1 (position 0 pinned).
+		ord := orders[node]
+		if len(ord) <= 2 {
+			return rec(node + 1)
+		}
+		var permute func(k int) error
+		permute = func(k int) error {
+			if k == len(ord) {
+				return rec(node + 1)
+			}
+			for i := k; i < len(ord); i++ {
+				ord[k], ord[i] = ord[i], ord[k]
+				if err := permute(k + 1); err != nil {
+					return err
+				}
+				ord[k], ord[i] = ord[i], ord[k]
+				if best != nil && best.Genus() == 0 {
+					return nil // cannot do better than the sphere
+				}
+			}
+			return nil
+		}
+		return permute(1)
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("embedding: exhaustive search found no system")
+	}
+	return best, nil
+}
+
+// MinimumGenus returns the exact genus of g, found by exhaustive search
+// within the budget (0 = default).
+func MinimumGenus(g *graph.Graph, budget int) (int, error) {
+	sys, err := Exhaustive{Budget: budget}.Embed(g)
+	if err != nil {
+		return 0, err
+	}
+	return sys.Genus(), nil
+}

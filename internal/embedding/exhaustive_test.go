@@ -1,0 +1,95 @@
+package embedding
+
+import (
+	"errors"
+	"testing"
+
+	"recycle/internal/graph"
+)
+
+// TestExhaustiveKnownGenera pins the orientable genus of classic graphs —
+// ground truth the heuristics are measured against.
+func TestExhaustiveKnownGenera(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		genus int
+	}{
+		{"K4", graph.Complete(4), 0},
+		{"K5", graph.Complete(5), 1},
+		{"K33", graph.CompleteBipartite(3, 3), 1},
+		{"C7", graph.Ring(7), 0},
+		{"petersen", petersen(), 1},
+		{"grid2x3", graph.Grid(2, 3), 0},
+	}
+	for _, tc := range cases {
+		got, err := MinimumGenus(tc.g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.genus {
+			t.Errorf("%s: minimum genus = %d; want %d", tc.name, got, tc.genus)
+		}
+	}
+}
+
+// TestExhaustiveGroundTruthsHeuristics: on graphs small enough for exact
+// search, the heuristics must stay within one handle of optimal.
+func TestExhaustiveGroundTruthsHeuristics(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Complete(5),
+		graph.CompleteBipartite(3, 3),
+		petersen(),
+	}
+	for i, g := range graphs {
+		exact, err := MinimumGenus(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := (Greedy{}).Embed(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Genus() > exact+1 {
+			t.Errorf("case %d: greedy genus %d vs exact %d (slack > 1)", i, greedy.Genus(), exact)
+		}
+		annealed, err := Annealer{Seed: 5, Iterations: 20000}.Embed(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if annealed.Genus() > exact+1 {
+			t.Errorf("case %d: annealed genus %d vs exact %d (slack > 1)", i, annealed.Genus(), exact)
+		}
+	}
+}
+
+func TestExhaustiveBudget(t *testing.T) {
+	// K6 has (4!)^6 ≈ 1.9e8 systems; a tiny budget must abort cleanly.
+	_, err := Exhaustive{Budget: 10}.Embed(graph.Complete(6))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v; want ErrBudgetExceeded", err)
+	}
+}
+
+func TestExhaustiveEarlyExitOnPlanar(t *testing.T) {
+	// A planar graph with large search space still returns promptly via
+	// the genus-0 early exit.
+	g := graph.Grid(3, 3)
+	sys, err := Exhaustive{Budget: 100_000}.Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Genus() != 0 {
+		t.Fatalf("genus = %d; want 0", sys.Genus())
+	}
+}
+
+func TestExhaustiveRejectsDisconnected(t *testing.T) {
+	g := graph.New(2, 0)
+	g.AddNode("a")
+	g.AddNode("b")
+	g.Freeze()
+	if _, err := (Exhaustive{}).Embed(g); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}

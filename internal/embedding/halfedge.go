@@ -1,0 +1,84 @@
+package embedding
+
+import (
+	"recycle/internal/graph"
+)
+
+// ringSet stores, per node, a circular doubly-linked list of neighbour
+// nodes — the half-edge adjacency rings assembled by the embedding phase of
+// the planarity test. Because the planarity test rejects multigraphs, a
+// neighbour node uniquely identifies a half-edge.
+type ringSet struct {
+	cw    []map[graph.NodeID]graph.NodeID // next neighbour clockwise
+	ccw   []map[graph.NodeID]graph.NodeID // next neighbour counter-clockwise
+	first []graph.NodeID                  // iteration anchor; NoNode = empty
+}
+
+func newRingSet(g *graph.Graph) *ringSet {
+	n := g.NumNodes()
+	rs := &ringSet{
+		cw:    make([]map[graph.NodeID]graph.NodeID, n),
+		ccw:   make([]map[graph.NodeID]graph.NodeID, n),
+		first: make([]graph.NodeID, n),
+	}
+	for i := 0; i < n; i++ {
+		rs.cw[i] = make(map[graph.NodeID]graph.NodeID, g.Degree(graph.NodeID(i)))
+		rs.ccw[i] = make(map[graph.NodeID]graph.NodeID, g.Degree(graph.NodeID(i)))
+		rs.first[i] = graph.NoNode
+	}
+	return rs
+}
+
+// insertCW inserts half-edge v→w immediately clockwise of v→ref. A NoNode
+// ref means the ring is empty and w becomes its sole (and first) entry.
+func (rs *ringSet) insertCW(v, w, ref graph.NodeID) {
+	if ref == graph.NoNode {
+		rs.cw[v][w] = w
+		rs.ccw[v][w] = w
+		rs.first[v] = w
+		return
+	}
+	after := rs.cw[v][ref]
+	rs.cw[v][ref] = w
+	rs.cw[v][w] = after
+	rs.ccw[v][w] = ref
+	rs.ccw[v][after] = w
+}
+
+// insertCCW inserts half-edge v→w immediately counter-clockwise of v→ref,
+// updating the first-pointer when ref was first (matching the planarity
+// algorithm's "insert before" semantics).
+func (rs *ringSet) insertCCW(v, w, ref graph.NodeID) {
+	if ref == graph.NoNode {
+		rs.insertCW(v, w, graph.NoNode)
+		return
+	}
+	before := rs.ccw[v][ref]
+	rs.insertCW(v, w, before)
+	if rs.first[v] == ref {
+		rs.first[v] = w
+	}
+}
+
+// insertFirst makes v→w the new first half-edge of v's ring, placed
+// counter-clockwise of the previous first entry.
+func (rs *ringSet) insertFirst(v, w graph.NodeID) {
+	rs.insertCCW(v, w, rs.first[v])
+}
+
+// cycle returns v's neighbours in clockwise order starting at the first
+// entry. An empty ring yields nil.
+func (rs *ringSet) cycle(v graph.NodeID) []graph.NodeID {
+	start := rs.first[v]
+	if start == graph.NoNode {
+		return nil
+	}
+	out := []graph.NodeID{start}
+	for w := rs.cw[v][start]; w != start; w = rs.cw[v][w] {
+		out = append(out, w)
+		if len(out) > len(rs.cw[v]) {
+			panic("embedding: adjacency ring corrupt")
+		}
+	}
+	return out
+}

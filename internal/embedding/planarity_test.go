@@ -1,0 +1,272 @@
+package embedding
+
+import (
+	"errors"
+	"testing"
+
+	"recycle/internal/graph"
+)
+
+// petersen returns the Petersen graph, the classic small non-planar graph
+// that satisfies the Euler edge bound (15 ≤ 3·10−6), so it exercises the
+// conflict-pair machinery rather than the early exit.
+func petersen() *graph.Graph {
+	g := graph.New(10, 15)
+	for i := 0; i < 10; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	for i := 0; i < 5; i++ {
+		g.MustAddLink(graph.NodeID(i), graph.NodeID((i+1)%5), 1)     // outer C5
+		g.MustAddLink(graph.NodeID(5+i), graph.NodeID(5+(i+2)%5), 1) // inner pentagram
+		g.MustAddLink(graph.NodeID(i), graph.NodeID(5+i), 1)         // spokes
+	}
+	return g.Freeze()
+}
+
+func TestPlanarVerdictKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		planar bool
+	}{
+		{"K3", graph.Complete(3), true},
+		{"K4", graph.Complete(4), true},
+		{"K5", graph.Complete(5), false},
+		{"K6", graph.Complete(6), false},
+		{"K33", graph.CompleteBipartite(3, 3), false},
+		{"K23", graph.CompleteBipartite(2, 3), true},
+		{"C8", graph.Ring(8), true},
+		{"grid4x5", graph.Grid(4, 5), true},
+		{"torus4x4", graph.Torus(4, 4), false},
+		{"petersen", petersen(), false},
+	}
+	for _, tc := range cases {
+		s, err := (Planar{}).Embed(tc.g)
+		if tc.planar {
+			if err != nil {
+				t.Errorf("%s: Embed failed: %v; want planar embedding", tc.name, err)
+				continue
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s: invalid rotation system: %v", tc.name, err)
+			}
+			if gen := s.Genus(); gen != 0 {
+				t.Errorf("%s: genus = %d; want 0", tc.name, gen)
+			}
+		} else if !errors.Is(err, ErrNonPlanar) {
+			t.Errorf("%s: err = %v; want ErrNonPlanar", tc.name, err)
+		}
+	}
+}
+
+func TestPlanarTinyGraphs(t *testing.T) {
+	// Single node.
+	k1 := graph.New(1, 0)
+	k1.AddNode("a")
+	k1.Freeze()
+	if _, err := (Planar{}).Embed(k1); err != nil {
+		t.Fatalf("K1: %v", err)
+	}
+	// Single edge.
+	k2 := graph.New(2, 1)
+	a := k2.AddNode("a")
+	b := k2.AddNode("b")
+	k2.MustAddLink(a, b, 1)
+	k2.Freeze()
+	s, err := (Planar{}).Embed(k2)
+	if err != nil {
+		t.Fatalf("K2: %v", err)
+	}
+	if gen := s.Genus(); gen != 0 {
+		t.Fatalf("K2 genus = %d; want 0", gen)
+	}
+	// Path P3: a tree; one face.
+	p3 := graph.New(3, 2)
+	x := p3.AddNode("x")
+	y := p3.AddNode("y")
+	z := p3.AddNode("z")
+	p3.MustAddLink(x, y, 1)
+	p3.MustAddLink(y, z, 1)
+	p3.Freeze()
+	s, err = (Planar{}).Embed(p3)
+	if err != nil {
+		t.Fatalf("P3: %v", err)
+	}
+	if f := s.CountFaces(); f != 1 {
+		t.Fatalf("P3 faces = %d; want 1", f)
+	}
+}
+
+func TestPlanarDisconnected(t *testing.T) {
+	// Two triangles, no connection: planar, embeddable per component.
+	g := graph.New(6, 6)
+	for i := 0; i < 6; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	g.MustAddLink(0, 1, 1)
+	g.MustAddLink(1, 2, 1)
+	g.MustAddLink(0, 2, 1)
+	g.MustAddLink(3, 4, 1)
+	g.MustAddLink(4, 5, 1)
+	g.MustAddLink(3, 5, 1)
+	g.Freeze()
+	s, err := (Planar{}).Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each triangle contributes 2 faces.
+	if f := s.CountFaces(); f != 4 {
+		t.Fatalf("faces = %d; want 4", f)
+	}
+}
+
+func TestPlanarRejectsMultigraph(t *testing.T) {
+	g := graph.New(2, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.MustAddLink(a, b, 1)
+	g.MustAddLink(a, b, 1)
+	g.Freeze()
+	if _, err := (Planar{}).Embed(g); !errors.Is(err, ErrMultigraph) {
+		t.Fatalf("err = %v; want ErrMultigraph", err)
+	}
+}
+
+// TestPlanarRandomPlanarGraphs: the fan-triangulated ring generator is
+// planar by construction, so every instance must embed at genus 0.
+func TestPlanarRandomPlanarGraphs(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := graph.RandomPlanarLike(6+int(seed%20), seed)
+		s, err := (Planar{}).Embed(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v (graph is planar by construction)", seed, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if gen := s.Genus(); gen != 0 {
+			t.Fatalf("seed %d: genus = %d; want 0", seed, gen)
+		}
+	}
+}
+
+// TestPlanarK5MinusEdge: K5 minus any single edge is planar.
+func TestPlanarK5MinusEdge(t *testing.T) {
+	for skip := 0; skip < 10; skip++ {
+		g := graph.New(5, 9)
+		for i := 0; i < 5; i++ {
+			g.AddNode(string(rune('a' + i)))
+		}
+		idx := 0
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				if idx != skip {
+					g.MustAddLink(graph.NodeID(i), graph.NodeID(j), 1)
+				}
+				idx++
+			}
+		}
+		g.Freeze()
+		s, err := (Planar{}).Embed(g)
+		if err != nil {
+			t.Fatalf("K5 minus edge %d: %v", skip, err)
+		}
+		if gen := s.Genus(); gen != 0 {
+			t.Fatalf("K5 minus edge %d: genus = %d", skip, gen)
+		}
+	}
+}
+
+// TestPlanarK33MinusEdge: K3,3 minus any edge is planar.
+func TestPlanarK33MinusEdge(t *testing.T) {
+	for skip := 0; skip < 9; skip++ {
+		g := graph.New(6, 8)
+		for i := 0; i < 6; i++ {
+			g.AddNode(string(rune('a' + i)))
+		}
+		idx := 0
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if idx != skip {
+					g.MustAddLink(graph.NodeID(i), graph.NodeID(3+j), 1)
+				}
+				idx++
+			}
+		}
+		g.Freeze()
+		if _, err := (Planar{}).Embed(g); err != nil {
+			t.Fatalf("K3,3 minus edge %d: %v", skip, err)
+		}
+	}
+}
+
+// TestPlanarVerdictStableUnderRelabeling embeds several node permutations
+// of the same graphs; the verdict must not depend on labels.
+func TestPlanarVerdictStableUnderRelabeling(t *testing.T) {
+	relabel := func(g *graph.Graph, perm []int) *graph.Graph {
+		h := graph.New(g.NumNodes(), g.NumLinks())
+		for i := 0; i < g.NumNodes(); i++ {
+			h.AddNode(g.Name(graph.NodeID(i)) + "'")
+		}
+		for _, l := range g.Links() {
+			h.MustAddLink(graph.NodeID(perm[l.A]), graph.NodeID(perm[l.B]), l.Weight)
+		}
+		return h.Freeze()
+	}
+	perms := [][]int{
+		{4, 3, 2, 1, 0, 9, 8, 7, 6, 5},
+		{9, 0, 8, 1, 7, 2, 6, 3, 5, 4},
+	}
+	for _, p := range perms {
+		if _, err := (Planar{}).Embed(relabel(petersen(), p)); !errors.Is(err, ErrNonPlanar) {
+			t.Fatalf("relabelled petersen: err = %v; want ErrNonPlanar", err)
+		}
+	}
+	gridPerm := []int{11, 3, 7, 0, 5, 9, 1, 10, 2, 8, 4, 6}
+	if s, err := (Planar{}).Embed(relabel(graph.Grid(3, 4), gridPerm)); err != nil || s.Genus() != 0 {
+		t.Fatalf("relabelled grid: err=%v", err)
+	}
+}
+
+// TestPlanarDenseRejection: random graphs above the Euler bound must be
+// rejected without touching the DFS machinery.
+func TestPlanarDenseRejection(t *testing.T) {
+	g := graph.RandomTwoConnected(8, 20, 3) // 20 > 3*8-6 = 18
+	if _, err := (Planar{}).Embed(g); !errors.Is(err, ErrNonPlanar) {
+		t.Fatalf("dense graph: err = %v; want ErrNonPlanar", err)
+	}
+}
+
+// TestPlanarMatchesEdgeSubdivision: subdividing edges preserves planarity.
+// Subdivide every edge of K5 and Petersen (still non-planar) and of grids
+// (still planar).
+func TestPlanarMatchesEdgeSubdivision(t *testing.T) {
+	subdivide := func(g *graph.Graph) *graph.Graph {
+		h := graph.New(g.NumNodes()+g.NumLinks(), 2*g.NumLinks())
+		for i := 0; i < g.NumNodes(); i++ {
+			h.AddNode(g.Name(graph.NodeID(i)))
+		}
+		for _, l := range g.Links() {
+			mid := h.AddNode("mid")
+			h.MustAddLink(l.A, mid, 1)
+			h.MustAddLink(mid, l.B, 1)
+		}
+		return h.Freeze()
+	}
+	if _, err := (Planar{}).Embed(subdivide(graph.Complete(5))); !errors.Is(err, ErrNonPlanar) {
+		t.Fatalf("subdivided K5: err = %v; want ErrNonPlanar", err)
+	}
+	if _, err := (Planar{}).Embed(subdivide(petersen())); !errors.Is(err, ErrNonPlanar) {
+		t.Fatalf("subdivided petersen: err = %v; want ErrNonPlanar", err)
+	}
+	s, err := (Planar{}).Embed(subdivide(graph.Grid(3, 3)))
+	if err != nil {
+		t.Fatalf("subdivided grid: %v", err)
+	}
+	if gen := s.Genus(); gen != 0 {
+		t.Fatalf("subdivided grid genus = %d", gen)
+	}
+}

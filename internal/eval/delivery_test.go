@@ -1,0 +1,134 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/topo"
+)
+
+// TestEmbeddingDeliveryAblation quantifies the reproduction's main finding:
+// genus-0 embeddings deliver everything, arbitrary rotation systems do not.
+func TestEmbeddingDeliveryAblation(t *testing.T) {
+	tp, err := topo.ByName("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := graph.SingleFailureScenarios(tp.Graph)
+	probes, err := MeasureEmbeddingDelivery(tp, []embedding.Embedder{
+		embedding.Planar{},
+		embedding.Adjacency{},
+	}, failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != 2 {
+		t.Fatalf("probes = %d; want 2", len(probes))
+	}
+	planar, adj := probes[0], probes[1]
+	if planar.Genus != 0 {
+		t.Fatalf("planar genus = %d", planar.Genus)
+	}
+	if planar.Rate() != 1 {
+		t.Fatalf("planar delivery = %v; want 1", planar.Rate())
+	}
+	// The adjacency-order embedding on Abilene contains the documented
+	// single-failure loop, so its rate must be below 1.
+	if adj.Rate() >= 1 {
+		t.Fatalf("adjacency delivery = %v; expected loops (see TestEmbeddingQualityMatters)", adj.Rate())
+	}
+	if adj.Looped == 0 {
+		t.Fatal("adjacency probe should record looped walks")
+	}
+	if planar.Walks != adj.Walks {
+		t.Fatalf("walk counts differ: %d vs %d", planar.Walks, adj.Walks)
+	}
+}
+
+func TestWriteEmbeddingDeliveryReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEmbeddingDeliveryReport(&buf, "abilene", 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"planar-lr", "adjacency", "random", "rate"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+	if err := WriteEmbeddingDeliveryReport(&buf, "nope", 3); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+// TestUnitWeightFigureVariant: the unit-weight rerun keeps the scheme
+// ordering and shrinks PR's tail versus distance weights.
+func TestUnitWeightFigureVariant(t *testing.T) {
+	base, err := FigureByID("2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := base
+	unit.UnitWeights = true
+
+	distExp, err := RunFigure(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitExp, err := RunFigure(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, exp := range []*Experiment{distExp, unitExp} {
+		rc := exp.SeriesFor(Reconvergence)
+		pr := exp.SeriesFor(PR)
+		if rc.MeanStretch() > pr.MeanStretch() {
+			t.Fatal("ordering violated")
+		}
+		if pr.DeliveryRate() != 1 {
+			t.Fatal("PR lossy")
+		}
+	}
+	if unitExp.SeriesFor(PR).MaxStretch() > distExp.SeriesFor(PR).MaxStretch() {
+		t.Fatalf("unit-weight max stretch %v above distance-weight %v; expected shrinkage",
+			unitExp.SeriesFor(PR).MaxStretch(), distExp.SeriesFor(PR).MaxStretch())
+	}
+}
+
+// TestExhaustiveDualFailuresOnISPTopologies verifies the Full variant on
+// EVERY connectivity-preserving pair of link failures of every evaluation
+// topology — beyond the paper's sampled evaluation.
+func TestExhaustiveDualFailuresOnISPTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive pair enumeration skipped in -short mode")
+	}
+	for _, name := range []string{"abilene", "geant", "teleglobe"} {
+		tp, err := topo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := tp.Graph
+		var failures []*graph.FailureSet
+		for i := 0; i < g.NumLinks(); i++ {
+			for j := i + 1; j < g.NumLinks(); j++ {
+				fs := graph.NewFailureSet(graph.LinkID(i), graph.LinkID(j))
+				if graph.ConnectedUnder(g, fs) {
+					failures = append(failures, fs)
+				}
+			}
+		}
+		probes, err := MeasureEmbeddingDelivery(tp, []embedding.Embedder{embedding.Planar{}}, failures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := probes[0]
+		if p.Rate() != 1 {
+			t.Fatalf("%s: dual-failure delivery = %v over %d walks (looped %d, isolated %d)",
+				name, p.Rate(), p.Walks, p.Looped, p.Isolated)
+		}
+		t.Logf("%s: %d dual-failure scenarios, %d affected walks, all delivered", name, len(failures), p.Walks)
+	}
+}

@@ -1,0 +1,274 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"recycle/internal/graph"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+func runAbileneSingle(t *testing.T) *Experiment {
+	t.Helper()
+	tp, err := topo.ByName("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Run(Spec{
+		Topology:      tp,
+		Failures:      graph.SingleFailureScenarios(tp.Graph),
+		Discriminator: route.HopCount,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exp
+}
+
+func TestRunAbileneSingleFailures(t *testing.T) {
+	exp := runAbileneSingle(t)
+	if exp.Scenarios != 14 {
+		t.Fatalf("scenarios = %d; want 14 (every Abilene link)", exp.Scenarios)
+	}
+	for _, scheme := range []Scheme{Reconvergence, FCP, PR} {
+		sr := exp.SeriesFor(scheme)
+		if sr == nil {
+			t.Fatalf("missing series for %v", scheme)
+		}
+		if sr.Affected == 0 {
+			t.Fatalf("%v: no affected pairs", scheme)
+		}
+		if sr.DeliveryRate() != 1 {
+			t.Fatalf("%v: delivery rate %v; want 1 (all schemes recover single failures)", scheme, sr.DeliveryRate())
+		}
+		for _, v := range sr.Stretches {
+			if v < 1 {
+				t.Fatalf("%v: stretch %v < 1", scheme, v)
+			}
+		}
+	}
+	// All three schemes see the same affected set.
+	if exp.SeriesFor(PR).Affected != exp.SeriesFor(FCP).Affected {
+		t.Fatal("affected counts differ between schemes")
+	}
+}
+
+// TestFigureShapeOrdering is the reproduction's core qualitative check:
+// reconvergence is stretch-optimal, FCP sits at or above it, PR trades the
+// most stretch for its tiny header. Compared on means and on CCDF
+// dominance at every axis point.
+func TestFigureShapeOrdering(t *testing.T) {
+	exp := runAbileneSingle(t)
+	rc := exp.SeriesFor(Reconvergence)
+	fc := exp.SeriesFor(FCP)
+	pr := exp.SeriesFor(PR)
+
+	if rc.MeanStretch() > fc.MeanStretch()+1e-9 {
+		t.Fatalf("reconvergence mean %v above FCP mean %v", rc.MeanStretch(), fc.MeanStretch())
+	}
+	if fc.MeanStretch() > pr.MeanStretch()+1e-9 {
+		t.Fatalf("FCP mean %v above PR mean %v", fc.MeanStretch(), pr.MeanStretch())
+	}
+	xs := StretchAxis()
+	rcC, fcC, prC := rc.CCDF(xs), fc.CCDF(xs), pr.CCDF(xs)
+	for i := range xs {
+		if rcC[i] > fcC[i]+1e-9 {
+			t.Fatalf("x=%v: reconvergence CCDF %v above FCP %v", xs[i], rcC[i], fcC[i])
+		}
+		if fcC[i] > prC[i]+0.02 {
+			// FCP may locally cross PR on tiny samples; allow slack but
+			// not systematic inversion.
+			t.Fatalf("x=%v: FCP CCDF %v far above PR %v", xs[i], fcC[i], prC[i])
+		}
+	}
+}
+
+// TestReconvergenceEqualsOptimal: cross-check one scenario by hand.
+func TestReconvergenceSeriesOptimal(t *testing.T) {
+	g := graph.Ring(5)
+	tp := topo.Topology{Name: "ring5", Graph: g}
+	exp, err := Run(Spec{
+		Topology: tp,
+		Failures: []*graph.FailureSet{graph.NewFailureSet(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := exp.SeriesFor(Reconvergence)
+	// On C5 with link 0-1 failed: affected ordered pairs are those whose SP
+	// crosses 0-1: (0,1),(1,0),(0,2)? SP 0→2 on C5 is 0-1-2 or 0-4-3-2; SP
+	// = min hops = 0-1-2 (deterministic tie: via smaller neighbor). Check
+	// at least the direct pair's stretch: new path 0→1 costs 4, stretch 4.
+	found := false
+	for _, v := range rc.Stretches {
+		if v == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a stretch-4 sample for the direct pair; got %v", rc.Stretches)
+	}
+}
+
+func TestCCDFMonotoneNonIncreasing(t *testing.T) {
+	exp := runAbileneSingle(t)
+	xs := StretchAxis()
+	for _, sr := range exp.Series {
+		c := sr.CCDF(xs)
+		for i := 1; i < len(c); i++ {
+			if c[i] > c[i-1]+1e-12 {
+				t.Fatalf("%v: CCDF increases at x=%v", sr.Scheme, xs[i])
+			}
+		}
+		if len(sr.Stretches) > 0 && c[0] > 1 {
+			t.Fatalf("%v: CCDF above 1", sr.Scheme)
+		}
+	}
+}
+
+func TestCCDFEdgeCases(t *testing.T) {
+	s := &Series{Scheme: PR}
+	c := s.CCDF([]float64{1, 2})
+	if c[0] != 0 || c[1] != 0 {
+		t.Fatal("empty series CCDF should be 0")
+	}
+	s.Stretches = []float64{1, 1, 3}
+	c = s.CCDF([]float64{1, 2, 3})
+	// P(>1) = 1/3, P(>2) = 1/3, P(>3) = 0.
+	if c[0] < 0.33 || c[0] > 0.34 || c[2] != 0 {
+		t.Fatalf("CCDF = %v", c)
+	}
+}
+
+func TestFigureRegistry(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 6 {
+		t.Fatalf("figures = %d; want 6", len(figs))
+	}
+	wantCounts := map[string]int{"2a": 1, "2b": 1, "2c": 1, "2d": 4, "2e": 10, "2f": 16}
+	for _, f := range figs {
+		if wantCounts[f.ID] != f.FailureCount {
+			t.Errorf("%s: failure count %d; want %d", f.ID, f.FailureCount, wantCounts[f.ID])
+		}
+		if _, err := BuildSpec(f); err != nil {
+			t.Errorf("%s: BuildSpec: %v", f.ID, err)
+		}
+	}
+	if _, err := FigureByID("2z"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	f, err := FigureByID("2d")
+	if err != nil || f.TopologyName != "abilene" {
+		t.Fatalf("FigureByID(2d) = %+v, %v", f, err)
+	}
+}
+
+func TestWriteCCDF(t *testing.T) {
+	exp := runAbileneSingle(t)
+	var buf bytes.Buffer
+	if err := WriteCCDF(&buf, exp, "Abilene with single failures"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"Packet Re-cycling", "Failure-Carrying Packets", "Re-convergence", "delivery=1.0000"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("CCDF output missing %q:\n%s", frag, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 15 {
+		t.Fatal("CCDF table too short")
+	}
+}
+
+func TestPRBasicAblationSeries(t *testing.T) {
+	tp, err := topo.ByName("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Run(Spec{
+		Topology: tp,
+		Failures: graph.SingleFailureScenarios(tp.Graph),
+		Schemes:  []Scheme{PR, PRBasic},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic := exp.SeriesFor(PRBasic)
+	if basic.DeliveryRate() != 1 {
+		t.Fatalf("basic variant single-failure delivery = %v; want 1", basic.DeliveryRate())
+	}
+}
+
+func TestRunSkipsDisconnectingScenarios(t *testing.T) {
+	g := graph.Ring(4)
+	exp, err := Run(Spec{
+		Topology: topo.Topology{Name: "ring4", Graph: g},
+		Failures: []*graph.FailureSet{graph.NewFailureSet(0, 2)}, // disconnects
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Scenarios != 0 {
+		t.Fatalf("scenarios = %d; want 0 (disconnecting scenario skipped)", exp.Scenarios)
+	}
+}
+
+func TestMeasureOverhead(t *testing.T) {
+	tp, err := topo.ByName("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := MeasureOverhead(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Nodes != 11 || o.Links != 14 {
+		t.Fatalf("overhead nodes/links = %d/%d", o.Nodes, o.Links)
+	}
+	// Abilene hop diameter is 5 → DD bits 3 → PR header 4 bits → fits
+	// DSCP pool 2.
+	if o.HopDiameter != 5 {
+		t.Fatalf("diameter = %d; want 5", o.HopDiameter)
+	}
+	if o.PRHeaderBits != 4 || !o.PRFitsDSCPPool2 {
+		t.Fatalf("PR header bits = %d (fits=%v); want 4 bits fitting pool 2", o.PRHeaderBits, o.PRFitsDSCPPool2)
+	}
+	if o.PREmbeddingGenus != 0 {
+		t.Fatalf("genus = %d; want 0", o.PREmbeddingGenus)
+	}
+	if o.FCPMaxHeaderBits <= o.PRHeaderBits {
+		t.Fatalf("FCP max header %d not above PR %d", o.FCPMaxHeaderBits, o.PRHeaderBits)
+	}
+	if o.ReconvFloodMessages != 28 {
+		t.Fatalf("LSA messages = %d; want 28", o.ReconvFloodMessages)
+	}
+}
+
+func TestWriteOverheadReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOverheadReport(&buf, []string{"abilene", "geant", "teleglobe"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"abilene", "geant", "teleglobe", "PRbits"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+	if err := WriteOverheadReport(&buf, []string{"bogus"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for _, s := range []Scheme{Reconvergence, FCP, PR, PRBasic} {
+		if s.String() == "" {
+			t.Fatal("scheme must render")
+		}
+	}
+	if Scheme(42).String() == "" {
+		t.Fatal("unknown scheme must render")
+	}
+}

@@ -1,0 +1,153 @@
+package fcp
+
+import (
+	"testing"
+
+	"recycle/internal/graph"
+	"recycle/internal/topo"
+)
+
+func TestWalkNoFailures(t *testing.T) {
+	g := graph.Ring(6)
+	r := New(g)
+	res := r.Walk(0, 3, nil)
+	if !res.Delivered || res.Cost != 3 || res.Stretch != 1 {
+		t.Fatalf("result = %+v; want delivered cost 3 stretch 1", res)
+	}
+	if res.Recomputations != 1 {
+		t.Fatalf("recomputations = %d; want 1 (initial only)", res.Recomputations)
+	}
+	if res.CarriedFailures != 0 {
+		t.Fatalf("carried = %d; want 0", res.CarriedFailures)
+	}
+}
+
+func TestWalkSelf(t *testing.T) {
+	g := graph.Ring(4)
+	res := New(g).Walk(2, 2, nil)
+	if !res.Delivered || res.Cost != 0 || len(res.Path) != 1 {
+		t.Fatalf("self walk = %+v", res)
+	}
+}
+
+func TestWalkSingleFailure(t *testing.T) {
+	g := graph.Ring(6)
+	r := New(g)
+	// Fail link 0 (0-1); packet 0→1 must go the long way: cost 5, stretch 5.
+	res := r.Walk(0, 1, graph.NewFailureSet(0))
+	if !res.Delivered {
+		t.Fatal("not delivered")
+	}
+	if res.Cost != 5 || res.Stretch != 5 {
+		t.Fatalf("cost %v stretch %v; want 5, 5", res.Cost, res.Stretch)
+	}
+	if res.CarriedFailures != 1 {
+		t.Fatalf("carried = %d; want 1", res.CarriedFailures)
+	}
+	if res.Recomputations != 2 {
+		t.Fatalf("recomputations = %d; want 2", res.Recomputations)
+	}
+}
+
+// TestDeliveryEqualsConnectivity: FCP's guarantee — delivery exactly when a
+// path exists.
+func TestDeliveryEqualsConnectivity(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := graph.RandomTwoConnected(10, 16, seed)
+		r := New(g)
+		scenarios, err := graph.SampleFailureScenarios(g, 3, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Also mix in disconnecting scenarios.
+		scenarios = append(scenarios, graph.FailNode(g, 0))
+		for _, fs := range scenarios {
+			reach := graph.ReachableUnder(g, 1, fs)
+			for src := 0; src < g.NumNodes(); src++ {
+				for dst := 0; dst < g.NumNodes(); dst++ {
+					if src == dst {
+						continue
+					}
+					res := r.Walk(graph.NodeID(src), graph.NodeID(dst), fs)
+					connected := reach[src] == reach[dst] && pairConnected(g, graph.NodeID(src), graph.NodeID(dst), fs)
+					if res.Delivered != connected {
+						t.Fatalf("seed %d failures %v %d→%d: delivered=%v connected=%v",
+							seed, fs, src, dst, res.Delivered, connected)
+					}
+					if res.Delivered && res.Stretch < 1-1e-9 {
+						t.Fatalf("stretch %v < 1", res.Stretch)
+					}
+				}
+			}
+		}
+	}
+}
+
+func pairConnected(g *graph.Graph, a, b graph.NodeID, fs *graph.FailureSet) bool {
+	return graph.ReachableUnder(g, a, fs)[b]
+}
+
+// TestFCPPathOptimalGivenKnowledge: once FCP has encountered all failures
+// on its route, its remaining path is optimal for the surviving graph; with
+// failures adjacent to the source the whole path is optimal.
+func TestFCPPathOptimalAfterAdjacentFailure(t *testing.T) {
+	tp := topo.Abilene(topo.UnitWeights)
+	g := tp.Graph
+	r := New(g)
+	src := g.NodeByName("Seattle")
+	dst := g.NodeByName("LosAngeles")
+	// Fail Seattle-Sunnyvale: Seattle discovers it immediately, so its
+	// path equals the surviving shortest path.
+	l := g.FindLink(src, g.NodeByName("Sunnyvale"))
+	fs := graph.NewFailureSet(l)
+	res := r.Walk(src, dst, fs)
+	if !res.Delivered {
+		t.Fatal("not delivered")
+	}
+	want := graph.ShortestPathTree(g, dst, fs).Dist[src]
+	if res.Cost != want {
+		t.Fatalf("cost %v; want optimal surviving cost %v", res.Cost, want)
+	}
+}
+
+// TestFCPStretchTypicallyBelowPR is the qualitative Figure 2 relationship;
+// asserted in eval tests, here just sanity: FCP cost never exceeds walking
+// every link twice.
+func TestFCPCostBounded(t *testing.T) {
+	g := graph.RandomTwoConnected(12, 20, 4)
+	r := New(g)
+	total := 0.0
+	for _, l := range g.Links() {
+		total += 2 * l.Weight
+	}
+	scenarios, err := graph.SampleFailureScenarios(g, 4, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range scenarios {
+		for src := 0; src < g.NumNodes(); src++ {
+			for dst := 0; dst < g.NumNodes(); dst++ {
+				if src == dst {
+					continue
+				}
+				if res := r.Walk(graph.NodeID(src), graph.NodeID(dst), fs); res.Cost > total {
+					t.Fatalf("cost %v exceeds 2×total weight %v", res.Cost, total)
+				}
+			}
+		}
+	}
+}
+
+func TestHeaderBits(t *testing.T) {
+	g := graph.Ring(6) // 6 links → 3 bits per link id
+	if b := HeaderBits(g, 0); b != 8 {
+		t.Fatalf("empty header = %d bits; want 8", b)
+	}
+	if b := HeaderBits(g, 2); b != 8+2*3 {
+		t.Fatalf("2 failures = %d bits; want 14", b)
+	}
+	big := graph.Complete(20) // 190 links → 8 bits
+	if b := HeaderBits(big, 3); b != 8+3*8 {
+		t.Fatalf("3 failures on K20 = %d bits; want 32", b)
+	}
+}

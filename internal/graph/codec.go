@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text codec reads and writes a minimal edge-list format so topologies
+// can be shipped as plain files and fed to the cmd/ tools:
+//
+//	# comment
+//	node <name>
+//	link <nameA> <nameB> <weight>
+//
+// Node lines are optional; link lines auto-create unknown nodes. Names must
+// not contain whitespace. Weights must be positive.
+
+// Parse reads a graph in edge-list format.
+func Parse(r io.Reader) (*Graph, error) {
+	g := New(0, 0)
+	byName := make(map[string]NodeID)
+	node := func(name string) NodeID {
+		if id, ok := byName[name]; ok {
+			return id
+		}
+		id := g.AddNode(name)
+		byName[name] = id
+		return id
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'node <name>'", lineNo)
+			}
+			if _, dup := byName[fields[1]]; dup {
+				return nil, fmt.Errorf("graph: line %d: duplicate node %q", lineNo, fields[1])
+			}
+			node(fields[1])
+		case "link":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: want 'link <a> <b> <weight>'", lineNo)
+			}
+			w, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[3], err)
+			}
+			if _, err := g.AddLink(node(fields[1]), node(fields[2]), w); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g.Freeze(), nil
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }
+
+// Write serialises g in the edge-list format accepted by Parse. Nodes are
+// written first (preserving IDs on round-trip), then links in ID order.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	names := make([]string, g.NumNodes())
+	for i := range names {
+		names[i] = g.Name(NodeID(i))
+	}
+	if err := checkWritableNames(names); err != nil {
+		return err
+	}
+	for _, n := range names {
+		fmt.Fprintf(bw, "node %s\n", n)
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(bw, "link %s %s %g\n", g.Name(l.A), g.Name(l.B), l.Weight)
+	}
+	return bw.Flush()
+}
+
+func checkWritableNames(names []string) error {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" || strings.ContainsAny(n, " \t\n") {
+			return fmt.Errorf("graph: node name %q not writable in edge-list format", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("graph: duplicate node name %q not writable", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// FormatLink renders a link as "A-B" using node names, for logs and error
+// messages.
+func FormatLink(g *Graph, id LinkID) string {
+	l := g.Link(id)
+	return g.Name(l.A) + "-" + g.Name(l.B)
+}
+
+// SortedLinkNames renders a failure set as human-readable link names, used
+// by reports.
+func SortedLinkNames(g *Graph, fs *FailureSet) []string {
+	var names []string
+	for _, id := range fs.Links() {
+		names = append(names, FormatLink(g, id))
+	}
+	sort.Strings(names)
+	return names
+}

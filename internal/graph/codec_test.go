@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTopology = `# sample
+node a
+node b
+node c
+link a b 1.5
+link b c 2
+link a c 3
+`
+
+func TestParse(t *testing.T) {
+	g, err := ParseString(sampleTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumLinks() != 3 {
+		t.Fatalf("parsed %d nodes %d links; want 3, 3", g.NumNodes(), g.NumLinks())
+	}
+	if !g.Frozen() {
+		t.Fatal("parsed graph should be frozen")
+	}
+	ab := g.FindLink(g.NodeByName("a"), g.NodeByName("b"))
+	if w := g.Weight(ab); w != 1.5 {
+		t.Fatalf("weight a-b = %v; want 1.5", w)
+	}
+}
+
+func TestParseAutoCreatesNodes(t *testing.T) {
+	g, err := ParseString("link x y 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("auto-created %d nodes; want 2", g.NumNodes())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad directive", "frobnicate a b\n"},
+		{"node arity", "node\n"},
+		{"dup node", "node a\nnode a\n"},
+		{"link arity", "link a b\n"},
+		{"bad weight", "link a b x\n"},
+		{"zero weight", "link a b 0\n"},
+		{"self loop", "link a a 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.in); err == nil {
+			t.Errorf("%s: no error for %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig, err := ParseString(sampleTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != orig.NumNodes() || back.NumLinks() != orig.NumLinks() {
+		t.Fatalf("round trip changed size: %v -> %v", orig, back)
+	}
+	for i := 0; i < orig.NumNodes(); i++ {
+		if back.Name(NodeID(i)) != orig.Name(NodeID(i)) {
+			t.Fatalf("node %d name changed: %q -> %q", i, orig.Name(NodeID(i)), back.Name(NodeID(i)))
+		}
+	}
+	for _, l := range orig.Links() {
+		bl := back.Link(l.ID)
+		if bl.A != l.A || bl.B != l.B || bl.Weight != l.Weight {
+			t.Fatalf("link %d changed: %+v -> %+v", l.ID, l, bl)
+		}
+	}
+}
+
+func TestWriteRejectsBadNames(t *testing.T) {
+	g := New(2, 1)
+	a := g.AddNode("has space")
+	b := g.AddNode("ok")
+	mustLink(t, g, a, b, 1)
+	g.Freeze()
+	if err := Write(&bytes.Buffer{}, g); err == nil {
+		t.Fatal("Write accepted whitespace in node name")
+	}
+
+	dup := New(2, 0)
+	dup.AddNode("same")
+	dup.AddNode("same")
+	dup.Freeze()
+	if err := Write(&bytes.Buffer{}, dup); err == nil {
+		t.Fatal("Write accepted duplicate names")
+	}
+}
+
+func TestFormatLink(t *testing.T) {
+	g, err := ParseString(sampleTopology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatLink(g, 0); s != "a-b" {
+		t.Fatalf("FormatLink = %q; want a-b", s)
+	}
+	names := SortedLinkNames(g, NewFailureSet(0, 2))
+	if len(names) != 2 || names[0] != "a-b" || names[1] != "a-c" {
+		t.Fatalf("SortedLinkNames = %v", names)
+	}
+}
+
+func TestParseIgnoresCommentsAndBlankLines(t *testing.T) {
+	in := "\n# hi\n\nlink a b 1\n  \n# bye\n"
+	g, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 1 {
+		t.Fatalf("links = %d; want 1", g.NumLinks())
+	}
+}

@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBridgesLine(t *testing.T) {
+	// a-b-c line: both links are bridges.
+	g := New(3, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	mustLink(t, g, a, b, 1)
+	mustLink(t, g, b, c, 1)
+	g.Freeze()
+	br := Bridges(g)
+	if len(br) != 2 {
+		t.Fatalf("bridges = %v; want 2", br)
+	}
+}
+
+func TestBridgesRingHasNone(t *testing.T) {
+	if br := Bridges(Ring(7)); len(br) != 0 {
+		t.Fatalf("ring bridges = %v; want none", br)
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by a single link: exactly that link is a bridge.
+	g := New(6, 7)
+	for i := 0; i < 6; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	mustLink(t, g, 0, 1, 1)
+	mustLink(t, g, 1, 2, 1)
+	mustLink(t, g, 0, 2, 1)
+	bridge := mustLink(t, g, 2, 3, 1)
+	mustLink(t, g, 3, 4, 1)
+	mustLink(t, g, 4, 5, 1)
+	mustLink(t, g, 3, 5, 1)
+	g.Freeze()
+	br := Bridges(g)
+	if len(br) != 1 || br[0] != bridge {
+		t.Fatalf("bridges = %v; want [%d]", br, bridge)
+	}
+}
+
+func TestBridgesParallelLinksNeverBridge(t *testing.T) {
+	// a=b double link then b-c single: only b-c is a bridge.
+	g := New(3, 3)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	mustLink(t, g, a, b, 1)
+	mustLink(t, g, a, b, 1)
+	bc := mustLink(t, g, b, c, 1)
+	g.Freeze()
+	br := Bridges(g)
+	if len(br) != 1 || br[0] != bc {
+		t.Fatalf("bridges = %v; want [%d]", br, bc)
+	}
+}
+
+// TestBridgesMatchBruteForce removes each link in turn and compares
+// connectivity against the Tarjan answer on seeded random graphs.
+func TestBridgesMatchBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g := RandomTwoConnected(10, 13, seed)
+		tarjan := make(map[LinkID]bool)
+		for _, b := range Bridges(g) {
+			tarjan[b] = true
+		}
+		for _, l := range g.Links() {
+			brute := !ConnectedUnder(g, NewFailureSet(l.ID))
+			if brute != tarjan[l.ID] {
+				t.Fatalf("seed %d link %d: brute-force bridge=%v, tarjan=%v", seed, l.ID, brute, tarjan[l.ID])
+			}
+		}
+	}
+}
+
+func TestTwoEdgeConnected(t *testing.T) {
+	if !TwoEdgeConnected(Ring(5)) {
+		t.Fatal("ring should be 2-edge-connected")
+	}
+	line := New(2, 1)
+	a := line.AddNode("a")
+	b := line.AddNode("b")
+	mustLink(t, line, a, b, 1)
+	line.Freeze()
+	if TwoEdgeConnected(line) {
+		t.Fatal("single link is not 2-edge-connected")
+	}
+	if TwoEdgeConnected(New(0, 0).Freeze()) {
+		t.Fatal("empty graph is not 2-edge-connected")
+	}
+}
+
+func TestArticulationPoints(t *testing.T) {
+	// Bowtie: two triangles sharing node 2 — node 2 is the cut vertex.
+	g := New(5, 6)
+	for i := 0; i < 5; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	mustLink(t, g, 0, 1, 1)
+	mustLink(t, g, 1, 2, 1)
+	mustLink(t, g, 0, 2, 1)
+	mustLink(t, g, 2, 3, 1)
+	mustLink(t, g, 3, 4, 1)
+	mustLink(t, g, 2, 4, 1)
+	g.Freeze()
+	cuts := ArticulationPoints(g)
+	if len(cuts) != 1 || cuts[0] != 2 {
+		t.Fatalf("articulation points = %v; want [2]", cuts)
+	}
+	if BiConnected(g) {
+		t.Fatal("bowtie is not biconnected")
+	}
+	if !BiConnected(Ring(4)) {
+		t.Fatal("ring should be biconnected")
+	}
+}
+
+func TestArticulationPointsLine(t *testing.T) {
+	g := New(3, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	mustLink(t, g, a, b, 1)
+	mustLink(t, g, b, c, 1)
+	g.Freeze()
+	cuts := ArticulationPoints(g)
+	if len(cuts) != 1 || cuts[0] != b {
+		t.Fatalf("articulation points of line = %v; want [b]", cuts)
+	}
+}
+
+// TestArticulationPointsMatchBruteForce compares against node-removal
+// connectivity checks on random graphs.
+func TestArticulationPointsMatchBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := RandomTwoConnected(9, 11, seed)
+		fast := make(map[NodeID]bool)
+		for _, c := range ArticulationPoints(g) {
+			fast[c] = true
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			brute := removingDisconnects(g, NodeID(v))
+			if brute != fast[NodeID(v)] {
+				t.Fatalf("seed %d node %d: brute=%v tarjan=%v", seed, v, brute, fast[NodeID(v)])
+			}
+		}
+	}
+}
+
+// removingDisconnects reports whether deleting v splits the remaining nodes.
+func removingDisconnects(g *Graph, v NodeID) bool {
+	n := g.NumNodes()
+	if n <= 2 {
+		return false
+	}
+	visited := make([]bool, n)
+	visited[v] = true // pretend removed
+	start := NodeID(-1)
+	for i := 0; i < n; i++ {
+		if NodeID(i) != v {
+			start = NodeID(i)
+			break
+		}
+	}
+	stack := []NodeID{start}
+	visited[start] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.Neighbors(u) {
+			if nb.Node == v || visited[nb.Node] {
+				continue
+			}
+			visited[nb.Node] = true
+			count++
+			stack = append(stack, nb.Node)
+		}
+	}
+	return count != n-1
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5, 2)
+	for i := 0; i < 5; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	mustLink(t, g, 0, 1, 1)
+	mustLink(t, g, 2, 3, 1)
+	g.Freeze()
+	comps := Components(g)
+	if len(comps) != 3 {
+		t.Fatalf("components = %v; want 3", comps)
+	}
+	if len(comps[0]) != 2 || comps[0][0] != 0 {
+		t.Fatalf("first component = %v; want [0 1]", comps[0])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != 4 {
+		t.Fatalf("third component = %v; want [4]", comps[2])
+	}
+}
+
+func TestConnectedUnder(t *testing.T) {
+	g := Ring(4)
+	if !ConnectedUnder(g, NewFailureSet(0)) {
+		t.Fatal("ring minus one link should stay connected")
+	}
+	if ConnectedUnder(g, NewFailureSet(0, 2)) {
+		t.Fatal("ring minus two opposite links should disconnect")
+	}
+	if !ConnectedUnder(New(0, 0).Freeze(), nil) {
+		t.Fatal("empty graph is trivially connected")
+	}
+}
+
+func TestReachableUnder(t *testing.T) {
+	g := Ring(4)
+	r := ReachableUnder(g, 0, NewFailureSet(0, 2))
+	// Failing 0-1 and 2-3 splits into {0,3} and {1,2}.
+	if !r[0] || !r[3] || r[1] || r[2] {
+		t.Fatalf("reachable = %v; want {0,3}", r)
+	}
+}
+
+// Property: for random 2-connected generators, the result really is
+// 2-edge-connected and connected.
+func TestRandomTwoConnectedProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		n := 5 + int(seed%10+10)%10
+		g := RandomTwoConnected(n, n+n/2, seed)
+		return Connected(g) && TwoEdgeConnected(g) && g.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestFailureSetBasics(t *testing.T) {
+	fs := NewFailureSet(3, 1)
+	if !fs.Down(3) || !fs.Down(1) || fs.Down(2) {
+		t.Fatal("Down gave wrong answers")
+	}
+	if fs.Len() != 2 {
+		t.Fatalf("Len = %d; want 2", fs.Len())
+	}
+	fs.Add(2)
+	fs.Remove(1)
+	want := []LinkID{2, 3}
+	got := fs.Links()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Links = %v; want %v", got, want)
+	}
+	if s := fs.String(); s != "{2, 3}" {
+		t.Fatalf("String = %q; want {2, 3}", s)
+	}
+}
+
+func TestNilFailureSetReads(t *testing.T) {
+	var fs *FailureSet
+	if fs.Down(0) {
+		t.Fatal("nil set reports failures")
+	}
+	if fs.Len() != 0 {
+		t.Fatal("nil set has nonzero length")
+	}
+	if fs.Links() != nil {
+		t.Fatal("nil set has links")
+	}
+	if c := fs.Clone(); c == nil || c.Len() != 0 {
+		t.Fatal("clone of nil set should be empty non-nil")
+	}
+}
+
+func TestFailureSetClone(t *testing.T) {
+	fs := NewFailureSet(1)
+	c := fs.Clone()
+	c.Add(2)
+	if fs.Down(2) {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestZeroValueFailureSet(t *testing.T) {
+	var fs FailureSet
+	fs.Add(7)
+	if !fs.Down(7) {
+		t.Fatal("zero-value set unusable")
+	}
+}
+
+func TestFailNode(t *testing.T) {
+	g := Ring(5)
+	fs := FailNode(g, 0)
+	if fs.Len() != 2 {
+		t.Fatalf("node 0 of C5 has %d incident links; want 2", fs.Len())
+	}
+	// Node failure of a ring node disconnects nothing else but isolates it.
+	r := ReachableUnder(g, 1, fs)
+	if r[0] {
+		t.Fatal("failed node still reachable")
+	}
+	for i := 1; i < 5; i++ {
+		if !r[i] {
+			t.Fatalf("node %d unreachable after single node failure on ring", i)
+		}
+	}
+}
+
+func TestSurviving(t *testing.T) {
+	g := Ring(4)
+	s := Surviving(g, NewFailureSet(0))
+	if s.NumNodes() != 4 || s.NumLinks() != 3 {
+		t.Fatalf("surviving graph = %v; want 4 nodes 3 links", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.Name(0) != g.Name(0) {
+		t.Fatal("surviving graph lost node names")
+	}
+}
+
+func TestSingleFailureScenariosSkipBridges(t *testing.T) {
+	// Barbell: 7 links, 1 bridge → 6 scenarios.
+	g := New(6, 7)
+	for i := 0; i < 6; i++ {
+		g.AddNode(string(rune('a' + i)))
+	}
+	mustLink(t, g, 0, 1, 1)
+	mustLink(t, g, 1, 2, 1)
+	mustLink(t, g, 0, 2, 1)
+	mustLink(t, g, 2, 3, 1)
+	mustLink(t, g, 3, 4, 1)
+	mustLink(t, g, 4, 5, 1)
+	mustLink(t, g, 3, 5, 1)
+	g.Freeze()
+	sc := SingleFailureScenarios(g)
+	if len(sc) != 6 {
+		t.Fatalf("scenarios = %d; want 6 (bridge skipped)", len(sc))
+	}
+	for _, fs := range sc {
+		if !ConnectedUnder(g, fs) {
+			t.Fatalf("scenario %v disconnects the graph", fs)
+		}
+	}
+}
+
+func TestSampleFailureScenarios(t *testing.T) {
+	g := RandomTwoConnected(12, 24, 7)
+	scenarios, err := SampleFailureScenarios(g, 4, 50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 50 {
+		t.Fatalf("got %d scenarios; want 50", len(scenarios))
+	}
+	seen := make(map[string]bool)
+	for _, fs := range scenarios {
+		if fs.Len() != 4 {
+			t.Fatalf("scenario %v has %d links; want 4", fs, fs.Len())
+		}
+		if !ConnectedUnder(g, fs) {
+			t.Fatalf("scenario %v disconnects", fs)
+		}
+		if seen[fs.String()] {
+			t.Fatalf("duplicate scenario %v", fs)
+		}
+		seen[fs.String()] = true
+	}
+}
+
+func TestSampleFailureScenariosDeterministic(t *testing.T) {
+	g := RandomTwoConnected(10, 20, 3)
+	a, err := SampleFailureScenarios(g, 3, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleFailureScenarios(g, 3, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("scenario %d differs between identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleFailureScenariosErrors(t *testing.T) {
+	g := Ring(4)
+	if _, err := SampleFailureScenarios(g, 0, 5, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SampleFailureScenarios(g, 4, 5, 1); err == nil {
+		t.Fatal("k=NumLinks accepted")
+	}
+	// k=2 on C4 always disconnects → expect error after rejection sampling.
+	if _, err := SampleFailureScenarios(g, 2, 5, 1); err == nil {
+		t.Fatal("impossible scenario request accepted")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := []struct {
+		name         string
+		g            *Graph
+		nodes, links int
+	}{
+		{"ring", Ring(6), 6, 6},
+		{"grid", Grid(3, 4), 12, 17},
+		{"torus", Torus(3, 3), 9, 18},
+		{"complete", Complete(5), 5, 10},
+		{"bipartite", CompleteBipartite(3, 3), 6, 9},
+	}
+	for _, tc := range cases {
+		if tc.g.NumNodes() != tc.nodes || tc.g.NumLinks() != tc.links {
+			t.Errorf("%s: %d nodes %d links; want %d, %d", tc.name, tc.g.NumNodes(), tc.g.NumLinks(), tc.nodes, tc.links)
+		}
+		if err := tc.g.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", tc.name, err)
+		}
+		if !Connected(tc.g) {
+			t.Errorf("%s: not connected", tc.name)
+		}
+	}
+}
+
+func TestRandomPlanarLikeIsConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := RandomPlanarLike(12, seed)
+		if !Connected(g) {
+			t.Fatalf("seed %d: disconnected", seed)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the topology codec: arbitrary input must never panic,
+// and anything that parses must survive a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("link a b 1\n")
+	f.Add(sampleTopology)
+	f.Add("node x\nnode y\nlink x y 2.5\n# comment\n")
+	f.Add("link a a 1\n")
+	f.Add("rotation a b\n")
+	f.Add("link a b -1\n")
+	f.Add("link a b NaN\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			// Unwritable names (duplicates etc.) are legal parse results.
+			return
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nserialised: %q", err, buf.String())
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumLinks() != g.NumLinks() {
+			t.Fatalf("round trip changed size: %v -> %v", g, back)
+		}
+	})
+}
+
+// FuzzParseWeights stresses numeric weight handling specifically.
+func FuzzParseWeights(f *testing.F) {
+	f.Add("1.5")
+	f.Add("-0")
+	f.Add("1e308")
+	f.Add("Inf")
+	f.Fuzz(func(t *testing.T, w string) {
+		if strings.ContainsAny(w, " \t\n") {
+			return
+		}
+		g, err := ParseString("link a b " + w + "\n")
+		if err != nil {
+			return
+		}
+		// Accepted weights must be positive and finite enough to route on.
+		if got := g.Weight(0); !(got > 0) {
+			t.Fatalf("accepted non-positive weight %v from %q", got, w)
+		}
+	})
+}

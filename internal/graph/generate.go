@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for synthetic topologies used by tests, property checks and the
+// ablation benchmarks. All generators return frozen graphs with unit weights
+// unless documented otherwise, and all randomness is seeded.
+
+// Ring returns the n-cycle C_n (n ≥ 3). Rings are the smallest 2-connected
+// graphs and embed on the sphere with exactly two faces.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: ring size %d < 3", n))
+	}
+	g := New(n, n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("r%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddLink(NodeID(i), NodeID((i+1)%n), 1)
+	}
+	return g.Freeze()
+}
+
+// Grid returns the rows×cols grid graph. Grids are planar and 2-connected
+// for rows, cols ≥ 2.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("graph: grid dimensions must be positive")
+	}
+	g := New(rows*cols, 2*rows*cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(fmt.Sprintf("g%d_%d", r, c))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddLink(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				g.MustAddLink(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return g.Freeze()
+}
+
+// Torus returns the rows×cols toroidal grid (wrap-around in both
+// dimensions). Tori are non-planar for rows, cols ≥ 3 and embed on the
+// genus-1 surface — a natural stress case for the embedding machinery.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: torus dimensions must be ≥ 3")
+	}
+	g := New(rows*cols, 2*rows*cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(fmt.Sprintf("t%d_%d", r, c))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustAddLink(id(r, c), id(r, (c+1)%cols), 1)
+			g.MustAddLink(id(r, c), id((r+1)%rows, c), 1)
+		}
+	}
+	return g.Freeze()
+}
+
+// Complete returns K_n.
+func Complete(n int) *Graph {
+	g := New(n, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("k%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddLink(NodeID(i), NodeID(j), 1)
+		}
+	}
+	return g.Freeze()
+}
+
+// CompleteBipartite returns K_{a,b}. K_{3,3} is the smallest non-planar
+// graph together with K5; both are embedding-test staples.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a+b, a*b)
+	for i := 0; i < a; i++ {
+		g.AddNode(fmt.Sprintf("l%d", i))
+	}
+	for j := 0; j < b; j++ {
+		g.AddNode(fmt.Sprintf("r%d", j))
+	}
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			g.MustAddLink(NodeID(i), NodeID(a+j), 1)
+		}
+	}
+	return g.Freeze()
+}
+
+// RandomTwoConnected returns a random 2-edge-connected graph with n nodes
+// and approximately m links: a Hamiltonian ring (guaranteeing
+// 2-edge-connectivity) plus m-n random chords. Weights are uniform in
+// [1, 10). Deterministic for a given seed.
+func RandomTwoConnected(n, m int, seed int64) *Graph {
+	if n < 3 {
+		panic("graph: random 2-connected graph needs n ≥ 3")
+	}
+	if m < n {
+		m = n
+	}
+	maxLinks := n * (n - 1) / 2
+	if m > maxLinks {
+		m = maxLinks
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, m)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i))
+	}
+	perm := rng.Perm(n)
+	weight := func() float64 { return 1 + 9*rng.Float64() }
+	for i := 0; i < n; i++ {
+		g.MustAddLink(NodeID(perm[i]), NodeID(perm[(i+1)%n]), weight())
+	}
+	for g.NumLinks() < m {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a == b || g.HasLink(a, b) {
+			continue
+		}
+		g.MustAddLink(a, b, weight())
+	}
+	return g.Freeze()
+}
+
+// RandomPlanarLike returns a random maximal-degree-bounded planar-ish graph
+// built by triangulating a ring: every new chord connects ring-adjacent
+// spans. It is planar by construction (outerplanar plus nested chords),
+// giving the LR planarity embedder realistic positive cases.
+func RandomPlanarLike(n int, seed int64) *Graph {
+	if n < 3 {
+		panic("graph: planar-like graph needs n ≥ 3")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n, 2*n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddLink(NodeID(i), NodeID((i+1)%n), 1)
+	}
+	// Fan triangulation of random sub-intervals keeps the graph planar:
+	// chords (lo, k) for k in (lo+2 .. hi) drawn inside the disc never cross.
+	var addFan func(lo, hi int)
+	addFan = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		for k := lo + 2; k <= hi; k++ {
+			if rng.Float64() < 0.5 && !g.HasLink(NodeID(lo), NodeID(k%n)) && lo != k%n {
+				g.MustAddLink(NodeID(lo), NodeID(k%n), 1)
+			}
+		}
+	}
+	addFan(0, n-1)
+	return g.Freeze()
+}

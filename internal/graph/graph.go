@@ -1,0 +1,283 @@
+// Package graph provides the weighted undirected graph substrate used by the
+// Packet Re-cycling reproduction: adjacency storage, shortest paths,
+// connectivity analysis, and failure-scenario sampling.
+//
+// Nodes are dense integer indices [0, NumNodes). Every undirected link is
+// identified by a LinkID (its insertion index) and induces two directed
+// "darts" (see package rotation). Graphs are immutable once Freeze is called,
+// which lets downstream packages (routing tables, embeddings, simulators)
+// share them safely across goroutines.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; dense indices starting at zero.
+type NodeID int
+
+// LinkID identifies an undirected link by insertion order.
+type LinkID int
+
+// Invalid sentinel values returned by lookups that find nothing.
+const (
+	NoNode NodeID = -1
+	NoLink LinkID = -1
+)
+
+// Link is an undirected weighted edge between two nodes.
+type Link struct {
+	ID     LinkID
+	A, B   NodeID
+	Weight float64
+}
+
+// Other returns the endpoint of l that is not n. It panics if n is not an
+// endpoint of l, which always indicates a programming error upstream.
+func (l Link) Other(n NodeID) NodeID {
+	switch n {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of link %d (%d-%d)", n, l.ID, l.A, l.B))
+}
+
+// Incident reports whether n is one of l's endpoints.
+func (l Link) Incident(n NodeID) bool { return l.A == n || l.B == n }
+
+// Neighbor is one entry in a node's adjacency list.
+type Neighbor struct {
+	Node NodeID // the node on the far side of the link
+	Link LinkID // the connecting link
+}
+
+// Graph is a weighted undirected graph. The zero value is an empty graph
+// ready for use; add nodes and links, then call Freeze before handing it to
+// consumers that require immutability.
+type Graph struct {
+	names  []string
+	links  []Link
+	adj    [][]Neighbor
+	frozen bool
+}
+
+// New returns an empty mutable graph with capacity hints for n nodes and m
+// links. Hints may be zero.
+func New(n, m int) *Graph {
+	return &Graph{
+		names: make([]string, 0, n),
+		links: make([]Link, 0, m),
+		adj:   make([][]Neighbor, 0, n),
+	}
+}
+
+// AddNode appends a node with the given human-readable name and returns its
+// identifier. Names need not be unique, but topology loaders enforce
+// uniqueness for lookup friendliness.
+func (g *Graph) AddNode(name string) NodeID {
+	g.mustBeMutable()
+	id := NodeID(len(g.names))
+	g.names = append(g.names, name)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddLink connects a and b with the given positive weight and returns the new
+// link's identifier. Self-loops are rejected: they are meaningless for
+// routing and break the cellular-embedding machinery's assumption that every
+// dart has a distinct reverse.
+func (g *Graph) AddLink(a, b NodeID, weight float64) (LinkID, error) {
+	g.mustBeMutable()
+	if a == b {
+		return NoLink, fmt.Errorf("graph: self-loop on node %d rejected", a)
+	}
+	if !g.validNode(a) || !g.validNode(b) {
+		return NoLink, fmt.Errorf("graph: link %d-%d references unknown node", a, b)
+	}
+	if weight <= 0 {
+		return NoLink, fmt.Errorf("graph: link %d-%d has non-positive weight %v", a, b, weight)
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b, Weight: weight})
+	g.adj[a] = append(g.adj[a], Neighbor{Node: b, Link: id})
+	g.adj[b] = append(g.adj[b], Neighbor{Node: a, Link: id})
+	return id, nil
+}
+
+// MustAddLink is AddLink for statically known-good inputs (topology tables,
+// tests); it panics on error.
+func (g *Graph) MustAddLink(a, b NodeID, weight float64) LinkID {
+	id, err := g.AddLink(a, b, weight)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Freeze marks the graph immutable. Further AddNode/AddLink calls panic.
+// Freeze also canonicalises adjacency order (by neighbor node, then link ID)
+// so that algorithms iterate deterministically regardless of insertion order.
+// It returns g for chaining.
+func (g *Graph) Freeze() *Graph {
+	if g.frozen {
+		return g
+	}
+	for _, nbrs := range g.adj {
+		sort.Slice(nbrs, func(i, j int) bool {
+			if nbrs[i].Node != nbrs[j].Node {
+				return nbrs[i].Node < nbrs[j].Node
+			}
+			return nbrs[i].Link < nbrs[j].Link
+		})
+	}
+	g.frozen = true
+	return g
+}
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+func (g *Graph) mustBeMutable() {
+	if g.frozen {
+		panic("graph: mutation after Freeze")
+	}
+}
+
+func (g *Graph) validNode(n NodeID) bool { return n >= 0 && int(n) < len(g.names) }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumLinks returns the undirected link count.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Name returns the node's human-readable name.
+func (g *Graph) Name(n NodeID) string { return g.names[n] }
+
+// NodeByName returns the first node with the given name, or NoNode.
+func (g *Graph) NodeByName(name string) NodeID {
+	for i, s := range g.names {
+		if s == name {
+			return NodeID(i)
+		}
+	}
+	return NoNode
+}
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// Links returns the underlying link slice. Callers must not modify it.
+func (g *Graph) Links() []Link { return g.links }
+
+// Neighbors returns n's adjacency list. Callers must not modify it. After
+// Freeze the list is sorted by (neighbor, link).
+func (g *Graph) Neighbors(n NodeID) []Neighbor { return g.adj[n] }
+
+// Degree returns the number of links incident to n.
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// FindLink returns the lowest-ID link joining a and b, or NoLink.
+func (g *Graph) FindLink(a, b NodeID) LinkID {
+	if !g.validNode(a) || !g.validNode(b) {
+		return NoLink
+	}
+	best := NoLink
+	for _, nb := range g.adj[a] {
+		if nb.Node == b && (best == NoLink || nb.Link < best) {
+			best = nb.Link
+		}
+	}
+	return best
+}
+
+// HasLink reports whether at least one link joins a and b.
+func (g *Graph) HasLink(a, b NodeID) bool { return g.FindLink(a, b) != NoLink }
+
+// Weight returns the weight of link id.
+func (g *Graph) Weight(id LinkID) float64 { return g.links[id].Weight }
+
+// MinDegree returns the smallest node degree, or 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for n := 1; n < len(g.adj); n++ {
+		if d := g.Degree(NodeID(n)); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MaxDegree returns the largest node degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for n := range g.adj {
+		if d := g.Degree(NodeID(n)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Clone returns a deep, mutable copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.NumNodes(), g.NumLinks())
+	c.names = append(c.names, g.names...)
+	c.links = append(c.links, g.links...)
+	c.adj = make([][]Neighbor, len(g.adj))
+	for i, nbrs := range g.adj {
+		c.adj[i] = append([]Neighbor(nil), nbrs...)
+	}
+	return c
+}
+
+// String summarises the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{nodes: %d, links: %d}", g.NumNodes(), g.NumLinks())
+}
+
+// ErrDisconnected is returned by algorithms that require a connected graph.
+var ErrDisconnected = errors.New("graph: graph is not connected")
+
+// Validate performs structural sanity checks: adjacency symmetry, link
+// endpoint validity, and ID density. It is used by tests and topology
+// loaders; a healthy Graph built through AddNode/AddLink always passes.
+func (g *Graph) Validate() error {
+	for i, l := range g.links {
+		if LinkID(i) != l.ID {
+			return fmt.Errorf("graph: link %d stored at index %d", l.ID, i)
+		}
+		if !g.validNode(l.A) || !g.validNode(l.B) {
+			return fmt.Errorf("graph: link %d has invalid endpoints %d-%d", l.ID, l.A, l.B)
+		}
+		if l.A == l.B {
+			return fmt.Errorf("graph: link %d is a self-loop", l.ID)
+		}
+		if l.Weight <= 0 {
+			return fmt.Errorf("graph: link %d has non-positive weight %v", l.ID, l.Weight)
+		}
+	}
+	seen := make(map[[2]int]int)
+	for n, nbrs := range g.adj {
+		for _, nb := range nbrs {
+			l := g.links[nb.Link]
+			if !l.Incident(NodeID(n)) || l.Other(NodeID(n)) != nb.Node {
+				return fmt.Errorf("graph: adjacency of node %d disagrees with link %d", n, nb.Link)
+			}
+			seen[[2]int{n, int(nb.Link)}]++
+		}
+	}
+	for _, l := range g.links {
+		if seen[[2]int{int(l.A), int(l.ID)}] != 1 || seen[[2]int{int(l.B), int(l.ID)}] != 1 {
+			return fmt.Errorf("graph: link %d not represented exactly once per endpoint", l.ID)
+		}
+	}
+	return nil
+}

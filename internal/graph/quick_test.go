@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Surviving removes exactly the failed links and preserves node
+// identity.
+func TestSurvivingProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		g := RandomTwoConnected(8+int(uint64(seed)%6), 14+int(uint64(seed)%8), seed)
+		k := int(kRaw)%3 + 1
+		fs := NewFailureSet()
+		base := int(uint64(seed) % uint64(g.NumLinks()))
+		for i := 0; i < k; i++ {
+			fs.Add(LinkID((base + i*3) % g.NumLinks()))
+		}
+		s := Surviving(g, fs)
+		if s.NumNodes() != g.NumNodes() || s.NumLinks() != g.NumLinks()-fs.Len() {
+			return false
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			if s.Name(NodeID(n)) != g.Name(NodeID(n)) {
+				return false
+			}
+		}
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hop distances from BFS agree with unit-weight Dijkstra.
+func TestBFSAgreesWithUnitDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 6 + int(uint64(seed)%8)
+		g := Ring(n) // unit weights
+		src := NodeID(uint64(seed) % uint64(n))
+		bfs := HopDistances(g, src, nil)
+		tree := ShortestPathTree(g, src, nil)
+		for v := 0; v < n; v++ {
+			if float64(bfs[v]) != tree.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: failure-set clone is always independent and order-insensitive.
+func TestFailureSetCloneProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		fs := NewFailureSet()
+		for _, id := range ids {
+			fs.Add(LinkID(id))
+		}
+		c := fs.Clone()
+		c.Add(9999)
+		if fs.Down(9999) {
+			return false
+		}
+		for _, id := range ids {
+			if !c.Down(LinkID(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every scenario from SampleFailureScenarios preserves
+// connectivity and has the requested size.
+func TestSampleScenarioProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RandomTwoConnected(10, 20, seed)
+		scenarios, err := SampleFailureScenarios(g, 3, 5, seed)
+		if err != nil {
+			return true // some graphs admit none; not a failure of the property
+		}
+		for _, fs := range scenarios {
+			if fs.Len() != 3 || !ConnectedUnder(g, fs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Infinity is the distance reported for unreachable nodes.
+var Infinity = math.Inf(1)
+
+// SPTree is a shortest-path tree rooted at a destination node. Because links
+// are undirected, the tree simultaneously answers "how does every node reach
+// Dest" — which is the orientation routing tables need (paper §4.1 builds the
+// shortest path tree *to* each destination).
+//
+// Ties between equal-cost paths are broken deterministically: prefer the
+// next hop with the smaller NodeID, then the smaller LinkID. The paper
+// assumes a single next hop per destination; deterministic tie-breaking makes
+// every experiment reproducible.
+type SPTree struct {
+	Dest NodeID
+	// Dist[n] is the weight-sum from n to Dest along the tree (Infinity if
+	// unreachable).
+	Dist []float64
+	// Hops[n] is the hop count from n to Dest along the tree (-1 if
+	// unreachable). This is the paper's default distance discriminator.
+	Hops []int
+	// NextLink[n] is the first link on n's path to Dest (NoLink at Dest or
+	// when unreachable).
+	NextLink []LinkID
+	// NextNode[n] is the node after n on the path to Dest (NoNode at Dest or
+	// when unreachable).
+	NextNode []NodeID
+}
+
+type dijkstraItem struct {
+	node NodeID
+	dist float64
+	idx  int
+}
+
+type dijkstraHeap []*dijkstraItem
+
+func (h dijkstraHeap) Len() int { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h dijkstraHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *dijkstraHeap) Push(x any) {
+	it := x.(*dijkstraItem)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *dijkstraHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// ShortestPathTree runs Dijkstra's algorithm from dest over the links that
+// are up under failures (nil means no failures) and returns the tree oriented
+// toward dest.
+func ShortestPathTree(g *Graph, dest NodeID, failures *FailureSet) *SPTree {
+	n := g.NumNodes()
+	t := &SPTree{
+		Dest:     dest,
+		Dist:     make([]float64, n),
+		Hops:     make([]int, n),
+		NextLink: make([]LinkID, n),
+		NextNode: make([]NodeID, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Dist[i] = Infinity
+		t.Hops[i] = -1
+		t.NextLink[i] = NoLink
+		t.NextNode[i] = NoNode
+	}
+	if n == 0 {
+		return t
+	}
+
+	items := make([]*dijkstraItem, n)
+	h := make(dijkstraHeap, 0, n)
+	t.Dist[dest] = 0
+	t.Hops[dest] = 0
+	items[dest] = &dijkstraItem{node: dest, dist: 0}
+	heap.Push(&h, items[dest])
+
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(*dijkstraItem)
+		u := it.node
+		items[u] = nil
+		du := t.Dist[u]
+		for _, nb := range g.Neighbors(u) {
+			if failures.Down(nb.Link) {
+				continue
+			}
+			v := nb.Node
+			cand := du + g.Weight(nb.Link)
+			switch {
+			case cand < t.Dist[v]:
+				// strictly better
+			case cand == t.Dist[v] && betterTie(t, v, u, nb.Link):
+				// equal cost, deterministically preferred parent
+			default:
+				continue
+			}
+			t.Dist[v] = cand
+			t.Hops[v] = t.Hops[u] + 1
+			t.NextNode[v] = u
+			t.NextLink[v] = nb.Link
+			if items[v] == nil {
+				items[v] = &dijkstraItem{node: v, dist: cand}
+				heap.Push(&h, items[v])
+			} else {
+				items[v].dist = cand
+				heap.Fix(&h, items[v].idx)
+			}
+		}
+	}
+	return t
+}
+
+// betterTie reports whether (parent, link) is preferred over v's current
+// equal-cost assignment: smaller next-hop node wins, then smaller link ID.
+func betterTie(t *SPTree, v, parent NodeID, link LinkID) bool {
+	cur := t.NextNode[v]
+	if cur == NoNode {
+		return true
+	}
+	if parent != cur {
+		return parent < cur
+	}
+	return link < t.NextLink[v]
+}
+
+// Reachable reports whether n can reach the tree's destination.
+func (t *SPTree) Reachable(n NodeID) bool { return !math.IsInf(t.Dist[n], 1) }
+
+// Path returns the node sequence from src to the tree's destination
+// (inclusive of both), or nil if unreachable.
+func (t *SPTree) Path(src NodeID) []NodeID {
+	if !t.Reachable(src) {
+		return nil
+	}
+	path := []NodeID{src}
+	for n := src; n != t.Dest; {
+		n = t.NextNode[n]
+		path = append(path, n)
+	}
+	return path
+}
+
+// PathLinks returns the link sequence from src to the destination, or nil if
+// unreachable (empty if src == Dest).
+func (t *SPTree) PathLinks(src NodeID) []LinkID {
+	if !t.Reachable(src) {
+		return nil
+	}
+	var links []LinkID
+	for n := src; n != t.Dest; n = t.NextNode[n] {
+		links = append(links, t.NextLink[n])
+	}
+	return links
+}
+
+// UsesLink reports whether src's path to the destination traverses link id.
+// Used to select the source-destination pairs affected by a failure scenario.
+func (t *SPTree) UsesLink(src NodeID, id LinkID) bool {
+	if !t.Reachable(src) {
+		return false
+	}
+	for n := src; n != t.Dest; n = t.NextNode[n] {
+		if t.NextLink[n] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// AllPairs computes the shortest-path distance matrix with Floyd–Warshall.
+// It exists primarily as an independent cross-check of Dijkstra in tests and
+// to compute graph diameters for DD-bit sizing.
+func AllPairs(g *Graph, failures *FailureSet) [][]float64 {
+	n := g.NumNodes()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = Infinity
+			}
+		}
+	}
+	for _, l := range g.Links() {
+		if failures.Down(l.ID) {
+			continue
+		}
+		if l.Weight < d[l.A][l.B] {
+			d[l.A][l.B] = l.Weight
+			d[l.B][l.A] = l.Weight
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if cand := dik + d[k][j]; cand < d[i][j] {
+					d[i][j] = cand
+				}
+			}
+		}
+	}
+	return d
+}
+
+// HopDiameter returns the maximum finite hop distance between any node pair
+// (ignoring weights). The paper sizes the DD field as ⌈log2 d⌉ bits with d
+// the network diameter, so this uses hop counts. Returns 0 for graphs with
+// fewer than two nodes and -1 if the graph is disconnected.
+func HopDiameter(g *Graph) int {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	diam := 0
+	for s := 0; s < n; s++ {
+		dist := bfsHops(g, NodeID(s), nil)
+		for v := 0; v < n; v++ {
+			if dist[v] < 0 {
+				return -1
+			}
+			if dist[v] > diam {
+				diam = dist[v]
+			}
+		}
+	}
+	return diam
+}
+
+// bfsHops returns hop distances from src under failures; -1 means
+// unreachable.
+func bfsHops(g *Graph, src NodeID, failures *FailureSet) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(u) {
+			if failures.Down(nb.Link) || dist[nb.Node] >= 0 {
+				continue
+			}
+			dist[nb.Node] = dist[u] + 1
+			queue = append(queue, nb.Node)
+		}
+	}
+	return dist
+}
+
+// HopDistances returns hop distances from src under failures (-1 if
+// unreachable). Exposed for baselines and tests.
+func HopDistances(g *Graph, src NodeID, failures *FailureSet) []int {
+	return bfsHops(g, src, failures)
+}

@@ -1,0 +1,81 @@
+// Package header implements the on-the-wire encoding the paper proposes
+// (§6): carrying the PR bit and the DD bits inside the DSCP field of the
+// IPv4 header, using pool 2 of the code-point space (binary xxxx11, RFC
+// 2474 §6) which is reserved for experimental or local use.
+//
+// A pool-2 DSCP value has its two low-order bits set to 11, leaving the
+// four high-order bits free:
+//
+//	bit 5 (MSB)    : PR bit
+//	bits 4..2      : DD value (3 bits)
+//	bits 1..0 = 11 : pool-2 marker
+//
+// Three DD bits cover hop-count discriminators up to 7, enough for networks
+// of hop diameter ≤ 7 — which includes Abilene (5), GÉANT (5) and the
+// Teleglobe reconstruction (6). Larger networks need either weight
+// quantisation or a different header field; Encode reports an explicit
+// error rather than truncating silently.
+//
+// The package also provides a minimal, checksum-correct IPv4 header codec
+// (gopacket-style layer) so the examples can show PR marking on real
+// packet bytes.
+package header
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DDBits is the DD field width available in DSCP pool 2 alongside the PR
+// bit and the pool marker.
+const DDBits = 3
+
+// MaxDD is the largest encodable distance discriminator.
+const MaxDD = 1<<DDBits - 1
+
+// ErrDDOverflow is returned when a discriminator exceeds MaxDD.
+var ErrDDOverflow = errors.New("header: distance discriminator exceeds DSCP pool-2 capacity")
+
+// ErrNotPool2 is returned when decoding a DSCP value outside pool 2.
+var ErrNotPool2 = errors.New("header: DSCP value is not in pool 2 (xxxx11)")
+
+// Mark is the PR header state carried by a packet.
+type Mark struct {
+	// PR is the re-cycling bit.
+	PR bool
+	// DD is the distance discriminator (0..MaxDD).
+	DD uint8
+}
+
+// EncodeDSCP packs the mark into a 6-bit DSCP value in pool 2.
+func EncodeDSCP(m Mark) (uint8, error) {
+	if m.DD > MaxDD {
+		return 0, fmt.Errorf("%w: %d > %d", ErrDDOverflow, m.DD, MaxDD)
+	}
+	v := uint8(0b11) // pool-2 marker
+	v |= m.DD << 2
+	if m.PR {
+		v |= 1 << 5
+	}
+	return v, nil
+}
+
+// DecodeDSCP unpacks a pool-2 DSCP value.
+func DecodeDSCP(dscp uint8) (Mark, error) {
+	if dscp > 0b111111 {
+		return Mark{}, fmt.Errorf("header: DSCP %#x exceeds 6 bits", dscp)
+	}
+	if dscp&0b11 != 0b11 {
+		return Mark{}, ErrNotPool2
+	}
+	return Mark{
+		PR: dscp&(1<<5) != 0,
+		DD: (dscp >> 2) & MaxDD,
+	}, nil
+}
+
+// FitsHopDiameter reports whether hop-count discriminators of a network
+// with the given diameter fit the pool-2 encoding.
+func FitsHopDiameter(diameter int) bool {
+	return diameter >= 0 && diameter <= MaxDD
+}

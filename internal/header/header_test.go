@@ -1,0 +1,215 @@
+package header
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"recycle/internal/graph"
+	"recycle/internal/topo"
+)
+
+func TestEncodeDecodeDSCPRoundTrip(t *testing.T) {
+	for dd := uint8(0); dd <= MaxDD; dd++ {
+		for _, pr := range []bool{false, true} {
+			m := Mark{PR: pr, DD: dd}
+			dscp, err := EncodeDSCP(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dscp&0b11 != 0b11 {
+				t.Fatalf("encoded DSCP %#b not in pool 2", dscp)
+			}
+			back, err := DecodeDSCP(dscp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != m {
+				t.Fatalf("round trip %+v -> %#b -> %+v", m, dscp, back)
+			}
+		}
+	}
+}
+
+func TestEncodeDSCPOverflow(t *testing.T) {
+	if _, err := EncodeDSCP(Mark{DD: MaxDD + 1}); !errors.Is(err, ErrDDOverflow) {
+		t.Fatalf("err = %v; want ErrDDOverflow", err)
+	}
+}
+
+func TestDecodeDSCPRejectsOtherPools(t *testing.T) {
+	// Pool 1 (xxxxx0) and pool 3 (xxxx01) values must be rejected.
+	for _, v := range []uint8{0b000000, 0b101110 /* EF */, 0b000001} {
+		if _, err := DecodeDSCP(v); !errors.Is(err, ErrNotPool2) {
+			t.Fatalf("DSCP %#b: err = %v; want ErrNotPool2", v, err)
+		}
+	}
+	if _, err := DecodeDSCP(0b1000000); err == nil {
+		t.Fatal("7-bit DSCP accepted")
+	}
+}
+
+func TestFitsHopDiameterOnEvaluationTopologies(t *testing.T) {
+	// §6: PR needs in the order of log2(d) bits; the pool-2 budget of 3 DD
+	// bits must cover all three evaluation topologies.
+	for _, name := range []string{"abilene", "geant", "teleglobe"} {
+		tp, err := topo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := graph.HopDiameter(tp.Graph)
+		if !FitsHopDiameter(d) {
+			t.Errorf("%s: hop diameter %d does not fit %d DD bits", name, d, DDBits)
+		}
+	}
+	if FitsHopDiameter(MaxDD+1) || FitsHopDiameter(-1) {
+		t.Fatal("FitsHopDiameter bounds wrong")
+	}
+}
+
+func mustAddr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func sampleHeader(t *testing.T) *IPv4 {
+	return &IPv4{
+		DSCP:        0b010111, // PR=0 DD=5 pool2
+		ECN:         0,
+		TotalLength: 1024,
+		ID:          0x1234,
+		Flags:       0b010, // DF
+		TTL:         64,
+		Protocol:    17, // UDP
+		Src:         mustAddr(t, "10.0.0.1"),
+		Dst:         mustAddr(t, "10.0.0.2"),
+	}
+}
+
+func TestIPv4MarshalUnmarshalRoundTrip(t *testing.T) {
+	h := sampleHeader(t)
+	b, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderLen {
+		t.Fatalf("encoded %d bytes; want %d", len(b), HeaderLen)
+	}
+	var back IPv4
+	if err := back.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != *h {
+		t.Fatalf("round trip changed header:\n  in  %+v\n  out %+v", *h, back)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	h := sampleHeader(t)
+	b, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[8] ^= 0xff // corrupt TTL
+	var back IPv4
+	if err := back.Unmarshal(b); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestIPv4MarshalValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(h *IPv4)
+	}{
+		{"oversized DSCP", func(h *IPv4) { h.DSCP = 0x40 }},
+		{"oversized ECN", func(h *IPv4) { h.ECN = 4 }},
+		{"oversized flags", func(h *IPv4) { h.Flags = 8 }},
+		{"oversized frag offset", func(h *IPv4) { h.FragOffset = 0x2000 }},
+		{"short total length", func(h *IPv4) { h.TotalLength = 10 }},
+		{"IPv6 source", func(h *IPv4) { h.Src = mustAddr(t, "::1") }},
+	}
+	for _, tc := range cases {
+		h := sampleHeader(t)
+		tc.mutate(h)
+		if _, err := h.Marshal(); err == nil {
+			t.Errorf("%s: invalid header accepted", tc.name)
+		}
+	}
+}
+
+func TestIPv4UnmarshalRejectsBadInput(t *testing.T) {
+	var h IPv4
+	if err := h.Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	b, _ := sampleHeader(t).Marshal()
+	b6 := append([]byte(nil), b...)
+	b6[0] = 0x65 // version 6
+	if err := h.Unmarshal(b6); err == nil {
+		t.Fatal("IPv6 version accepted")
+	}
+	opt := append([]byte(nil), b...)
+	opt[0] = 0x46 // IHL 6 (options)
+	if err := h.Unmarshal(opt); err == nil {
+		t.Fatal("options-bearing header accepted")
+	}
+}
+
+func TestSetAndGetMark(t *testing.T) {
+	h := sampleHeader(t)
+	if err := h.SetMark(Mark{PR: true, DD: 2}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IPv4
+	if err := back.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := back.PRMark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.PR || m.DD != 2 {
+		t.Fatalf("mark = %+v; want PR set DD 2", m)
+	}
+	if err := h.SetMark(Mark{DD: 200}); err == nil {
+		t.Fatal("oversized DD accepted")
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// RFC 1071 example: checksum of {0x0001, 0xf203, 0xf4f5, 0xf6f7}.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#x; want %#x", got, ^uint16(0xddf2))
+	}
+	// Odd length is padded with a zero byte.
+	if Checksum([]byte{0xab}) != ^uint16(0xab00) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+// Property: every valid mark survives the DSCP round trip.
+func TestMarkRoundTripProperty(t *testing.T) {
+	f := func(pr bool, dd uint8) bool {
+		m := Mark{PR: pr, DD: dd % (MaxDD + 1)}
+		dscp, err := EncodeDSCP(m)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeDSCP(dscp)
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

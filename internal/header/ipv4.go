@@ -1,0 +1,130 @@
+package header
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv4 is a minimal IPv4 header layer sufficient to demonstrate PR's DSCP
+// marking on real bytes: fixed 20-byte header, no options.
+type IPv4 struct {
+	// DSCP is the 6-bit differentiated services code point.
+	DSCP uint8
+	// ECN is the 2-bit explicit congestion notification field.
+	ECN uint8
+	// TotalLength covers header plus payload.
+	TotalLength uint16
+	// ID is the identification field.
+	ID uint16
+	// Flags is the 3-bit flag field (DF = 0b010).
+	Flags uint8
+	// FragOffset is the 13-bit fragment offset.
+	FragOffset uint16
+	// TTL is the time-to-live.
+	TTL uint8
+	// Protocol is the payload protocol number.
+	Protocol uint8
+	// Src and Dst are the endpoint addresses.
+	Src, Dst netip.Addr
+}
+
+// HeaderLen is the encoded size: 20 bytes, no options.
+const HeaderLen = 20
+
+// Marshal encodes the header with a correct checksum.
+func (h *IPv4) Marshal() ([]byte, error) {
+	if !h.Src.Is4() || !h.Dst.Is4() {
+		return nil, fmt.Errorf("header: src/dst must be IPv4 addresses")
+	}
+	if h.DSCP > 0b111111 {
+		return nil, fmt.Errorf("header: DSCP %#x exceeds 6 bits", h.DSCP)
+	}
+	if h.ECN > 0b11 {
+		return nil, fmt.Errorf("header: ECN %#x exceeds 2 bits", h.ECN)
+	}
+	if h.Flags > 0b111 {
+		return nil, fmt.Errorf("header: flags %#x exceed 3 bits", h.Flags)
+	}
+	if h.FragOffset > 0x1fff {
+		return nil, fmt.Errorf("header: fragment offset %#x exceeds 13 bits", h.FragOffset)
+	}
+	if h.TotalLength < HeaderLen {
+		return nil, fmt.Errorf("header: total length %d below header size", h.TotalLength)
+	}
+	b := make([]byte, HeaderLen)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.DSCP<<2 | h.ECN
+	binary.BigEndian.PutUint16(b[2:], h.TotalLength)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	binary.BigEndian.PutUint16(b[6:], uint16(h.Flags)<<13|h.FragOffset)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	src := h.Src.As4()
+	dst := h.Dst.As4()
+	copy(b[12:], src[:])
+	copy(b[16:], dst[:])
+	binary.BigEndian.PutUint16(b[10:], Checksum(b))
+	return b, nil
+}
+
+// Unmarshal decodes and verifies a 20-byte IPv4 header.
+func (h *IPv4) Unmarshal(b []byte) error {
+	if len(b) < HeaderLen {
+		return fmt.Errorf("header: %d bytes, need %d", len(b), HeaderLen)
+	}
+	if b[0]>>4 != 4 {
+		return fmt.Errorf("header: version %d is not IPv4", b[0]>>4)
+	}
+	if ihl := int(b[0]&0xf) * 4; ihl != HeaderLen {
+		return fmt.Errorf("header: IHL %d bytes unsupported (options not implemented)", ihl)
+	}
+	if Checksum(b[:HeaderLen]) != 0 {
+		return fmt.Errorf("header: checksum verification failed")
+	}
+	if tl := binary.BigEndian.Uint16(b[2:]); tl < HeaderLen {
+		return fmt.Errorf("header: total length %d below header size", tl)
+	}
+	h.DSCP = b[1] >> 2
+	h.ECN = b[1] & 0b11
+	h.TotalLength = binary.BigEndian.Uint16(b[2:])
+	h.ID = binary.BigEndian.Uint16(b[4:])
+	ff := binary.BigEndian.Uint16(b[6:])
+	h.Flags = uint8(ff >> 13)
+	h.FragOffset = ff & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	h.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	return nil
+}
+
+// Checksum computes the RFC 1071 internet checksum over b. Computing it
+// over a header whose checksum field holds the transmitted value yields 0
+// for intact headers.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// SetMark stores a PR mark into the header's DSCP field.
+func (h *IPv4) SetMark(m Mark) error {
+	dscp, err := EncodeDSCP(m)
+	if err != nil {
+		return err
+	}
+	h.DSCP = dscp
+	return nil
+}
+
+// PRMark extracts the PR mark from the header's DSCP field.
+func (h *IPv4) PRMark() (Mark, error) { return DecodeDSCP(h.DSCP) }

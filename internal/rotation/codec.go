@@ -1,0 +1,108 @@
+package rotation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"recycle/internal/graph"
+)
+
+// The embedding codec serialises a rotation system as plain text so the
+// offline embedding server can ship cycle-following state to routers
+// (paper §4.3: "appropriate cycle following tables are uploaded to all
+// routers"). One line per node:
+//
+//	rotation <node> <neighbor> <neighbor> ...
+//
+// Neighbours appear in cyclic order; parallel links are disambiguated by
+// repetition order (k-th occurrence of a neighbour = k-th parallel link in
+// LinkID order). Comments (#) and blank lines are ignored.
+
+// Write serialises s in rotation format using node names.
+func Write(w io.Writer, s *System) error {
+	g := s.Graph()
+	bw := bufio.NewWriter(w)
+	for n := 0; n < g.NumNodes(); n++ {
+		node := graph.NodeID(n)
+		fmt.Fprintf(bw, "rotation %s", g.Name(node))
+		for _, d := range s.Rotation(node) {
+			fmt.Fprintf(bw, " %s", g.Name(s.Dart(d).Head))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a rotation system for g from the format emitted by Write.
+// Every node of g must appear exactly once and list a permutation of its
+// neighbours.
+func Read(r io.Reader, g *graph.Graph) (*System, error) {
+	orders := make([][]graph.LinkID, g.NumNodes())
+	seen := make([]bool, g.NumNodes())
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "rotation" {
+			return nil, fmt.Errorf("rotation: line %d: unknown directive %q", lineNo, fields[0])
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("rotation: line %d: want 'rotation <node> ...'", lineNo)
+		}
+		node := g.NodeByName(fields[1])
+		if node == graph.NoNode {
+			return nil, fmt.Errorf("rotation: line %d: unknown node %q", lineNo, fields[1])
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("rotation: line %d: duplicate rotation for %q", lineNo, fields[1])
+		}
+		seen[node] = true
+		links, err := resolveNeighbors(g, node, fields[2:])
+		if err != nil {
+			return nil, fmt.Errorf("rotation: line %d: %v", lineNo, err)
+		}
+		orders[node] = links
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for n, ok := range seen {
+		if !ok && g.Degree(graph.NodeID(n)) > 0 {
+			return nil, fmt.Errorf("rotation: node %q missing", g.Name(graph.NodeID(n)))
+		}
+	}
+	return FromLinkOrders(g, orders)
+}
+
+// resolveNeighbors maps neighbour names to link IDs, handling parallel
+// links by occurrence order.
+func resolveNeighbors(g *graph.Graph, node graph.NodeID, names []string) ([]graph.LinkID, error) {
+	// Collect candidate links per neighbour in LinkID order.
+	candidates := make(map[graph.NodeID][]graph.LinkID)
+	for _, nb := range g.Neighbors(node) {
+		candidates[nb.Node] = append(candidates[nb.Node], nb.Link)
+	}
+	used := make(map[graph.NodeID]int)
+	links := make([]graph.LinkID, 0, len(names))
+	for _, name := range names {
+		nb := g.NodeByName(name)
+		if nb == graph.NoNode {
+			return nil, fmt.Errorf("unknown neighbour %q", name)
+		}
+		avail := candidates[nb]
+		k := used[nb]
+		if k >= len(avail) {
+			return nil, fmt.Errorf("neighbour %q listed more times than links exist", name)
+		}
+		used[nb] = k + 1
+		links = append(links, avail[k])
+	}
+	return links, nil
+}

@@ -1,0 +1,107 @@
+package rotation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"recycle/internal/graph"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	g := graph.RandomTwoConnected(9, 16, 4)
+	orig := Random(g, 11)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := DartID(0); int(d) < orig.NumDarts(); d++ {
+		if orig.NextAround(d) != back.NextAround(d) {
+			t.Fatalf("round trip changed σ at dart %d", d)
+		}
+	}
+	if orig.Genus() != back.Genus() {
+		t.Fatal("round trip changed genus")
+	}
+}
+
+func TestCodecRoundTripParallelLinks(t *testing.T) {
+	g := graph.New(2, 3)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.MustAddLink(a, b, 1)
+	g.MustAddLink(a, b, 2)
+	g.MustAddLink(a, b, 3)
+	g.Freeze()
+	// Orders that interleave the three parallel links differently per side.
+	orders := [][]graph.LinkID{{1, 0, 2}, {2, 1, 0}}
+	orig, err := FromLinkOrders(g, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occurrence-order disambiguation cannot recover arbitrary parallel
+	// interleavings exactly, but the result must be a valid system with
+	// the same per-node degree sequence and a well-defined genus.
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumDarts() != orig.NumDarts() {
+		t.Fatal("dart count changed")
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	g := graph.Ring(3)
+	cases := []struct{ name, in string }{
+		{"bad directive", "spin r0 r1 r2\n"},
+		{"arity", "rotation\n"},
+		{"unknown node", "rotation nope r1 r2\n"},
+		{"unknown neighbour", "rotation r0 r1 nope\n"},
+		{"duplicate node", "rotation r0 r1 r2\nrotation r0 r1 r2\nrotation r1 r0 r2\nrotation r2 r0 r1\n"},
+		{"missing node", "rotation r0 r1 r2\n"},
+		{"over-listed neighbour", "rotation r0 r1 r1\nrotation r1 r0 r2\nrotation r2 r1 r0\n"},
+		{"wrong degree", "rotation r0 r1\nrotation r1 r0 r2\nrotation r2 r1 r0\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.in), g); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestCodecIgnoresCommentsAndBlank(t *testing.T) {
+	g := graph.Ring(3)
+	in := "# embedding for C3\n\nrotation r0 r1 r2\nrotation r1 r2 r0\n rotation r2 r0 r1\n"
+	s, err := Read(strings.NewReader(in), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecIsolatedNodeAllowed(t *testing.T) {
+	g := graph.New(3, 1)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddNode("island")
+	g.MustAddLink(a, b, 1)
+	g.Freeze()
+	in := "rotation a b\nrotation b a\n"
+	if _, err := Read(strings.NewReader(in), g); err != nil {
+		t.Fatalf("isolated node should not be required: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package rotation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"recycle/internal/graph"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := graph.Ring(4)
+	s := AdjacencyOrder(g)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"graph embedding {", "r0", "r3", "n0 -- n1", "c1|c2"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+	// A clean ring embedding has no guarantee-breaking links.
+	if strings.Contains(out, "color=red") {
+		t.Fatal("ring embedding should have no same-face links")
+	}
+}
+
+func TestWriteDOTFlagsSameFaceLinks(t *testing.T) {
+	// A path graph (tree): every link's two darts share the single face.
+	g := graph.New(3, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustAddLink(a, b, 1)
+	g.MustAddLink(b, c, 1)
+	g.Freeze()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, AdjacencyOrder(g)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "color=red") {
+		t.Fatal("tree links should be flagged as same-face")
+	}
+}

@@ -1,0 +1,277 @@
+package rotation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"recycle/internal/graph"
+)
+
+func TestDartBasics(t *testing.T) {
+	d := Dart{Link: 3, Tail: 1, Head: 2}
+	r := d.Reverse()
+	if r.Tail != 2 || r.Head != 1 || r.Link != 3 {
+		t.Fatalf("Reverse = %+v", r)
+	}
+	if d.String() == "" || r.String() == d.String() {
+		t.Fatal("dart strings should differ by direction")
+	}
+}
+
+func TestDartIDs(t *testing.T) {
+	ab, ba := DartsOf(5)
+	if ab != 10 || ba != 11 {
+		t.Fatalf("DartsOf(5) = %d, %d; want 10, 11", ab, ba)
+	}
+	if ReverseID(ab) != ba || ReverseID(ba) != ab {
+		t.Fatal("ReverseID not an involution")
+	}
+	if LinkOf(ab) != 5 || LinkOf(ba) != 5 {
+		t.Fatal("LinkOf wrong")
+	}
+}
+
+func TestAdjacencyOrderTriangle(t *testing.T) {
+	g := graph.Complete(3)
+	s := AdjacencyOrder(g)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDarts() != 6 {
+		t.Fatalf("NumDarts = %d; want 6", s.NumDarts())
+	}
+	// Triangle embeds on the sphere: 3 - 3 + F = 2 → F = 2, genus 0.
+	if f := s.CountFaces(); f != 2 {
+		t.Fatalf("faces = %d; want 2", f)
+	}
+	if gen := s.Genus(); gen != 0 {
+		t.Fatalf("genus = %d; want 0", gen)
+	}
+}
+
+func TestFromLinkOrdersRejectsBadInput(t *testing.T) {
+	g := graph.Complete(3)
+	// Wrong arity.
+	if _, err := FromLinkOrders(g, [][]graph.LinkID{{0}, {0, 1}, {1, 2}}); err == nil {
+		t.Fatal("accepted wrong-arity order")
+	}
+	// Repeated link.
+	if _, err := FromLinkOrders(g, [][]graph.LinkID{{0, 0}, {0, 1}, {1, 2}}); err == nil {
+		t.Fatal("accepted repeated link")
+	}
+	// Foreign link: node 1 is incident to links 0 and 2, not link 1 (0-2).
+	if _, err := FromLinkOrders(g, [][]graph.LinkID{{0, 1}, {1, 2}, {1, 2}}); err == nil {
+		t.Fatal("accepted link not incident to node")
+	}
+	// Wrong outer length.
+	if _, err := FromLinkOrders(g, [][]graph.LinkID{{0, 1}}); err == nil {
+		t.Fatal("accepted wrong node count")
+	}
+}
+
+func TestSigmaPhiRelationship(t *testing.T) {
+	g := graph.RandomTwoConnected(10, 18, 1)
+	s := Random(g, 42)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for d := DartID(0); int(d) < s.NumDarts(); d++ {
+		if s.FaceNext(d) != s.NextAround(ReverseID(d)) {
+			t.Fatalf("φ(%d) != σ(rev(%d))", d, d)
+		}
+		if s.FacePrev(s.FaceNext(d)) != d {
+			t.Fatalf("φ⁻¹(φ(%d)) != %d", d, d)
+		}
+		if s.PrevAround(s.NextAround(d)) != d {
+			t.Fatalf("σ⁻¹(σ(%d)) != %d", d, d)
+		}
+		// Complementary = σ(d) = φ(rev(d)).
+		if s.Complementary(d) != s.FaceNext(ReverseID(d)) {
+			t.Fatalf("complementary(%d) != φ(rev(%d))", d, d)
+		}
+	}
+}
+
+func TestDartMaterialisation(t *testing.T) {
+	g := graph.Ring(4)
+	s := AdjacencyOrder(g)
+	l := g.Link(0)
+	ab, ba := DartsOf(0)
+	da := s.Dart(ab)
+	if da.Tail != l.A || da.Head != l.B {
+		t.Fatalf("dart %d = %+v; want %d→%d", ab, da, l.A, l.B)
+	}
+	db := s.Dart(ba)
+	if db.Tail != l.B || db.Head != l.A {
+		t.Fatalf("dart %d = %+v; want %d→%d", ba, db, l.B, l.A)
+	}
+	if s.OutgoingDart(l.A, 0) != ab || s.OutgoingDart(l.B, 0) != ba {
+		t.Fatal("OutgoingDart wrong")
+	}
+}
+
+func TestLinkOrderRoundTrip(t *testing.T) {
+	g := graph.RandomTwoConnected(8, 14, 5)
+	s := Random(g, 7)
+	orders := make([][]graph.LinkID, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		orders[n] = s.LinkOrder(graph.NodeID(n))
+	}
+	s2, err := FromLinkOrders(g, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := DartID(0); int(d) < s.NumDarts(); d++ {
+		if s.NextAround(d) != s2.NextAround(d) {
+			t.Fatalf("round trip changed σ at dart %d", d)
+		}
+	}
+}
+
+// TestFacesPartitionDarts is the core cellular-embedding invariant: φ's
+// orbits partition the darts, so every undirected link appears on exactly
+// two oriented face traversals.
+func TestFacesPartitionDarts(t *testing.T) {
+	check := func(seed int64) bool {
+		g := graph.RandomTwoConnected(4+int(uint64(seed)%8), 10+int(uint64(seed)%10), seed)
+		s := Random(g, seed*31)
+		fs := s.Faces()
+		count := make(map[DartID]int)
+		for _, f := range fs.Faces {
+			for _, d := range f.Darts {
+				count[d]++
+			}
+		}
+		if len(count) != s.NumDarts() {
+			return false
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		// Each link: exactly two dart traversals across all faces.
+		for l := 0; l < g.NumLinks(); l++ {
+			ab, ba := DartsOf(graph.LinkID(l))
+			if count[ab] != 1 || count[ba] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenusIntegrality: Euler characteristic is even and ≤ 2 for every
+// rotation system of a connected graph.
+func TestGenusIntegrality(t *testing.T) {
+	check := func(seed int64) bool {
+		g := graph.RandomTwoConnected(5+int(uint64(seed)%7), 8+int(uint64(seed)%12), seed)
+		s := Random(g, seed)
+		gen := s.Genus() // panics on violation
+		return gen >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenusDisconnectedPanics(t *testing.T) {
+	g := graph.New(4, 2)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.MustAddLink(a, b, 1)
+	g.MustAddLink(c, d, 1)
+	g.Freeze()
+	s := AdjacencyOrder(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Genus on disconnected graph did not panic")
+		}
+	}()
+	s.Genus()
+}
+
+func TestFaceSetLookup(t *testing.T) {
+	g := graph.Ring(5)
+	s := AdjacencyOrder(g)
+	fs := s.Faces()
+	// A ring embeds with exactly 2 faces (inside and outside), each of
+	// length 5.
+	if len(fs.Faces) != 2 {
+		t.Fatalf("faces of C5 = %d; want 2", len(fs.Faces))
+	}
+	for _, f := range fs.Faces {
+		if f.Len() != 5 {
+			t.Fatalf("face %d has %d darts; want 5", f.Index, f.Len())
+		}
+		if len(f.Nodes(s)) != 5 {
+			t.Fatal("Nodes length mismatch")
+		}
+	}
+	d := DartID(0)
+	if fs.FaceOf(d).Index != fs.FaceIndexOf(d) {
+		t.Fatal("FaceOf/FaceIndexOf disagree")
+	}
+	if !fs.SameFace(d, s.FaceNext(d)) {
+		t.Fatal("φ successor should share d's face")
+	}
+	if fs.SameFace(d, ReverseID(d)) {
+		t.Fatal("on a ring the two directions lie on different faces")
+	}
+}
+
+func TestTorusGenusOne(t *testing.T) {
+	// The natural rotation for a torus grid should yield genus 1 when
+	// neighbours alternate (right, down, left, up). Construct it by hand.
+	rows, cols := 3, 3
+	g := graph.Torus(rows, cols)
+	// For each node, order links: +col, +row, -col, -row.
+	id := func(r, c int) graph.NodeID { return graph.NodeID(((r+rows)%rows)*cols + (c+cols)%cols) }
+	orders := make([][]graph.LinkID, g.NumNodes())
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n := id(r, c)
+			right := g.FindLink(n, id(r, c+1))
+			down := g.FindLink(n, id(r+1, c))
+			left := g.FindLink(n, id(r, c-1))
+			up := g.FindLink(n, id(r-1, c))
+			orders[n] = []graph.LinkID{right, down, left, up}
+		}
+	}
+	s, err := FromLinkOrders(g, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen := s.Genus(); gen != 1 {
+		t.Fatalf("torus grid genus = %d; want 1", gen)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := graph.Ring(4)
+	s := AdjacencyOrder(g)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: duplicate a dart in one node's order.
+	s.order[0][1] = s.order[0][0]
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate missed duplicated dart")
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	g := graph.RandomTwoConnected(9, 16, 2)
+	a := Random(g, 11)
+	b := Random(g, 11)
+	for d := DartID(0); int(d) < a.NumDarts(); d++ {
+		if a.NextAround(d) != b.NextAround(d) {
+			t.Fatal("Random not deterministic for equal seeds")
+		}
+	}
+}

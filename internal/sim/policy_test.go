@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/graph"
+)
+
+// TestPerClassProtectionPolicy exercises the §7 policy knob: only the
+// "critical" traffic class is re-cycled; best-effort traffic is dropped at
+// the failure like plain shortest-path forwarding.
+func TestPerClassProtectionPolicy(t *testing.T) {
+	g := graph.Ring(5)
+	scheme := prScheme(t, g, core.Full)
+	scheme.Protect = func(p *Packet) bool { return p.Class == "critical" }
+
+	s, err := New(Config{
+		Graph:          g,
+		Scheme:         scheme,
+		Horizon:        time.Second,
+		DetectionDelay: time.Millisecond,
+		Flows: []Flow{
+			{Src: 0, Dst: 1, Interval: 5 * time.Millisecond, Class: "critical"},
+			{Src: 0, Dst: 1, Interval: 5 * time.Millisecond, Class: "besteffort"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailLinkAt(0, 200*time.Millisecond) // the 0-1 link both flows use
+	st := s.Run()
+
+	// Critical traffic is fully protected after detection, so drops must
+	// stay far below the best-effort class, which loses every packet for
+	// the remaining 800 ms (≈160 packets).
+	if st.Drops[DropNoRoute] < 140 {
+		t.Fatalf("no-route drops = %d; expected the unprotected class to keep dropping", st.Drops[DropNoRoute])
+	}
+	if st.Drops[DropBlackhole] > 5 {
+		t.Fatalf("blackhole drops = %d; want only the detection window", st.Drops[DropBlackhole])
+	}
+	// Roughly half the generated packets (critical class) deliver.
+	if rate := st.DeliveryRate(); rate < 0.45 || rate > 0.65 {
+		t.Fatalf("delivery rate = %v; want ≈0.5 (critical only)", rate)
+	}
+}
+
+// TestProtectNilProtectsEverything: the default policy is the paper's
+// normal mode — every packet re-cycles.
+func TestProtectNilProtectsEverything(t *testing.T) {
+	g := graph.Ring(5)
+	s, err := New(Config{
+		Graph:          g,
+		Scheme:         prScheme(t, g, core.Full),
+		Horizon:        time.Second,
+		DetectionDelay: time.Millisecond,
+		Flows: []Flow{
+			{Src: 0, Dst: 1, Interval: 5 * time.Millisecond, Class: "besteffort"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailLinkAt(0, 200*time.Millisecond)
+	st := s.Run()
+	if st.Drops[DropNoRoute] != 0 {
+		t.Fatalf("no-route drops = %d; want 0 with universal protection", st.Drops[DropNoRoute])
+	}
+	if st.DeliveryRate() < 0.98 {
+		t.Fatalf("delivery rate = %v; want ≈1", st.DeliveryRate())
+	}
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/graph"
+	"recycle/internal/reconv"
+	"recycle/internal/rotation"
+)
+
+// Scheme is a pluggable forwarding mechanism driven by the simulator.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Init is called once before the run.
+	Init(s *Simulator)
+	// Process decides the egress dart for a packet at a node. Returning
+	// ok=false drops the packet (no usable route).
+	Process(s *Simulator, node graph.NodeID, pkt *Packet) (egress rotation.DartID, ok bool)
+	// TopologyChanged notifies the scheme that routers adjacent to a link
+	// have locally detected a state change.
+	TopologyChanged(s *Simulator, l graph.LinkID, down bool)
+	// Converge is invoked when a requested convergence completes.
+	Converge(s *Simulator)
+}
+
+// ---------------------------------------------------------------------------
+// Packet Re-cycling
+// ---------------------------------------------------------------------------
+
+// PRScheme forwards with a core.Protocol. Routers consult only locally
+// detected failures; packets sent into a not-yet-detected dead link are
+// lost, so PR's loss window is exactly the detection delay.
+type PRScheme struct {
+	Protocol *core.Protocol
+	// Protect optionally restricts re-cycling to selected traffic (the
+	// paper's §7 policy knob: "ISPs can include extra rules and policies
+	// to limit PR to certain types of traffic"). Unprotected packets are
+	// forwarded on plain shortest paths and dropped at failures, like
+	// ordinary best-effort traffic before reconvergence. Nil protects
+	// everything.
+	Protect func(*Packet) bool
+}
+
+// Name implements Scheme.
+func (p *PRScheme) Name() string { return "packet-recycling-" + p.Protocol.Variant().String() }
+
+// Init implements Scheme.
+func (p *PRScheme) Init(*Simulator) {}
+
+// Process implements Scheme.
+func (p *PRScheme) Process(s *Simulator, node graph.NodeID, pkt *Packet) (rotation.DartID, bool) {
+	if p.Protect != nil && !p.Protect(pkt) {
+		// Unprotected class: shortest path only, drop at known failures.
+		next := p.Protocol.Routes().NextLink(node, pkt.Dst)
+		if next == graph.NoLink || s.KnownFailures().Down(next) {
+			return rotation.NoDart, false
+		}
+		return dartFrom(s.Graph(), node, next), true
+	}
+	hdr, _ := pkt.State.(core.Header)
+	d := p.Protocol.Decide(node, pkt.Dst, pkt.Ingress, hdr, s.KnownFailures())
+	if !d.OK {
+		return rotation.NoDart, false
+	}
+	pkt.State = d.Header
+	return d.Egress, true
+}
+
+// TopologyChanged implements Scheme. PR precomputes everything offline;
+// detection alone flips the local interface state, which Process already
+// reads from the simulator.
+func (p *PRScheme) TopologyChanged(*Simulator, graph.LinkID, bool) {}
+
+// Converge implements Scheme.
+func (p *PRScheme) Converge(*Simulator) {}
+
+// ---------------------------------------------------------------------------
+// Failure-Carrying Packets
+// ---------------------------------------------------------------------------
+
+// FCPScheme forwards per the FCP rule: each packet carries the failures it
+// has met; routers compute shortest paths over the topology minus carried
+// failures. Locally detected failures are folded into the packet's set at
+// the router that sees them.
+type FCPScheme struct {
+	g *graph.Graph
+}
+
+// Name implements Scheme.
+func (f *FCPScheme) Name() string { return "failure-carrying-packets" }
+
+// Init implements Scheme.
+func (f *FCPScheme) Init(s *Simulator) { f.g = s.Graph() }
+
+// Process implements Scheme.
+func (f *FCPScheme) Process(s *Simulator, node graph.NodeID, pkt *Packet) (rotation.DartID, bool) {
+	carried, _ := pkt.State.(*graph.FailureSet)
+	if carried == nil {
+		carried = graph.NewFailureSet()
+		pkt.State = carried
+	}
+	for {
+		tree := graph.ShortestPathTree(f.g, pkt.Dst, carried)
+		next := tree.NextLink[node]
+		if next == graph.NoLink {
+			return rotation.NoDart, false
+		}
+		if s.KnownFailures().Down(next) {
+			carried.Add(next) // learn and recompute
+			continue
+		}
+		return dartFrom(f.g, node, next), true
+	}
+}
+
+// TopologyChanged implements Scheme.
+func (f *FCPScheme) TopologyChanged(*Simulator, graph.LinkID, bool) {}
+
+// Converge implements Scheme.
+func (f *FCPScheme) Converge(*Simulator) {}
+
+// ---------------------------------------------------------------------------
+// Reconverging IGP
+// ---------------------------------------------------------------------------
+
+// ReconvScheme models a link-state IGP: routers forward on tables computed
+// at the last convergence; a detected change schedules a network-wide
+// reconvergence after the model's flooding+SPF+FIB window. Packets that
+// reach a failed egress before the new tables install are dropped — the
+// §1 loss the paper motivates PR with.
+type ReconvScheme struct {
+	// Model parameterises the convergence window (zero value =
+	// reconv.DefaultConvergence()).
+	Model reconv.ConvergenceModel
+
+	g      *graph.Graph
+	trees  []*graph.SPTree
+	radius int
+}
+
+// Name implements Scheme.
+func (r *ReconvScheme) Name() string { return "reconvergence" }
+
+// Init implements Scheme.
+func (r *ReconvScheme) Init(s *Simulator) {
+	if r.Model == (reconv.ConvergenceModel{}) {
+		r.Model = reconv.DefaultConvergence()
+	}
+	r.g = s.Graph()
+	r.radius = graph.HopDiameter(r.g)
+	if r.radius < 0 {
+		r.radius = r.g.NumNodes()
+	}
+	r.recompute(nil)
+}
+
+func (r *ReconvScheme) recompute(failures *graph.FailureSet) {
+	r.trees = make([]*graph.SPTree, r.g.NumNodes())
+	for d := 0; d < r.g.NumNodes(); d++ {
+		r.trees[d] = graph.ShortestPathTree(r.g, graph.NodeID(d), failures)
+	}
+}
+
+// Process implements Scheme.
+func (r *ReconvScheme) Process(s *Simulator, node graph.NodeID, pkt *Packet) (rotation.DartID, bool) {
+	next := r.trees[pkt.Dst].NextLink[node]
+	if next == graph.NoLink {
+		return rotation.NoDart, false
+	}
+	if s.KnownFailures().Down(next) {
+		// Old FIB points into a failed link the router already knows is
+		// dead: traffic is dropped until convergence completes.
+		return rotation.NoDart, false
+	}
+	return dartFrom(r.g, node, next), true
+}
+
+// TopologyChanged implements Scheme: detection starts the convergence
+// countdown (flooding + SPF + FIB install beyond the detection already
+// elapsed).
+func (r *ReconvScheme) TopologyChanged(s *Simulator, _ graph.LinkID, _ bool) {
+	window := r.Model.Window(r.radius) - r.Model.Detection
+	s.ScheduleConvergeAt(s.Now() + window)
+}
+
+// Converge implements Scheme: install tables reflecting everything
+// currently known.
+func (r *ReconvScheme) Converge(s *Simulator) {
+	r.recompute(s.KnownFailures())
+}
+
+// dartFrom returns link l oriented away from node n.
+func dartFrom(g *graph.Graph, n graph.NodeID, l graph.LinkID) rotation.DartID {
+	ab, ba := rotation.DartsOf(l)
+	if g.Link(l).A == n {
+		return ab
+	}
+	return ba
+}
+
+// ---------------------------------------------------------------------------
+// Loss-window experiment (§1 motivation)
+// ---------------------------------------------------------------------------
+
+// LossWindowResult compares schemes on one outage scenario.
+type LossWindowResult struct {
+	Scheme    string
+	Generated int
+	Delivered int
+	Blackhole int
+	NoRoute   int
+	TTL       int
+}
+
+// RunLossWindow runs the §1 motivation experiment: a single flow crossing
+// a link that fails mid-run, on the given topology and scheme. The flow
+// emits pps packets per second of 1 kB from src to dst between 0 and
+// horizon; the first link of src's shortest path fails at failAt.
+func RunLossWindow(cfg Config, src, dst graph.NodeID, pps float64, failAt time.Duration) (LossWindowResult, error) {
+	interval := time.Duration(float64(time.Second) / pps)
+	cfg.Flows = []Flow{{Src: src, Dst: dst, Interval: interval, Bits: 8192}}
+	s, err := New(cfg)
+	if err != nil {
+		return LossWindowResult{}, err
+	}
+	// Fail the first link on src's current shortest path.
+	tree := graph.ShortestPathTree(cfg.Graph, dst, nil)
+	target := tree.NextLink[src]
+	s.FailLinkAt(target, failAt)
+	st := s.Run()
+	return LossWindowResult{
+		Scheme:    cfg.Scheme.Name(),
+		Generated: st.Generated,
+		Delivered: st.Delivered,
+		Blackhole: st.Drops[DropBlackhole],
+		NoRoute:   st.Drops[DropNoRoute],
+		TTL:       st.Drops[DropTTL],
+	}, nil
+}

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+// Packet is one simulated datagram.
+type Packet struct {
+	// ID is unique per simulation.
+	ID int64
+	// Src and Dst are the endpoints.
+	Src, Dst graph.NodeID
+	// Bits is the packet size on the wire.
+	Bits int
+	// Created is the emission time.
+	Created time.Duration
+	// Hops counts traversed links.
+	Hops int
+	// Ingress is the dart the packet arrived on (NoDart at origin).
+	Ingress rotation.DartID
+	// Class is the traffic class inherited from the emitting flow, used
+	// by per-class policies (§7).
+	Class string
+	// State carries scheme-specific per-packet data (PR header, FCP
+	// carried-failure set). Owned by the scheme.
+	State any
+}
+
+// DropReason classifies packet losses.
+type DropReason string
+
+// Drop reasons reported in Stats.Drops.
+const (
+	// DropBlackhole: sent onto a physically dead link before local
+	// detection fired — the loss window every FRR scheme races against.
+	DropBlackhole DropReason = "blackhole"
+	// DropNoRoute: the scheme had no usable egress.
+	DropNoRoute DropReason = "no-route"
+	// DropTTL: hop budget exhausted (forwarding loop under failures).
+	DropTTL DropReason = "ttl"
+)
+
+// Flow emits fixed-size packets at a fixed interval between two nodes.
+type Flow struct {
+	Src, Dst graph.NodeID
+	// Interval between packets.
+	Interval time.Duration
+	// Bits per packet (default 8192 = 1 kB, the paper's average size).
+	Bits int
+	// Start offsets the first packet.
+	Start time.Duration
+	// Class tags emitted packets for per-class policies (§7).
+	Class string
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Graph is the topology.
+	Graph *graph.Graph
+	// Scheme is the forwarding scheme under test.
+	Scheme Scheme
+	// Flows is the traffic matrix.
+	Flows []Flow
+	// Horizon ends the run (events after it are discarded).
+	Horizon time.Duration
+	// LinkDelay converts a link to its propagation delay. Nil defaults to
+	// weight-as-kilometres over 200,000 km/s fibre, minimum 10 µs.
+	LinkDelay func(l graph.Link) time.Duration
+	// BandwidthBps is the serialisation rate of every link (default
+	// 9.953 Gb/s, an OC-192).
+	BandwidthBps float64
+	// DetectionDelay is how long until routers adjacent to a failed link
+	// locally detect it (default 50 ms; 0 means instantaneous).
+	DetectionDelay time.Duration
+	// HoldDown delays acting on link *recovery* (up-transitions) beyond
+	// DetectionDelay. The paper's §7 flap-damping rule: a link must stay
+	// idle long enough that packets which saw it down cannot meet it up
+	// again while still cycle following. Zero means recoveries propagate
+	// after DetectionDelay alone.
+	HoldDown time.Duration
+	// TTL is the hop budget per packet (default 4×nodes).
+	TTL int
+}
+
+// Stats aggregates a run's outcomes.
+type Stats struct {
+	Generated int
+	Delivered int
+	Drops     map[DropReason]int
+	// TotalLatency accumulates delivery latencies; divide by Delivered
+	// for the mean.
+	TotalLatency time.Duration
+	MaxLatency   time.Duration
+	TotalHops    int
+}
+
+// Dropped sums all drop reasons.
+func (s *Stats) Dropped() int {
+	n := 0
+	for _, c := range s.Drops {
+		n += c
+	}
+	return n
+}
+
+// DeliveryRate is Delivered / Generated (1 when nothing was generated).
+func (s *Stats) DeliveryRate() float64 {
+	if s.Generated == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Generated)
+}
+
+// MeanLatency is the average delivery latency (0 when none delivered).
+func (s *Stats) MeanLatency() time.Duration {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Delivered)
+}
+
+// Simulator executes one configuration. Create with New, inject failures
+// with FailLinkAt / RepairLinkAt, then Run.
+type Simulator struct {
+	cfg   Config
+	g     *graph.Graph
+	queue eventHeap
+	seq   int64
+	now   time.Duration
+
+	physDown  []bool            // physical link state
+	linkGen   []uint64          // physical state generation, for flap damping
+	knownDown *graph.FailureSet // locally detected state, fed to schemes
+	linkFree  []time.Duration   // next instant each link's transmitter is idle (per direction)
+
+	nextPacketID int64
+	// Stats is populated during Run.
+	Stats Stats
+}
+
+// New validates the configuration and prepares a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: nil graph")
+	}
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("sim: nil scheme")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive")
+	}
+	if cfg.BandwidthBps == 0 {
+		cfg.BandwidthBps = 9.953e9
+	}
+	if cfg.DetectionDelay == 0 {
+		cfg.DetectionDelay = 50 * time.Millisecond
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 4 * cfg.Graph.NumNodes()
+	}
+	if cfg.LinkDelay == nil {
+		cfg.LinkDelay = func(l graph.Link) time.Duration {
+			d := time.Duration(l.Weight / 200_000 * float64(time.Second))
+			if d < 10*time.Microsecond {
+				d = 10 * time.Microsecond
+			}
+			return d
+		}
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		g:         cfg.Graph,
+		physDown:  make([]bool, cfg.Graph.NumLinks()),
+		linkGen:   make([]uint64, cfg.Graph.NumLinks()),
+		knownDown: graph.NewFailureSet(),
+		linkFree:  make([]time.Duration, 2*cfg.Graph.NumLinks()),
+	}
+	for i, f := range cfg.Flows {
+		if f.Interval <= 0 {
+			return nil, fmt.Errorf("sim: flow %d has non-positive interval", i)
+		}
+		s.schedule(&event{at: f.Start, kind: evGenerate, flow: i})
+	}
+	return s, nil
+}
+
+// Now returns the current simulated time (useful to schemes).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// KnownFailures returns the locally detected failure set schemes route
+// around. Schemes must not mutate it.
+func (s *Simulator) KnownFailures() *graph.FailureSet { return s.knownDown }
+
+// Graph returns the topology.
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+// FailLinkAt schedules a bidirectional link failure.
+func (s *Simulator) FailLinkAt(l graph.LinkID, at time.Duration) {
+	s.schedule(&event{at: at, kind: evLinkDown, link: l})
+}
+
+// RepairLinkAt schedules a link repair.
+func (s *Simulator) RepairLinkAt(l graph.LinkID, at time.Duration) {
+	s.schedule(&event{at: at, kind: evLinkUp, link: l})
+}
+
+func (s *Simulator) schedule(e *event) {
+	// The horizon caps packet generation only; deliveries, detections and
+	// convergences in flight at the horizon still drain, so every
+	// generated packet gets a definite fate.
+	if e.kind == evGenerate && e.at > s.cfg.Horizon {
+		return
+	}
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// Run drains the event queue up to the horizon and returns the stats.
+func (s *Simulator) Run() *Stats {
+	s.Stats.Drops = make(map[DropReason]int)
+	s.cfg.Scheme.Init(s)
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		s.now = e.at
+		switch e.kind {
+		case evGenerate:
+			s.handleGenerate(e.flow)
+		case evArrive:
+			s.handleArrive(e.pkt, e.node)
+		case evLinkDown:
+			s.physDown[e.link] = true
+			s.linkGen[e.link]++
+			s.schedule(&event{at: s.now + s.cfg.DetectionDelay, kind: evDetect,
+				link: e.link, down: true, gen: s.linkGen[e.link]})
+		case evLinkUp:
+			s.physDown[e.link] = false
+			s.linkGen[e.link]++
+			// §7 flap damping: recoveries additionally wait out the
+			// hold-down before routers act on them.
+			s.schedule(&event{at: s.now + s.cfg.DetectionDelay + s.cfg.HoldDown, kind: evDetect,
+				link: e.link, down: false, gen: s.linkGen[e.link]})
+		case evDetect:
+			if e.gen != s.linkGen[e.link] {
+				break // the link flapped again before this took effect
+			}
+			if e.down {
+				s.knownDown.Add(e.link)
+			} else {
+				s.knownDown.Remove(e.link)
+			}
+			s.cfg.Scheme.TopologyChanged(s, e.link, e.down)
+		case evConverge:
+			s.cfg.Scheme.Converge(s)
+		}
+	}
+	return &s.Stats
+}
+
+// ScheduleConvergeAt lets schemes request a convergence-complete callback.
+func (s *Simulator) ScheduleConvergeAt(at time.Duration) {
+	s.schedule(&event{at: at, kind: evConverge})
+}
+
+func (s *Simulator) handleGenerate(flowIdx int) {
+	f := s.cfg.Flows[flowIdx]
+	bits := f.Bits
+	if bits == 0 {
+		bits = 8192
+	}
+	pkt := &Packet{
+		ID:      s.nextPacketID,
+		Src:     f.Src,
+		Dst:     f.Dst,
+		Bits:    bits,
+		Created: s.now,
+		Ingress: rotation.NoDart,
+		Class:   f.Class,
+	}
+	s.nextPacketID++
+	s.Stats.Generated++
+	// Schedule the flow's next emission, then process this packet.
+	s.schedule(&event{at: s.now + f.Interval, kind: evGenerate, flow: flowIdx})
+	s.handleArrive(pkt, f.Src)
+}
+
+func (s *Simulator) handleArrive(pkt *Packet, node graph.NodeID) {
+	if node == pkt.Dst {
+		lat := s.now - pkt.Created
+		s.Stats.Delivered++
+		s.Stats.TotalLatency += lat
+		if lat > s.Stats.MaxLatency {
+			s.Stats.MaxLatency = lat
+		}
+		s.Stats.TotalHops += pkt.Hops
+		return
+	}
+	if pkt.Hops >= s.cfg.TTL {
+		s.Stats.Drops[DropTTL]++
+		return
+	}
+	egress, ok := s.cfg.Scheme.Process(s, node, pkt)
+	if !ok {
+		s.Stats.Drops[DropNoRoute]++
+		return
+	}
+	link := rotation.LinkOf(egress)
+	if s.physDown[link] {
+		// The scheme chose a dead link (failure not yet locally
+		// detected): the packet is lost in the outage.
+		s.Stats.Drops[DropBlackhole]++
+		return
+	}
+	// FIFO serialisation per link direction, then propagation.
+	txTime := time.Duration(float64(pkt.Bits) / s.cfg.BandwidthBps * float64(time.Second))
+	start := s.now
+	if s.linkFree[egress] > start {
+		start = s.linkFree[egress]
+	}
+	done := start + txTime
+	s.linkFree[egress] = done
+	arrive := done + s.cfg.LinkDelay(s.g.Link(link))
+	pkt.Hops++
+	pkt.Ingress = egress
+	next := s.g.Link(link).Other(node)
+	s.schedule(&event{at: arrive, kind: evArrive, pkt: pkt, node: next})
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+func prScheme(t *testing.T, g *graph.Graph, v core.Variant) *PRScheme {
+	t.Helper()
+	sys, err := (embedding.Auto{Seed: 1}).Embed(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.New(g, sys, route.Build(g, route.HopCount), core.Config{Variant: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &PRScheme{Protocol: p}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := New(Config{Scheme: prScheme(t, g, core.Full), Horizon: time.Second}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := New(Config{Graph: g, Horizon: time.Second}); err == nil {
+		t.Fatal("nil scheme accepted")
+	}
+	if _, err := New(Config{Graph: g, Scheme: prScheme(t, g, core.Full)}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := New(Config{Graph: g, Scheme: prScheme(t, g, core.Full), Horizon: time.Second,
+		Flows: []Flow{{Src: 0, Dst: 1}}}); err == nil {
+		t.Fatal("zero-interval flow accepted")
+	}
+}
+
+func TestFailureFreeDeliveryAndLatency(t *testing.T) {
+	g := graph.Ring(4) // unit weights → min 10 µs propagation per hop
+	s, err := New(Config{
+		Graph:   g,
+		Scheme:  prScheme(t, g, core.Full),
+		Horizon: time.Second,
+		Flows:   []Flow{{Src: 0, Dst: 2, Interval: 10 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Run()
+	if st.Generated == 0 {
+		t.Fatal("no packets generated")
+	}
+	if st.DeliveryRate() != 1 {
+		t.Fatalf("delivery rate = %v; want 1 without failures", st.DeliveryRate())
+	}
+	// Two hops of ≥10 µs plus two ≈0.8 µs serialisations each way.
+	if st.MeanLatency() < 20*time.Microsecond {
+		t.Fatalf("mean latency = %v; want ≥ 20 µs", st.MeanLatency())
+	}
+	if st.TotalHops != 2*st.Delivered {
+		t.Fatalf("hops = %d; want 2 per packet", st.TotalHops)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g := graph.Ring(6)
+	run := func() *Stats {
+		s, err := New(Config{
+			Graph:   g,
+			Scheme:  prScheme(t, g, core.Full),
+			Horizon: 500 * time.Millisecond,
+			Flows: []Flow{
+				{Src: 0, Dst: 3, Interval: 3 * time.Millisecond},
+				{Src: 2, Dst: 5, Interval: 5 * time.Millisecond},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.FailLinkAt(0, 100*time.Millisecond)
+		return s.Run()
+	}
+	a, b := run(), run()
+	if a.Generated != b.Generated || a.Delivered != b.Delivered || a.TotalLatency != b.TotalLatency {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestPRLossWindowIsDetectionOnly: PR drops exactly the packets emitted
+// into the dead link during the detection delay, then recovers instantly.
+func TestPRLossWindowIsDetectionOnly(t *testing.T) {
+	tp := topo.Abilene(topo.UnitWeights)
+	g := tp.Graph
+	res, err := RunLossWindow(Config{
+		Graph:          g,
+		Scheme:         prScheme(t, g, core.Full),
+		Horizon:        2 * time.Second,
+		DetectionDelay: 50 * time.Millisecond,
+	}, g.NodeByName("Seattle"), g.NodeByName("LosAngeles"), 1000, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 pps × 50 ms ≈ 50 packets blackholed (±few for boundary/in-flight).
+	if res.Blackhole < 40 || res.Blackhole > 60 {
+		t.Fatalf("blackholed = %d; want ≈50 (detection window only)", res.Blackhole)
+	}
+	if res.NoRoute != 0 || res.TTL != 0 {
+		t.Fatalf("PR dropped outside the detection window: %+v", res)
+	}
+	if res.Delivered+res.Blackhole < res.Generated-2 {
+		t.Fatalf("unaccounted packets: %+v", res)
+	}
+}
+
+// TestReconvLossWindowLargerThanPR reproduces the paper's motivation: the
+// reconverging IGP loses far more packets than PR for the same outage.
+func TestReconvLossWindowLargerThanPR(t *testing.T) {
+	tp := topo.Abilene(topo.UnitWeights)
+	g := tp.Graph
+	src, dst := g.NodeByName("Seattle"), g.NodeByName("LosAngeles")
+
+	prRes, err := RunLossWindow(Config{
+		Graph: g, Scheme: prScheme(t, g, core.Full), Horizon: 2 * time.Second,
+	}, src, dst, 2000, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcRes, err := RunLossWindow(Config{
+		Graph: g, Scheme: &ReconvScheme{}, Horizon: 2 * time.Second,
+	}, src, dst, 2000, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prLost := prRes.Generated - prRes.Delivered
+	rcLost := rcRes.Generated - rcRes.Delivered
+	if rcLost <= prLost {
+		t.Fatalf("reconvergence lost %d ≤ PR lost %d; paper's motivation not reproduced", rcLost, prLost)
+	}
+	// Reconvergence eventually recovers too.
+	if rcRes.Delivered == 0 {
+		t.Fatal("reconvergence never delivered")
+	}
+}
+
+// TestFCPSchemeRecovers: FCP loses only the detection window, like PR.
+func TestFCPSchemeRecovers(t *testing.T) {
+	tp := topo.Abilene(topo.UnitWeights)
+	g := tp.Graph
+	res, err := RunLossWindow(Config{
+		Graph: g, Scheme: &FCPScheme{}, Horizon: 2 * time.Second,
+	}, g.NodeByName("Seattle"), g.NodeByName("LosAngeles"), 1000, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoRoute != 0 || res.TTL != 0 {
+		t.Fatalf("FCP dropped outside detection: %+v", res)
+	}
+	if res.Blackhole > 60 {
+		t.Fatalf("FCP blackholed %d; want ≈50", res.Blackhole)
+	}
+}
+
+// TestLinkRepair: traffic switches back after the link recovers and
+// detection propagates.
+func TestLinkRepair(t *testing.T) {
+	g := graph.Ring(4)
+	s, err := New(Config{
+		Graph:          g,
+		Scheme:         prScheme(t, g, core.Full),
+		Horizon:        time.Second,
+		DetectionDelay: 10 * time.Millisecond,
+		Flows:          []Flow{{Src: 0, Dst: 1, Interval: 5 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailLinkAt(0, 200*time.Millisecond)
+	s.RepairLinkAt(0, 400*time.Millisecond)
+	st := s.Run()
+	// Roughly (10ms detection + in-flight) / 5ms ≈ 2-4 blackholes; all the
+	// rest delivered.
+	if st.Drops[DropBlackhole] > 5 {
+		t.Fatalf("blackholed = %d; want a handful", st.Drops[DropBlackhole])
+	}
+	if st.DeliveryRate() < 0.97 {
+		t.Fatalf("delivery rate = %v; want ≈1 with recovery", st.DeliveryRate())
+	}
+}
+
+// TestSerialisationBackpressure: a slow link forces queueing latency.
+func TestSerialisationBackpressure(t *testing.T) {
+	g := graph.Ring(3)
+	s, err := New(Config{
+		Graph:        g,
+		Scheme:       prScheme(t, g, core.Full),
+		Horizon:      100 * time.Millisecond,
+		BandwidthBps: 1e6, // 1 Mb/s: 8192 bits ≈ 8.2 ms per packet
+		Flows:        []Flow{{Src: 0, Dst: 1, Interval: time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Run()
+	if st.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Queue builds: mean latency must exceed one serialisation time.
+	if st.MeanLatency() < 8*time.Millisecond {
+		t.Fatalf("mean latency = %v; want ≥ 8 ms under backpressure", st.MeanLatency())
+	}
+	if st.MaxLatency <= st.MeanLatency() {
+		t.Fatal("max latency should exceed mean under growing queue")
+	}
+}
+
+// TestTTLDropsOnLoop: the Basic variant's Figure 1(c) loop must surface as
+// TTL drops, not hang the simulator.
+func TestTTLDropsOnLoop(t *testing.T) {
+	tp := topo.PaperExample()
+	g := tp.Graph
+	tbl := route.Build(g, route.HopCount)
+	p, err := core.New(g, tp.Embedding, tbl, core.Config{Variant: core.Basic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Graph:          g,
+		Scheme:         &PRScheme{Protocol: p},
+		Horizon:        200 * time.Millisecond,
+		DetectionDelay: time.Millisecond,
+		Flows:          []Flow{{Src: g.NodeByName("A"), Dst: g.NodeByName("F"), Interval: 10 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailLinkAt(g.FindLink(g.NodeByName("D"), g.NodeByName("E")), 20*time.Millisecond)
+	s.FailLinkAt(g.FindLink(g.NodeByName("B"), g.NodeByName("C")), 20*time.Millisecond)
+	st := s.Run()
+	if st.Drops[DropTTL] == 0 {
+		t.Fatal("expected TTL drops from the basic-variant loop")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	st := &Stats{}
+	if st.DeliveryRate() != 1 || st.MeanLatency() != 0 || st.Dropped() != 0 {
+		t.Fatal("zero-value stats helpers wrong")
+	}
+	st.Generated = 4
+	st.Delivered = 2
+	st.Drops = map[DropReason]int{DropTTL: 2}
+	st.TotalLatency = 10 * time.Millisecond
+	if st.DeliveryRate() != 0.5 || st.Dropped() != 2 || st.MeanLatency() != 5*time.Millisecond {
+		t.Fatalf("stats helpers wrong: %+v", st)
+	}
+}

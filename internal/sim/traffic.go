@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"recycle/internal/graph"
+)
+
+// TrafficModel generates flow sets for simulation runs.
+type TrafficModel struct {
+	// PacketsPerSecond is the aggregate emission rate across all flows.
+	PacketsPerSecond float64
+	// Bits per packet (default 8192).
+	Bits int
+	// Seed drives pair selection and start-time jitter.
+	Seed int64
+}
+
+// AllPairs spreads the aggregate rate uniformly over every ordered node
+// pair — the paper's implicit evaluation workload (every affected pair
+// counts equally).
+func (m TrafficModel) AllPairs(g *graph.Graph) []Flow {
+	n := g.NumNodes()
+	pairs := n * (n - 1)
+	if pairs == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	perFlow := m.PacketsPerSecond / float64(pairs)
+	interval := time.Duration(float64(time.Second) / perFlow)
+	flows := make([]Flow, 0, pairs)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			flows = append(flows, Flow{
+				Src:      graph.NodeID(s),
+				Dst:      graph.NodeID(d),
+				Interval: interval,
+				Bits:     m.Bits,
+				Start:    time.Duration(rng.Int63n(int64(interval))),
+			})
+		}
+	}
+	return flows
+}
+
+// Gravity draws count flows with endpoint probability proportional to node
+// degree (a standard stand-in for population/capacity gravity models when
+// no traffic matrix is available) and splits the aggregate rate evenly
+// among them. Deterministic per seed.
+func (m TrafficModel) Gravity(g *graph.Graph, count int) []Flow {
+	if count <= 0 || g.NumNodes() < 2 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	// Degree-weighted node sampler.
+	var cum []int
+	total := 0
+	for n := 0; n < g.NumNodes(); n++ {
+		total += g.Degree(graph.NodeID(n))
+		cum = append(cum, total)
+	}
+	pick := func() graph.NodeID {
+		x := rng.Intn(total)
+		for i, c := range cum {
+			if x < c {
+				return graph.NodeID(i)
+			}
+		}
+		return graph.NodeID(len(cum) - 1)
+	}
+	perFlow := m.PacketsPerSecond / float64(count)
+	interval := time.Duration(float64(time.Second) / perFlow)
+	flows := make([]Flow, 0, count)
+	for len(flows) < count {
+		s, d := pick(), pick()
+		if s == d {
+			continue
+		}
+		flows = append(flows, Flow{
+			Src:      s,
+			Dst:      d,
+			Interval: interval,
+			Bits:     m.Bits,
+			Start:    time.Duration(rng.Int63n(int64(interval))),
+		})
+	}
+	return flows
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/graph"
+	"recycle/internal/topo"
+)
+
+func TestAllPairsTrafficShape(t *testing.T) {
+	g := graph.Ring(5)
+	flows := TrafficModel{PacketsPerSecond: 1000, Seed: 1}.AllPairs(g)
+	if len(flows) != 20 {
+		t.Fatalf("flows = %d; want 20 ordered pairs", len(flows))
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("self-flow generated")
+		}
+		if f.Interval <= 0 {
+			t.Fatal("non-positive interval")
+		}
+		if f.Start >= f.Interval {
+			t.Fatal("start jitter exceeds interval")
+		}
+	}
+	single := graph.New(1, 0)
+	single.AddNode("only")
+	single.Freeze()
+	if got := (TrafficModel{PacketsPerSecond: 10}).AllPairs(single); got != nil {
+		t.Fatal("single node should yield no flows")
+	}
+}
+
+func TestGravityTrafficDeterministicAndDegreeBiased(t *testing.T) {
+	tp := topo.Geant(topo.UnitWeights)
+	g := tp.Graph
+	m := TrafficModel{PacketsPerSecond: 5000, Seed: 9}
+	a := m.Gravity(g, 200)
+	b := m.Gravity(g, 200)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("flow counts = %d, %d; want 200", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("gravity not deterministic per seed")
+		}
+	}
+	// Degree bias: the max-degree node should appear as an endpoint more
+	// often than a min-degree node across the sample.
+	var maxNode, minNode graph.NodeID
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.Degree(graph.NodeID(n)) > g.Degree(maxNode) {
+			maxNode = graph.NodeID(n)
+		}
+		if g.Degree(graph.NodeID(n)) < g.Degree(minNode) {
+			minNode = graph.NodeID(n)
+		}
+	}
+	count := func(n graph.NodeID) int {
+		c := 0
+		for _, f := range a {
+			if f.Src == n || f.Dst == n {
+				c++
+			}
+		}
+		return c
+	}
+	if count(maxNode) <= count(minNode) {
+		t.Fatalf("degree bias missing: max-degree node in %d flows, min-degree in %d",
+			count(maxNode), count(minNode))
+	}
+}
+
+// TestAllPairsTrafficUnderFailure: an end-to-end multi-flow run over
+// Abilene with a failure mid-run — PR keeps aggregate delivery near 1.
+func TestAllPairsTrafficUnderFailure(t *testing.T) {
+	tp := topo.Abilene(topo.UnitWeights)
+	g := tp.Graph
+	flows := TrafficModel{PacketsPerSecond: 2000, Seed: 3}.AllPairs(g)
+	s, err := New(Config{
+		Graph:          g,
+		Scheme:         prScheme(t, g, core.Full),
+		Horizon:        time.Second,
+		DetectionDelay: 10 * time.Millisecond,
+		Flows:          flows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailLinkAt(5, 300*time.Millisecond)
+	st := s.Run()
+	if st.Generated < 1000 {
+		t.Fatalf("generated = %d; traffic model too sparse", st.Generated)
+	}
+	if st.DeliveryRate() < 0.99 {
+		t.Fatalf("delivery rate = %v; PR should hold ≈1 under one failure", st.DeliveryRate())
+	}
+}

@@ -1,0 +1,196 @@
+package topo
+
+// Built-in ISP topologies used by the paper's evaluation (§6).
+//
+// Abilene is the published 11-node / 14-link Internet2 research backbone
+// [paper ref 21]. GÉANT is the 23-node / 37-link pan-European research
+// network snapshot widely used in routing studies [paper ref 5]. Teleglobe
+// is a PoP-level reconstruction of the AS6453 backbone measured by
+// Rocketfuel [paper ref 18]; the raw Rocketfuel data is not redistributable,
+// so the link list below reconstructs a topology of the published size,
+// degree distribution and diameter from the documented PoP cities — see
+// DESIGN.md §3 for the substitution rationale. Stretch distributions depend
+// on exactly these shape properties, which is what the reproduction needs.
+
+// Abilene returns the Internet2 Abilene backbone: 11 PoPs, 14 links.
+func Abilene(w Weighting) Topology {
+	cities := []city{
+		{"Seattle", 47.61, -122.33},
+		{"Sunnyvale", 37.37, -122.04},
+		{"LosAngeles", 34.05, -118.24},
+		{"Denver", 39.74, -104.99},
+		{"KansasCity", 39.10, -94.58},
+		{"Houston", 29.76, -95.37},
+		{"Chicago", 41.88, -87.63},
+		{"Indianapolis", 39.77, -86.16},
+		{"Atlanta", 33.75, -84.39},
+		{"Washington", 38.91, -77.04},
+		{"NewYork", 40.71, -74.01},
+	}
+	links := [][2]string{
+		{"Seattle", "Sunnyvale"},
+		{"Seattle", "Denver"},
+		{"Sunnyvale", "LosAngeles"},
+		{"Sunnyvale", "Denver"},
+		{"LosAngeles", "Houston"},
+		{"Denver", "KansasCity"},
+		{"KansasCity", "Houston"},
+		{"KansasCity", "Indianapolis"},
+		{"Houston", "Atlanta"},
+		{"Chicago", "Indianapolis"},
+		{"Chicago", "NewYork"},
+		{"Indianapolis", "Atlanta"},
+		{"Atlanta", "Washington"},
+		{"NewYork", "Washington"},
+	}
+	return buildCityTopology("abilene", cities, links, w)
+}
+
+// Geant returns the GÉANT pan-European research network: 23 PoPs, 37 links
+// (the 2004–2009 snapshot used throughout the traffic-engineering
+// literature).
+func Geant(w Weighting) Topology {
+	cities := []city{
+		{"Austria", 48.21, 16.37},
+		{"Belgium", 50.85, 4.35},
+		{"Croatia", 45.81, 15.98},
+		{"Czech", 50.09, 14.42},
+		{"Germany", 50.11, 8.68},
+		{"Spain", 40.42, -3.70},
+		{"France", 48.86, 2.35},
+		{"Greece", 37.98, 23.73},
+		{"Hungary", 47.50, 19.04},
+		{"Ireland", 53.35, -6.26},
+		{"Israel", 32.09, 34.78},
+		{"Italy", 41.90, 12.50},
+		{"Luxembourg", 49.61, 6.13},
+		{"Netherlands", 52.37, 4.89},
+		{"Poland", 52.23, 21.01},
+		{"Portugal", 38.72, -9.14},
+		{"Sweden", 59.33, 18.07},
+		{"Slovenia", 46.06, 14.51},
+		{"Slovakia", 48.15, 17.11},
+		{"Switzerland", 46.95, 7.45},
+		{"UK", 51.51, -0.13},
+		{"NewYorkPoP", 40.71, -74.01},
+		{"Cyprus", 35.19, 33.38},
+	}
+	links := [][2]string{
+		{"Austria", "Czech"},
+		{"Austria", "Germany"},
+		{"Austria", "Hungary"},
+		{"Austria", "Slovakia"},
+		{"Austria", "Slovenia"},
+		{"Austria", "Switzerland"},
+		{"Belgium", "France"},
+		{"Belgium", "Netherlands"},
+		{"Belgium", "UK"},
+		{"Croatia", "Hungary"},
+		{"Czech", "Germany"},
+		{"Czech", "Poland"},
+		{"Czech", "Slovakia"},
+		{"Germany", "Italy"},
+		{"Germany", "Netherlands"},
+		{"Germany", "Sweden"},
+		{"Germany", "Switzerland"},
+		{"Germany", "NewYorkPoP"},
+		{"Spain", "France"},
+		{"Spain", "Portugal"},
+		{"France", "Luxembourg"},
+		{"France", "Switzerland"},
+		{"France", "UK"},
+		{"Greece", "Italy"},
+		{"Greece", "Cyprus"},
+		{"Hungary", "Slovakia"},
+		{"Ireland", "UK"},
+		{"Ireland", "Netherlands"},
+		{"Israel", "Italy"},
+		{"Israel", "Cyprus"},
+		{"Italy", "Switzerland"},
+		{"Luxembourg", "Germany"},
+		{"Netherlands", "UK"},
+		{"Poland", "Sweden"},
+		{"Portugal", "UK"},
+		{"Sweden", "NewYorkPoP"},
+		{"Slovenia", "Croatia"},
+		{"UK", "NewYorkPoP"},
+	}
+	return buildCityTopology("geant", cities, links, w)
+}
+
+// Teleglobe returns the PoP-level reconstruction of the Teleglobe / VSNL
+// International backbone (Rocketfuel AS6453): 25 PoPs, 37 links spanning
+// its published North American / European / Asian footprint.
+func Teleglobe(w Weighting) Topology {
+	cities := []city{
+		{"Montreal", 45.50, -73.57},
+		{"Toronto", 43.65, -79.38},
+		{"NewYork", 40.71, -74.01},
+		{"Newark", 40.74, -74.17},
+		{"Ashburn", 39.04, -77.49},
+		{"Atlanta2", 33.75, -84.39},
+		{"Miami", 25.76, -80.19},
+		{"Chicago2", 41.88, -87.63},
+		{"Dallas", 32.78, -96.80},
+		{"PaloAlto", 37.44, -122.14},
+		{"LosAngeles2", 34.05, -118.24},
+		{"Seattle2", 47.61, -122.33},
+		{"London", 51.51, -0.13},
+		{"Paris", 48.86, 2.35},
+		{"Amsterdam", 52.37, 4.89},
+		{"Frankfurt", 50.11, 8.68},
+		{"Madrid", 40.42, -3.70},
+		{"Lisbon", 38.72, -9.14},
+		{"Milan", 45.46, 9.19},
+		{"Singapore", 1.35, 103.82},
+		{"HongKong", 22.32, 114.17},
+		{"Tokyo", 35.68, 139.65},
+		{"Mumbai", 19.08, 72.88},
+		{"Chennai", 13.08, 80.27},
+		{"SaoPaulo", -23.55, -46.63},
+	}
+	links := [][2]string{
+		// North American core ring + chords.
+		{"Montreal", "Toronto"},
+		{"Montreal", "NewYork"},
+		{"Toronto", "Chicago2"},
+		{"NewYork", "Newark"},
+		{"NewYork", "Ashburn"},
+		{"Newark", "Ashburn"},
+		{"Ashburn", "Atlanta2"},
+		{"Atlanta2", "Miami"},
+		{"Atlanta2", "Dallas"},
+		{"Chicago2", "NewYork"},
+		{"Chicago2", "Dallas"},
+		{"Chicago2", "Seattle2"},
+		{"Dallas", "LosAngeles2"},
+		{"Dallas", "Miami"},
+		{"PaloAlto", "LosAngeles2"},
+		{"PaloAlto", "Seattle2"},
+		{"PaloAlto", "Tokyo"},
+		// Transatlantic.
+		{"NewYork", "London"},
+		{"Newark", "Paris"},
+		{"Montreal", "London"},
+		{"Miami", "SaoPaulo"},
+		{"SaoPaulo", "Lisbon"},
+		// European mesh.
+		{"London", "Paris"},
+		{"London", "Amsterdam"},
+		{"London", "Lisbon"},
+		{"Paris", "Frankfurt"},
+		{"Paris", "Madrid"},
+		{"Amsterdam", "Frankfurt"},
+		{"Frankfurt", "Milan"},
+		{"Madrid", "Lisbon"},
+		{"Milan", "Paris"},
+		// Asia.
+		{"London", "Mumbai"},
+		{"Mumbai", "Chennai"},
+		{"Chennai", "Singapore"},
+		{"Singapore", "HongKong"},
+		{"HongKong", "Tokyo"},
+		{"Singapore", "Mumbai"},
+	}
+	return buildCityTopology("teleglobe", cities, links, w)
+}

@@ -1,0 +1,126 @@
+// Package topo ships the topologies the paper evaluates on (§6): the
+// Figure 1 running example (reconstructed exactly from the prose, including
+// its cellular embedding), the Abilene research backbone, the GÉANT European
+// research network, and a PoP-level reconstruction of the Teleglobe (AS6453)
+// backbone. Each Topology bundles the graph with optional metadata (a known
+// embedding for the paper example, coordinates for distance weighting).
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+// Topology is a named network graph ready for experiments.
+type Topology struct {
+	// Name identifies the topology in reports ("abilene", ...).
+	Name string
+	// Graph is the frozen network graph.
+	Graph *graph.Graph
+	// Embedding optionally fixes a known-good rotation system (the paper
+	// example ships the published Figure 1 embedding). Nil means "let an
+	// embedder choose".
+	Embedding *rotation.System
+}
+
+// Weighting selects how built-in topologies assign link weights.
+type Weighting int
+
+const (
+	// UnitWeights gives every link weight 1 (hop-count routing).
+	UnitWeights Weighting = iota
+	// DistanceWeights uses great-circle kilometres between the endpoint
+	// cities, the conventional approximation of IGP metrics on research
+	// backbones.
+	DistanceWeights
+)
+
+// String names the weighting.
+func (w Weighting) String() string {
+	if w == DistanceWeights {
+		return "distance"
+	}
+	return "unit"
+}
+
+// city is a node with coordinates for distance weighting.
+type city struct {
+	name     string
+	lat, lon float64
+}
+
+// buildCityTopology assembles a topology from a city list and a link list
+// given as name pairs.
+func buildCityTopology(name string, cities []city, links [][2]string, w Weighting) Topology {
+	g := graph.New(len(cities), len(links))
+	idx := make(map[string]graph.NodeID, len(cities))
+	pos := make(map[string]city, len(cities))
+	for _, c := range cities {
+		id := g.AddNode(c.name)
+		idx[c.name] = id
+		pos[c.name] = c
+	}
+	for _, lk := range links {
+		a, ok := idx[lk[0]]
+		if !ok {
+			panic(fmt.Sprintf("topo: %s: unknown city %q", name, lk[0]))
+		}
+		b, ok := idx[lk[1]]
+		if !ok {
+			panic(fmt.Sprintf("topo: %s: unknown city %q", name, lk[1]))
+		}
+		weight := 1.0
+		if w == DistanceWeights {
+			weight = greatCircleKM(pos[lk[0]], pos[lk[1]])
+			if weight < 1 {
+				weight = 1 // co-located PoPs still cost something
+			}
+		}
+		g.MustAddLink(a, b, weight)
+	}
+	return Topology{Name: name, Graph: g.Freeze()}
+}
+
+// greatCircleKM returns the haversine distance between two cities in km.
+func greatCircleKM(a, b city) float64 {
+	const earthRadiusKM = 6371.0
+	rad := func(deg float64) float64 { return deg * math.Pi / 180 }
+	dLat := rad(b.lat - a.lat)
+	dLon := rad(b.lon - a.lon)
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(rad(a.lat))*math.Cos(rad(b.lat))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKM * math.Asin(math.Sqrt(h))
+}
+
+// ByName returns a built-in topology by name: "paper", "abilene",
+// "geant" or "teleglobe" (distance weights for the ISP topologies).
+func ByName(name string) (Topology, error) {
+	return ByNameWeighted(name, DistanceWeights)
+}
+
+// ByNameWeighted is ByName with an explicit weighting for the ISP
+// topologies (the paper example always keeps its published weights).
+func ByNameWeighted(name string, w Weighting) (Topology, error) {
+	switch name {
+	case "paper", "example", "fig1":
+		return PaperExample(), nil
+	case "abilene":
+		return Abilene(w), nil
+	case "geant":
+		return Geant(w), nil
+	case "teleglobe":
+		return Teleglobe(w), nil
+	}
+	return Topology{}, fmt.Errorf("topo: unknown topology %q (want paper, abilene, geant or teleglobe)", name)
+}
+
+// Names lists the built-in topology names.
+func Names() []string {
+	n := []string{"paper", "abilene", "geant", "teleglobe"}
+	sort.Strings(n)
+	return n
+}

@@ -1,0 +1,221 @@
+package recycle
+
+import (
+	"fmt"
+	"io"
+
+	"recycle/internal/core"
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+// Network is a PR-enabled network: a topology, its offline cellular
+// embedding, the conventional routing tables, and the PR forwarding engine.
+// Networks are immutable after construction and safe for concurrent use.
+type Network struct {
+	g        *Graph
+	sys      *RotationSystem
+	tbl      *route.Table
+	protocol *core.Protocol
+	basic    *core.Protocol
+	name     string
+}
+
+// Option customises NewNetwork.
+type Option func(*options)
+
+type options struct {
+	embedder Embedder
+	disc     Discriminator
+	variant  Variant
+	system   *RotationSystem
+}
+
+// WithEmbedder selects the embedding algorithm (default AutoEmbedder,
+// which is exact for planar topologies). Ignored when the topology ships
+// its own embedding or WithEmbedding is used.
+func WithEmbedder(e Embedder) Option { return func(o *options) { o.embedder = e } }
+
+// WithEmbedding forces a specific rotation system (e.g. one loaded from a
+// file or the paper example's published embedding).
+func WithEmbedding(s *RotationSystem) Option { return func(o *options) { o.system = s } }
+
+// WithDiscriminator selects the DD function (default HopCount).
+func WithDiscriminator(d Discriminator) Option { return func(o *options) { o.disc = d } }
+
+// WithVariant selects the default protocol variant for Route (default
+// Full). RouteBasic always uses the Basic variant regardless.
+func WithVariant(v Variant) Option { return func(o *options) { o.variant = v } }
+
+// NewNetwork builds a PR network over a frozen graph.
+func NewNetwork(g *Graph, opts ...Option) (*Network, error) {
+	return buildNetwork(Topology{Name: "custom", Graph: g}, opts...)
+}
+
+// FromTopology builds a PR network over a built-in topology: "paper",
+// "abilene", "geant" or "teleglobe".
+func FromTopology(name string, opts ...Option) (*Network, error) {
+	tp, err := topo.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return buildNetwork(tp, opts...)
+}
+
+// LoadNetwork parses an edge-list topology (see the graph format in
+// README.md) and builds a PR network over it.
+func LoadNetwork(r io.Reader, opts ...Option) (*Network, error) {
+	g, err := graph.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return buildNetwork(Topology{Name: "loaded", Graph: g}, opts...)
+}
+
+func buildNetwork(tp Topology, opts ...Option) (*Network, error) {
+	o := options{embedder: embedding.Auto{Seed: 1}, disc: HopCount, variant: Full}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	g := tp.Graph
+	if g == nil {
+		return nil, fmt.Errorf("recycle: nil graph")
+	}
+	if !g.Frozen() {
+		g.Freeze()
+	}
+	sys := o.system
+	if sys != nil && sys.Graph() != g {
+		return nil, fmt.Errorf("recycle: WithEmbedding system was built over a different graph instance")
+	}
+	if sys == nil {
+		sys = tp.Embedding
+	}
+	if sys == nil {
+		var err error
+		sys, err = o.embedder.Embed(g)
+		if err != nil {
+			return nil, fmt.Errorf("recycle: embedding failed: %w", err)
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("recycle: invalid embedding: %w", err)
+	}
+	tbl := route.Build(g, o.disc)
+	full, err := core.New(g, sys, tbl, core.Config{Variant: o.variant})
+	if err != nil {
+		return nil, err
+	}
+	basic, err := core.New(g, sys, tbl, core.Config{Variant: Basic})
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g, sys: sys, tbl: tbl, protocol: full, basic: basic, name: tp.Name}, nil
+}
+
+// Name returns the topology name.
+func (n *Network) Name() string { return n.name }
+
+// Graph returns the underlying graph.
+func (n *Network) Graph() *Graph { return n.g }
+
+// Embedding returns the rotation system in use.
+func (n *Network) Embedding() *RotationSystem { return n.sys }
+
+// Genus returns the genus of the embedding's surface (0 = sphere). The §5
+// delivery guarantee holds on genus-0 embeddings; see EXPERIMENTS.md for
+// what arbitrary embeddings cost.
+func (n *Network) Genus() int { return n.sys.Genus() }
+
+// Protocol exposes the underlying PR forwarding engine for advanced use
+// (per-hop decisions, event-driven simulation).
+func (n *Network) Protocol() *core.Protocol { return n.protocol }
+
+// Node resolves a node name, returning an error for unknown names.
+func (n *Network) Node(name string) (NodeID, error) {
+	id := n.g.NodeByName(name)
+	if id == graph.NoNode {
+		return id, fmt.Errorf("recycle: unknown node %q", name)
+	}
+	return id, nil
+}
+
+// MustLinkBetween returns the link joining two named nodes, panicking when
+// absent — intended for examples and tests over known topologies.
+func (n *Network) MustLinkBetween(a, b string) LinkID {
+	na, err := n.Node(a)
+	if err != nil {
+		panic(err)
+	}
+	nb, err := n.Node(b)
+	if err != nil {
+		panic(err)
+	}
+	l := n.g.FindLink(na, nb)
+	if l == graph.NoLink {
+		panic(fmt.Sprintf("recycle: no link %s-%s", a, b))
+	}
+	return l
+}
+
+// Route walks one packet from src to dst under the failure set (nil = no
+// failures) using the network's default variant and returns the full
+// transcript. Node arguments are names.
+func (n *Network) Route(src, dst string, failures *FailureSet) (Result, error) {
+	s, err := n.Node(src)
+	if err != nil {
+		return Result{}, err
+	}
+	d, err := n.Node(dst)
+	if err != nil {
+		return Result{}, err
+	}
+	return n.protocol.Walk(s, d, failures), nil
+}
+
+// RouteIDs is Route for resolved node IDs.
+func (n *Network) RouteIDs(src, dst NodeID, failures *FailureSet) Result {
+	return n.protocol.Walk(src, dst, failures)
+}
+
+// RouteBasic walks a packet under the Basic (§4.2) variant, regardless of
+// the network's configured default.
+func (n *Network) RouteBasic(src, dst NodeID, failures *FailureSet) Result {
+	return n.basic.Walk(src, dst, failures)
+}
+
+// CycleTable renders a node's cycle-following table in the paper's
+// Table 1 format.
+func (n *Network) CycleTable(nodeName string) (string, error) {
+	id, err := n.Node(nodeName)
+	if err != nil {
+		return "", err
+	}
+	return n.protocol.FormatCycleTable(id), nil
+}
+
+// HeaderBits returns the PR header cost for this network: 1 PR bit plus
+// the DD bits needed for its discriminator values.
+func (n *Network) HeaderBits() int { return 1 + n.tbl.DDBits() }
+
+// Describe summarises the network for logs.
+func (n *Network) Describe() string {
+	return fmt.Sprintf("%s: %d nodes, %d links, genus %d, %d header bits",
+		n.name, n.g.NumNodes(), n.g.NumLinks(), n.Genus(), n.HeaderBits())
+}
+
+// SaveEmbedding serialises the network's rotation system in the textual
+// rotation format, the artefact the paper's offline embedding server ships
+// to routers (§4.3).
+func (n *Network) SaveEmbedding(w io.Writer) error {
+	return rotation.Write(w, n.sys)
+}
+
+// LoadEmbedding parses a rotation system in the textual rotation format
+// for the given graph, for use with WithEmbedding.
+func LoadEmbedding(r io.Reader, g *Graph) (*RotationSystem, error) {
+	return rotation.Read(r, g)
+}

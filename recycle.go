@@ -1,0 +1,131 @@
+// Package recycle is a Go implementation of Packet Re-cycling (PR), the
+// fast-reroute technique of Lor, Landa and Rio, "Packet Re-cycling:
+// Eliminating Packet Losses due to Network Failures" (HotNets 2010).
+//
+// PR extends conventional shortest-path routing with a recovery mode built
+// on a cellular embedding of the network graph: every unidirectional link
+// belongs to exactly one oriented cycle of the embedding, and the cycle
+// through the reverse link is a ready-made bypass. One header bit (the PR
+// bit) switches a packet into cycle following; ⌈log2 d⌉ more (the DD bits)
+// carry the distance discriminator that guarantees termination under
+// arbitrary connectivity-preserving failure combinations.
+//
+// # Quick start
+//
+//	net, err := recycle.FromTopology("abilene")
+//	if err != nil { ... }
+//	fails := recycle.NewFailureSet(net.MustLinkBetween("Denver", "KansasCity"))
+//	res := net.Route("Seattle", "NewYork", fails)
+//	fmt.Println(res.Outcome, res.Stretch)
+//
+// The package is a façade over the internal implementation:
+//
+//   - internal/graph      — graph substrate, shortest paths, failures
+//   - internal/rotation   — rotation systems, faces, genus
+//   - internal/embedding  — planar / greedy / annealing embedders
+//   - internal/route      — routing tables and distance discriminators
+//   - internal/core       — the PR protocol itself
+//   - internal/fcp        — Failure-Carrying Packets baseline
+//   - internal/reconv     — reconvergence baseline
+//   - internal/sim        — discrete-event simulator
+//   - internal/eval       — the paper's Figure 2 / §6 experiment harness
+//   - internal/header     — DSCP pool-2 wire encoding
+package recycle
+
+import (
+	"recycle/internal/core"
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+// Graph is a weighted undirected network graph.
+type Graph = graph.Graph
+
+// NodeID identifies a node of a Graph.
+type NodeID = graph.NodeID
+
+// LinkID identifies an undirected link of a Graph.
+type LinkID = graph.LinkID
+
+// FailureSet is a set of failed (bidirectional) links.
+type FailureSet = graph.FailureSet
+
+// NewFailureSet builds a failure set from link IDs.
+func NewFailureSet(links ...LinkID) *FailureSet { return graph.NewFailureSet(links...) }
+
+// NewGraph returns an empty mutable graph with capacity hints.
+func NewGraph(nodes, links int) *Graph { return graph.New(nodes, links) }
+
+// RotationSystem is a cellular embedding of a graph on an orientable
+// surface, expressed as cyclic neighbour orders.
+type RotationSystem = rotation.System
+
+// Embedder computes rotation systems; see AutoEmbedder, PlanarEmbedder,
+// GreedyEmbedder.
+type Embedder = embedding.Embedder
+
+// AutoEmbedder embeds planar graphs exactly (genus 0) and falls back to
+// greedy+annealing heuristics for non-planar graphs.
+type AutoEmbedder = embedding.Auto
+
+// PlanarEmbedder embeds planar graphs on the sphere and fails otherwise.
+type PlanarEmbedder = embedding.Planar
+
+// GreedyEmbedder incrementally inserts links to maximise face count.
+type GreedyEmbedder = embedding.Greedy
+
+// Discriminator selects PR's distance-discriminator function.
+type Discriminator = route.Discriminator
+
+// Discriminator choices (paper §4.3).
+const (
+	// HopCount discriminates by hops along the shortest path (default).
+	HopCount = route.HopCount
+	// WeightSum discriminates by total link weight along the shortest path.
+	WeightSum = route.WeightSum
+)
+
+// Variant selects the PR termination rule.
+type Variant = core.Variant
+
+// Protocol variants (paper §4.2 and §4.3).
+const (
+	// Basic covers any single link failure on 2-edge-connected networks.
+	Basic = core.Basic
+	// Full covers any connectivity-preserving failure combination.
+	Full = core.Full
+)
+
+// Header is PR's per-packet state: the PR bit and DD bits.
+type Header = core.Header
+
+// Result is a completed packet walk with its transcript and stretch.
+type Result = core.Result
+
+// Step is one node's handling of a packet within a Result.
+type Step = core.Step
+
+// Outcome classifies how a walk ended.
+type Outcome = core.Outcome
+
+// Walk outcomes.
+const (
+	// Delivered: the packet reached its destination.
+	Delivered = core.Delivered
+	// Looped: a forwarding loop was detected.
+	Looped = core.Looped
+	// Isolated: a router had every incident link failed.
+	Isolated = core.Isolated
+	// NoRoute: no failure-free route existed to begin with.
+	NoRoute = core.NoRoute
+)
+
+// Topology bundles a named graph with optional embedding metadata.
+type Topology = topo.Topology
+
+// BuiltinTopologies lists the names accepted by FromTopology: the paper's
+// Figure 1 example and the three evaluation ISP backbones.
+func BuiltinTopologies() []string { return topo.Names() }

@@ -1,0 +1,221 @@
+package recycle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFromTopologyQuickstart(t *testing.T) {
+	net, err := FromTopology("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Genus() != 0 {
+		t.Fatalf("genus = %d; want 0 (Abilene is planar)", net.Genus())
+	}
+	if net.HeaderBits() != 4 {
+		t.Fatalf("header bits = %d; want 4", net.HeaderBits())
+	}
+	fails := NewFailureSet(net.MustLinkBetween("Denver", "KansasCity"))
+	res, err := net.Route("Seattle", "NewYork", fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered() {
+		t.Fatalf("outcome = %v; want delivered", res.Outcome)
+	}
+	if res.Stretch < 1 {
+		t.Fatalf("stretch = %v; want ≥ 1", res.Stretch)
+	}
+	if !strings.Contains(net.Describe(), "abilene") {
+		t.Fatalf("Describe = %q", net.Describe())
+	}
+}
+
+func TestFromTopologyUnknown(t *testing.T) {
+	if _, err := FromTopology("arpanet"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestPaperTopologyShipsEmbedding(t *testing.T) {
+	net, err := FromTopology("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := net.CycleTable("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The published Table 1 content must be present.
+	for _, frag := range []string{"IBD", "IED", "IFD"} {
+		if !strings.Contains(table, frag) {
+			t.Fatalf("cycle table missing %q:\n%s", frag, table)
+		}
+	}
+}
+
+func TestNewNetworkCustomGraph(t *testing.T) {
+	g := NewGraph(4, 4)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	d := g.AddNode("d")
+	g.MustAddLink(a, b, 1)
+	g.MustAddLink(b, c, 1)
+	g.MustAddLink(c, d, 1)
+	g.MustAddLink(d, a, 1)
+
+	net, err := NewNetwork(g, WithDiscriminator(WeightSum), WithVariant(Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := net.RouteIDs(a, c, NewFailureSet(0))
+	if !res.Delivered() {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	// Ring detour: a→d→c costs 2; direct SP a→b→c also 2 → stretch 1.
+	if res.Stretch != 1 {
+		t.Fatalf("stretch = %v; want 1 on the symmetric ring", res.Stretch)
+	}
+}
+
+func TestLoadNetwork(t *testing.T) {
+	src := `# tiny
+link a b 1
+link b c 1
+link c a 1
+`
+	net, err := LoadNetwork(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Route("a", "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered() || res.Cost != 1 {
+		t.Fatalf("route a→c = %+v", res)
+	}
+	if _, err := net.Route("a", "zzz", nil); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := LoadNetwork(strings.NewReader("junk\n")); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+}
+
+func TestRouteBasicVariant(t *testing.T) {
+	net, err := FromTopology("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := net.Node("A")
+	f, _ := net.Node("F")
+	fails := NewFailureSet(
+		net.MustLinkBetween("D", "E"),
+		net.MustLinkBetween("B", "C"),
+	)
+	// Figure 1(c): Full delivers, Basic loops.
+	if res := net.RouteIDs(a, f, fails); !res.Delivered() {
+		t.Fatalf("full variant outcome = %v", res.Outcome)
+	}
+	if res := net.RouteBasic(a, f, fails); res.Outcome != Looped {
+		t.Fatalf("basic variant outcome = %v; want looped", res.Outcome)
+	}
+}
+
+func TestWithEmbedding(t *testing.T) {
+	g := NewGraph(3, 3)
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustAddLink(a, b, 1)
+	g.MustAddLink(b, c, 1)
+	g.MustAddLink(c, a, 1)
+	net, err := NewNetwork(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild over the same graph, forcing the computed embedding.
+	net2, err := NewNetwork(g, WithEmbedding(net.Embedding()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.Genus() != 0 {
+		t.Fatal("embedding not honoured")
+	}
+	// A system over a different graph instance must be rejected.
+	other, err := FromTopology("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNetwork(g, WithEmbedding(other.Embedding())); err == nil {
+		t.Fatal("foreign embedding accepted")
+	}
+}
+
+func TestBuiltinTopologies(t *testing.T) {
+	names := BuiltinTopologies()
+	if len(names) != 4 {
+		t.Fatalf("topologies = %v; want 4", names)
+	}
+	for _, n := range names {
+		if _, err := FromTopology(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestRunFigureSmall(t *testing.T) {
+	exp, err := RunFigure("2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Scenarios != 14 {
+		t.Fatalf("scenarios = %d; want 14", exp.Scenarios)
+	}
+	pr := exp.SeriesFor(PR)
+	if pr == nil || pr.DeliveryRate() != 1 {
+		t.Fatal("PR series missing or lossy")
+	}
+	if _, err := RunFigure("9z"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestWriteFigureAndOverheads(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, "2a"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Packet Re-cycling") {
+		t.Fatal("figure output incomplete")
+	}
+	buf.Reset()
+	if err := WriteOverheads(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "teleglobe") {
+		t.Fatal("overhead output incomplete")
+	}
+}
+
+func TestFailureHelpers(t *testing.T) {
+	net, err := FromTopology("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := SingleFailures(net.Graph())
+	if len(singles) != 14 {
+		t.Fatalf("single failures = %d; want 14", len(singles))
+	}
+	multi, err := SampleFailures(net.Graph(), 3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != 10 {
+		t.Fatalf("sampled = %d; want 10", len(multi))
+	}
+}
