@@ -18,6 +18,7 @@ import (
 
 	"recycle"
 	"recycle/internal/core"
+	"recycle/internal/dataplane"
 	"recycle/internal/embedding"
 	"recycle/internal/eval"
 	"recycle/internal/fcp"
@@ -151,9 +152,42 @@ func BenchmarkForwardDecision(b *testing.B) {
 	ingress := rotation.DartID(4)
 	dst := graph.NodeID(g.NumNodes() - 1)
 	node := g.Link(rotation.LinkOf(ingress)).B
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = p.Decide(node, dst, ingress, hdr, fails)
+	}
+}
+
+// BenchmarkCompiledForwardDecision is BenchmarkForwardDecision on the
+// compiled dataplane FIB: the same decision, same topology, same failure,
+// reduced to a handful of array indexings. Compare the two to see the
+// speedup the FIB compiler buys; the dataplane's own benchmarks
+// (internal/dataplane) add wire-path and sharded-engine numbers.
+func BenchmarkCompiledForwardDecision(b *testing.B) {
+	tp := topo.Geant(topo.DistanceWeights)
+	g := tp.Graph
+	sys, err := (embedding.Auto{Seed: 1}).Embed(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.New(g, sys, route.Build(g, route.HopCount), core.Config{Variant: core.Full})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fib, err := dataplane.Compile(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(0))
+	hdr := core.Header{PR: true, DD: 3}
+	ingress := rotation.DartID(4)
+	dst := graph.NodeID(g.NumNodes() - 1)
+	node := g.Link(rotation.LinkOf(ingress)).B
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fib.Decide(node, dst, ingress, hdr, st)
 	}
 }
 

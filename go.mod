@@ -1,0 +1,3 @@
+module recycle
+
+go 1.22

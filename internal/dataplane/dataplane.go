@@ -1,0 +1,97 @@
+// Package dataplane is the compiled forwarding fast path of the Packet
+// Re-cycling reproduction.
+//
+// The paper's central performance claim (§4, §6) is that PR needs zero
+// recomputation at failure time: every table is built offline and the
+// per-hop decision is a constant number of table lookups. core.Protocol
+// reproduces those semantics faithfully but pays interface dispatch, map
+// lookups and per-packet map allocations on every hop — fine for
+// experiments, far from "as fast as the hardware allows". This package
+// closes that gap in three layers:
+//
+//   - FIB (fib.go): an offline compiler that flattens a core.Protocol —
+//     its route.Table, rotation.System and variant — into dense flat
+//     arrays: per-(node,destination) next-hop darts, per-dart
+//     cycle-successor (φ) and complementary (σ) darts, and per-pair
+//     distance discriminators (exact, plus a quantised wire form). A
+//     forwarding decision is then a handful of array indexings with zero
+//     allocations, bit-identical to core.Protocol.Decide.
+//
+//   - Wire path (wire.go): forwards real IPv4 packet bytes. The PR mark
+//     is decoded from the DSCP pool-2 field (package header), the FIB
+//     decides, the mark is re-encoded in place, and the header checksum
+//     is fixed incrementally (RFC 1624) instead of being recomputed.
+//
+//   - Engine (engine.go): a sharded forwarding engine — N worker
+//     goroutines draining per-shard batch rings, all reading an
+//     atomically swapped interface-state snapshot (RCU style), so local
+//     failure detection never takes a lock on the hot path.
+//
+// Interface state is a LinkState bitset rather than core's map-backed
+// graph.FailureSet: membership tests become single AND instructions and
+// snapshots are cheap to copy-on-write.
+package dataplane
+
+import (
+	"math/bits"
+
+	"recycle/internal/graph"
+)
+
+// LinkState is a bitset of failed links, the dataplane's compiled form of
+// graph.FailureSet: Down is one shift-and-mask, and the whole state is
+// small enough to copy-on-write for RCU snapshots. The zero value is not
+// usable; create with NewLinkState or FromFailureSet.
+type LinkState struct {
+	bits     []uint64
+	numLinks int
+}
+
+// NewLinkState returns an all-up state for a graph with numLinks links.
+func NewLinkState(numLinks int) *LinkState {
+	return &LinkState{bits: make([]uint64, (numLinks+63)/64), numLinks: numLinks}
+}
+
+// FromFailureSet compiles a graph.FailureSet (nil allowed) into a bitset.
+func FromFailureSet(numLinks int, f *graph.FailureSet) *LinkState {
+	s := NewLinkState(numLinks)
+	if f != nil {
+		for _, l := range f.Links() {
+			s.Set(l, true)
+		}
+	}
+	return s
+}
+
+// Down reports whether link l is failed.
+func (s *LinkState) Down(l graph.LinkID) bool {
+	return s.bits[uint(l)>>6]&(1<<(uint(l)&63)) != 0
+}
+
+// Set marks link l down or up.
+func (s *LinkState) Set(l graph.LinkID, down bool) {
+	if down {
+		s.bits[uint(l)>>6] |= 1 << (uint(l) & 63)
+	} else {
+		s.bits[uint(l)>>6] &^= 1 << (uint(l) & 63)
+	}
+}
+
+// NumLinks returns the link-space size the state was built for.
+func (s *LinkState) NumLinks() int { return s.numLinks }
+
+// CountDown returns the number of failed links.
+func (s *LinkState) CountDown() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy, the unit of RCU copy-on-write.
+func (s *LinkState) Clone() *LinkState {
+	c := &LinkState{bits: make([]uint64, len(s.bits)), numLinks: s.numLinks}
+	copy(c.bits, s.bits)
+	return c
+}

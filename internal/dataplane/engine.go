@@ -1,0 +1,287 @@
+package dataplane
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"recycle/internal/core"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+// Packet is the engine's unit of work: one forwarding decision to make.
+// Submit fills the first four fields; the worker fills the rest.
+type Packet struct {
+	// Node is the router making the decision.
+	Node graph.NodeID
+	// Dst is the packet's destination node.
+	Dst graph.NodeID
+	// Ingress is the dart the packet arrived on (rotation.NoDart at the
+	// origin).
+	Ingress rotation.DartID
+	// Hdr is the PR header before the decision; the worker overwrites it
+	// with the post-decision header.
+	Hdr core.Header
+
+	// Egress is the chosen egress dart (rotation.NoDart when !OK).
+	Egress rotation.DartID
+	// Event classifies the decision.
+	Event core.Event
+	// OK is false when the router had no usable egress.
+	OK bool
+}
+
+// Batch is a slice of packets handed to the engine together. Batching
+// amortises ring hand-off and snapshot loads over many decisions.
+type Batch struct {
+	Pkts []Packet
+}
+
+// EngineConfig parameterises NewEngine.
+type EngineConfig struct {
+	// Shards is the worker count (default: GOMAXPROCS, capped at 8).
+	Shards int
+	// RingDepth is the per-shard ring capacity in batches, rounded up to
+	// a power of two (default 256).
+	RingDepth int
+	// OnDone, when non-nil, receives each batch after its packets have
+	// been decided, on the deciding worker's goroutine. The engine keeps
+	// no reference afterwards, so OnDone may recycle the batch.
+	OnDone func(*Batch)
+}
+
+// Engine is the sharded forwarding engine: per-shard batch rings drained
+// by worker goroutines that decide on the compiled FIB. Interface state
+// lives in an atomically swapped immutable snapshot (RCU style): SetLink
+// copies, flips one bit and publishes, so workers never take a lock or
+// see a torn state, and a snapshot is loaded once per batch rather than
+// per packet.
+type Engine struct {
+	fib    *FIB
+	cfg    EngineConfig
+	state  atomic.Pointer[LinkState]
+	mu     sync.Mutex // serialises SetLink writers
+	shards []*shard
+	next   atomic.Uint64 // round-robin submit cursor
+	closed atomic.Bool
+	stop   chan struct{} // closed by Close to wake parked workers
+	wg     sync.WaitGroup
+}
+
+// shard pairs one ring with one worker. Counters are padded apart so
+// per-shard updates do not false-share cache lines.
+type shard struct {
+	ring    ring
+	notify  chan struct{} // wakes a parked worker after a push
+	decided atomic.Uint64
+	_       [56]byte
+}
+
+// ring is a bounded queue of batches: multi-producer (Submit serialises
+// with a short per-shard lock at batch granularity), single consumer (the
+// shard's worker pops lock-free).
+type ring struct {
+	buf  []*Batch
+	mask uint64
+	mu   sync.Mutex
+	head atomic.Uint64 // consumer position
+	tail atomic.Uint64 // producer position
+}
+
+// push refuses once closed is set; checking under the ring lock, paired
+// with Close's lock-then-sweep of each ring, guarantees no accepted batch
+// is ever stranded by the Submit/Close race.
+func (r *ring) push(b *Batch, closed *atomic.Bool) bool {
+	r.mu.Lock()
+	if closed.Load() {
+		r.mu.Unlock()
+		return false
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[t&r.mask] = b
+	r.tail.Store(t + 1)
+	r.mu.Unlock()
+	return true
+}
+
+func (r *ring) pop() *Batch {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil
+	}
+	b := r.buf[h&r.mask]
+	r.buf[h&r.mask] = nil
+	r.head.Store(h + 1)
+	return b
+}
+
+// NewEngine starts the workers and returns a running engine with all
+// links up. Callers must Close it to stop the workers.
+func NewEngine(fib *FIB, cfg EngineConfig) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Shards > 8 {
+			cfg.Shards = 8
+		}
+	}
+	if cfg.RingDepth <= 0 {
+		cfg.RingDepth = 256
+	}
+	depth := 1
+	for depth < cfg.RingDepth {
+		depth <<= 1
+	}
+	e := &Engine{fib: fib, cfg: cfg, shards: make([]*shard, cfg.Shards), stop: make(chan struct{})}
+	e.state.Store(NewLinkState(fib.NumLinks()))
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			ring:   ring{buf: make([]*Batch, depth), mask: uint64(depth - 1)},
+			notify: make(chan struct{}, 1),
+		}
+		e.wg.Add(1)
+		go e.worker(e.shards[i])
+	}
+	return e
+}
+
+// Shards returns the worker count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Snapshot returns the current interface-state snapshot. Callers must
+// treat it as immutable.
+func (e *Engine) Snapshot() *LinkState { return e.state.Load() }
+
+// SetLink publishes a local failure detection (or repair): copy-on-write
+// the current snapshot and swap it in. Concurrent writers serialise on a
+// mutex; readers are never blocked.
+func (e *Engine) SetLink(l graph.LinkID, down bool) {
+	e.mu.Lock()
+	next := e.state.Load().Clone()
+	next.Set(l, down)
+	e.state.Store(next)
+	e.mu.Unlock()
+}
+
+// Submit hands a batch to a shard (round-robin, falling over to the next
+// shard when one ring is full). It returns false when every ring is full
+// or the engine is closed — backpressure the caller must handle. After a
+// successful Submit the engine owns the batch until OnDone returns it.
+func (e *Engine) Submit(b *Batch) bool {
+	if e.closed.Load() {
+		return false
+	}
+	start := e.next.Add(1) - 1
+	for i := 0; i < len(e.shards); i++ {
+		sh := e.shards[(start+uint64(i))%uint64(len(e.shards))]
+		if sh.ring.push(b, &e.closed) {
+			wake(sh)
+			return true
+		}
+	}
+	return false
+}
+
+// SubmitTo hands a batch to a specific shard, for callers that partition
+// traffic themselves (e.g. by ingress port).
+func (e *Engine) SubmitTo(shard int, b *Batch) bool {
+	sh := e.shards[shard]
+	if !sh.ring.push(b, &e.closed) {
+		return false
+	}
+	wake(sh)
+	return true
+}
+
+// wake nudges a parked worker; the buffered token makes it lossless
+// without ever blocking the producer.
+func wake(sh *shard) {
+	select {
+	case sh.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops accepting batches, waits for the workers to drain and
+// exit, then returns the total number of decisions made. A batch whose
+// Submit raced with Close and won (push saw closed unset) is decided
+// here: taking each ring's lock after the workers exit fences out every
+// in-flight push, so the final sweep observes anything they accepted.
+func (e *Engine) Close() uint64 {
+	if !e.closed.CompareAndSwap(false, true) {
+		return e.Decided() // already closed
+	}
+	close(e.stop)
+	e.wg.Wait()
+	for _, sh := range e.shards {
+		sh.ring.mu.Lock()
+		var leftovers []*Batch
+		for b := sh.ring.pop(); b != nil; b = sh.ring.pop() {
+			leftovers = append(leftovers, b)
+		}
+		sh.ring.mu.Unlock()
+		for _, b := range leftovers {
+			e.fib.DecideBatch(b.Pkts, e.state.Load())
+			sh.decided.Add(uint64(len(b.Pkts)))
+			if e.cfg.OnDone != nil {
+				e.cfg.OnDone(b)
+			}
+		}
+	}
+	return e.Decided()
+}
+
+// Decided returns the total decisions made so far across all shards.
+func (e *Engine) Decided() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.decided.Load()
+	}
+	return n
+}
+
+func (e *Engine) worker(sh *shard) {
+	defer e.wg.Done()
+	fib := e.fib
+	idle := 0
+	for {
+		b := sh.ring.pop()
+		if b == nil {
+			if e.closed.Load() {
+				// Re-check after observing closed: a batch may have been
+				// pushed between the failed pop and the flag read. (Close
+				// sweeps the ring afterwards, so even a push that lands
+				// after this is decided, not stranded.)
+				if b = sh.ring.pop(); b == nil {
+					return
+				}
+			} else if idle < 64 {
+				// Brief spin keeps latency low across momentary gaps.
+				idle++
+				runtime.Gosched()
+				continue
+			} else {
+				// Park until the next push (or Close) instead of burning
+				// a core on an idle engine.
+				select {
+				case <-sh.notify:
+				case <-e.stop:
+				}
+				idle = 0
+				continue
+			}
+		}
+		idle = 0
+		// One snapshot load covers the whole batch: decisions within a
+		// batch see a single consistent interface state.
+		fib.DecideBatch(b.Pkts, e.state.Load())
+		sh.decided.Add(uint64(len(b.Pkts)))
+		if e.cfg.OnDone != nil {
+			e.cfg.OnDone(b)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package dataplane
+
+import (
+	"fmt"
+	"math"
+
+	"recycle/internal/core"
+	"recycle/internal/graph"
+	"recycle/internal/header"
+	"recycle/internal/rotation"
+)
+
+// ddUnencodable marks a quantised discriminator that does not fit the
+// DSCP pool-2 DD field (non-integral or larger than header.MaxDD). The
+// wire path drops rather than truncates, mirroring header.EncodeDSCP.
+const ddUnencodable = 0xFF
+
+// FIB is the compiled forwarding state of one PR network: every lookup
+// core.Protocol performs through route.Table and rotation.System methods
+// flattened into dense arrays indexed by node, destination and dart. A
+// decision is a handful of array indexings and allocates nothing; Decide
+// is bit-identical to core.Protocol.Decide (see the differential test).
+//
+// A FIB is immutable after Compile and safe for concurrent use by any
+// number of forwarding goroutines.
+type FIB struct {
+	variant  core.Variant
+	numNodes int
+	numLinks int
+
+	// nextDart[node*numNodes+dst] is the shortest-path egress dart from
+	// node toward dst, -1 at the destination or when unreachable.
+	nextDart []int32
+	// dd[node*numNodes+dst] is the exact distance discriminator
+	// (route.Table.DD), +Inf for unreachable pairs. Kept exact so
+	// decisions match core bit for bit; the wire path uses ddQ.
+	dd []float64
+	// ddQ is dd quantised to the DSCP pool-2 field width, ddUnencodable
+	// when it does not fit.
+	ddQ []uint8
+	// faceNext[d] is φ(d), the cycle-following successor of dart d.
+	faceNext []int32
+	// sigma[d] is σ(d), the complementary-cycle egress for a failed dart.
+	sigma []int32
+	// head[d] is the node dart d points at.
+	head []int32
+}
+
+// Compile flattens a core.Protocol into a FIB. It is the offline step the
+// paper assigns to the designated server (§4.3): run once per topology
+// change, never at failure time.
+func Compile(p *core.Protocol) (*FIB, error) {
+	if p == nil {
+		return nil, fmt.Errorf("dataplane: nil protocol")
+	}
+	g := p.Graph()
+	sys := p.System()
+	tbl := p.Routes()
+	n := g.NumNodes()
+	m := g.NumLinks()
+	f := &FIB{
+		variant:  p.Variant(),
+		numNodes: n,
+		numLinks: m,
+		nextDart: make([]int32, n*n),
+		dd:       make([]float64, n*n),
+		ddQ:      make([]uint8, n*n),
+		faceNext: make([]int32, 2*m),
+		sigma:    make([]int32, 2*m),
+		head:     make([]int32, 2*m),
+	}
+	for node := 0; node < n; node++ {
+		for dst := 0; dst < n; dst++ {
+			idx := node*n + dst
+			link := tbl.NextLink(graph.NodeID(node), graph.NodeID(dst))
+			if link == graph.NoLink {
+				f.nextDart[idx] = -1
+			} else {
+				f.nextDart[idx] = int32(sys.OutgoingDart(graph.NodeID(node), link))
+			}
+			if !tbl.Reachable(graph.NodeID(node), graph.NodeID(dst)) {
+				f.dd[idx] = math.Inf(1)
+				f.ddQ[idx] = ddUnencodable
+				continue
+			}
+			dd := tbl.DD(graph.NodeID(node), graph.NodeID(dst))
+			f.dd[idx] = dd
+			if dd >= 0 && dd <= header.MaxDD && dd == math.Trunc(dd) {
+				f.ddQ[idx] = uint8(dd)
+			} else {
+				f.ddQ[idx] = ddUnencodable
+			}
+		}
+	}
+	for d := 0; d < 2*m; d++ {
+		id := rotation.DartID(d)
+		f.faceNext[d] = int32(sys.FaceNext(id))
+		f.sigma[d] = int32(sys.Complementary(id))
+		f.head[d] = int32(sys.Dart(id).Head)
+	}
+	return f, nil
+}
+
+// Variant returns the compiled termination variant.
+func (f *FIB) Variant() core.Variant { return f.variant }
+
+// NumNodes returns the node count the FIB was compiled for.
+func (f *FIB) NumNodes() int { return f.numNodes }
+
+// NumLinks returns the link count the FIB was compiled for.
+func (f *FIB) NumLinks() int { return f.numLinks }
+
+// Head returns the node dart d points at.
+func (f *FIB) Head(d rotation.DartID) graph.NodeID { return graph.NodeID(f.head[d]) }
+
+// WireDD returns the quantised discriminator the wire path stamps for
+// (node, dst), or ok=false when it does not fit the DSCP pool-2 field.
+func (f *FIB) WireDD(node, dst graph.NodeID) (uint8, bool) {
+	q := f.ddQ[int(node)*f.numNodes+int(dst)]
+	return q, q != ddUnencodable
+}
+
+// Decide performs one forwarding decision on the compiled tables:
+// bit-identical to core.Protocol.Decide with the same arguments (st
+// standing in for the failure set), with zero allocations.
+func (f *FIB) Decide(node, dst graph.NodeID, ingress rotation.DartID, hdr core.Header, st *LinkState) core.Decision {
+	if hdr.PR {
+		if ingress < 0 {
+			// A PR-marked packet with no ingress interface is a protocol
+			// impossibility (re-cycling starts at a failure, never at the
+			// origin). core treats it as a caller bug and panics; the
+			// dataplane faces untrusted wire bytes, so it refuses the
+			// packet instead of crashing the engine.
+			return core.Decision{Egress: rotation.NoDart, Header: hdr}
+		}
+		// Cycle following: egress is φ(ingress).
+		eg := f.faceNext[ingress]
+		if !st.Down(graph.LinkID(eg >> 1)) {
+			return core.Decision{Egress: rotation.DartID(eg), Event: core.EventCycle, Header: hdr, OK: true}
+		}
+		// Failure while cycle following: termination test.
+		if f.variant == core.Basic || f.dd[int(node)*f.numNodes+int(dst)] < hdr.DD {
+			hdr.PR = false
+			d := f.decideSP(node, dst, hdr, st, true)
+			if !d.OK {
+				return core.Decision{Egress: rotation.NoDart, Header: hdr}
+			}
+			return d
+		}
+		if cand, ok := f.firstUp(eg, st); ok {
+			return core.Decision{Egress: rotation.DartID(cand), Event: core.EventContinue, Header: hdr, OK: true}
+		}
+		return core.Decision{Egress: rotation.NoDart, Header: hdr}
+	}
+	return f.decideSP(node, dst, hdr, st, false)
+}
+
+// decideSP is the shortest-path half of the forwarding rule, shared by the
+// fresh and resumed (PR bit just cleared) entry points.
+func (f *FIB) decideSP(node, dst graph.NodeID, hdr core.Header, st *LinkState, resumed bool) core.Decision {
+	idx := int(node)*f.numNodes + int(dst)
+	nd := f.nextDart[idx]
+	if nd < 0 {
+		return core.Decision{Egress: rotation.NoDart, Header: hdr}
+	}
+	if !st.Down(graph.LinkID(nd >> 1)) {
+		ev := core.EventRoute
+		if resumed {
+			ev = core.EventResume
+		}
+		return core.Decision{Egress: rotation.DartID(nd), Event: ev, Header: hdr, OK: true}
+	}
+	// Failure detected on the shortest-path egress: set the PR bit, stamp
+	// the discriminator, take the complementary cycle.
+	hdr.PR = true
+	if f.variant == core.Full {
+		hdr.DD = f.dd[idx]
+	}
+	if eg, ok := f.firstUp(nd, st); ok {
+		return core.Decision{Egress: rotation.DartID(eg), Event: core.EventDetect, Header: hdr, OK: true}
+	}
+	return core.Decision{Egress: rotation.NoDart, Header: hdr}
+}
+
+// DecideBatch decides a whole batch in one call, writing each packet's
+// Egress, Event, Hdr and OK in place. This is the engine's inner loop:
+// the two overwhelmingly common cases — shortest-path forwarding on an up
+// link, cycle following on an up link — are decided inline so the per-
+// packet cost is a couple of dependent loads, and consecutive packets
+// pipeline through the CPU; only failure-touching packets take the full
+// Decide path.
+func (f *FIB) DecideBatch(pkts []Packet, st *LinkState) {
+	for i := range pkts {
+		p := &pkts[i]
+		if p.Hdr.PR {
+			if p.Ingress >= 0 {
+				eg := f.faceNext[p.Ingress]
+				if !st.Down(graph.LinkID(eg >> 1)) {
+					p.Egress, p.Event, p.OK = rotation.DartID(eg), core.EventCycle, true
+					continue
+				}
+			}
+		} else {
+			nd := f.nextDart[int(p.Node)*f.numNodes+int(p.Dst)]
+			if nd >= 0 && !st.Down(graph.LinkID(nd>>1)) {
+				p.Egress, p.Event, p.OK = rotation.DartID(nd), core.EventRoute, true
+				continue
+			}
+		}
+		d := f.Decide(p.Node, p.Dst, p.Ingress, p.Hdr, st)
+		p.Egress, p.Event, p.Hdr, p.OK = d.Egress, d.Event, d.Header, d.OK
+	}
+}
+
+// firstUp walks σ(d), σ²(d), ... of a failed egress dart until an up link
+// is found; ok is false when the rotation wraps with everything failed.
+func (f *FIB) firstUp(failed int32, st *LinkState) (int32, bool) {
+	for cand := f.sigma[failed]; cand != failed; cand = f.sigma[cand] {
+		if !st.Down(graph.LinkID(cand >> 1)) {
+			return cand, true
+		}
+	}
+	return -1, false
+}

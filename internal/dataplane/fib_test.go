@@ -1,0 +1,276 @@
+package dataplane_test
+
+import (
+	"fmt"
+	"testing"
+
+	"recycle/internal/core"
+	"recycle/internal/dataplane"
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+// buildProtocol assembles a core.Protocol over g with the given rotation
+// system, discriminator and variant.
+func buildProtocol(t testing.TB, g *graph.Graph, sys *rotation.System, disc route.Discriminator, v core.Variant) *core.Protocol {
+	t.Helper()
+	p, err := core.New(g, sys, route.Build(g, disc), core.Config{Variant: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// ddProbes returns the header DD values worth testing toward dst: every
+// discriminator value any node holds (the only values real operation can
+// stamp), plus off-by-half probes to hit both sides of the strict
+// comparison, plus zero.
+func ddProbes(tbl *route.Table, g *graph.Graph, dst graph.NodeID) []float64 {
+	seen := map[float64]bool{0: true}
+	out := []float64{0}
+	for n := 0; n < g.NumNodes(); n++ {
+		if !tbl.Reachable(graph.NodeID(n), dst) {
+			continue
+		}
+		dd := tbl.DD(graph.NodeID(n), dst)
+		for _, v := range []float64{dd, dd + 0.5} {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// diffProtocol exhaustively compares FIB.Decide against
+// core.Protocol.Decide over every node, destination, ingress dart and
+// plausible header, under each failure set. Decisions must be
+// bit-identical: same egress dart, same event, same output header.
+func diffProtocol(t *testing.T, p *core.Protocol, failsets []*graph.FailureSet) {
+	t.Helper()
+	fib, err := dataplane.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	sys := p.System()
+	tbl := p.Routes()
+	checked := 0
+	for fi, fs := range failsets {
+		st := dataplane.FromFailureSet(g.NumLinks(), fs)
+		for node := 0; node < g.NumNodes(); node++ {
+			for dst := 0; dst < g.NumNodes(); dst++ {
+				nid, did := graph.NodeID(node), graph.NodeID(dst)
+				// PR-clear decisions; ingress is irrelevant to the rule.
+				want := p.Decide(nid, did, rotation.NoDart, core.Header{}, fs)
+				got := fib.Decide(nid, did, rotation.NoDart, core.Header{}, st)
+				if got != want {
+					t.Fatalf("failset %d %v: Decide(%d→%d, clear) = %+v, core says %+v", fi, fs, node, dst, got, want)
+				}
+				checked++
+				if !tbl.Reachable(nid, did) {
+					continue // core's DD panics on unreachable pairs
+				}
+				// PR-set decisions from every ingress interface.
+				for _, nb := range g.Neighbors(nid) {
+					in := rotation.ReverseID(sys.OutgoingDart(nid, nb.Link))
+					for _, dd := range ddProbes(tbl, g, did) {
+						hdr := core.Header{PR: true, DD: dd}
+						want := p.Decide(nid, did, in, hdr, fs)
+						got := fib.Decide(nid, did, in, hdr, st)
+						if got != want {
+							t.Fatalf("failset %d %v: Decide(%d→%d, in=%d, dd=%v) = %+v, core says %+v",
+								fi, fs, node, dst, in, dd, got, want)
+						}
+						checked++
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("differential sweep compared nothing")
+	}
+}
+
+// multiFailsets collects every connectivity-preserving single failure plus
+// sampled multi-failure scenarios.
+func multiFailsets(t testing.TB, g *graph.Graph, ks []int, perK int, seed int64) []*graph.FailureSet {
+	t.Helper()
+	out := graph.SingleFailureScenarios(g)
+	for _, k := range ks {
+		if k >= g.NumLinks() {
+			continue
+		}
+		fss, err := graph.SampleFailureScenarios(g, k, perK, seed+int64(k))
+		if err != nil {
+			continue // graph too fragile for k failures; singles still cover it
+		}
+		out = append(out, fss...)
+	}
+	// The empty set exercises the pure fast path.
+	out = append(out, graph.NewFailureSet())
+	return out
+}
+
+// TestCompiledMatchesBuiltins proves FIB ≡ core.Protocol.Decide on all
+// built-in topologies, both variants, both discriminators, under single
+// and multi-failure scenarios.
+func TestCompiledMatchesBuiltins(t *testing.T) {
+	for _, name := range topo.Names() {
+		tp, err := topo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := tp.Embedding
+		if sys == nil {
+			sys, err = (embedding.Auto{Seed: 1}).Embed(tp.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		failsets := multiFailsets(t, tp.Graph, []int{2, 4}, 4, 11)
+		for _, v := range []core.Variant{core.Basic, core.Full} {
+			for _, disc := range []route.Discriminator{route.HopCount, route.WeightSum} {
+				t.Run(fmt.Sprintf("%s/%s/%s", name, v, disc), func(t *testing.T) {
+					diffProtocol(t, buildProtocol(t, tp.Graph, sys, disc, v), failsets)
+				})
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesRandomGraphs proves the equivalence on ≥ 50 random
+// 2-edge-connected topologies under random rotation systems — PR must be
+// correct (and the compiler faithful) under *any* embedding.
+func TestCompiledMatchesRandomGraphs(t *testing.T) {
+	const graphs = 60
+	for seed := int64(1); seed <= graphs; seed++ {
+		n := 6 + int(seed%9)     // 6..14 nodes
+		m := n + 2 + int(seed)%n // sparse to moderately meshed
+		g := graph.RandomTwoConnected(n, m, seed)
+		sys := rotation.Random(g, seed*7)
+		failsets := multiFailsets(t, g, []int{2, 3}, 3, seed)
+		v := core.Full
+		disc := route.HopCount
+		if seed%2 == 0 {
+			v = core.Basic
+		}
+		if seed%3 == 0 {
+			disc = route.WeightSum
+		}
+		t.Run(fmt.Sprintf("seed%d-n%d-m%d-%s-%s", seed, n, m, v, disc), func(t *testing.T) {
+			diffProtocol(t, buildProtocol(t, g, sys, disc, v), failsets)
+		})
+	}
+}
+
+// FuzzCompiledDecide cross-checks single decisions against core on fuzzed
+// (graph, failure set, packet state) coordinates.
+func FuzzCompiledDecide(f *testing.F) {
+	f.Add(int64(3), uint8(1), uint8(2), uint8(4), uint8(0), false, float64(2))
+	f.Add(int64(9), uint8(0), uint8(7), uint8(1), uint8(3), true, float64(3.5))
+	f.Fuzz(func(t *testing.T, seed int64, nodeSel, dstSel, inSel, failSel uint8, pr bool, dd float64) {
+		if seed < 0 {
+			seed = -seed
+		}
+		n := 6 + int(seed%8)
+		g := graph.RandomTwoConnected(n, n+3+int(seed%5), seed%64+1)
+		sys := rotation.Random(g, seed%64+2)
+		tbl := route.Build(g, route.HopCount)
+		p, err := core.New(g, sys, tbl, core.Config{Variant: core.Variant(seed % 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fib, err := dataplane.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := graph.NodeID(int(nodeSel) % g.NumNodes())
+		dst := graph.NodeID(int(dstSel) % g.NumNodes())
+		fs := graph.NewFailureSet(graph.LinkID(int(failSel) % g.NumLinks()))
+		if !graph.ConnectedUnder(g, fs) {
+			fs = graph.NewFailureSet()
+		}
+		st := dataplane.FromFailureSet(g.NumLinks(), fs)
+		ingress := rotation.NoDart
+		if pr {
+			if dd != dd || dd < 0 || dd > 1e6 {
+				dd = 1 // clamp NaN/absurd discriminators the wire could never carry
+			}
+			nbrs := g.Neighbors(node)
+			nb := nbrs[int(inSel)%len(nbrs)]
+			ingress = rotation.ReverseID(sys.OutgoingDart(node, nb.Link))
+		}
+		hdr := core.Header{PR: pr, DD: dd}
+		want := p.Decide(node, dst, ingress, hdr, fs)
+		got := fib.Decide(node, dst, ingress, hdr, st)
+		if got != want {
+			t.Fatalf("Decide(%d→%d, in=%d, hdr=%+v, fails=%v) = %+v, core says %+v",
+				node, dst, ingress, hdr, fs, got, want)
+		}
+	})
+}
+
+// TestDecideRefusesMarkedPacketWithoutIngress: core.Protocol panics on
+// this caller-bug state, but the dataplane faces untrusted inputs and
+// must refuse instead of crashing — through Decide and DecideBatch both.
+func TestDecideRefusesMarkedPacketWithoutIngress(t *testing.T) {
+	tp := topo.Abilene(topo.DistanceWeights)
+	sys, err := (embedding.Auto{Seed: 1}).Embed(tp.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, err := dataplane.Compile(buildProtocol(t, tp.Graph, sys, route.HopCount, core.Full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataplane.FromFailureSet(tp.Graph.NumLinks(), nil)
+	hdr := core.Header{PR: true, DD: 2}
+	if d := fib.Decide(0, 5, rotation.NoDart, hdr, st); d.OK {
+		t.Fatalf("Decide accepted a PR-marked packet with no ingress: %+v", d)
+	}
+	pkts := []dataplane.Packet{{Node: 0, Dst: 5, Ingress: rotation.NoDart, Hdr: hdr}}
+	fib.DecideBatch(pkts, st)
+	if pkts[0].OK {
+		t.Fatalf("DecideBatch accepted a PR-marked packet with no ingress: %+v", pkts[0])
+	}
+}
+
+var decisionSink core.Decision
+
+// TestDecideZeroAllocs pins the hot-path property the subsystem exists
+// for: a compiled forwarding decision allocates nothing.
+func TestDecideZeroAllocs(t *testing.T) {
+	tp := topo.Geant(topo.DistanceWeights)
+	sys, err := (embedding.Auto{Seed: 1}).Embed(tp.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildProtocol(t, tp.Graph, sys, route.HopCount, core.Full)
+	fib, err := dataplane.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := dataplane.FromFailureSet(tp.Graph.NumLinks(), graph.NewFailureSet(0))
+	ingress := rotation.DartID(4)
+	node := tp.Graph.Link(rotation.LinkOf(ingress)).B
+	dst := graph.NodeID(tp.Graph.NumNodes() - 1)
+	cases := []core.Header{
+		{},                  // shortest-path fast path
+		{PR: true, DD: 3},   // cycle following
+		{PR: true, DD: 0.5}, // termination test → resume
+	}
+	for _, hdr := range cases {
+		hdr := hdr
+		if allocs := testing.AllocsPerRun(200, func() {
+			decisionSink = fib.Decide(node, dst, ingress, hdr, st)
+		}); allocs != 0 {
+			t.Errorf("Decide(hdr=%+v) allocates %.1f per op, want 0", hdr, allocs)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package dataplane
+
+import (
+	"math"
+	"net/netip"
+
+	"recycle/internal/core"
+	"recycle/internal/graph"
+	"recycle/internal/header"
+	"recycle/internal/rotation"
+)
+
+// The wire path forwards real IPv4 packet bytes: decode the PR mark from
+// the DSCP pool-2 field, decide on the compiled FIB, re-encode the mark in
+// place and repair the header checksum incrementally (RFC 1624) — no
+// parsing structs, no full checksum recomputation, no allocations.
+//
+// Node addressing follows a fixed plan so destination lookup is pure
+// arithmetic: node n owns 10.1.hi.lo where hi.lo is n in big-endian. The
+// plan covers 65536 nodes, far beyond any topology here.
+
+// wireAddrPrefix is the /16 the node address plan lives in (10.1.0.0/16).
+const wireAddrPrefix = 0x0A01
+
+// NodeAddr returns the IPv4 address assigned to node n by the plan.
+func NodeAddr(n graph.NodeID) netip.Addr {
+	return netip.AddrFrom4([4]byte{
+		byte(wireAddrPrefix >> 8), byte(wireAddrPrefix & 0xFF),
+		byte(uint32(n) >> 8), byte(uint32(n)),
+	})
+}
+
+// NodeOfAddr inverts NodeAddr, returning graph.NoNode for addresses
+// outside the plan.
+func NodeOfAddr(a netip.Addr) graph.NodeID {
+	if !a.Is4() {
+		return graph.NoNode
+	}
+	b := a.As4()
+	be := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	if be>>16 != wireAddrPrefix {
+		return graph.NoNode
+	}
+	return graph.NodeID(be & 0xFFFF)
+}
+
+// WireVerdict classifies the outcome of one wire-path forwarding step.
+type WireVerdict uint8
+
+const (
+	// WireForward: the packet was rewritten in place; send it on the
+	// returned egress dart.
+	WireForward WireVerdict = iota
+	// WireDeliver: the destination address is this node; hand the packet
+	// to the local stack untouched.
+	WireDeliver
+	// WireDropTTL: the TTL reached zero.
+	WireDropTTL
+	// WireDropNoRoute: the FIB had no usable egress (isolated router or
+	// unreachable destination).
+	WireDropNoRoute
+	// WireDropNotIPv4: not a 20-byte-header IPv4 packet.
+	WireDropNotIPv4
+	// WireDropNotOurs: the destination address is outside the node plan.
+	WireDropNotOurs
+	// WireDropDDOverflow: the discriminator to stamp does not fit the
+	// DSCP pool-2 DD field (paper: larger diameters need weight
+	// quantisation or a wider field; we drop rather than truncate).
+	WireDropDDOverflow
+	// WireDropBadMark: the packet carries a PR mark that is impossible
+	// by protocol (a re-cycling packet with no ingress interface) —
+	// host-originated or forged marking.
+	WireDropBadMark
+)
+
+// String names the verdict.
+func (v WireVerdict) String() string {
+	switch v {
+	case WireForward:
+		return "forward"
+	case WireDeliver:
+		return "deliver"
+	case WireDropTTL:
+		return "drop-ttl"
+	case WireDropNoRoute:
+		return "drop-no-route"
+	case WireDropNotIPv4:
+		return "drop-not-ipv4"
+	case WireDropNotOurs:
+		return "drop-not-ours"
+	case WireDropDDOverflow:
+		return "drop-dd-overflow"
+	case WireDropBadMark:
+		return "drop-bad-mark"
+	}
+	return "drop-unknown"
+}
+
+// Dropped reports whether the verdict is any drop.
+func (v WireVerdict) Dropped() bool { return v != WireForward && v != WireDeliver }
+
+// ForwardWire performs one PR forwarding step on raw IPv4 packet bytes at
+// node, arrived on ingress (rotation.NoDart at the origin host). On
+// WireForward the buffer has been rewritten in place — PR mark re-encoded
+// into DSCP, TTL decremented, checksum incrementally repaired — and the
+// packet should be transmitted on the returned dart.
+//
+// Unmarked traffic (DSCP outside pool 2) is treated as PR-clear and its
+// DSCP is preserved unless a failure forces marking.
+func (f *FIB) ForwardWire(node graph.NodeID, ingress rotation.DartID, st *LinkState, buf []byte) (rotation.DartID, WireVerdict) {
+	if len(buf) < header.HeaderLen || buf[0] != 0x45 {
+		return rotation.NoDart, WireDropNotIPv4
+	}
+	dstBE := uint32(buf[16])<<24 | uint32(buf[17])<<16 | uint32(buf[18])<<8 | uint32(buf[19])
+	if dstBE>>16 != wireAddrPrefix {
+		return rotation.NoDart, WireDropNotOurs
+	}
+	dst := graph.NodeID(dstBE & 0xFFFF)
+	if int(dst) >= f.numNodes {
+		return rotation.NoDart, WireDropNotOurs
+	}
+	if dst == node {
+		return rotation.NoDart, WireDeliver
+	}
+	if buf[8] <= 1 {
+		return rotation.NoDart, WireDropTTL
+	}
+
+	oldTOS := buf[1]
+	var hdr core.Header
+	mark, err := header.DecodeDSCP(oldTOS >> 2)
+	marked := err == nil // DSCP pool 2 (xxxx11); anything else is unmarked traffic
+	if marked {
+		hdr.PR = mark.PR
+		hdr.DD = float64(mark.DD)
+	}
+	if hdr.PR && ingress == rotation.NoDart {
+		// A re-cycling mark on a packet with no ingress interface cannot
+		// come from a PR router; refuse it rather than guess.
+		return rotation.NoDart, WireDropBadMark
+	}
+
+	d := f.Decide(node, dst, ingress, hdr, st)
+	if !d.OK {
+		return rotation.NoDart, WireDropNoRoute
+	}
+
+	newTOS := oldTOS
+	if d.Header.PR || marked {
+		dd := d.Header.DD
+		if !(dd >= 0 && dd <= header.MaxDD) || dd != math.Trunc(dd) {
+			return rotation.NoDart, WireDropDDOverflow
+		}
+		dscp, encErr := header.EncodeDSCP(header.Mark{PR: d.Header.PR, DD: uint8(dd)})
+		if encErr != nil {
+			return rotation.NoDart, WireDropDDOverflow
+		}
+		newTOS = dscp<<2 | oldTOS&0b11 // keep ECN bits
+	}
+
+	// Rewrite TOS and TTL, then repair the checksum incrementally over the
+	// two 16-bit words that changed.
+	oldW0 := uint16(buf[0])<<8 | uint16(oldTOS)
+	oldW4 := uint16(buf[8])<<8 | uint16(buf[9])
+	buf[1] = newTOS
+	buf[8]--
+	newW0 := uint16(buf[0])<<8 | uint16(buf[1])
+	newW4 := uint16(buf[8])<<8 | uint16(buf[9])
+	ck := uint16(buf[10])<<8 | uint16(buf[11])
+	ck = updateChecksum(ck, oldW0, newW0)
+	ck = updateChecksum(ck, oldW4, newW4)
+	buf[10], buf[11] = byte(ck>>8), byte(ck)
+	return d.Egress, WireForward
+}
+
+// updateChecksum folds the change of one 16-bit header word into an RFC
+// 1071 checksum per RFC 1624 equation 3: HC' = ~(~HC + ~m + m').
+func updateChecksum(ck, old, new uint16) uint16 {
+	sum := uint32(^ck) + uint32(^old) + uint32(new)
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,278 @@
+package dataplane_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"recycle/internal/core"
+	"recycle/internal/dataplane"
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/header"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+// wireFixture compiles a FIB over a built-in topology with hop-count
+// discriminators (the only kind the 3-bit DSCP DD field can carry).
+func wireFixture(t testing.TB, name string) (*core.Protocol, *dataplane.FIB, *graph.Graph) {
+	t.Helper()
+	tp, err := topo.ByNameWeighted(name, topo.DistanceWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := tp.Embedding
+	if sys == nil {
+		sys, err = (embedding.Auto{Seed: 1}).Embed(tp.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := buildProtocol(t, tp.Graph, sys, route.HopCount, core.Full)
+	fib, err := dataplane.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, fib, tp.Graph
+}
+
+// mkPacket marshals a fresh unmarked IPv4 packet between two plan
+// addresses.
+func mkPacket(t testing.TB, src, dst graph.NodeID, ttl uint8) []byte {
+	t.Helper()
+	h := header.IPv4{
+		TotalLength: header.HeaderLen,
+		ID:          42,
+		TTL:         ttl,
+		Protocol:    17,
+		Src:         dataplane.NodeAddr(src),
+		Dst:         dataplane.NodeAddr(dst),
+	}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestNodeAddrRoundtrip(t *testing.T) {
+	for _, n := range []graph.NodeID{0, 1, 255, 256, 65535} {
+		if got := dataplane.NodeOfAddr(dataplane.NodeAddr(n)); got != n {
+			t.Errorf("NodeOfAddr(NodeAddr(%d)) = %d", n, got)
+		}
+	}
+	if got := dataplane.NodeOfAddr(dataplane.NodeAddr(0).Next()); got != 1 {
+		t.Errorf("plan addresses must be dense: got %d", got)
+	}
+}
+
+// TestForwardWireMatchesWalk drives real packet bytes hop by hop through
+// the wire path under a failure and checks every decision — egress dart
+// and re-encoded DSCP mark — against the core.Protocol.Walk transcript,
+// with the checksum intact at every hop.
+func TestForwardWireMatchesWalk(t *testing.T) {
+	for _, name := range []string{"paper", "abilene", "geant"} {
+		p, fib, g := wireFixture(t, name)
+		fails := graph.NewFailureSet(0)
+		if !graph.ConnectedUnder(g, fails) {
+			t.Fatalf("%s: link 0 is a bridge", name)
+		}
+		st := dataplane.FromFailureSet(g.NumLinks(), fails)
+		src := graph.NodeID(1)
+		dst := graph.NodeID(g.NumNodes() - 1)
+		want := p.Walk(src, dst, fails)
+		if !want.Delivered() {
+			t.Fatalf("%s: core walk not delivered: %v", name, want.Outcome)
+		}
+
+		buf := mkPacket(t, src, dst, 64)
+		node := src
+		ingress := rotation.NoDart
+		for i, step := range want.Steps {
+			if step.Event == core.EventDeliver {
+				eg, v := fib.ForwardWire(node, ingress, st, buf)
+				if v != dataplane.WireDeliver || eg != rotation.NoDart {
+					t.Fatalf("%s step %d: verdict %v, want deliver", name, i, v)
+				}
+				break
+			}
+			eg, v := fib.ForwardWire(node, ingress, st, buf)
+			if v != dataplane.WireForward {
+				t.Fatalf("%s step %d at node %d: verdict %v", name, i, node, v)
+			}
+			if eg != step.Egress {
+				t.Fatalf("%s step %d: egress %d, core walked %d", name, i, eg, step.Egress)
+			}
+			if header.Checksum(buf[:header.HeaderLen]) != 0 {
+				t.Fatalf("%s step %d: checksum broken after rewrite", name, i)
+			}
+			var h header.IPv4
+			if err := h.Unmarshal(buf); err != nil {
+				t.Fatalf("%s step %d: rewritten header invalid: %v", name, i, err)
+			}
+			if h.TTL != 64-uint8(i+1) {
+				t.Fatalf("%s step %d: TTL %d, want %d", name, i, h.TTL, 64-i-1)
+			}
+			wantHdr := step.Header
+			if wantHdr.PR || h.DSCP&0b11 == 0b11 {
+				mark, err := h.PRMark()
+				if err != nil {
+					t.Fatalf("%s step %d: mark decode: %v", name, i, err)
+				}
+				if mark.PR != wantHdr.PR || float64(mark.DD) != wantHdr.DD {
+					t.Fatalf("%s step %d: wire mark %+v, core header %+v", name, i, mark, wantHdr)
+				}
+			}
+			node = fib.Head(eg)
+			ingress = eg
+		}
+	}
+}
+
+// TestForwardWireChecksumFuzz checks the incremental checksum repair
+// against a full recompute over randomised headers and forwarding states.
+func TestForwardWireChecksumFuzz(t *testing.T) {
+	_, fib, g := wireFixture(t, "geant")
+	rng := rand.New(rand.NewSource(7))
+	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(2))
+	for i := 0; i < 2000; i++ {
+		src := graph.NodeID(rng.Intn(g.NumNodes()))
+		dst := graph.NodeID(rng.Intn(g.NumNodes()))
+		h := header.IPv4{
+			ECN:         uint8(rng.Intn(4)),
+			TotalLength: uint16(header.HeaderLen + rng.Intn(1480)),
+			ID:          uint16(rng.Int()),
+			Flags:       0b010,
+			TTL:         uint8(2 + rng.Intn(250)),
+			Protocol:    uint8(rng.Intn(256)),
+			Src:         dataplane.NodeAddr(src),
+			Dst:         dataplane.NodeAddr(dst),
+		}
+		if rng.Intn(2) == 0 {
+			h.DSCP = uint8(rng.Intn(8))<<2 | 0b11 // pre-marked pool-2 packet
+		}
+		buf, err := h.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := graph.NodeID(rng.Intn(g.NumNodes()))
+		_, v := fib.ForwardWire(node, rotation.NoDart, st, buf)
+		if v == dataplane.WireForward && header.Checksum(buf[:header.HeaderLen]) != 0 {
+			t.Fatalf("iteration %d: incremental checksum diverged from recompute", i)
+		}
+	}
+}
+
+func TestForwardWireVerdicts(t *testing.T) {
+	_, fib, g := wireFixture(t, "abilene")
+	st := dataplane.FromFailureSet(g.NumLinks(), nil)
+
+	buf := mkPacket(t, 0, 3, 64)
+	buf[0] = 0x46 // IHL 6: options unsupported on the fast path
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, buf); v != dataplane.WireDropNotIPv4 {
+		t.Errorf("options packet: verdict %v, want not-ipv4", v)
+	}
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, buf[:10]); v != dataplane.WireDropNotIPv4 {
+		t.Errorf("short packet: verdict %v, want not-ipv4", v)
+	}
+
+	buf = mkPacket(t, 0, 3, 1)
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, buf); v != dataplane.WireDropTTL {
+		t.Errorf("TTL=1: verdict %v, want drop-ttl", v)
+	}
+
+	h := header.IPv4{TotalLength: header.HeaderLen, TTL: 64, Protocol: 17,
+		Src: dataplane.NodeAddr(0), Dst: dataplane.NodeAddr(graph.NodeID(g.NumNodes()))}
+	out, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, out); v != dataplane.WireDropNotOurs {
+		t.Errorf("node beyond topology: verdict %v, want not-ours", v)
+	}
+
+	// Isolate node 1: every incident link down means no usable egress.
+	isolated := dataplane.FromFailureSet(g.NumLinks(), graph.FailNode(g, 1))
+	buf = mkPacket(t, 0, 3, 64)
+	if _, v := fib.ForwardWire(1, rotation.NoDart, isolated, buf); v != dataplane.WireDropNoRoute {
+		t.Errorf("isolated router: verdict %v, want no-route", v)
+	}
+
+	if _, v := fib.ForwardWire(3, rotation.NoDart, st, mkPacket(t, 0, 3, 64)); v != dataplane.WireDeliver {
+		t.Errorf("at destination: verdict %v, want deliver", v)
+	}
+
+	// A host-originated (no ingress) packet carrying a forged PR mark
+	// must be refused, not crash the engine.
+	h2 := header.IPv4{
+		DSCP:        0b100011, // pool 2 with the PR bit set
+		TotalLength: header.HeaderLen, TTL: 64, Protocol: 17,
+		Src: dataplane.NodeAddr(0), Dst: dataplane.NodeAddr(3),
+	}
+	forged, err := h2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, forged); v != dataplane.WireDropBadMark {
+		t.Errorf("forged PR mark with no ingress: verdict %v, want drop-bad-mark", v)
+	}
+}
+
+// TestForwardWireDDOverflow: weight-sum discriminators on distance
+// weights cannot fit the 3-bit DSCP field, so a failure that forces
+// marking must drop explicitly rather than truncate.
+func TestForwardWireDDOverflow(t *testing.T) {
+	tp, err := topo.ByNameWeighted("geant", topo.DistanceWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := (embedding.Auto{Seed: 1}).Embed(tp.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildProtocol(t, tp.Graph, sys, route.WeightSum, core.Full)
+	fib, err := dataplane.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tp.Graph
+	tbl := p.Routes()
+	// Find a (node, dst) whose shortest-path egress we can fail, forcing a
+	// DD stamp that cannot be quantised.
+	for node := 0; node < g.NumNodes(); node++ {
+		for dst := 0; dst < g.NumNodes(); dst++ {
+			nid, did := graph.NodeID(node), graph.NodeID(dst)
+			link := tbl.NextLink(nid, did)
+			if link == graph.NoLink || tbl.DD(nid, did) <= header.MaxDD {
+				continue
+			}
+			if _, ok := fib.WireDD(nid, did); ok {
+				continue
+			}
+			st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(link))
+			_, v := fib.ForwardWire(nid, rotation.NoDart, st, mkPacket(t, nid, did, 64))
+			if v != dataplane.WireDropDDOverflow {
+				t.Fatalf("unquantisable DD at %d→%d: verdict %v, want dd-overflow", node, dst, v)
+			}
+			return
+		}
+	}
+	t.Skip("no unquantisable pair found on geant/weight-sum")
+}
+
+var verdictSink dataplane.WireVerdict
+
+// TestForwardWireZeroAllocs: the wire fast path must not allocate.
+func TestForwardWireZeroAllocs(t *testing.T) {
+	_, fib, g := wireFixture(t, "geant")
+	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(0))
+	buf := mkPacket(t, 1, graph.NodeID(g.NumNodes()-1), 64)
+	tmpl := append([]byte(nil), buf...)
+	if allocs := testing.AllocsPerRun(200, func() {
+		copy(buf, tmpl)
+		_, verdictSink = fib.ForwardWire(1, rotation.NoDart, st, buf)
+	}); allocs != 0 {
+		t.Errorf("ForwardWire allocates %.1f per op, want 0", allocs)
+	}
+}

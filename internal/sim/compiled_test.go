@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/dataplane"
+	"recycle/internal/graph"
+	"recycle/internal/topo"
+)
+
+func compiledScheme(t *testing.T, p *PRScheme) *CompiledPRScheme {
+	t.Helper()
+	fib, err := dataplane.Compile(p.Protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &CompiledPRScheme{FIB: fib}
+}
+
+// TestCompiledSchemeMatchesInterpreted: the discrete-event simulator must
+// produce identical outcomes whether PR runs on core.Protocol or on the
+// compiled FIB — same deliveries, same drops, same latency distribution.
+func TestCompiledSchemeMatchesInterpreted(t *testing.T) {
+	tp := topo.Abilene(topo.DistanceWeights)
+	g := tp.Graph
+	interpreted := prScheme(t, g, core.Full)
+	compiled := compiledScheme(t, interpreted)
+
+	run := func(scheme Scheme) *Stats {
+		s, err := New(Config{
+			Graph:          g,
+			Scheme:         scheme,
+			Flows:          []Flow{{Src: 0, Dst: 5, Interval: time.Millisecond}, {Src: 3, Dst: 9, Interval: time.Millisecond}},
+			Horizon:        2 * time.Second,
+			DetectionDelay: 40 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A failure mid-run and a repair near the end exercise both
+		// directions of the link-state mirror.
+		s.FailLinkAt(graph.LinkID(0), 500*time.Millisecond)
+		s.FailLinkAt(graph.LinkID(4), 900*time.Millisecond)
+		s.RepairLinkAt(graph.LinkID(0), 1400*time.Millisecond)
+		return s.Run()
+	}
+
+	a := run(interpreted)
+	b := run(compiled)
+	if a.Generated != b.Generated || a.Delivered != b.Delivered ||
+		a.TotalLatency != b.TotalLatency || a.MaxLatency != b.MaxLatency ||
+		a.TotalHops != b.TotalHops {
+		t.Fatalf("compiled scheme diverged:\ninterpreted %+v\ncompiled    %+v", a, b)
+	}
+	for reason, n := range a.Drops {
+		if b.Drops[reason] != n {
+			t.Fatalf("drop %q: interpreted %d, compiled %d", reason, n, b.Drops[reason])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"recycle/internal/core"
+	"recycle/internal/dataplane"
 	"recycle/internal/graph"
 	"recycle/internal/reconv"
 	"recycle/internal/rotation"
@@ -75,6 +76,51 @@ func (p *PRScheme) TopologyChanged(*Simulator, graph.LinkID, bool) {}
 
 // Converge implements Scheme.
 func (p *PRScheme) Converge(*Simulator) {}
+
+// ---------------------------------------------------------------------------
+// Packet Re-cycling on the compiled dataplane
+// ---------------------------------------------------------------------------
+
+// CompiledPRScheme forwards with a compiled dataplane.FIB instead of
+// interpreting core.Protocol: identical decisions (the dataplane
+// differential test proves bit-identity), a fraction of the per-packet
+// cost. Local failure detections flip bits in a dataplane.LinkState
+// mirror of the simulator's known-failure set.
+type CompiledPRScheme struct {
+	FIB *dataplane.FIB
+
+	state *dataplane.LinkState
+}
+
+// Name implements Scheme.
+func (c *CompiledPRScheme) Name() string {
+	return "packet-recycling-compiled-" + c.FIB.Variant().String()
+}
+
+// Init implements Scheme.
+func (c *CompiledPRScheme) Init(s *Simulator) {
+	c.state = dataplane.FromFailureSet(s.Graph().NumLinks(), s.KnownFailures())
+}
+
+// Process implements Scheme.
+func (c *CompiledPRScheme) Process(s *Simulator, node graph.NodeID, pkt *Packet) (rotation.DartID, bool) {
+	hdr, _ := pkt.State.(core.Header)
+	d := c.FIB.Decide(node, pkt.Dst, pkt.Ingress, hdr, c.state)
+	if !d.OK {
+		return rotation.NoDart, false
+	}
+	pkt.State = d.Header
+	return d.Egress, true
+}
+
+// TopologyChanged implements Scheme: mirror the detection into the
+// compiled link-state bitset.
+func (c *CompiledPRScheme) TopologyChanged(_ *Simulator, l graph.LinkID, down bool) {
+	c.state.Set(l, down)
+}
+
+// Converge implements Scheme.
+func (c *CompiledPRScheme) Converge(*Simulator) {}
 
 // ---------------------------------------------------------------------------
 // Failure-Carrying Packets

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"recycle/internal/core"
+	"recycle/internal/dataplane"
 	"recycle/internal/embedding"
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
@@ -133,6 +134,16 @@ func (n *Network) Genus() int { return n.sys.Genus() }
 // Protocol exposes the underlying PR forwarding engine for advanced use
 // (per-hop decisions, event-driven simulation).
 func (n *Network) Protocol() *core.Protocol { return n.protocol }
+
+// Compile flattens the network's forwarding state (routing tables,
+// rotation system, variant) into a dataplane FIB: dense arrays on which a
+// per-hop decision is a handful of indexings with zero allocations,
+// bit-identical to Protocol().Decide. This is the offline step the paper
+// assigns to the designated server — run once, never at failure time.
+func (n *Network) Compile() (*FIB, error) { return dataplane.Compile(n.protocol) }
+
+// CompileBasic compiles the Basic (§4.2) variant's FIB.
+func (n *Network) CompileBasic() (*FIB, error) { return dataplane.Compile(n.basic) }
 
 // Node resolves a node name, returning an error for unknown names.
 func (n *Network) Node(name string) (NodeID, error) {

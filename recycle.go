@@ -30,12 +30,17 @@
 //   - internal/sim        — discrete-event simulator
 //   - internal/eval       — the paper's Figure 2 / §6 experiment harness
 //   - internal/header     — DSCP pool-2 wire encoding
+//   - internal/dataplane  — compiled FIB, wire fast path, sharded engine
 package recycle
 
 import (
+	"net/netip"
+
 	"recycle/internal/core"
+	"recycle/internal/dataplane"
 	"recycle/internal/embedding"
 	"recycle/internal/graph"
+	"recycle/internal/header"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
 	"recycle/internal/topo"
@@ -62,6 +67,14 @@ func NewGraph(nodes, links int) *Graph { return graph.New(nodes, links) }
 // RotationSystem is a cellular embedding of a graph on an orientable
 // surface, expressed as cyclic neighbour orders.
 type RotationSystem = rotation.System
+
+// DartID identifies a directed half of an undirected link: dart 2l is
+// link l oriented A→B, dart 2l+1 is B→A.
+type DartID = rotation.DartID
+
+// NoDart is the invalid dart index (a packet at its origin has no
+// ingress dart).
+const NoDart = rotation.NoDart
 
 // Embedder computes rotation systems; see AutoEmbedder, PlanarEmbedder,
 // GreedyEmbedder.
@@ -122,6 +135,74 @@ const (
 	// NoRoute: no failure-free route existed to begin with.
 	NoRoute = core.NoRoute
 )
+
+// FIB is a compiled forwarding table: the network's routing state
+// flattened into dense arrays for allocation-free constant-time per-hop
+// decisions. Build one with Network.Compile.
+type FIB = dataplane.FIB
+
+// LinkState is the dataplane's bitset of locally detected link failures,
+// the compiled counterpart of FailureSet.
+type LinkState = dataplane.LinkState
+
+// NewLinkState returns an all-up link state sized for numLinks links.
+func NewLinkState(numLinks int) *LinkState { return dataplane.NewLinkState(numLinks) }
+
+// LinkStateFrom compiles a FailureSet (nil allowed) into a LinkState.
+func LinkStateFrom(numLinks int, f *FailureSet) *LinkState {
+	return dataplane.FromFailureSet(numLinks, f)
+}
+
+// Packet is the dataplane engine's unit of work: one forwarding decision.
+type Packet = dataplane.Packet
+
+// Batch is a slice of dataplane packets handed to the engine together.
+type Batch = dataplane.Batch
+
+// WireVerdict classifies the outcome of one wire-path forwarding step;
+// see FIB.ForwardWire.
+type WireVerdict = dataplane.WireVerdict
+
+// Wire-path verdicts.
+const (
+	// WireForward: packet rewritten in place; transmit on the returned dart.
+	WireForward = dataplane.WireForward
+	// WireDeliver: the destination address is this node.
+	WireDeliver = dataplane.WireDeliver
+	// WireDropTTL: the TTL reached zero.
+	WireDropTTL = dataplane.WireDropTTL
+	// WireDropNoRoute: no usable egress.
+	WireDropNoRoute = dataplane.WireDropNoRoute
+	// WireDropNotIPv4: not a 20-byte-header IPv4 packet.
+	WireDropNotIPv4 = dataplane.WireDropNotIPv4
+	// WireDropNotOurs: destination outside the node address plan.
+	WireDropNotOurs = dataplane.WireDropNotOurs
+	// WireDropDDOverflow: discriminator does not fit the DSCP DD field.
+	WireDropDDOverflow = dataplane.WireDropDDOverflow
+	// WireDropBadMark: a PR mark that is impossible by protocol.
+	WireDropBadMark = dataplane.WireDropBadMark
+)
+
+// NodeAddr returns the IPv4 address the wire path's node plan assigns to n.
+func NodeAddr(n NodeID) netip.Addr { return dataplane.NodeAddr(n) }
+
+// IPv4 is the minimal checksum-correct IPv4 header codec the wire path
+// forwards; use it to craft and inspect packets fed to FIB.ForwardWire.
+type IPv4 = header.IPv4
+
+// Mark is the PR header state carried in the DSCP pool-2 field.
+type Mark = header.Mark
+
+// Engine is the sharded dataplane forwarding engine: worker goroutines
+// draining batched packet rings against an atomically swapped LinkState
+// snapshot.
+type Engine = dataplane.Engine
+
+// EngineConfig parameterises NewEngine.
+type EngineConfig = dataplane.EngineConfig
+
+// NewEngine starts a forwarding engine over a compiled FIB.
+func NewEngine(fib *FIB, cfg EngineConfig) *Engine { return dataplane.NewEngine(fib, cfg) }
 
 // Topology bundles a named graph with optional embedding metadata.
 type Topology = topo.Topology

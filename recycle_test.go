@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"recycle/internal/dataplane"
+	"recycle/internal/rotation"
 )
 
 func TestFromTopologyQuickstart(t *testing.T) {
@@ -217,5 +220,57 @@ func TestFailureHelpers(t *testing.T) {
 	}
 	if len(multi) != 10 {
 		t.Fatalf("sampled = %d; want 10", len(multi))
+	}
+}
+
+func TestCompileFacade(t *testing.T) {
+	net, err := FromTopology("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.NumNodes() != net.Graph().NumNodes() || fib.NumLinks() != net.Graph().NumLinks() {
+		t.Fatalf("FIB dimensions %dx%d do not match the graph", fib.NumNodes(), fib.NumLinks())
+	}
+	if fib.Variant() != Full {
+		t.Fatalf("default compiled variant = %v; want Full", fib.Variant())
+	}
+	basic, err := net.CompileBasic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic.Variant() != Basic {
+		t.Fatalf("CompileBasic variant = %v; want Basic", basic.Variant())
+	}
+	// Per-decision equivalence with the interpreted protocol is proven
+	// exhaustively in internal/dataplane's differential tests.
+}
+
+func TestEngineFacade(t *testing.T) {
+	net, err := FromTopology("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *dataplane.Batch, 1)
+	eng := NewEngine(fib, EngineConfig{Shards: 1, OnDone: func(b *dataplane.Batch) { done <- b }})
+	src, _ := net.Node("Seattle")
+	dst, _ := net.Node("NewYork")
+	b := &dataplane.Batch{Pkts: []dataplane.Packet{{Node: src, Dst: dst, Ingress: rotation.NoDart}}}
+	if !eng.Submit(b) {
+		t.Fatal("Submit failed on an empty engine")
+	}
+	out := <-done
+	if eng.Close() != 1 {
+		t.Fatal("engine should have decided exactly one packet")
+	}
+	if !out.Pkts[0].OK || out.Pkts[0].Egress == rotation.NoDart {
+		t.Fatalf("engine decision: %+v", out.Pkts[0])
 	}
 }
