@@ -11,6 +11,11 @@
 //
 //	prsim -losswindow -dataplane compiled       # PR on the compiled FIB
 //	prsim -throughput -topo geant -shards 4     # engine decisions/sec
+//	prsim -throughput -topo ring:24 -wire       # wire frames/sec (codec auto)
+//
+// -topo accepts the built-in names and generator specs (ring:24,
+// wring:16@7, grid:4x8, chain:12) for large-diameter workloads, where
+// Compile selects the IPv6 flow-label codec automatically.
 //
 // Output is plain text suitable for gnuplot or column(1).
 package main
@@ -27,6 +32,7 @@ import (
 	"recycle/internal/embedding"
 	"recycle/internal/eval"
 	"recycle/internal/graph"
+	"recycle/internal/header"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
 	"recycle/internal/sim"
@@ -45,10 +51,11 @@ func main() {
 		unit       = flag.Bool("unit-weights", false, "use hop-count link weights instead of distances")
 		plane      = flag.String("dataplane", "interpreted", "PR forwarding engine: interpreted (core.Protocol) or compiled (dataplane FIB)")
 		throughput = flag.Bool("throughput", false, "measure compiled-dataplane decisions/sec")
-		topoName   = flag.String("topo", "geant", "topology for -throughput")
+		topoName   = flag.String("topo", "geant", "topology for -throughput (built-in name or generator spec like ring:24)")
 		shards     = flag.Int("shards", 0, "engine shard count for -throughput (0 = auto)")
 		packets    = flag.Int("packets", 2_000_000, "decision count for -throughput")
 		batchSize  = flag.Int("batch", 256, "packets per batch for -throughput")
+		wire       = flag.Bool("wire", false, "-throughput on raw packet bytes through ForwardWire (codec per topology)")
 	)
 	flag.Parse()
 
@@ -84,7 +91,7 @@ func main() {
 			fatal(err)
 		}
 	case *throughput:
-		if err := runThroughput(*topoName, *shards, *packets, *batchSize); err != nil {
+		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire); err != nil {
 			fatal(err)
 		}
 	case *ablation != "":
@@ -172,16 +179,21 @@ func runLossWindow(plane string) error {
 
 // runThroughput measures the compiled dataplane: decisions/sec on the
 // sharded engine over a realistic mix of shortest-path and cycle-following
-// packets, with one link failed so recovery branches are exercised.
-func runThroughput(topoName string, shards, packets, batchSize int) error {
+// packets, with one link failed so recovery branches are exercised. With
+// wire=true the workload is raw packet bytes instead — IPv4 or IPv6
+// frames matching the codec Compile selected — pushed through
+// ForwardWire's byte-rewriting fast path.
+func runThroughput(topoName string, shards, packets, batchSize int, wire bool) error {
 	tp, err := topo.ByName(topoName)
 	if err != nil {
 		return err
 	}
 	g := tp.Graph
-	sys, err := (embedding.Auto{Seed: 1}).Embed(g)
-	if err != nil {
-		return err
+	sys := tp.Embedding
+	if sys == nil {
+		if sys, err = (embedding.Auto{Seed: 1}).Embed(g); err != nil {
+			return err
+		}
 	}
 	prot, err := core.New(g, sys, route.Build(g, route.HopCount), core.Config{Variant: core.Full})
 	if err != nil {
@@ -208,16 +220,50 @@ func runThroughput(topoName string, shards, packets, batchSize int) error {
 	// previous pass left behind.
 	rng := rand.New(rand.NewSource(1))
 	const pool = 64
+	// Wire frames mutate in place (marks, TTL, checksum); each batch
+	// keeps a pristine template per frame and restores the whole header
+	// every pass, so recycled batches replay the identical workload —
+	// recovery branches included — instead of accumulating PR marks.
+	templates := make(map[*dataplane.Batch][][]byte, pool)
 	for i := 0; i < pool; i++ {
-		b := &dataplane.Batch{Pkts: make([]dataplane.Packet, batchSize)}
-		for j := range b.Pkts {
-			node := graph.NodeID(rng.Intn(g.NumNodes()))
-			nb := g.Neighbors(node)[rng.Intn(g.Degree(node))]
-			b.Pkts[j] = dataplane.Packet{
-				Node:    node,
-				Dst:     graph.NodeID(rng.Intn(g.NumNodes())),
-				Ingress: rotation.ReverseID(sys.OutgoingDart(node, nb.Link)),
-				Hdr:     core.Header{PR: rng.Intn(4) == 0, DD: float64(rng.Intn(8))},
+		b := &dataplane.Batch{}
+		if wire {
+			b.Wire = make([]dataplane.WirePacket, batchSize)
+			tmpl := make([][]byte, batchSize)
+			for j := range b.Wire {
+				node := graph.NodeID(rng.Intn(g.NumNodes()))
+				dst := graph.NodeID(rng.Intn(g.NumNodes()))
+				buf, err := fib.NewWireFrame(node, dst)
+				if err != nil {
+					return err
+				}
+				ingress := rotation.NoDart
+				if rng.Intn(4) == 0 {
+					// One in four frames is mid-recovery: PR-marked with
+					// a concrete ingress dart, so the cycle-following
+					// branch runs in wire mode too (matching the
+					// abstract workload's mix).
+					nb := g.Neighbors(node)[rng.Intn(g.Degree(node))]
+					ingress = rotation.ReverseID(sys.OutgoingDart(node, nb.Link))
+					if err := markWireFrame(fib, buf, uint32(rng.Intn(1<<fib.DDBits()))); err != nil {
+						return err
+					}
+				}
+				tmpl[j] = append([]byte(nil), buf...)
+				b.Wire[j] = dataplane.WirePacket{Node: node, Ingress: ingress, Buf: buf}
+			}
+			templates[b] = tmpl
+		} else {
+			b.Pkts = make([]dataplane.Packet, batchSize)
+			for j := range b.Pkts {
+				node := graph.NodeID(rng.Intn(g.NumNodes()))
+				nb := g.Neighbors(node)[rng.Intn(g.Degree(node))]
+				b.Pkts[j] = dataplane.Packet{
+					Node:    node,
+					Dst:     graph.NodeID(rng.Intn(g.NumNodes())),
+					Ingress: rotation.ReverseID(sys.OutgoingDart(node, nb.Link)),
+					Hdr:     core.Header{PR: rng.Intn(4) == 0, DD: float64(rng.Intn(8))},
+				}
 			}
 		}
 		free <- b
@@ -225,6 +271,12 @@ func runThroughput(topoName string, shards, packets, batchSize int) error {
 	start := time.Now()
 	for i := 0; i < batches; i++ {
 		b := <-free
+		if wire {
+			tmpl := templates[b]
+			for j := range b.Wire {
+				copy(b.Wire[j].Buf, tmpl[j])
+			}
+		}
 		for !eng.Submit(b) {
 			// Rings full: the workers are behind; yield and retry.
 			time.Sleep(10 * time.Microsecond)
@@ -233,12 +285,41 @@ func runThroughput(topoName string, shards, packets, batchSize int) error {
 	decided := eng.Close()
 	elapsed := time.Since(start)
 	pps := float64(decided) / elapsed.Seconds()
+	unit := "decisions"
+	if wire {
+		unit = "frames"
+	}
 	fmt.Printf("# compiled dataplane throughput\n")
 	fmt.Printf("topology   %s (%d nodes, %d links)\n", tp.Name, g.NumNodes(), g.NumLinks())
+	fmt.Printf("codec      %s (%d DD bits)\n", fib.Codec(), fib.DDBits())
 	fmt.Printf("shards     %d\n", eng.Shards())
 	fmt.Printf("batch      %d packets\n", batchSize)
-	fmt.Printf("decisions  %d in %v\n", decided, elapsed.Round(time.Millisecond))
-	fmt.Printf("rate       %.1f M decisions/sec\n", pps/1e6)
+	fmt.Printf("%-10s %d in %v\n", unit, decided, elapsed.Round(time.Millisecond))
+	fmt.Printf("rate       %.1f M %s/sec\n", pps/1e6, unit)
+	return nil
+}
+
+// markWireFrame stamps a PR mark with the given DD code into a frame in
+// place, in the frame's address family, repairing the IPv4 checksum.
+func markWireFrame(fib *dataplane.FIB, buf []byte, dd uint32) error {
+	if fib.Codec() == dataplane.CodecFlowLabel {
+		fl, err := header.EncodeFlowLabel(header.Mark{PR: true, DD: dd})
+		if err != nil {
+			return err
+		}
+		buf[1] = buf[1]&0xF0 | byte(fl>>16)
+		buf[2] = byte(fl >> 8)
+		buf[3] = byte(fl)
+		return nil
+	}
+	dscp, err := header.EncodeDSCP(header.Mark{PR: true, DD: dd})
+	if err != nil {
+		return err
+	}
+	buf[1] = dscp << 2
+	buf[10], buf[11] = 0, 0
+	ck := header.Checksum(buf[:header.HeaderLen])
+	buf[10], buf[11] = byte(ck>>8), byte(ck)
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"recycle/internal/core"
+	"recycle/internal/dataplane"
 	"recycle/internal/embedding"
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	var (
-		topoName = flag.String("topo", "paper", "built-in topology (paper, abilene, geant, teleglobe)")
+		topoName = flag.String("topo", "paper", "topology: paper, abilene, geant, teleglobe or a generator spec (ring:24, wring:16@7, grid:4x8, chain:12)")
 		nodeName = flag.String("node", "", "print only this node's tables")
 		faces    = flag.Bool("faces", false, "print the embedding's cycle system")
 		dot      = flag.Bool("dot", false, "emit the embedding as Graphviz DOT (faces on edge labels)")
@@ -58,8 +59,10 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("topology %s: %d nodes, %d links, genus %d, PR header %d bits (1 PR + %d DD)\n\n",
-		tp.Name, g.NumNodes(), g.NumLinks(), sys.Genus(), 1+tbl.DDBits(), tbl.DDBits())
+	quant := core.BuildQuantiser(tbl)
+	fmt.Printf("topology %s: %d nodes, %d links, genus %d, PR header %d bits (1 PR + %d DD, raw %d), %s codec\n\n",
+		tp.Name, g.NumNodes(), g.NumLinks(), sys.Genus(), 1+quant.Bits(), quant.Bits(), tbl.DDBits(),
+		dataplane.CodecFor(quant.Bits()))
 
 	if *faces {
 		printFaces(g, sys)

@@ -1,0 +1,194 @@
+package core
+
+// The quantisation property harness: the PR 1 FIB sweep's differential
+// style, pointed at the rank quantiser. Over hundreds of random
+// 2-edge-connected topologies × random failure sets it proves the two
+// claims the wire codecs rely on:
+//
+//  1. Strict decrease survives bucketisation: along every recycled path,
+//     successive EventDetect stampings of the quantised protocol carry
+//     strictly decreasing DD codes (the §4.3 termination argument).
+//  2. Differential oracle: the quantised protocol's walks are
+//     *step-identical* to the raw protocol's — same events, same darts,
+//     same outcome — so delivery trivially matches, on any embedding.
+
+import (
+	"testing"
+
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+)
+
+// quantCase is one random topology of the harness.
+type quantCase struct {
+	seed int64
+	g    *graph.Graph
+	sys  *rotation.System
+	disc route.Discriminator
+}
+
+// quantCases generates the harness population: ≥200 random
+// 2-edge-connected graphs under random rotation systems (the invariant
+// must hold on *any* embedding, not just genus-0 ones), alternating
+// discriminators so weight sums — where quantisation actually buckets —
+// get equal coverage.
+func quantCases(count int) []quantCase {
+	out := make([]quantCase, 0, count)
+	for seed := int64(1); len(out) < count; seed++ {
+		var g *graph.Graph
+		if seed%3 == 0 {
+			g = graph.RandomPlanarLike(7+int(seed%9), seed)
+		} else {
+			n := 6 + int(seed%10)
+			g = graph.RandomTwoConnected(n, n+2+int(seed)%n, seed)
+		}
+		disc := route.HopCount
+		if seed%2 == 0 {
+			disc = route.WeightSum
+		}
+		out = append(out, quantCase{seed: seed, g: g, sys: rotation.Random(g, seed*17), disc: disc})
+	}
+	return out
+}
+
+// quantFailsets samples random failure sets for one graph, always
+// including a single failure and the empty set.
+func quantFailsets(g *graph.Graph, seed int64) []*graph.FailureSet {
+	out := []*graph.FailureSet{graph.NewFailureSet()}
+	if singles := graph.SingleFailureScenarios(g); len(singles) > 0 {
+		out = append(out, singles[int(seed)%len(singles)])
+	}
+	for _, k := range []int{2, 3, 4} {
+		if fss, err := graph.SampleFailureScenarios(g, k, 2, seed*31+int64(k)); err == nil {
+			out = append(out, fss...)
+		}
+	}
+	return out
+}
+
+// TestQuantisedInvariant is the harness entry point.
+func TestQuantisedInvariant(t *testing.T) {
+	cases := quantCases(200)
+	graphsChecked, walks, recycled := 0, 0, 0
+	for _, tc := range cases {
+		tbl := route.Build(tc.g, tc.disc)
+		raw, err := New(tc.g, tc.sys, tbl, Config{Variant: Full})
+		if err != nil {
+			t.Fatal(err)
+		}
+		quant, err := New(tc.g, tc.sys, tbl, Config{Variant: Full, Quantise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := quant.Quantiser()
+		if q == nil {
+			t.Fatal("Quantise config produced no quantiser")
+		}
+		if !q.VerifyOrderPreserved(tbl) {
+			t.Fatalf("seed %d disc %v: quantiser order violated", tc.seed, tc.disc)
+		}
+		maxRank := float64(q.MaxRank())
+		for _, fs := range quantFailsets(tc.g, tc.seed) {
+			for src := 0; src < tc.g.NumNodes(); src++ {
+				for dst := 0; dst < tc.g.NumNodes(); dst++ {
+					if src == dst {
+						continue
+					}
+					s, d := graph.NodeID(src), graph.NodeID(dst)
+					walks++
+					rq := quant.Walk(s, d, fs)
+					rr := raw.Walk(s, d, fs)
+
+					// Differential oracle: identical structure, so
+					// delivery (and stretch, and paths) match exactly.
+					if rq.Outcome != rr.Outcome {
+						t.Fatalf("seed %d disc %v fails %v: %d→%d quantised outcome %v, raw %v",
+							tc.seed, tc.disc, fs, src, dst, rq.Outcome, rr.Outcome)
+					}
+					if len(rq.Steps) != len(rr.Steps) {
+						t.Fatalf("seed %d disc %v fails %v: %d→%d quantised %d steps, raw %d",
+							tc.seed, tc.disc, fs, src, dst, len(rq.Steps), len(rr.Steps))
+					}
+					for i := range rq.Steps {
+						sq, sr := rq.Steps[i], rr.Steps[i]
+						if sq.Node != sr.Node || sq.Egress != sr.Egress || sq.Event != sr.Event {
+							t.Fatalf("seed %d disc %v fails %v: %d→%d step %d diverged: quantised %+v, raw %+v",
+								tc.seed, tc.disc, fs, src, dst, i, sq, sr)
+						}
+					}
+
+					// Strict decrease of the quantised code along the
+					// recycled path, and wire encodability of every stamp.
+					last := -1.0
+					for _, step := range rq.Steps {
+						if step.Header.PR && step.Header.DD > maxRank {
+							t.Fatalf("seed %d disc %v: stamped code %v exceeds max rank %v",
+								tc.seed, tc.disc, step.Header.DD, maxRank)
+						}
+						if step.Event != EventDetect {
+							continue
+						}
+						recycled++
+						if step.Header.DD != float64(uint32(step.Header.DD)) {
+							t.Fatalf("seed %d disc %v: non-integral quantised DD %v",
+								tc.seed, tc.disc, step.Header.DD)
+						}
+						if last >= 0 && step.Header.DD >= last {
+							t.Fatalf("seed %d disc %v fails %v: %d→%d quantised DD %v did not decrease below %v",
+								tc.seed, tc.disc, fs, src, dst, step.Header.DD, last)
+						}
+						last = step.Header.DD
+					}
+				}
+			}
+		}
+		graphsChecked++
+	}
+	if graphsChecked < 200 {
+		t.Fatalf("only %d graphs checked; want ≥ 200", graphsChecked)
+	}
+	if recycled == 0 {
+		t.Fatal("no recycling episodes exercised — failure sampling broken")
+	}
+	t.Logf("%d graphs, %d differential walks, %d recycling stampings", graphsChecked, walks, recycled)
+}
+
+// TestQuantisedDeliveryGuarantee re-runs the §5 headline claim with the
+// quantised protocol on genus-0 embeddings: bucketised codes must not cost
+// a single delivery.
+func TestQuantisedDeliveryGuarantee(t *testing.T) {
+	checked := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		g := planarTwoConnected(10+int(seed%8), seed*13)
+		sys := planarSystem(t, g)
+		for _, disc := range []route.Discriminator{route.HopCount, route.WeightSum} {
+			tbl := route.Build(g, disc)
+			p, err := New(g, sys, tbl, Config{Variant: Full, Quantise: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scenarios, err := graph.SampleFailureScenarios(g, 3, 5, seed*100)
+			if err != nil {
+				continue
+			}
+			for _, fs := range scenarios {
+				for src := 0; src < g.NumNodes(); src++ {
+					for dst := 0; dst < g.NumNodes(); dst++ {
+						if src == dst {
+							continue
+						}
+						checked++
+						if r := p.Walk(graph.NodeID(src), graph.NodeID(dst), fs); !r.Delivered() {
+							t.Fatalf("seed %d disc %v fails %v: %d→%d outcome %v",
+								seed, disc, fs, src, dst, r.Outcome)
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no walks exercised")
+	}
+}

@@ -60,6 +60,11 @@ type Protocol struct {
 	sys  *rotation.System
 	tbl  *route.Table
 	vrnt Variant
+	// quant, when non-nil, replaces raw discriminators with their
+	// order-preserving ranks: Header.DD carries a b-bit code instead of an
+	// unbounded hop/weight sum. Decisions are bit-identical to the raw
+	// protocol (see Quantiser); only the header contents differ.
+	quant *Quantiser
 	// maxSteps caps walk length as a backstop; exact state-repetition
 	// detection usually fires first.
 	maxSteps int
@@ -69,6 +74,10 @@ type Protocol struct {
 type Config struct {
 	// Variant selects Basic (§4.2) or Full (§4.3). Default Full.
 	Variant Variant
+	// Quantise stamps and compares rank-quantised discriminators (see
+	// Quantiser) instead of raw ones, bounding Header.DD to the bit budget
+	// a wire codec can carry. Default off: Header.DD holds raw values.
+	Quantise bool
 	// MaxSteps overrides the walk safety cap (default 4·V·E + 16).
 	MaxSteps int
 }
@@ -86,7 +95,11 @@ func New(g *graph.Graph, sys *rotation.System, tbl *route.Table, cfg Config) (*P
 	if max <= 0 {
 		max = 4*g.NumNodes()*g.NumLinks() + 16
 	}
-	return &Protocol{g: g, sys: sys, tbl: tbl, vrnt: cfg.Variant, maxSteps: max}, nil
+	p := &Protocol{g: g, sys: sys, tbl: tbl, vrnt: cfg.Variant, maxSteps: max}
+	if cfg.Quantise {
+		p.quant = BuildQuantiser(tbl)
+	}
+	return p, nil
 }
 
 // Graph returns the protocol's topology.
@@ -100,6 +113,10 @@ func (p *Protocol) Routes() *route.Table { return p.tbl }
 
 // Variant returns the protocol's termination variant.
 func (p *Protocol) Variant() Variant { return p.vrnt }
+
+// Quantiser returns the rank quantiser when the protocol was built with
+// Config.Quantise, nil otherwise.
+func (p *Protocol) Quantiser() *Quantiser { return p.quant }
 
 // Event classifies what happened at a node while forwarding one packet.
 type Event int

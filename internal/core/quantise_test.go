@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"recycle/internal/graph"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+// TestQuantiserHopCountRanksEqualHops: hop counts toward a destination form
+// a contiguous 0..d range (every node at hop k has a predecessor at k−1),
+// so rank coding is the identity on the paper's default discriminator —
+// the DSCP wire format of small-diameter networks is unchanged.
+func TestQuantiserHopCountRanksEqualHops(t *testing.T) {
+	for _, name := range []string{"paper", "abilene", "geant", "teleglobe"} {
+		tp, err := topo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := tp.Graph
+		tbl := route.Build(g, route.HopCount)
+		q := BuildQuantiser(tbl)
+		for node := 0; node < g.NumNodes(); node++ {
+			for dst := 0; dst < g.NumNodes(); dst++ {
+				nid, did := graph.NodeID(node), graph.NodeID(dst)
+				if !tbl.Reachable(nid, did) {
+					if q.Rank(nid, did) != RankUnreachable {
+						t.Fatalf("%s: unreachable %d→%d got rank %d", name, node, dst, q.Rank(nid, did))
+					}
+					continue
+				}
+				if got, want := q.Rank(nid, did), uint32(tbl.DD(nid, did)); got != want {
+					t.Fatalf("%s: rank(%d→%d) = %d; hop count is %d", name, node, dst, got, want)
+				}
+			}
+		}
+		if q.Bits() != tbl.DDBits() {
+			t.Fatalf("%s: quantised bits %d != raw hop-count bits %d", name, q.Bits(), tbl.DDBits())
+		}
+	}
+}
+
+// TestQuantiserWeightSumCompresses: weight-sum discriminators on distance
+// weights need far more raw bits than the node count justifies; rank
+// coding must bring them down to ⌈log2(nodes)⌉-ish while preserving order.
+func TestQuantiserWeightSumCompresses(t *testing.T) {
+	tp, err := topo.ByNameWeighted("geant", topo.DistanceWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := route.Build(tp.Graph, route.WeightSum)
+	q := BuildQuantiser(tbl)
+	if raw := tbl.DDBits(); q.Bits() >= raw {
+		t.Fatalf("quantised bits %d not below raw weight-sum bits %d", q.Bits(), raw)
+	}
+	n := uint32(tp.Graph.NumNodes())
+	if q.MaxRank() >= n {
+		t.Fatalf("max rank %d ≥ node count %d: ranks not dense", q.MaxRank(), n)
+	}
+	if !q.VerifyOrderPreserved(tbl) {
+		t.Fatal("order not preserved on geant/weight-sum")
+	}
+}
+
+// TestQuantiserOrderPreservedRandom sweeps random weighted graphs: the
+// strict-decrease invariant reduces to VerifyOrderPreserved, checked
+// exhaustively per destination.
+func TestQuantiserOrderPreservedRandom(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		n := 6 + int(seed%12)
+		g := graph.RandomTwoConnected(n, n+3+int(seed)%n, seed)
+		for _, disc := range []route.Discriminator{route.HopCount, route.WeightSum} {
+			tbl := route.Build(g, disc)
+			q := BuildQuantiser(tbl)
+			if !q.VerifyOrderPreserved(tbl) {
+				t.Fatalf("seed %d disc %v: order violated", seed, disc)
+			}
+			if q.Bits() < 1 || q.MaxRank() >= uint32(n) {
+				t.Fatalf("seed %d disc %v: bits %d maxRank %d out of range", seed, disc, q.Bits(), q.MaxRank())
+			}
+		}
+	}
+}
+
+// TestQuantiserEqualValuesShareRank: ties in the raw discriminator must
+// map to the same rank, or the ≥ branch of the termination test diverges.
+func TestQuantiserEqualValuesShareRank(t *testing.T) {
+	g := graph.Ring(8) // symmetric: nodes equidistant from dst share hops
+	tbl := route.Build(g, route.HopCount)
+	q := BuildQuantiser(tbl)
+	// Toward node 0, nodes 1 and 7 are both one hop away.
+	if q.Rank(1, 0) != q.Rank(7, 0) {
+		t.Fatalf("equal hop counts got ranks %d and %d", q.Rank(1, 0), q.Rank(7, 0))
+	}
+	if q.Rank(4, 0) != 4 {
+		t.Fatalf("antipode rank = %d; want 4", q.Rank(4, 0))
+	}
+}

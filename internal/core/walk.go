@@ -108,7 +108,7 @@ func (p *Protocol) decide(node, dst graph.NodeID, ingress rotation.DartID, hdr H
 		// and take the complementary cycle of the failed interface.
 		hdr.PR = true
 		if p.vrnt == Full {
-			hdr.DD = p.tbl.DD(node, dst)
+			hdr.DD = p.dd(node, dst)
 		}
 		if eg, ok := p.firstUpComplementary(spDart, failures); ok {
 			return eg, EventDetect, hdr, true
@@ -123,7 +123,7 @@ func (p *Protocol) decide(node, dst graph.NodeID, ingress rotation.DartID, hdr H
 		return eg, EventCycle, hdr, true
 	}
 	// Failure encountered while cycle following: termination test.
-	if p.vrnt == Basic || p.tbl.DD(node, dst) < hdr.DD {
+	if p.vrnt == Basic || p.dd(node, dst) < hdr.DD {
 		// §4.2: re-encountering a failure signals that cycle following is
 		// no longer necessary. §4.3: strictly smaller DD. Clear the bit
 		// and decide again at this node with shortest-path routing.
@@ -143,6 +143,17 @@ func (p *Protocol) decide(node, dst graph.NodeID, ingress rotation.DartID, hdr H
 		return cand, EventContinue, hdr, true
 	}
 	return rotation.NoDart, 0, hdr, false
+}
+
+// dd returns the discriminator the protocol stamps and compares: the raw
+// route.Table value, or its order-preserving rank under Config.Quantise.
+// Rank comparison is exactly equivalent to raw comparison (see Quantiser),
+// so the two modes take identical decisions.
+func (p *Protocol) dd(node, dst graph.NodeID) float64 {
+	if p.quant != nil {
+		return quantDD(p.quant.Rank(node, dst))
+	}
+	return p.tbl.DD(node, dst)
 }
 
 // firstUpComplementary walks the complementary chain σ(d), σ²(d), ... of a

@@ -33,10 +33,17 @@ type Packet struct {
 }
 
 // Batch is a slice of packets handed to the engine together. Batching
-// amortises ring hand-off and snapshot loads over many decisions.
+// amortises ring hand-off and snapshot loads over many decisions. The two
+// slices are independent planes of the same batch: Pkts carries abstract
+// decisions (DecideBatch), Wire carries raw frames forwarded byte-in-place
+// (ForwardWireBatch). Either may be empty.
 type Batch struct {
 	Pkts []Packet
+	Wire []WirePacket
 }
+
+// size is the decision count the batch contributes to Engine.Decided.
+func (b *Batch) size() uint64 { return uint64(len(b.Pkts) + len(b.Wire)) }
 
 // EngineConfig parameterises NewEngine.
 type EngineConfig struct {
@@ -225,8 +232,10 @@ func (e *Engine) Close() uint64 {
 		}
 		sh.ring.mu.Unlock()
 		for _, b := range leftovers {
-			e.fib.DecideBatch(b.Pkts, e.state.Load())
-			sh.decided.Add(uint64(len(b.Pkts)))
+			st := e.state.Load()
+			e.fib.DecideBatch(b.Pkts, st)
+			e.fib.ForwardWireBatch(b.Wire, st)
+			sh.decided.Add(b.size())
 			if e.cfg.OnDone != nil {
 				e.cfg.OnDone(b)
 			}
@@ -278,8 +287,10 @@ func (e *Engine) worker(sh *shard) {
 		idle = 0
 		// One snapshot load covers the whole batch: decisions within a
 		// batch see a single consistent interface state.
-		fib.DecideBatch(b.Pkts, e.state.Load())
-		sh.decided.Add(uint64(len(b.Pkts)))
+		st := e.state.Load()
+		fib.DecideBatch(b.Pkts, st)
+		fib.ForwardWireBatch(b.Wire, st)
+		sh.decided.Add(b.size())
 		if e.cfg.OnDone != nil {
 			e.cfg.OnDone(b)
 		}

@@ -10,10 +10,39 @@ import (
 	"recycle/internal/rotation"
 )
 
-// ddUnencodable marks a quantised discriminator that does not fit the
-// DSCP pool-2 DD field (non-integral or larger than header.MaxDD). The
-// wire path drops rather than truncates, mirroring header.EncodeDSCP.
-const ddUnencodable = 0xFF
+// Codec identifies the wire encoding a compiled network stamps its PR
+// marks with, selected by Compile from the quantised DD bit budget.
+type Codec uint8
+
+const (
+	// CodecDSCP: IPv4 DSCP pool 2, 3 DD bits — the paper's §6 proposal,
+	// chosen when every quantised discriminator fits.
+	CodecDSCP Codec = iota
+	// CodecFlowLabel: IPv6 flow label, 17 DD bits — the escape hatch for
+	// larger diameters and weight-sum discriminators.
+	CodecFlowLabel
+)
+
+// String names the codec.
+func (c Codec) String() string {
+	switch c {
+	case CodecDSCP:
+		return "dscp"
+	case CodecFlowLabel:
+		return "flow-label"
+	}
+	return fmt.Sprintf("Codec(%d)", uint8(c))
+}
+
+// CodecFor returns the wire codec a b-bit quantised discriminator code
+// compiles to — the single selection rule Compile, the facade and the
+// reporting tools all share.
+func CodecFor(bits int) Codec {
+	if header.FitsDSCP(bits) {
+		return CodecDSCP
+	}
+	return CodecFlowLabel
+}
 
 // FIB is the compiled forwarding state of one PR network: every lookup
 // core.Protocol performs through route.Table and rotation.System methods
@@ -31,13 +60,22 @@ type FIB struct {
 	// nextDart[node*numNodes+dst] is the shortest-path egress dart from
 	// node toward dst, -1 at the destination or when unreachable.
 	nextDart []int32
-	// dd[node*numNodes+dst] is the exact distance discriminator
-	// (route.Table.DD), +Inf for unreachable pairs. Kept exact so
-	// decisions match core bit for bit; the wire path uses ddQ.
+	// dd[node*numNodes+dst] is the discriminator in the units the source
+	// protocol stamps: the exact route.Table.DD value, or its rank when
+	// the protocol was built with core.Config.Quantise — so Decide is bit
+	// for bit the protocol's Decide in either mode. +Inf for unreachable
+	// pairs. The wire path always uses ddQ.
 	dd []float64
-	// ddQ is dd quantised to the DSCP pool-2 field width, ddUnencodable
-	// when it does not fit.
-	ddQ []uint8
+	// ddQ is the rank-quantised discriminator (core.Quantiser): a dense
+	// order-preserving code the wire codecs can always carry,
+	// core.RankUnreachable for unreachable pairs. Rank comparison is
+	// exactly equivalent to raw comparison, so the wire path's decisions
+	// match Decide's (and therefore core's) on every input.
+	ddQ []uint32
+	// ddBits is the bit budget of the largest rank; codec is the wire
+	// encoding Compile selected from it.
+	ddBits int
+	codec  Codec
 	// faceNext[d] is φ(d), the cycle-following successor of dart d.
 	faceNext []int32
 	// sigma[d] is σ(d), the complementary-cycle egress for a failed dart.
@@ -46,10 +84,17 @@ type FIB struct {
 	head []int32
 }
 
-// Compile flattens a core.Protocol into a FIB. It is the offline step the
-// paper assigns to the designated server (§4.3): run once per topology
-// change, never at failure time.
-func Compile(p *core.Protocol) (*FIB, error) {
+// Compile flattens a core.Protocol into a FIB and selects the wire codec:
+// DSCP pool 2 when the rank-quantised discriminators fit its 3 DD bits,
+// the IPv6 flow label otherwise. It is the offline step the paper assigns
+// to the designated server (§4.3): run once per topology change, never at
+// failure time.
+func Compile(p *core.Protocol) (*FIB, error) { return CompileWith(p, nil) }
+
+// CompileWith is Compile reusing a prebuilt quantiser over p.Routes()
+// (nil builds one), sparing callers that already hold one — like the
+// recycle façade — a second O(n² log n) pass and a second n² table.
+func CompileWith(p *core.Protocol, quant *core.Quantiser) (*FIB, error) {
 	if p == nil {
 		return nil, fmt.Errorf("dataplane: nil protocol")
 	}
@@ -58,17 +103,36 @@ func Compile(p *core.Protocol) (*FIB, error) {
 	tbl := p.Routes()
 	n := g.NumNodes()
 	m := g.NumLinks()
+	// quantised: the protocol itself stamps ranks into Header.DD, so the
+	// abstract dd table must hold ranks too or Decide's termination test
+	// would compare mismatched units. The protocol's own quantiser wins
+	// over the supplied one — they are identical by construction, but the
+	// protocol's is the one its walks actually stamp from.
+	quantised := p.Quantiser() != nil
+	if quantised {
+		quant = p.Quantiser()
+	} else if quant == nil {
+		quant = core.BuildQuantiser(tbl)
+	}
 	f := &FIB{
 		variant:  p.Variant(),
 		numNodes: n,
 		numLinks: m,
 		nextDart: make([]int32, n*n),
 		dd:       make([]float64, n*n),
-		ddQ:      make([]uint8, n*n),
+		ddQ:      make([]uint32, n*n),
+		ddBits:   quant.Bits(),
 		faceNext: make([]int32, 2*m),
 		sigma:    make([]int32, 2*m),
 		head:     make([]int32, 2*m),
 	}
+	if !header.FitsFlowLabel(f.ddBits) {
+		// Unreachable for any graph the 65536-node address plan admits
+		// (ranks are < numNodes); kept as a guard for exotic callers.
+		return nil, fmt.Errorf("dataplane: quantised DD needs %d bits; flow label carries %d",
+			f.ddBits, header.FlowLabelDDBits)
+	}
+	f.codec = CodecFor(f.ddBits)
 	for node := 0; node < n; node++ {
 		for dst := 0; dst < n; dst++ {
 			idx := node*n + dst
@@ -78,17 +142,16 @@ func Compile(p *core.Protocol) (*FIB, error) {
 			} else {
 				f.nextDart[idx] = int32(sys.OutgoingDart(graph.NodeID(node), link))
 			}
+			rank := quant.Rank(graph.NodeID(node), graph.NodeID(dst))
+			f.ddQ[idx] = rank
 			if !tbl.Reachable(graph.NodeID(node), graph.NodeID(dst)) {
 				f.dd[idx] = math.Inf(1)
-				f.ddQ[idx] = ddUnencodable
 				continue
 			}
-			dd := tbl.DD(graph.NodeID(node), graph.NodeID(dst))
-			f.dd[idx] = dd
-			if dd >= 0 && dd <= header.MaxDD && dd == math.Trunc(dd) {
-				f.ddQ[idx] = uint8(dd)
+			if quantised {
+				f.dd[idx] = float64(rank)
 			} else {
-				f.ddQ[idx] = ddUnencodable
+				f.dd[idx] = tbl.DD(graph.NodeID(node), graph.NodeID(dst))
 			}
 		}
 	}
@@ -113,11 +176,18 @@ func (f *FIB) NumLinks() int { return f.numLinks }
 // Head returns the node dart d points at.
 func (f *FIB) Head(d rotation.DartID) graph.NodeID { return graph.NodeID(f.head[d]) }
 
+// Codec returns the wire encoding Compile selected for this network.
+func (f *FIB) Codec() Codec { return f.codec }
+
+// DDBits returns the bit budget of the quantised discriminator code.
+func (f *FIB) DDBits() int { return f.ddBits }
+
 // WireDD returns the quantised discriminator the wire path stamps for
-// (node, dst), or ok=false when it does not fit the DSCP pool-2 field.
-func (f *FIB) WireDD(node, dst graph.NodeID) (uint8, bool) {
+// (node, dst), or ok=false for unreachable pairs. Unlike the raw
+// discriminator it always fits the compiled codec.
+func (f *FIB) WireDD(node, dst graph.NodeID) (uint32, bool) {
 	q := f.ddQ[int(node)*f.numNodes+int(dst)]
-	return q, q != ddUnencodable
+	return q, q != core.RankUnreachable
 }
 
 // Decide performs one forwarding decision on the compiled tables:
@@ -180,6 +250,60 @@ func (f *FIB) decideSP(node, dst graph.NodeID, hdr core.Header, st *LinkState, r
 		return core.Decision{Egress: rotation.DartID(eg), Event: core.EventDetect, Header: hdr, OK: true}
 	}
 	return core.Decision{Egress: rotation.NoDart, Header: hdr}
+}
+
+// decideWire is Decide in rank space: the same forwarding rule with the
+// packet's discriminator read and stamped as the quantised code the wire
+// codecs carry. Because rank comparison is exactly equivalent to raw
+// comparison per destination (core.Quantiser), decideWire chooses the same
+// egress dart and event as Decide on every input — proven by the
+// wire-vs-walk differential tests.
+func (f *FIB) decideWire(node, dst graph.NodeID, ingress rotation.DartID, pr bool, dd uint32, st *LinkState) (egress rotation.DartID, event core.Event, prOut bool, ddOut uint32, ok bool) {
+	if pr {
+		if ingress < 0 {
+			return rotation.NoDart, 0, pr, dd, false
+		}
+		eg := f.faceNext[ingress]
+		if !st.Down(graph.LinkID(eg >> 1)) {
+			return rotation.DartID(eg), core.EventCycle, pr, dd, true
+		}
+		if f.variant == core.Basic || f.ddQ[int(node)*f.numNodes+int(dst)] < dd {
+			eg, ev, prOut, ddOut, ok := f.decideWireSP(node, dst, false, dd, st, true)
+			if !ok {
+				return rotation.NoDart, 0, pr, dd, false
+			}
+			return eg, ev, prOut, ddOut, true
+		}
+		if cand, up := f.firstUp(eg, st); up {
+			return rotation.DartID(cand), core.EventContinue, pr, dd, true
+		}
+		return rotation.NoDart, 0, pr, dd, false
+	}
+	return f.decideWireSP(node, dst, pr, dd, st, false)
+}
+
+// decideWireSP is decideSP in rank space.
+func (f *FIB) decideWireSP(node, dst graph.NodeID, pr bool, dd uint32, st *LinkState, resumed bool) (rotation.DartID, core.Event, bool, uint32, bool) {
+	idx := int(node)*f.numNodes + int(dst)
+	nd := f.nextDart[idx]
+	if nd < 0 {
+		return rotation.NoDart, 0, pr, dd, false
+	}
+	if !st.Down(graph.LinkID(nd >> 1)) {
+		ev := core.EventRoute
+		if resumed {
+			ev = core.EventResume
+		}
+		return rotation.DartID(nd), ev, pr, dd, true
+	}
+	pr = true
+	if f.variant == core.Full {
+		dd = f.ddQ[idx]
+	}
+	if eg, ok := f.firstUp(nd, st); ok {
+		return rotation.DartID(eg), core.EventDetect, pr, dd, true
+	}
+	return rotation.NoDart, 0, pr, dd, false
 }
 
 // DecideBatch decides a whole batch in one call, writing each packet's

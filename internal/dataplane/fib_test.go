@@ -8,6 +8,7 @@ import (
 	"recycle/internal/dataplane"
 	"recycle/internal/embedding"
 	"recycle/internal/graph"
+	"recycle/internal/header"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
 	"recycle/internal/topo"
@@ -272,5 +273,111 @@ func TestDecideZeroAllocs(t *testing.T) {
 		}); allocs != 0 {
 			t.Errorf("Decide(hdr=%+v) allocates %.1f per op, want 0", hdr, allocs)
 		}
+	}
+}
+
+// TestCompileCodecSelection: Compile picks DSCP whenever the quantised
+// code fits its 3 DD bits and the flow label otherwise — per network, the
+// decision the paper leaves to the operator made mechanical.
+func TestCompileCodecSelection(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		disc  route.Discriminator
+		codec dataplane.Codec
+	}{
+		{"abilene/hop", topo.Abilene(topo.DistanceWeights).Graph, route.HopCount, dataplane.CodecDSCP},
+		{"geant/hop", topo.Geant(topo.DistanceWeights).Graph, route.HopCount, dataplane.CodecDSCP},
+		{"geant/weight", topo.Geant(topo.DistanceWeights).Graph, route.WeightSum, dataplane.CodecFlowLabel},
+		{"ring24/hop", graph.Ring(24), route.HopCount, dataplane.CodecFlowLabel},
+		{"ring14/hop", graph.Ring(14), route.HopCount, dataplane.CodecDSCP},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := (embedding.Auto{Seed: 1}).Embed(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fib, err := dataplane.Compile(buildProtocol(t, tc.g, sys, tc.disc, core.Full))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fib.Codec() != tc.codec {
+				t.Fatalf("codec = %v (dd bits %d); want %v", fib.Codec(), fib.DDBits(), tc.codec)
+			}
+			if tc.codec == dataplane.CodecDSCP && fib.DDBits() > header.DDBits {
+				t.Fatalf("DSCP selected for %d-bit codes", fib.DDBits())
+			}
+			if tc.codec == dataplane.CodecFlowLabel && fib.DDBits() <= header.DDBits {
+				t.Fatalf("flow label selected for %d-bit codes", fib.DDBits())
+			}
+		})
+	}
+}
+
+// TestWireDDMatchesQuantiser: the FIB's wire discriminators are exactly
+// the core quantiser's ranks, and every reachable pair has an encodable
+// one — the structural claim behind removing the overflow drop class.
+func TestWireDDMatchesQuantiser(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		n := 8 + int(seed%8)
+		g := graph.RandomTwoConnected(n, n+4, seed)
+		sys := rotation.Random(g, seed)
+		disc := route.HopCount
+		if seed%2 == 0 {
+			disc = route.WeightSum
+		}
+		tbl := route.Build(g, disc)
+		p, err := core.New(g, sys, tbl, core.Config{Variant: core.Full})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fib, err := dataplane.Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := core.BuildQuantiser(tbl)
+		maxEnc := uint32(1)<<fib.DDBits() - 1
+		for node := 0; node < n; node++ {
+			for dst := 0; dst < n; dst++ {
+				nid, did := graph.NodeID(node), graph.NodeID(dst)
+				rank, ok := fib.WireDD(nid, did)
+				if ok != tbl.Reachable(nid, did) {
+					t.Fatalf("seed %d: WireDD(%d,%d) ok=%v, reachable=%v", seed, node, dst, ok, tbl.Reachable(nid, did))
+				}
+				if !ok {
+					continue
+				}
+				if rank != q.Rank(nid, did) {
+					t.Fatalf("seed %d: WireDD(%d,%d) = %d, quantiser says %d", seed, node, dst, rank, q.Rank(nid, did))
+				}
+				if rank > maxEnc {
+					t.Fatalf("seed %d: rank %d exceeds the %d-bit budget", seed, rank, fib.DDBits())
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesQuantisedProtocol: compiling a Config.Quantise
+// protocol must keep Decide bit-identical to it — the compiled dd table
+// holds ranks, the same units the quantised protocol stamps into
+// Header.DD — under both discriminators and random embeddings.
+func TestCompiledMatchesQuantisedProtocol(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		n := 8 + int(seed%6)
+		g := graph.RandomTwoConnected(n, n+4, seed)
+		sys := rotation.Random(g, seed*3)
+		disc := route.HopCount
+		if seed%2 == 0 {
+			disc = route.WeightSum
+		}
+		p, err := core.New(g, sys, route.Build(g, disc), core.Config{Variant: core.Full, Quantise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(fmt.Sprintf("seed%d-%s", seed, disc), func(t *testing.T) {
+			diffProtocol(t, p, multiFailsets(t, g, []int{2}, 3, seed))
+		})
 	}
 }

@@ -1,26 +1,38 @@
 package dataplane
 
 import (
-	"math"
 	"net/netip"
 
-	"recycle/internal/core"
 	"recycle/internal/graph"
 	"recycle/internal/header"
 	"recycle/internal/rotation"
 )
 
-// The wire path forwards real IPv4 packet bytes: decode the PR mark from
-// the DSCP pool-2 field, decide on the compiled FIB, re-encode the mark in
-// place and repair the header checksum incrementally (RFC 1624) — no
-// parsing structs, no full checksum recomputation, no allocations.
+// The wire path forwards real packet bytes in both address families:
+// decode the PR mark (DSCP pool 2 on IPv4, flow label on IPv6), decide on
+// the compiled FIB in rank space, re-encode the mark in place and repair
+// the IPv4 checksum incrementally (RFC 1624; IPv6 has none) — no parsing
+// structs, no full checksum recomputation, no allocations.
 //
-// Node addressing follows a fixed plan so destination lookup is pure
-// arithmetic: node n owns 10.1.hi.lo where hi.lo is n in big-endian. The
-// plan covers 65536 nodes, far beyond any topology here.
+// Marks carry the *quantised* discriminator (core.Quantiser ranks), which
+// the compiler guarantees fits the codec it selected, so no reachable
+// packet is ever dropped for discriminator width: the seed dataplane's
+// WireDropDDOverflow loss class is gone. The only residual width drop is a
+// genuine family mismatch — an IPv4 packet needing a mark wider than DSCP
+// on a network whose codec is the IPv6 flow label.
+//
+// Node addressing follows fixed plans so destination lookup is pure
+// arithmetic: node n owns 10.1.hi.lo in IPv4 and fd00:5052::hi:lo-style
+// bytes in IPv6, hi.lo being n in big-endian. The plans cover 65536 nodes,
+// far beyond any topology here.
 
-// wireAddrPrefix is the /16 the node address plan lives in (10.1.0.0/16).
+// wireAddrPrefix is the /16 the IPv4 node address plan lives in
+// (10.1.0.0/16).
 const wireAddrPrefix = 0x0A01
+
+// wireAddr6Prefix is the first 14 bytes of the IPv6 node address plan:
+// fd00:5052::/112, a ULA tagged "PR" (0x50 0x52).
+var wireAddr6Prefix = [14]byte{0xfd, 0x00, 0x50, 0x52}
 
 // NodeAddr returns the IPv4 address assigned to node n by the plan.
 func NodeAddr(n graph.NodeID) netip.Addr {
@@ -44,6 +56,28 @@ func NodeOfAddr(a netip.Addr) graph.NodeID {
 	return graph.NodeID(be & 0xFFFF)
 }
 
+// NodeAddr6 returns the IPv6 address assigned to node n by the plan.
+func NodeAddr6(n graph.NodeID) netip.Addr {
+	var b [16]byte
+	copy(b[:], wireAddr6Prefix[:])
+	b[14] = byte(uint32(n) >> 8)
+	b[15] = byte(uint32(n))
+	return netip.AddrFrom16(b)
+}
+
+// NodeOfAddr6 inverts NodeAddr6, returning graph.NoNode for addresses
+// outside the plan.
+func NodeOfAddr6(a netip.Addr) graph.NodeID {
+	if !a.Is6() || a.Is4In6() {
+		return graph.NoNode
+	}
+	b := a.As16()
+	if [14]byte(b[:14]) != wireAddr6Prefix {
+		return graph.NoNode
+	}
+	return graph.NodeID(uint32(b[14])<<8 | uint32(b[15]))
+}
+
 // WireVerdict classifies the outcome of one wire-path forwarding step.
 type WireVerdict uint8
 
@@ -54,19 +88,22 @@ const (
 	// WireDeliver: the destination address is this node; hand the packet
 	// to the local stack untouched.
 	WireDeliver
-	// WireDropTTL: the TTL reached zero.
+	// WireDropTTL: the TTL (hop limit) reached zero.
 	WireDropTTL
 	// WireDropNoRoute: the FIB had no usable egress (isolated router or
 	// unreachable destination).
 	WireDropNoRoute
-	// WireDropNotIPv4: not a 20-byte-header IPv4 packet.
-	WireDropNotIPv4
+	// WireDropNotIP: neither a 20-byte-header IPv4 packet nor a
+	// fixed-header IPv6 packet.
+	WireDropNotIP
 	// WireDropNotOurs: the destination address is outside the node plan.
 	WireDropNotOurs
-	// WireDropDDOverflow: the discriminator to stamp does not fit the
-	// DSCP pool-2 DD field (paper: larger diameters need weight
-	// quantisation or a wider field; we drop rather than truncate).
-	WireDropDDOverflow
+	// WireDropCodecMismatch: the packet's address family cannot carry the
+	// quantised discriminator this network needs — an IPv4 packet on a
+	// flow-label-codec network whose mark would exceed DSCP's 3 DD bits.
+	// Unlike the seed's WireDropDDOverflow this is never hit by traffic in
+	// the network's own family: Compile sizes the codec to the topology.
+	WireDropCodecMismatch
 	// WireDropBadMark: the packet carries a PR mark that is impossible
 	// by protocol (a re-cycling packet with no ingress interface) —
 	// host-originated or forged marking.
@@ -84,12 +121,12 @@ func (v WireVerdict) String() string {
 		return "drop-ttl"
 	case WireDropNoRoute:
 		return "drop-no-route"
-	case WireDropNotIPv4:
-		return "drop-not-ipv4"
+	case WireDropNotIP:
+		return "drop-not-ip"
 	case WireDropNotOurs:
 		return "drop-not-ours"
-	case WireDropDDOverflow:
-		return "drop-dd-overflow"
+	case WireDropCodecMismatch:
+		return "drop-codec-mismatch"
 	case WireDropBadMark:
 		return "drop-bad-mark"
 	}
@@ -99,17 +136,43 @@ func (v WireVerdict) String() string {
 // Dropped reports whether the verdict is any drop.
 func (v WireVerdict) Dropped() bool { return v != WireForward && v != WireDeliver }
 
-// ForwardWire performs one PR forwarding step on raw IPv4 packet bytes at
-// node, arrived on ingress (rotation.NoDart at the origin host). On
-// WireForward the buffer has been rewritten in place — PR mark re-encoded
-// into DSCP, TTL decremented, checksum incrementally repaired — and the
-// packet should be transmitted on the returned dart.
+// ForwardWire performs one PR forwarding step on raw packet bytes at node,
+// arrived on ingress (rotation.NoDart at the origin host), dispatching on
+// the IP version nibble. On WireForward the buffer has been rewritten in
+// place — PR mark re-encoded, TTL/hop limit decremented, IPv4 checksum
+// incrementally repaired — and the packet should be transmitted on the
+// returned dart.
 //
-// Unmarked traffic (DSCP outside pool 2) is treated as PR-clear and its
-// DSCP is preserved unless a failure forces marking.
+// Unmarked traffic (DSCP outside pool 2, flow-label low bits ≠ 11) is
+// treated as PR-clear and its field is preserved unless a failure forces
+// marking.
+//
+// Both codecs assume the PR domain bleaches the mark field at its edge,
+// exactly as diffserv domains re-mark DSCP (RFC 2474 §6 reserves pool 2
+// for local use, and RFC 6437 lets a domain rewrite flow labels it
+// assigns meaning to): a host-set pseudo-random flow label whose low
+// bits happen to be 11 would otherwise be read as a mark — one in four
+// labels, one in eight additionally carrying the PR bit and refused as
+// forged. Ingress routers (ingress == rotation.NoDart) therefore must
+// sit behind the bleaching boundary.
 func (f *FIB) ForwardWire(node graph.NodeID, ingress rotation.DartID, st *LinkState, buf []byte) (rotation.DartID, WireVerdict) {
+	if len(buf) == 0 {
+		return rotation.NoDart, WireDropNotIP
+	}
+	switch buf[0] >> 4 {
+	case 4:
+		return f.forwardWire4(node, ingress, st, buf)
+	case 6:
+		return f.forwardWire6(node, ingress, st, buf)
+	}
+	return rotation.NoDart, WireDropNotIP
+}
+
+// forwardWire4 is the IPv4 half of the wire path: DSCP pool-2 marks,
+// RFC 1624 incremental checksum repair.
+func (f *FIB) forwardWire4(node graph.NodeID, ingress rotation.DartID, st *LinkState, buf []byte) (rotation.DartID, WireVerdict) {
 	if len(buf) < header.HeaderLen || buf[0] != 0x45 {
-		return rotation.NoDart, WireDropNotIPv4
+		return rotation.NoDart, WireDropNotIP
 	}
 	dstBE := uint32(buf[16])<<24 | uint32(buf[17])<<16 | uint32(buf[18])<<8 | uint32(buf[19])
 	if dstBE>>16 != wireAddrPrefix {
@@ -127,33 +190,35 @@ func (f *FIB) ForwardWire(node graph.NodeID, ingress rotation.DartID, st *LinkSt
 	}
 
 	oldTOS := buf[1]
-	var hdr core.Header
+	var pr bool
+	var dd uint32
 	mark, err := header.DecodeDSCP(oldTOS >> 2)
 	marked := err == nil // DSCP pool 2 (xxxx11); anything else is unmarked traffic
 	if marked {
-		hdr.PR = mark.PR
-		hdr.DD = float64(mark.DD)
+		pr = mark.PR
+		dd = mark.DD
 	}
-	if hdr.PR && ingress == rotation.NoDart {
+	if pr && ingress == rotation.NoDart {
 		// A re-cycling mark on a packet with no ingress interface cannot
 		// come from a PR router; refuse it rather than guess.
 		return rotation.NoDart, WireDropBadMark
 	}
 
-	d := f.Decide(node, dst, ingress, hdr, st)
-	if !d.OK {
+	egress, _, prOut, ddOut, ok := f.decideWire(node, dst, ingress, pr, dd, st)
+	if !ok {
 		return rotation.NoDart, WireDropNoRoute
 	}
 
 	newTOS := oldTOS
-	if d.Header.PR || marked {
-		dd := d.Header.DD
-		if !(dd >= 0 && dd <= header.MaxDD) || dd != math.Trunc(dd) {
-			return rotation.NoDart, WireDropDDOverflow
+	if prOut || marked {
+		if ddOut > header.MaxDD {
+			// Only reachable when the compiled codec is the flow label:
+			// this IPv4 packet cannot carry the mark the network needs.
+			return rotation.NoDart, WireDropCodecMismatch
 		}
-		dscp, encErr := header.EncodeDSCP(header.Mark{PR: d.Header.PR, DD: uint8(dd)})
+		dscp, encErr := header.EncodeDSCP(header.Mark{PR: prOut, DD: ddOut})
 		if encErr != nil {
-			return rotation.NoDart, WireDropDDOverflow
+			return rotation.NoDart, WireDropCodecMismatch
 		}
 		newTOS = dscp<<2 | oldTOS&0b11 // keep ECN bits
 	}
@@ -170,7 +235,111 @@ func (f *FIB) ForwardWire(node graph.NodeID, ingress rotation.DartID, st *LinkSt
 	ck = updateChecksum(ck, oldW0, newW0)
 	ck = updateChecksum(ck, oldW4, newW4)
 	buf[10], buf[11] = byte(ck>>8), byte(ck)
-	return d.Egress, WireForward
+	return egress, WireForward
+}
+
+// forwardWire6 is the IPv6 half of the wire path: flow-label marks on the
+// fixed 40-byte header. IPv6 has no header checksum, so the rewrite is two
+// byte stores and a decrement.
+func (f *FIB) forwardWire6(node graph.NodeID, ingress rotation.DartID, st *LinkState, buf []byte) (rotation.DartID, WireVerdict) {
+	if len(buf) < header.HeaderLen6 {
+		return rotation.NoDart, WireDropNotIP
+	}
+	if [14]byte(buf[24:38]) != wireAddr6Prefix {
+		return rotation.NoDart, WireDropNotOurs
+	}
+	dst := graph.NodeID(uint32(buf[38])<<8 | uint32(buf[39]))
+	if int(dst) >= f.numNodes {
+		return rotation.NoDart, WireDropNotOurs
+	}
+	if dst == node {
+		return rotation.NoDart, WireDeliver
+	}
+	if buf[7] <= 1 {
+		return rotation.NoDart, WireDropTTL
+	}
+
+	fl := uint32(buf[1]&0x0F)<<16 | uint32(buf[2])<<8 | uint32(buf[3])
+	var pr bool
+	var dd uint32
+	mark, err := header.DecodeFlowLabel(fl)
+	marked := err == nil // pool-2 flow label (low bits 11); else unmarked
+	if marked {
+		pr = mark.PR
+		dd = mark.DD
+	}
+	if pr && ingress == rotation.NoDart {
+		return rotation.NoDart, WireDropBadMark
+	}
+
+	egress, _, prOut, ddOut, ok := f.decideWire(node, dst, ingress, pr, dd, st)
+	if !ok {
+		return rotation.NoDart, WireDropNoRoute
+	}
+
+	if prOut || marked {
+		// Compile guarantees every rank fits the flow label's 17 DD bits,
+		// so unlike the IPv4 half this re-encode cannot fail.
+		newFL, _ := header.EncodeFlowLabel(header.Mark{PR: prOut, DD: ddOut})
+		buf[1] = buf[1]&0xF0 | byte(newFL>>16)
+		buf[2] = byte(newFL >> 8)
+		buf[3] = byte(newFL)
+	}
+	buf[7]--
+	return egress, WireForward
+}
+
+// WirePacket is one raw frame awaiting a wire-path forwarding step — the
+// engine's unit of work on the byte-level fast path. Submit fills the
+// first three fields; the worker fills the rest.
+type WirePacket struct {
+	// Node is the router making the decision.
+	Node graph.NodeID
+	// Ingress is the dart the frame arrived on (rotation.NoDart at the
+	// origin host).
+	Ingress rotation.DartID
+	// Buf is the packet bytes, rewritten in place on WireForward.
+	Buf []byte
+
+	// Egress is the chosen egress dart (rotation.NoDart unless the
+	// verdict is WireForward).
+	Egress rotation.DartID
+	// Verdict classifies the outcome.
+	Verdict WireVerdict
+}
+
+// NewWireFrame marshals a fresh unmarked frame from src to dst in the
+// address family of the FIB's codec, with a full TTL budget — the frame
+// shape every wire-path driver (simulator schemes, benchmarks, examples)
+// should start from.
+func (f *FIB) NewWireFrame(src, dst graph.NodeID) ([]byte, error) {
+	if f.codec == CodecFlowLabel {
+		h := header.IPv6{
+			HopLimit:   255,
+			NextHeader: 17,
+			Src:        NodeAddr6(src),
+			Dst:        NodeAddr6(dst),
+		}
+		return h.Marshal()
+	}
+	h := header.IPv4{
+		TotalLength: header.HeaderLen,
+		TTL:         255,
+		Protocol:    17,
+		Src:         NodeAddr(src),
+		Dst:         NodeAddr(dst),
+	}
+	return h.Marshal()
+}
+
+// ForwardWireBatch forwards a whole batch of raw frames in one call,
+// writing each packet's Egress and Verdict in place — the wire counterpart
+// of DecideBatch, sharing one interface-state snapshot across the batch.
+func (f *FIB) ForwardWireBatch(pkts []WirePacket, st *LinkState) {
+	for i := range pkts {
+		p := &pkts[i]
+		p.Egress, p.Verdict = f.ForwardWire(p.Node, p.Ingress, st, p.Buf)
+	}
 }
 
 // updateChecksum folds the change of one 16-bit header word into an RFC

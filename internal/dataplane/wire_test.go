@@ -2,6 +2,7 @@ package dataplane_test
 
 import (
 	"math/rand"
+	"net/netip"
 	"testing"
 
 	"recycle/internal/core"
@@ -170,11 +171,19 @@ func TestForwardWireVerdicts(t *testing.T) {
 
 	buf := mkPacket(t, 0, 3, 64)
 	buf[0] = 0x46 // IHL 6: options unsupported on the fast path
-	if _, v := fib.ForwardWire(1, rotation.NoDart, st, buf); v != dataplane.WireDropNotIPv4 {
-		t.Errorf("options packet: verdict %v, want not-ipv4", v)
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, buf); v != dataplane.WireDropNotIP {
+		t.Errorf("options packet: verdict %v, want not-ip", v)
 	}
-	if _, v := fib.ForwardWire(1, rotation.NoDart, st, buf[:10]); v != dataplane.WireDropNotIPv4 {
-		t.Errorf("short packet: verdict %v, want not-ipv4", v)
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, buf[:10]); v != dataplane.WireDropNotIP {
+		t.Errorf("short packet: verdict %v, want not-ip", v)
+	}
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, nil); v != dataplane.WireDropNotIP {
+		t.Errorf("empty packet: verdict %v, want not-ip", v)
+	}
+	buf = mkPacket(t, 0, 3, 64)
+	buf[0] = 0x95 // version 9
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, buf); v != dataplane.WireDropNotIP {
+		t.Errorf("version-9 packet: verdict %v, want not-ip", v)
 	}
 
 	buf = mkPacket(t, 0, 3, 1)
@@ -219,10 +228,27 @@ func TestForwardWireVerdicts(t *testing.T) {
 	}
 }
 
-// TestForwardWireDDOverflow: weight-sum discriminators on distance
-// weights cannot fit the 3-bit DSCP field, so a failure that forces
-// marking must drop explicitly rather than truncate.
-func TestForwardWireDDOverflow(t *testing.T) {
+// mkPacket6 marshals a fresh unmarked IPv6 packet between two plan
+// addresses.
+func mkPacket6(t testing.TB, src, dst graph.NodeID, hops uint8) []byte {
+	t.Helper()
+	h := header.IPv6{
+		HopLimit:   hops,
+		NextHeader: 17,
+		Src:        dataplane.NodeAddr6(src),
+		Dst:        dataplane.NodeAddr6(dst),
+	}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// flowLabelFixture compiles a weight-sum FIB over geant: quantised ranks
+// exceed DSCP's 3 bits there, so Compile must select the flow-label codec.
+func flowLabelFixture(t testing.TB) (*core.Protocol, *dataplane.FIB, *graph.Graph) {
+	t.Helper()
 	tp, err := topo.ByNameWeighted("geant", topo.DistanceWeights)
 	if err != nil {
 		t.Fatal(err)
@@ -231,39 +257,204 @@ func TestForwardWireDDOverflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := buildProtocol(t, tp.Graph, sys, route.WeightSum, core.Full)
+	p, err := core.New(tp.Graph, sys, route.Build(tp.Graph, route.WeightSum),
+		core.Config{Variant: core.Full, Quantise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fib, err := dataplane.Compile(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := tp.Graph
+	if fib.Codec() != dataplane.CodecFlowLabel {
+		t.Fatalf("geant/weight-sum codec = %v, want flow-label (dd bits %d)", fib.Codec(), fib.DDBits())
+	}
+	return p, fib, tp.Graph
+}
+
+// TestForwardWireCodecMismatch: on a flow-label-codec network, an IPv4
+// packet whose forced mark exceeds DSCP's 3 DD bits is refused with an
+// explicit family-mismatch verdict — the only residual width drop, and
+// one that IPv6 traffic on the same network never hits.
+func TestForwardWireCodecMismatch(t *testing.T) {
+	p, fib, g := flowLabelFixture(t)
 	tbl := p.Routes()
 	// Find a (node, dst) whose shortest-path egress we can fail, forcing a
-	// DD stamp that cannot be quantised.
+	// rank stamp too wide for DSCP.
 	for node := 0; node < g.NumNodes(); node++ {
 		for dst := 0; dst < g.NumNodes(); dst++ {
 			nid, did := graph.NodeID(node), graph.NodeID(dst)
 			link := tbl.NextLink(nid, did)
-			if link == graph.NoLink || tbl.DD(nid, did) <= header.MaxDD {
+			if link == graph.NoLink {
 				continue
 			}
-			if _, ok := fib.WireDD(nid, did); ok {
+			rank, ok := fib.WireDD(nid, did)
+			if !ok || rank <= header.MaxDD {
 				continue
 			}
-			st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(link))
+			fs := graph.NewFailureSet(link)
+			if !graph.ConnectedUnder(g, fs) {
+				continue
+			}
+			st := dataplane.FromFailureSet(g.NumLinks(), fs)
 			_, v := fib.ForwardWire(nid, rotation.NoDart, st, mkPacket(t, nid, did, 64))
-			if v != dataplane.WireDropDDOverflow {
-				t.Fatalf("unquantisable DD at %d→%d: verdict %v, want dd-overflow", node, dst, v)
+			if v != dataplane.WireDropCodecMismatch {
+				t.Fatalf("wide rank %d at %d→%d over IPv4: verdict %v, want codec-mismatch", rank, node, dst, v)
+			}
+			// The identical scenario over IPv6 forwards: the flow label
+			// carries the rank the DSCP field could not.
+			eg, v6 := fib.ForwardWire(nid, rotation.NoDart, st, mkPacket6(t, nid, did, 64))
+			if v6 != dataplane.WireForward || eg == rotation.NoDart {
+				t.Fatalf("same scenario over IPv6: verdict %v, want forward", v6)
 			}
 			return
 		}
 	}
-	t.Skip("no unquantisable pair found on geant/weight-sum")
+	t.Fatal("no wide-rank pair found on geant/weight-sum")
+}
+
+// TestForwardWire6MatchesWalk drives real IPv6 bytes hop by hop through
+// the wire path on a flow-label-codec network under a failure and checks
+// every decision — egress dart and re-encoded flow-label mark — against
+// the quantised core.Protocol.Walk transcript.
+func TestForwardWire6MatchesWalk(t *testing.T) {
+	p, fib, g := flowLabelFixture(t)
+	fails := graph.NewFailureSet(0)
+	if !graph.ConnectedUnder(g, fails) {
+		t.Fatal("link 0 is a bridge")
+	}
+	st := dataplane.FromFailureSet(g.NumLinks(), fails)
+	for dst := 0; dst < g.NumNodes(); dst++ {
+		for src := 0; src < g.NumNodes(); src++ {
+			if src == dst {
+				continue
+			}
+			s, d := graph.NodeID(src), graph.NodeID(dst)
+			want := p.Walk(s, d, fails)
+			if !want.Delivered() {
+				t.Fatalf("core walk %d→%d not delivered: %v", src, dst, want.Outcome)
+			}
+			buf := mkPacket6(t, s, d, 255)
+			node := s
+			ingress := rotation.NoDart
+			for i, step := range want.Steps {
+				if step.Event == core.EventDeliver {
+					if _, v := fib.ForwardWire(node, ingress, st, buf); v != dataplane.WireDeliver {
+						t.Fatalf("%d→%d step %d: verdict %v, want deliver", src, dst, i, v)
+					}
+					break
+				}
+				eg, v := fib.ForwardWire(node, ingress, st, buf)
+				if v != dataplane.WireForward {
+					t.Fatalf("%d→%d step %d at node %d: verdict %v", src, dst, i, node, v)
+				}
+				if eg != step.Egress {
+					t.Fatalf("%d→%d step %d: egress %d, core walked %d", src, dst, i, eg, step.Egress)
+				}
+				var h header.IPv6
+				if err := h.Unmarshal(buf); err != nil {
+					t.Fatalf("%d→%d step %d: rewritten header invalid: %v", src, dst, i, err)
+				}
+				if h.HopLimit != 255-uint8(i+1) {
+					t.Fatalf("%d→%d step %d: hop limit %d, want %d", src, dst, i, h.HopLimit, 255-i-1)
+				}
+				wantHdr := step.Header
+				if wantHdr.PR || h.FlowLabel&0b11 == 0b11 {
+					mark, err := h.PRMark()
+					if err != nil {
+						t.Fatalf("%d→%d step %d: mark decode: %v", src, dst, i, err)
+					}
+					// The quantised protocol's Header.DD is the rank the
+					// wire carries, so the comparison is exact.
+					if mark.PR != wantHdr.PR || float64(mark.DD) != wantHdr.DD {
+						t.Fatalf("%d→%d step %d: wire mark %+v, core header %+v", src, dst, i, mark, wantHdr)
+					}
+				}
+				node = fib.Head(eg)
+				ingress = eg
+			}
+		}
+	}
+}
+
+// TestForwardWire6Verdicts covers the IPv6-specific refusal paths.
+func TestForwardWire6Verdicts(t *testing.T) {
+	_, fib, g := wireFixture(t, "abilene")
+	st := dataplane.FromFailureSet(g.NumLinks(), nil)
+
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, mkPacket6(t, 0, 3, 64)[:39]); v != dataplane.WireDropNotIP {
+		t.Errorf("short IPv6 packet: verdict %v, want not-ip", v)
+	}
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, mkPacket6(t, 0, 3, 1)); v != dataplane.WireDropTTL {
+		t.Errorf("hop limit 1: verdict %v, want drop-ttl", v)
+	}
+	if _, v := fib.ForwardWire(3, rotation.NoDart, st, mkPacket6(t, 0, 3, 64)); v != dataplane.WireDeliver {
+		t.Errorf("at destination: verdict %v, want deliver", v)
+	}
+	h := header.IPv6{HopLimit: 64, NextHeader: 17,
+		Src: dataplane.NodeAddr6(0), Dst: dataplane.NodeAddr6(graph.NodeID(g.NumNodes()))}
+	out, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, out); v != dataplane.WireDropNotOurs {
+		t.Errorf("node beyond topology: verdict %v, want not-ours", v)
+	}
+	alien := header.IPv6{HopLimit: 64, NextHeader: 17,
+		Src: dataplane.NodeAddr6(0), Dst: mustParse(t, "2001:db8::1")}
+	out, err = alien.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, out); v != dataplane.WireDropNotOurs {
+		t.Errorf("off-plan destination: verdict %v, want not-ours", v)
+	}
+
+	// A host-originated (no ingress) frame with a forged PR flow label
+	// must be refused, not crash the engine.
+	forged := header.IPv6{
+		FlowLabel: 1<<19 | 0b11, // PR bit set, pool-2 marker
+		HopLimit:  64, NextHeader: 17,
+		Src: dataplane.NodeAddr6(0), Dst: dataplane.NodeAddr6(3),
+	}
+	out, err = forged.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := fib.ForwardWire(1, rotation.NoDart, st, out); v != dataplane.WireDropBadMark {
+		t.Errorf("forged PR mark with no ingress: verdict %v, want drop-bad-mark", v)
+	}
+
+	// Isolated router: every incident link down.
+	isolated := dataplane.FromFailureSet(g.NumLinks(), graph.FailNode(g, 1))
+	if _, v := fib.ForwardWire(1, rotation.NoDart, isolated, mkPacket6(t, 0, 3, 64)); v != dataplane.WireDropNoRoute {
+		t.Errorf("isolated router: verdict %v, want no-route", v)
+	}
+}
+
+func mustParse(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	return netip.MustParseAddr(s)
+}
+
+func TestNodeAddr6Roundtrip(t *testing.T) {
+	for _, n := range []graph.NodeID{0, 1, 255, 256, 65535} {
+		if got := dataplane.NodeOfAddr6(dataplane.NodeAddr6(n)); got != n {
+			t.Errorf("NodeOfAddr6(NodeAddr6(%d)) = %d", n, got)
+		}
+	}
+	if dataplane.NodeOfAddr6(mustParse(t, "2001:db8::1")) != graph.NoNode {
+		t.Error("off-plan address resolved to a node")
+	}
+	if dataplane.NodeOfAddr6(dataplane.NodeAddr(3)) != graph.NoNode {
+		t.Error("IPv4 plan address resolved through the IPv6 plan")
+	}
 }
 
 var verdictSink dataplane.WireVerdict
 
-// TestForwardWireZeroAllocs: the wire fast path must not allocate.
+// TestForwardWireZeroAllocs: the wire fast path must not allocate — on the
+// IPv4 DSCP path and the IPv6 flow-label path both.
 func TestForwardWireZeroAllocs(t *testing.T) {
 	_, fib, g := wireFixture(t, "geant")
 	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(0))
@@ -273,6 +464,17 @@ func TestForwardWireZeroAllocs(t *testing.T) {
 		copy(buf, tmpl)
 		_, verdictSink = fib.ForwardWire(1, rotation.NoDart, st, buf)
 	}); allocs != 0 {
-		t.Errorf("ForwardWire allocates %.1f per op, want 0", allocs)
+		t.Errorf("ForwardWire/ipv4 allocates %.1f per op, want 0", allocs)
+	}
+
+	_, fib6, g6 := flowLabelFixture(t)
+	st6 := dataplane.FromFailureSet(g6.NumLinks(), graph.NewFailureSet(0))
+	buf6 := mkPacket6(t, 1, graph.NodeID(g6.NumNodes()-1), 64)
+	tmpl6 := append([]byte(nil), buf6...)
+	if allocs := testing.AllocsPerRun(200, func() {
+		copy(buf6, tmpl6)
+		_, verdictSink = fib6.ForwardWire(1, rotation.NoDart, st6, buf6)
+	}); allocs != 0 {
+		t.Errorf("ForwardWire/ipv6 allocates %.1f per op, want 0", allocs)
 	}
 }

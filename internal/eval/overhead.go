@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	"recycle/internal/core"
+	"recycle/internal/dataplane"
 	"recycle/internal/embedding"
 	"recycle/internal/fcp"
 	"recycle/internal/graph"
@@ -20,11 +22,15 @@ type Overhead struct {
 	// HopDiameter is d in the paper's "order of log2(d) DD bits".
 	HopDiameter int
 
-	// PRHeaderBits = 1 PR bit + DD bits.
+	// PRHeaderBits = 1 PR bit + quantised DD bits (core.Quantiser ranks;
+	// identical to raw ⌈log2 d⌉ for hop counts).
 	PRHeaderBits int
 	// PRFitsDSCPPool2 reports whether the header fits in the 4 free bits
-	// of DSCP pool 2 (xxxx11 code points, RFC 2474) the paper proposes.
+	// of DSCP pool 2 (xxxx11 code points, RFC 2474) the paper proposes;
+	// when false the dataplane compiles the IPv6 flow-label codec instead.
 	PRFitsDSCPPool2 bool
+	// PRWireCodec names the codec dataplane.Compile selects.
+	PRWireCodec string
 	// PRCycleEntriesPerRouter is the mean cycle-following table size
 	// (2 entries per interface).
 	PRCycleEntriesPerRouter float64
@@ -67,8 +73,11 @@ func MeasureOverhead(tp topo.Topology) (Overhead, error) {
 	o.PREmbeddingGenus = sys.Genus()
 
 	tbl := route.Build(g, route.HopCount)
-	o.PRHeaderBits = 1 + tbl.DDBits()
-	o.PRFitsDSCPPool2 = o.PRHeaderBits <= 4
+	ddBits := core.BuildQuantiser(tbl).Bits()
+	o.PRHeaderBits = 1 + ddBits
+	codec := dataplane.CodecFor(ddBits)
+	o.PRFitsDSCPPool2 = codec == dataplane.CodecDSCP
+	o.PRWireCodec = codec.String()
 	totalEntries := 0
 	for n := 0; n < g.NumNodes(); n++ {
 		totalEntries += 2 * g.Degree(graph.NodeID(n))
@@ -99,9 +108,9 @@ func MeasureOverhead(tp topo.Topology) (Overhead, error) {
 
 // WriteOverheadReport renders the §6 comparison for the given topologies.
 func WriteOverheadReport(w io.Writer, names []string) error {
-	fmt.Fprintf(w, "%-10s %-5s %-5s %-4s | %-7s %-5s %-9s %-6s | %-8s %-7s | %-7s\n",
+	fmt.Fprintf(w, "%-10s %-5s %-5s %-4s | %-7s %-10s %-9s %-6s | %-8s %-7s | %-7s\n",
 		"topology", "nodes", "links", "diam",
-		"PRbits", "DSCP?", "cyc/rtr", "genus",
+		"PRbits", "codec", "cyc/rtr", "genus",
 		"FCPbits", "FCPspf", "LSAmsgs")
 	for _, name := range names {
 		tp, err := topo.ByName(name)
@@ -112,9 +121,9 @@ func WriteOverheadReport(w io.Writer, names []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-10s %-5d %-5d %-4d | %-7d %-5v %-9.1f %-6d | %-8d %-7d | %-7d\n",
+		fmt.Fprintf(w, "%-10s %-5d %-5d %-4d | %-7d %-10s %-9.1f %-6d | %-8d %-7d | %-7d\n",
 			o.Topology, o.Nodes, o.Links, o.HopDiameter,
-			o.PRHeaderBits, o.PRFitsDSCPPool2, o.PRCycleEntriesPerRouter, o.PREmbeddingGenus,
+			o.PRHeaderBits, o.PRWireCodec, o.PRCycleEntriesPerRouter, o.PREmbeddingGenus,
 			o.FCPMaxHeaderBits, o.FCPMaxRecomputations, o.ReconvFloodMessages)
 	}
 	return nil

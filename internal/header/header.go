@@ -1,7 +1,18 @@
-// Package header implements the on-the-wire encoding the paper proposes
-// (§6): carrying the PR bit and the DD bits inside the DSCP field of the
-// IPv4 header, using pool 2 of the code-point space (binary xxxx11, RFC
-// 2474 §6) which is reserved for experimental or local use.
+// Package header implements the on-the-wire encodings the paper proposes
+// (§6) for carrying the PR bit and the DD bits, in two address families:
+//
+//   - IPv4: inside the DSCP field, using pool 2 of the code-point space
+//     (binary xxxx11, RFC 2474 §6) which is reserved for experimental or
+//     local use.
+//   - IPv6: inside the 20-bit flow label (RFC 6437 permits local use when
+//     the label is not otherwise needed), mirroring the DSCP layout so the
+//     two codecs agree bit-for-bit on their shared field widths.
+//
+// Both encodings claim their field inside one administrative domain: the
+// domain must bleach (zero or re-mark) the field on traffic entering at
+// its edge, as diffserv domains already do for DSCP — host-chosen
+// pseudo-random flow labels (RFC 6437) would otherwise collide with the
+// pool-2 marker on one in four packets.
 //
 // A pool-2 DSCP value has its two low-order bits set to 11, leaving the
 // four high-order bits free:
@@ -10,15 +21,23 @@
 //	bits 4..2      : DD value (3 bits)
 //	bits 1..0 = 11 : pool-2 marker
 //
-// Three DD bits cover hop-count discriminators up to 7, enough for networks
-// of hop diameter ≤ 7 — which includes Abilene (5), GÉANT (5) and the
-// Teleglobe reconstruction (6). Larger networks need either weight
-// quantisation or a different header field; Encode reports an explicit
-// error rather than truncating silently.
+// The flow-label codec widens the same shape to 20 bits:
 //
-// The package also provides a minimal, checksum-correct IPv4 header codec
-// (gopacket-style layer) so the examples can show PR marking on real
-// packet bytes.
+//	bit 19 (MSB)   : PR bit
+//	bits 18..2     : DD value (17 bits)
+//	bits 1..0 = 11 : pool-2 marker
+//
+// Three DD bits cover quantised discriminators up to 7, enough for networks
+// of hop diameter ≤ 7 — which includes Abilene (5), GÉANT (5) and the
+// Teleglobe reconstruction (6). Larger networks (or weight-sum
+// discriminators, once rank-quantised by core.Quantiser) switch to the
+// flow-label codec, whose 17 DD bits cover any topology the dataplane's
+// 65536-node address plan can express. Encode reports an explicit error
+// rather than truncating silently in either codec.
+//
+// The package also provides minimal IPv4 (checksum-correct) and IPv6 header
+// codecs (gopacket-style layers) so the examples and the wire fast path can
+// work on real packet bytes.
 package header
 
 import (
@@ -30,30 +49,42 @@ import (
 // bit and the pool marker.
 const DDBits = 3
 
-// MaxDD is the largest encodable distance discriminator.
+// MaxDD is the largest discriminator encodable in the DSCP codec.
 const MaxDD = 1<<DDBits - 1
 
-// ErrDDOverflow is returned when a discriminator exceeds MaxDD.
-var ErrDDOverflow = errors.New("header: distance discriminator exceeds DSCP pool-2 capacity")
+// FlowLabelDDBits is the DD field width available in the 20-bit IPv6 flow
+// label alongside the PR bit and the pool marker.
+const FlowLabelDDBits = 17
 
-// ErrNotPool2 is returned when decoding a DSCP value outside pool 2.
-var ErrNotPool2 = errors.New("header: DSCP value is not in pool 2 (xxxx11)")
+// MaxFlowLabelDD is the largest discriminator encodable in the flow-label
+// codec.
+const MaxFlowLabelDD = 1<<FlowLabelDDBits - 1
 
-// Mark is the PR header state carried by a packet.
+// ErrDDOverflow is returned when a discriminator exceeds the codec's DD
+// capacity.
+var ErrDDOverflow = errors.New("header: distance discriminator exceeds codec capacity")
+
+// ErrNotPool2 is returned when decoding a value outside pool 2 (low bits
+// not 11) in either codec.
+var ErrNotPool2 = errors.New("header: value is not in pool 2 (low bits 11)")
+
+// Mark is the PR header state carried by a packet. DD is wide enough for
+// the flow-label codec; the DSCP codec accepts only DD ≤ MaxDD.
 type Mark struct {
 	// PR is the re-cycling bit.
 	PR bool
-	// DD is the distance discriminator (0..MaxDD).
-	DD uint8
+	// DD is the distance discriminator (0..MaxDD for DSCP,
+	// 0..MaxFlowLabelDD for the flow label).
+	DD uint32
 }
 
 // EncodeDSCP packs the mark into a 6-bit DSCP value in pool 2.
 func EncodeDSCP(m Mark) (uint8, error) {
 	if m.DD > MaxDD {
-		return 0, fmt.Errorf("%w: %d > %d", ErrDDOverflow, m.DD, MaxDD)
+		return 0, fmt.Errorf("%w: %d > %d (DSCP)", ErrDDOverflow, m.DD, MaxDD)
 	}
 	v := uint8(0b11) // pool-2 marker
-	v |= m.DD << 2
+	v |= uint8(m.DD) << 2
 	if m.PR {
 		v |= 1 << 5
 	}
@@ -70,12 +101,48 @@ func DecodeDSCP(dscp uint8) (Mark, error) {
 	}
 	return Mark{
 		PR: dscp&(1<<5) != 0,
-		DD: (dscp >> 2) & MaxDD,
+		DD: uint32(dscp>>2) & MaxDD,
+	}, nil
+}
+
+// EncodeFlowLabel packs the mark into a 20-bit IPv6 flow-label value in
+// pool 2 (low bits 11), mirroring the DSCP layout with a 17-bit DD field.
+func EncodeFlowLabel(m Mark) (uint32, error) {
+	if m.DD > MaxFlowLabelDD {
+		return 0, fmt.Errorf("%w: %d > %d (flow label)", ErrDDOverflow, m.DD, MaxFlowLabelDD)
+	}
+	v := uint32(0b11) // pool-2 marker
+	v |= m.DD << 2
+	if m.PR {
+		v |= 1 << 19
+	}
+	return v, nil
+}
+
+// DecodeFlowLabel unpacks a pool-2 flow-label value.
+func DecodeFlowLabel(fl uint32) (Mark, error) {
+	if fl > 0xFFFFF {
+		return Mark{}, fmt.Errorf("header: flow label %#x exceeds 20 bits", fl)
+	}
+	if fl&0b11 != 0b11 {
+		return Mark{}, ErrNotPool2
+	}
+	return Mark{
+		PR: fl&(1<<19) != 0,
+		DD: (fl >> 2) & MaxFlowLabelDD,
 	}, nil
 }
 
 // FitsHopDiameter reports whether hop-count discriminators of a network
-// with the given diameter fit the pool-2 encoding.
+// with the given diameter fit the pool-2 DSCP encoding.
 func FitsHopDiameter(diameter int) bool {
 	return diameter >= 0 && diameter <= MaxDD
 }
+
+// FitsDSCP reports whether a b-bit quantised discriminator code fits the
+// DSCP codec; codes needing more bits use the flow-label codec.
+func FitsDSCP(bits int) bool { return bits >= 0 && bits <= DDBits }
+
+// FitsFlowLabel reports whether a b-bit quantised discriminator code fits
+// the flow-label codec — the widest field the package offers.
+func FitsFlowLabel(bits int) bool { return bits >= 0 && bits <= FlowLabelDDBits }

@@ -11,7 +11,7 @@ import (
 )
 
 func TestEncodeDecodeDSCPRoundTrip(t *testing.T) {
-	for dd := uint8(0); dd <= MaxDD; dd++ {
+	for dd := uint32(0); dd <= MaxDD; dd++ {
 		for _, pr := range []bool{false, true} {
 			m := Mark{PR: pr, DD: dd}
 			dscp, err := EncodeDSCP(m)
@@ -200,7 +200,7 @@ func TestChecksumProperties(t *testing.T) {
 
 // Property: every valid mark survives the DSCP round trip.
 func TestMarkRoundTripProperty(t *testing.T) {
-	f := func(pr bool, dd uint8) bool {
+	f := func(pr bool, dd uint32) bool {
 		m := Mark{PR: pr, DD: dd % (MaxDD + 1)}
 		dscp, err := EncodeDSCP(m)
 		if err != nil {
@@ -211,5 +211,177 @@ func TestMarkRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeFlowLabelRoundTrip(t *testing.T) {
+	for _, dd := range []uint32{0, 1, 7, 8, 255, 4096, MaxFlowLabelDD} {
+		for _, pr := range []bool{false, true} {
+			m := Mark{PR: pr, DD: dd}
+			fl, err := EncodeFlowLabel(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fl&0b11 != 0b11 {
+				t.Fatalf("encoded flow label %#b not in pool 2", fl)
+			}
+			back, err := DecodeFlowLabel(fl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != m {
+				t.Fatalf("round trip %+v -> %#b -> %+v", m, fl, back)
+			}
+		}
+	}
+}
+
+func TestFlowLabelOverflowAndPoolRejection(t *testing.T) {
+	if _, err := EncodeFlowLabel(Mark{DD: MaxFlowLabelDD + 1}); !errors.Is(err, ErrDDOverflow) {
+		t.Fatalf("err = %v; want ErrDDOverflow", err)
+	}
+	for _, v := range []uint32{0b00, 0b01, 0b10, 0xFFFFC} {
+		if _, err := DecodeFlowLabel(v); !errors.Is(err, ErrNotPool2) {
+			t.Fatalf("flow label %#b: err = %v; want ErrNotPool2", v, err)
+		}
+	}
+	if _, err := DecodeFlowLabel(1 << 20); err == nil {
+		t.Fatal("21-bit flow label accepted")
+	}
+}
+
+// TestCrossCodecAgreement: on the field widths the codecs share (DD ≤
+// MaxDD), the DSCP and flow-label codecs carry identical marks, and the
+// flow label's low 6 bits are exactly the DSCP value with the PR bit
+// relocated to bit 19 — the "widened same shape" the package doc promises.
+func TestCrossCodecAgreement(t *testing.T) {
+	for dd := uint32(0); dd <= MaxDD; dd++ {
+		for _, pr := range []bool{false, true} {
+			m := Mark{PR: pr, DD: dd}
+			dscp, err := EncodeDSCP(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl, err := EncodeFlowLabel(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			md, err := DecodeDSCP(dscp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mf, err := DecodeFlowLabel(fl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if md != mf || md != m {
+				t.Fatalf("codecs disagree on %+v: DSCP %+v, flow label %+v", m, md, mf)
+			}
+			wantLow := uint32(dscp) &^ (1 << 5)
+			if fl&0b111111 != wantLow {
+				t.Fatalf("shared width layout differs: flow label %#b, DSCP %#b", fl, dscp)
+			}
+			if (fl&(1<<19) != 0) != pr {
+				t.Fatalf("flow-label PR bit misplaced for %+v", m)
+			}
+		}
+	}
+}
+
+func TestFitsCodecBits(t *testing.T) {
+	if !FitsDSCP(0) || !FitsDSCP(DDBits) || FitsDSCP(DDBits+1) || FitsDSCP(-1) {
+		t.Fatal("FitsDSCP bounds wrong")
+	}
+	if !FitsFlowLabel(DDBits+1) || !FitsFlowLabel(FlowLabelDDBits) || FitsFlowLabel(FlowLabelDDBits+1) {
+		t.Fatal("FitsFlowLabel bounds wrong")
+	}
+}
+
+func sampleHeader6(t *testing.T) *IPv6 {
+	t.Helper()
+	return &IPv6{
+		TrafficClass:  0x2E,
+		FlowLabel:     0b010111, // PR=0 DD=5 pool2
+		PayloadLength: 1024,
+		NextHeader:    17, // UDP
+		HopLimit:      64,
+		Src:           mustAddr(t, "fd00:5052::1"),
+		Dst:           mustAddr(t, "fd00:5052::2"),
+	}
+}
+
+func TestIPv6MarshalUnmarshalRoundTrip(t *testing.T) {
+	h := sampleHeader6(t)
+	b, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderLen6 {
+		t.Fatalf("encoded %d bytes; want %d", len(b), HeaderLen6)
+	}
+	if b[0]>>4 != 6 {
+		t.Fatalf("version nibble = %d", b[0]>>4)
+	}
+	var back IPv6
+	if err := back.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != *h {
+		t.Fatalf("round trip changed header:\n  in  %+v\n  out %+v", *h, back)
+	}
+}
+
+func TestIPv6MarshalValidation(t *testing.T) {
+	h := sampleHeader6(t)
+	h.FlowLabel = 1 << 20
+	if _, err := h.Marshal(); err == nil {
+		t.Error("21-bit flow label accepted")
+	}
+	h = sampleHeader6(t)
+	h.Src = mustAddr(t, "10.0.0.1")
+	if _, err := h.Marshal(); err == nil {
+		t.Error("IPv4 source accepted")
+	}
+	h = sampleHeader6(t)
+	h.Dst = mustAddr(t, "::ffff:10.0.0.1")
+	if _, err := h.Marshal(); err == nil {
+		t.Error("4-in-6 destination accepted")
+	}
+}
+
+func TestIPv6UnmarshalRejectsBadInput(t *testing.T) {
+	var h IPv6
+	if err := h.Unmarshal(make([]byte, 39)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	b, _ := sampleHeader6(t).Marshal()
+	b[0] = 0x45
+	if err := h.Unmarshal(b); err == nil {
+		t.Fatal("IPv4 version accepted")
+	}
+}
+
+func TestIPv6SetAndGetMark(t *testing.T) {
+	h := sampleHeader6(t)
+	if err := h.SetMark(Mark{PR: true, DD: 1234}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IPv6
+	if err := back.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := back.PRMark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.PR || m.DD != 1234 {
+		t.Fatalf("mark = %+v; want PR set DD 1234", m)
+	}
+	if err := h.SetMark(Mark{DD: MaxFlowLabelDD + 1}); err == nil {
+		t.Fatal("oversized DD accepted")
 	}
 }

@@ -69,6 +69,17 @@ func FromLinkOrders(g *graph.Graph, orders [][]graph.LinkID) (*System, error) {
 	return s, nil
 }
 
+// MustFromLinkOrders is FromLinkOrders for orders known correct by
+// construction — canonical embeddings shipped with generated topologies
+// (package topo) and test fixtures. It panics on invalid orders.
+func MustFromLinkOrders(g *graph.Graph, orders [][]graph.LinkID) *System {
+	s, err := FromLinkOrders(g, orders)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // outgoingDart returns the DartID of link l oriented away from node n.
 func outgoingDart(g *graph.Graph, n graph.NodeID, l graph.LinkID) DartID {
 	ab, ba := DartsOf(l)

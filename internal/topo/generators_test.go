@@ -1,0 +1,108 @@
+package topo
+
+import (
+	"testing"
+
+	"recycle/internal/graph"
+)
+
+// TestGeneratedTopologiesLargeDiameter: the regression families must cover
+// hop diameters 8..32 — beyond the DSCP pool-2 budget of 7 — while staying
+// 2-edge-connected (no bridges: PR's recovery precondition) and shipping
+// genus-0 embeddings (the §5 delivery guarantee's precondition).
+func TestGeneratedTopologiesLargeDiameter(t *testing.T) {
+	cases := []struct {
+		tp       Topology
+		diameter int
+	}{
+		{Ring(16), 8},
+		{Ring(24), 12},
+		{Ring(64), 32},
+		{WeightedRing(20, 7), 10},
+		{Grid(2, 9), 9},
+		{Grid(5, 5), 8},
+		{Grid(9, 9), 16},
+		{Chain(4), 8},
+		{Chain(16), 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.tp.Name, func(t *testing.T) {
+			g := tc.tp.Graph
+			if !g.Frozen() {
+				t.Fatal("generated graph not frozen")
+			}
+			if d := graph.HopDiameter(g); d != tc.diameter {
+				t.Fatalf("hop diameter = %d; want %d", d, tc.diameter)
+			}
+			for _, fs := range graph.SingleFailureScenarios(g) {
+				if !graph.ConnectedUnder(g, fs) {
+					t.Fatalf("bridge found: %v disconnects", fs)
+				}
+			}
+			if tc.tp.Embedding == nil {
+				t.Fatal("no embedding shipped")
+			}
+			if err := tc.tp.Embedding.Validate(); err != nil {
+				t.Fatalf("embedding invalid: %v", err)
+			}
+			if genus := tc.tp.Embedding.Genus(); genus != 0 {
+				t.Fatalf("embedding genus = %d; want 0", genus)
+			}
+		})
+	}
+}
+
+// TestWeightedRingWeightsVary: the weighted ring must actually decouple
+// weight sums from hop counts.
+func TestWeightedRingWeightsVary(t *testing.T) {
+	tp := WeightedRing(16, 3)
+	g := tp.Graph
+	first := g.Link(0).Weight
+	varied := false
+	for l := 1; l < g.NumLinks(); l++ {
+		if g.Link(graph.LinkID(l)).Weight != first {
+			varied = true
+		}
+		if g.Link(graph.LinkID(l)).Weight < 1 {
+			t.Fatalf("link %d weight %v < 1", l, g.Link(graph.LinkID(l)).Weight)
+		}
+	}
+	if !varied {
+		t.Fatal("all weights equal: not a weighted ring")
+	}
+	if w1, w2 := WeightedRing(16, 3), WeightedRing(16, 3); w1.Graph.Link(5).Weight != w2.Graph.Link(5).Weight {
+		t.Fatal("weighted ring not deterministic per seed")
+	}
+}
+
+// TestGeneratedSpecParsing: ByName accepts generator specs and rejects
+// malformed ones.
+func TestGeneratedSpecParsing(t *testing.T) {
+	good := map[string]int{ // spec → expected node count
+		"ring:24":    24,
+		"wring:16@7": 16,
+		"wring:16":   16,
+		"grid:4x8":   32,
+		"chain:12":   37,
+	}
+	for spec, nodes := range good {
+		tp, err := ByName(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if tp.Graph.NumNodes() != nodes {
+			t.Fatalf("%s: %d nodes; want %d", spec, tp.Graph.NumNodes(), nodes)
+		}
+		if tp.Name != spec && spec != "wring:16" {
+			t.Fatalf("%s: name %q", spec, tp.Name)
+		}
+	}
+	for _, spec := range []string{
+		"ring:2", "ring:x", "grid:4", "grid:1x5", "grid:axb",
+		"chain:0", "chain:z", "wring:16@x", "torus:3x3", "ring",
+	} {
+		if _, err := ByName(spec); err == nil {
+			t.Fatalf("%s: accepted", spec)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
@@ -96,14 +97,17 @@ func greatCircleKM(a, b city) float64 {
 	return 2 * earthRadiusKM * math.Asin(math.Sqrt(h))
 }
 
-// ByName returns a built-in topology by name: "paper", "abilene",
-// "geant" or "teleglobe" (distance weights for the ISP topologies).
+// ByName returns a built-in topology by name — "paper", "abilene",
+// "geant" or "teleglobe" (distance weights for the ISP topologies) — or a
+// generator spec such as "ring:24", "wring:16@7", "grid:4x8" or
+// "chain:12" (see Generated).
 func ByName(name string) (Topology, error) {
 	return ByNameWeighted(name, DistanceWeights)
 }
 
 // ByNameWeighted is ByName with an explicit weighting for the ISP
-// topologies (the paper example always keeps its published weights).
+// topologies (the paper example keeps its published weights; generated
+// topologies their generated ones).
 func ByNameWeighted(name string, w Weighting) (Topology, error) {
 	switch name {
 	case "paper", "example", "fig1":
@@ -115,10 +119,14 @@ func ByNameWeighted(name string, w Weighting) (Topology, error) {
 	case "teleglobe":
 		return Teleglobe(w), nil
 	}
-	return Topology{}, fmt.Errorf("topo: unknown topology %q (want paper, abilene, geant or teleglobe)", name)
+	if strings.Contains(name, ":") {
+		return Generated(name)
+	}
+	return Topology{}, fmt.Errorf("topo: unknown topology %q (want paper, abilene, geant, teleglobe or a generator spec like ring:24, grid:4x8, chain:12)", name)
 }
 
-// Names lists the built-in topology names.
+// Names lists the built-in topology names. Generator families (ring:N,
+// wring:N@seed, grid:RxC, chain:K) are parameterised and not enumerated.
 func Names() []string {
 	n := []string{"paper", "abilene", "geant", "teleglobe"}
 	sort.Strings(n)

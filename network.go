@@ -20,6 +20,7 @@ type Network struct {
 	g        *Graph
 	sys      *RotationSystem
 	tbl      *route.Table
+	quant    *core.Quantiser
 	protocol *core.Protocol
 	basic    *core.Protocol
 	name     string
@@ -56,8 +57,10 @@ func NewNetwork(g *Graph, opts ...Option) (*Network, error) {
 	return buildNetwork(Topology{Name: "custom", Graph: g}, opts...)
 }
 
-// FromTopology builds a PR network over a built-in topology: "paper",
-// "abilene", "geant" or "teleglobe".
+// FromTopology builds a PR network over a built-in topology — "paper",
+// "abilene", "geant" or "teleglobe" — or a generator spec such as
+// "ring:24", "wring:16@7", "grid:4x8" or "chain:12" (large-diameter
+// regression families; these ship canonical genus-0 embeddings).
 func FromTopology(name string, opts ...Option) (*Network, error) {
 	tp, err := topo.ByName(name)
 	if err != nil {
@@ -114,7 +117,8 @@ func buildNetwork(tp Topology, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Network{g: g, sys: sys, tbl: tbl, protocol: full, basic: basic, name: tp.Name}, nil
+	return &Network{g: g, sys: sys, tbl: tbl, quant: core.BuildQuantiser(tbl),
+		protocol: full, basic: basic, name: tp.Name}, nil
 }
 
 // Name returns the topology name.
@@ -140,10 +144,10 @@ func (n *Network) Protocol() *core.Protocol { return n.protocol }
 // per-hop decision is a handful of indexings with zero allocations,
 // bit-identical to Protocol().Decide. This is the offline step the paper
 // assigns to the designated server — run once, never at failure time.
-func (n *Network) Compile() (*FIB, error) { return dataplane.Compile(n.protocol) }
+func (n *Network) Compile() (*FIB, error) { return dataplane.CompileWith(n.protocol, n.quant) }
 
 // CompileBasic compiles the Basic (§4.2) variant's FIB.
-func (n *Network) CompileBasic() (*FIB, error) { return dataplane.Compile(n.basic) }
+func (n *Network) CompileBasic() (*FIB, error) { return dataplane.CompileWith(n.basic, n.quant) }
 
 // Node resolves a node name, returning an error for unknown names.
 func (n *Network) Node(name string) (NodeID, error) {
@@ -209,13 +213,24 @@ func (n *Network) CycleTable(nodeName string) (string, error) {
 }
 
 // HeaderBits returns the PR header cost for this network: 1 PR bit plus
-// the DD bits needed for its discriminator values.
-func (n *Network) HeaderBits() int { return 1 + n.tbl.DDBits() }
+// the DD bits needed for its rank-quantised discriminator codes. With
+// hop-count discriminators this equals the paper's ⌈log2 d⌉ for diameter
+// d; with weight sums it is what quantisation saves over raw values.
+func (n *Network) HeaderBits() int { return 1 + n.quant.Bits() }
+
+// Quantiser returns the network's rank quantiser: the order-preserving
+// bucketisation Compile stamps on the wire.
+func (n *Network) Quantiser() *Quantiser { return n.quant }
+
+// WireCodec returns the wire encoding Compile will select for this
+// network: CodecDSCP when the quantised code fits 3 bits, CodecFlowLabel
+// otherwise.
+func (n *Network) WireCodec() WireCodec { return dataplane.CodecFor(n.quant.Bits()) }
 
 // Describe summarises the network for logs.
 func (n *Network) Describe() string {
-	return fmt.Sprintf("%s: %d nodes, %d links, genus %d, %d header bits",
-		n.name, n.g.NumNodes(), n.g.NumLinks(), n.Genus(), n.HeaderBits())
+	return fmt.Sprintf("%s: %d nodes, %d links, genus %d, %d header bits, %s codec",
+		n.name, n.g.NumNodes(), n.g.NumLinks(), n.Genus(), n.HeaderBits(), n.WireCodec())
 }
 
 // SaveEmbedding serialises the network's rotation system in the textual

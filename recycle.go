@@ -169,29 +169,64 @@ const (
 	WireForward = dataplane.WireForward
 	// WireDeliver: the destination address is this node.
 	WireDeliver = dataplane.WireDeliver
-	// WireDropTTL: the TTL reached zero.
+	// WireDropTTL: the TTL (hop limit) reached zero.
 	WireDropTTL = dataplane.WireDropTTL
 	// WireDropNoRoute: no usable egress.
 	WireDropNoRoute = dataplane.WireDropNoRoute
-	// WireDropNotIPv4: not a 20-byte-header IPv4 packet.
-	WireDropNotIPv4 = dataplane.WireDropNotIPv4
+	// WireDropNotIP: neither a 20-byte-header IPv4 packet nor a
+	// fixed-header IPv6 packet.
+	WireDropNotIP = dataplane.WireDropNotIP
 	// WireDropNotOurs: destination outside the node address plan.
 	WireDropNotOurs = dataplane.WireDropNotOurs
-	// WireDropDDOverflow: discriminator does not fit the DSCP DD field.
-	WireDropDDOverflow = dataplane.WireDropDDOverflow
+	// WireDropCodecMismatch: the packet's address family cannot carry this
+	// network's quantised discriminator code (IPv4 DSCP on a flow-label
+	// network). Traffic in the network's own family never hits it.
+	WireDropCodecMismatch = dataplane.WireDropCodecMismatch
 	// WireDropBadMark: a PR mark that is impossible by protocol.
 	WireDropBadMark = dataplane.WireDropBadMark
+)
+
+// WireCodec identifies the wire encoding a compiled network stamps PR
+// marks with, selected automatically at Compile time; see FIB.Codec.
+type WireCodec = dataplane.Codec
+
+// Wire codecs.
+const (
+	// CodecDSCP: IPv4 DSCP pool 2, 3 DD bits — chosen when every
+	// quantised discriminator fits (hop diameter ≤ 7).
+	CodecDSCP = dataplane.CodecDSCP
+	// CodecFlowLabel: IPv6 flow label, 17 DD bits — the escape hatch for
+	// larger diameters and weight-sum discriminators.
+	CodecFlowLabel = dataplane.CodecFlowLabel
 )
 
 // NodeAddr returns the IPv4 address the wire path's node plan assigns to n.
 func NodeAddr(n NodeID) netip.Addr { return dataplane.NodeAddr(n) }
 
+// NodeAddr6 returns the IPv6 address the wire path's node plan assigns to n.
+func NodeAddr6(n NodeID) netip.Addr { return dataplane.NodeAddr6(n) }
+
 // IPv4 is the minimal checksum-correct IPv4 header codec the wire path
 // forwards; use it to craft and inspect packets fed to FIB.ForwardWire.
 type IPv4 = header.IPv4
 
-// Mark is the PR header state carried in the DSCP pool-2 field.
+// IPv6 is the minimal IPv6 header codec the wire path forwards on
+// flow-label-codec networks.
+type IPv6 = header.IPv6
+
+// Mark is the PR header state carried in the DSCP pool-2 field (IPv4) or
+// the flow label (IPv6).
 type Mark = header.Mark
+
+// Quantiser is the order-preserving rank bucketisation of distance
+// discriminators that makes any topology's DD wire-encodable; Compile
+// applies it automatically, and Network.Quantiser exposes it for
+// inspection.
+type Quantiser = core.Quantiser
+
+// WirePacket is one raw frame on the engine's byte-level fast path; see
+// Batch.Wire and FIB.ForwardWireBatch.
+type WirePacket = dataplane.WirePacket
 
 // Engine is the sharded dataplane forwarding engine: worker goroutines
 // draining batched packet rings against an atomically swapped LinkState

@@ -274,3 +274,92 @@ func TestEngineFacade(t *testing.T) {
 		t.Fatalf("engine decision: %+v", out.Pkts[0])
 	}
 }
+
+// TestGeneratedTopologyFacade: FromTopology accepts generator specs, and
+// large-diameter networks report the flow-label codec with quantised
+// header bits.
+func TestGeneratedTopologyFacade(t *testing.T) {
+	net, err := FromTopology("ring:24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Genus() != 0 {
+		t.Fatalf("ring genus = %d; want 0", net.Genus())
+	}
+	if net.WireCodec() != CodecFlowLabel {
+		t.Fatalf("ring:24 codec = %v; want flow-label", net.WireCodec())
+	}
+	if net.HeaderBits() != 5 { // 1 PR + 4 DD bits for ranks ≤ 12
+		t.Fatalf("header bits = %d; want 5", net.HeaderBits())
+	}
+	if q := net.Quantiser(); q == nil || q.MaxRank() != 12 {
+		t.Fatalf("quantiser max rank wrong: %+v", q)
+	}
+	if !strings.Contains(net.Describe(), "flow-label") {
+		t.Fatalf("Describe() misses the codec: %s", net.Describe())
+	}
+	fails := NewFailureSet(0)
+	res := net.RouteIDs(0, 12, fails)
+	if !res.Delivered() {
+		t.Fatalf("ring:24 recovery outcome = %v", res.Outcome)
+	}
+	if _, err := FromTopology("ring:2"); err == nil {
+		t.Fatal("bad generator spec accepted")
+	}
+}
+
+// TestWireFacadeIPv6: the exported IPv6 codec, address plan and compiled
+// wire path interoperate — one recovered hop on real IPv6 bytes.
+func TestWireFacadeIPv6(t *testing.T) {
+	net, err := FromTopology("ring:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.Codec() != CodecFlowLabel {
+		t.Fatalf("codec = %v; want flow-label", fib.Codec())
+	}
+	h := IPv6{HopLimit: 64, NextHeader: 17, Src: NodeAddr6(0), Dst: NodeAddr6(8)}
+	buf, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := LinkStateFrom(net.Graph().NumLinks(), NewFailureSet(0))
+	eg, v := fib.ForwardWire(0, NoDart, st, buf)
+	if v != WireForward || eg == NoDart {
+		t.Fatalf("verdict %v egress %d; want forward", v, eg)
+	}
+	var back IPv6
+	if err := back.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	mark, err := back.PRMark()
+	if err != nil {
+		t.Fatalf("recovered packet carries no mark: %v", err)
+	}
+	if !mark.PR {
+		t.Fatal("PR bit not set after recovery hop")
+	}
+	// A wire batch through the engine facade.
+	done := make(chan *dataplane.Batch, 1)
+	eng := NewEngine(fib, EngineConfig{Shards: 1, OnDone: func(b *dataplane.Batch) { done <- b }})
+	h2 := IPv6{HopLimit: 64, NextHeader: 17, Src: NodeAddr6(1), Dst: NodeAddr6(5)}
+	buf2, err := h2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := &dataplane.Batch{Wire: []WirePacket{{Node: 1, Ingress: NoDart, Buf: buf2}}}
+	if !eng.Submit(wb) {
+		t.Fatal("Submit failed")
+	}
+	out := <-done
+	if eng.Close() != 1 {
+		t.Fatal("engine should have decided exactly one frame")
+	}
+	if out.Wire[0].Verdict != WireForward {
+		t.Fatalf("engine wire verdict: %v", out.Wire[0].Verdict)
+	}
+}
