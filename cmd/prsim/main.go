@@ -10,8 +10,21 @@
 // and exercises the compiled dataplane:
 //
 //	prsim -losswindow -dataplane compiled       # PR on the compiled FIB
-//	prsim -throughput -topo geant -shards 4     # engine decisions/sec
+//	prsim -throughput -topo geant -shards 4     # engine decide + egress rates
 //	prsim -throughput -topo ring:24 -wire       # wire frames/sec (codec auto)
+//
+// Traffic is pluggable (package traffic): -traffic drives the
+// loss-window flow with a Poisson, MMPP-burst or replayed process, and
+// -trafficloss compares the schemes over a whole panel of mixes:
+//
+//	prsim -losswindow -traffic poisson:rate=2430
+//	prsim -losswindow -traffic mmpp:on=12150,off=0,dwell=20ms/80ms
+//	prsim -losswindow -traffic replay:trace.txt
+//	prsim -trafficloss -topo abilene            # fixed/poisson/mmpp/pareto panel
+//
+// -throughput always reports both the decide-only rate and the
+// end-to-end rate through the egress stage (per-dart paced transmit
+// queues, -egress-bw per-link bandwidth), with queue drops counted.
 //
 // -topo accepts the built-in names and generator specs (ring:24,
 // wring:16@7, grid:4x8, chain:12) for large-diameter workloads, where
@@ -37,6 +50,7 @@ import (
 	"recycle/internal/route"
 	"recycle/internal/sim"
 	"recycle/internal/topo"
+	"recycle/internal/traffic"
 )
 
 func main() {
@@ -56,8 +70,19 @@ func main() {
 		packets    = flag.Int("packets", 2_000_000, "decision count for -throughput")
 		batchSize  = flag.Int("batch", 256, "packets per batch for -throughput")
 		wire       = flag.Bool("wire", false, "-throughput on raw packet bytes through ForwardWire (codec per topology)")
+		trafficArg = flag.String("traffic", "", "traffic source spec (poisson:rate=2430, mmpp:on=…,dwell=…, replay:path, fixed:rate=…) for -losswindow; sizes abstract -throughput packets")
+		trafficMix = flag.Bool("trafficloss", false, "run the loss-window experiment over a panel of traffic mixes")
+		egressBw   = flag.Float64("egress-bw", 100e9, "per-link egress bandwidth in bps for -throughput's end-to-end phase")
 	)
 	flag.Parse()
+
+	var trafficSrc traffic.Source
+	if *trafficArg != "" {
+		var err error
+		if trafficSrc, err = traffic.ParseSpec(*trafficArg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *plane != "interpreted" && *plane != "compiled" {
 		fatal(fmt.Errorf("unknown -dataplane %q (want interpreted or compiled)", *plane))
@@ -87,11 +112,21 @@ func main() {
 			fatal(err)
 		}
 	case *lossWindow:
-		if err := runLossWindow(*plane); err != nil {
+		if err := runLossWindow(*plane, trafficSrc); err != nil {
+			fatal(err)
+		}
+	case *trafficMix:
+		// A -traffic spec narrows the panel to that one source; the
+		// default fixed/poisson/mmpp/pareto mix runs otherwise.
+		var panel []traffic.Source
+		if trafficSrc != nil {
+			panel = []traffic.Source{trafficSrc}
+		}
+		if err := eval.WriteTrafficLossReport(os.Stdout, *topoName, panel); err != nil {
 			fatal(err)
 		}
 	case *throughput:
-		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire); err != nil {
+		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire, *egressBw, trafficSrc); err != nil {
 			fatal(err)
 		}
 	case *ablation != "":
@@ -125,8 +160,10 @@ func runFigure(f eval.Figure, scenarios int, seed int64, unitWeights bool) error
 
 // runLossWindow reproduces the §1 motivation: packets lost on a loaded
 // OC-192 during a one-second outage, per scheme. The plane argument picks
-// PR's engine: the interpreted core.Protocol or the compiled FIB.
-func runLossWindow(plane string) error {
+// PR's engine: the interpreted core.Protocol or the compiled FIB. A
+// non-nil traffic source replaces the fixed-interval probe, giving every
+// scheme the identical Poisson/MMPP/replayed offered load.
+func runLossWindow(plane string, source traffic.Source) error {
 	tp := topo.Abilene(topo.UnitWeights)
 	g := tp.Graph
 	src := g.NodeByName("Seattle")
@@ -157,33 +194,59 @@ func runLossWindow(plane string) error {
 		&sim.FCPScheme{},
 		&sim.ReconvScheme{},
 	}
-	fmt.Printf("# §1 loss window: Seattle→LosAngeles flow, first-hop link fails at t=1s\n")
-	fmt.Printf("# OC-192 at 20%% load ≈ 243k pps of 1 kB packets (simulated 1:%.0f)\n", scale)
-	fmt.Printf("%-28s %-10s %-10s %-12s %-10s\n", "scheme", "generated", "delivered", "lost(scaled)", "lost(OC192)")
+	trafficName := "fixed 1:100 probe"
+	if source != nil {
+		trafficName = source.Name()
+	}
+	fmt.Printf("# §1 loss window: Seattle→LosAngeles flow (%s traffic), first-hop link fails at t=1s\n", trafficName)
+	if source == nil {
+		// The ×100 extrapolation describes the fixed 1:100 probe only; a
+		// -traffic source runs at whatever rate it was configured with.
+		fmt.Printf("# OC-192 at 20%% load ≈ 243k pps of 1 kB packets (simulated 1:%.0f)\n", scale)
+		fmt.Printf("%-28s %-10s %-10s %-12s %-10s\n", "scheme", "generated", "delivered", "lost(scaled)", "lost(OC192)")
+	} else {
+		fmt.Printf("%-28s %-10s %-10s %-12s\n", "scheme", "generated", "delivered", "lost")
+	}
 	for _, s := range schemes {
-		res, err := sim.RunLossWindow(sim.Config{
+		cfg := sim.Config{
 			Graph:          g,
 			Scheme:         s,
 			Horizon:        3 * time.Second,
 			DetectionDelay: 50 * time.Millisecond,
-		}, src, dst, pps, time.Second)
+		}
+		var res sim.LossWindowResult
+		if source != nil {
+			res, err = sim.RunLossWindowTraffic(cfg, src, dst, source, time.Second)
+		} else {
+			res, err = sim.RunLossWindow(cfg, src, dst, pps, time.Second)
+		}
 		if err != nil {
 			return err
 		}
 		lost := res.Generated - res.Delivered
-		fmt.Printf("%-28s %-10d %-10d %-12d %-10.0f\n",
-			res.Scheme, res.Generated, res.Delivered, lost, float64(lost)*scale)
+		if source == nil {
+			fmt.Printf("%-28s %-10d %-10d %-12d %-10.0f\n",
+				res.Scheme, res.Generated, res.Delivered, lost, float64(lost)*scale)
+		} else {
+			fmt.Printf("%-28s %-10d %-10d %-12d\n",
+				res.Scheme, res.Generated, res.Delivered, lost)
+		}
 	}
 	return nil
 }
 
-// runThroughput measures the compiled dataplane: decisions/sec on the
-// sharded engine over a realistic mix of shortest-path and cycle-following
-// packets, with one link failed so recovery branches are exercised. With
+// runThroughput measures the compiled dataplane over a realistic mix of
+// shortest-path and cycle-following packets, with one link failed so
+// recovery branches are exercised. It runs the identical workload twice
+// — decide-only (the engine's PR-1/PR-2 shape, for comparability) and
+// end-to-end through the egress stage's per-dart paced transmit queues —
+// and reports both rates plus the transmit-queue drop counts. With
 // wire=true the workload is raw packet bytes instead — IPv4 or IPv6
 // frames matching the codec Compile selected — pushed through
-// ForwardWire's byte-rewriting fast path.
-func runThroughput(topoName string, shards, packets, batchSize int, wire bool) error {
+// ForwardWire's byte-rewriting fast path. A non-nil traffic source
+// draws abstract packet sizes from its size distribution, so egress
+// pacing sees the configured mix instead of uniform 1 kB packets.
+func runThroughput(topoName string, shards, packets, batchSize int, wire bool, egressBw float64, source traffic.Source) error {
 	tp, err := topo.ByName(topoName)
 	if err != nil {
 		return err
@@ -208,94 +271,135 @@ func runThroughput(topoName string, shards, packets, batchSize int, wire bool) e
 	}
 	batches := (packets + batchSize - 1) / batchSize
 
-	free := make(chan *dataplane.Batch, 1024)
-	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
-		Shards: shards,
-		OnDone: func(b *dataplane.Batch) { free <- b },
-	})
-	eng.SetLink(0, true) // exercise detect/continue/resume branches too
-	// Pre-generate the workload: a mostly-shortest-path mix with one in
-	// four packets cycle following. Every packet carries a concrete
-	// ingress dart, so recycled batches stay valid whatever header the
-	// previous pass left behind.
-	rng := rand.New(rand.NewSource(1))
-	const pool = 64
-	// Wire frames mutate in place (marks, TTL, checksum); each batch
-	// keeps a pristine template per frame and restores the whole header
-	// every pass, so recycled batches replay the identical workload —
-	// recovery branches included — instead of accumulating PR marks.
-	templates := make(map[*dataplane.Batch][][]byte, pool)
-	for i := 0; i < pool; i++ {
-		b := &dataplane.Batch{}
-		if wire {
-			b.Wire = make([]dataplane.WirePacket, batchSize)
-			tmpl := make([][]byte, batchSize)
-			for j := range b.Wire {
-				node := graph.NodeID(rng.Intn(g.NumNodes()))
-				dst := graph.NodeID(rng.Intn(g.NumNodes()))
-				buf, err := fib.NewWireFrame(node, dst)
-				if err != nil {
-					return err
+	// runPhase replays the same pre-generated workload through a fresh
+	// engine, with or without an egress stage. engShards records the
+	// shard count the engine actually ran with (it applies its own
+	// default when the flag is 0).
+	var engShards int
+	runPhase := func(egress dataplane.Egress) (uint64, time.Duration, error) {
+		free := make(chan *dataplane.Batch, 1024)
+		eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
+			Shards: shards,
+			Egress: egress,
+			OnDone: func(b *dataplane.Batch) { free <- b },
+		})
+		engShards = eng.Shards()
+		eng.SetLink(0, true) // exercise detect/continue/resume branches too
+		// Pre-generate the workload: a mostly-shortest-path mix with one
+		// in four packets cycle following. Every packet carries a
+		// concrete ingress dart, so recycled batches stay valid whatever
+		// header the previous pass left behind. The fixed seed makes both
+		// phases replay the identical mix.
+		rng := rand.New(rand.NewSource(1))
+		var sizes traffic.Stream
+		if source != nil {
+			sizes = source.Stream()
+		}
+		const pool = 64
+		// Wire frames mutate in place (marks, TTL, checksum); each batch
+		// keeps a pristine template per frame and restores the whole
+		// header every pass, so recycled batches replay the identical
+		// workload — recovery branches included — instead of
+		// accumulating PR marks.
+		templates := make(map[*dataplane.Batch][][]byte, pool)
+		for i := 0; i < pool; i++ {
+			b := &dataplane.Batch{}
+			if wire {
+				b.Wire = make([]dataplane.WirePacket, batchSize)
+				tmpl := make([][]byte, batchSize)
+				for j := range b.Wire {
+					node := graph.NodeID(rng.Intn(g.NumNodes()))
+					dst := graph.NodeID(rng.Intn(g.NumNodes()))
+					buf, err := fib.NewWireFrame(node, dst)
+					if err != nil {
+						return 0, 0, err
+					}
+					ingress := rotation.NoDart
+					if rng.Intn(4) == 0 {
+						// One in four frames is mid-recovery: PR-marked
+						// with a concrete ingress dart, so the
+						// cycle-following branch runs in wire mode too
+						// (matching the abstract workload's mix).
+						nb := g.Neighbors(node)[rng.Intn(g.Degree(node))]
+						ingress = rotation.ReverseID(sys.OutgoingDart(node, nb.Link))
+						if err := markWireFrame(fib, buf, uint32(rng.Intn(1<<fib.DDBits()))); err != nil {
+							return 0, 0, err
+						}
+					}
+					tmpl[j] = append([]byte(nil), buf...)
+					b.Wire[j] = dataplane.WirePacket{Node: node, Ingress: ingress, Buf: buf}
 				}
-				ingress := rotation.NoDart
-				if rng.Intn(4) == 0 {
-					// One in four frames is mid-recovery: PR-marked with
-					// a concrete ingress dart, so the cycle-following
-					// branch runs in wire mode too (matching the
-					// abstract workload's mix).
+				templates[b] = tmpl
+			} else {
+				b.Pkts = make([]dataplane.Packet, batchSize)
+				for j := range b.Pkts {
+					node := graph.NodeID(rng.Intn(g.NumNodes()))
 					nb := g.Neighbors(node)[rng.Intn(g.Degree(node))]
-					ingress = rotation.ReverseID(sys.OutgoingDart(node, nb.Link))
-					if err := markWireFrame(fib, buf, uint32(rng.Intn(1<<fib.DDBits()))); err != nil {
-						return err
+					var bits int32
+					if sizes != nil {
+						if _, sz, ok := sizes.Next(); ok {
+							bits = int32(sz)
+						}
+					}
+					b.Pkts[j] = dataplane.Packet{
+						Node:    node,
+						Dst:     graph.NodeID(rng.Intn(g.NumNodes())),
+						Ingress: rotation.ReverseID(sys.OutgoingDart(node, nb.Link)),
+						Bits:    bits,
+						Hdr:     core.Header{PR: rng.Intn(4) == 0, DD: float64(rng.Intn(8))},
 					}
 				}
-				tmpl[j] = append([]byte(nil), buf...)
-				b.Wire[j] = dataplane.WirePacket{Node: node, Ingress: ingress, Buf: buf}
 			}
-			templates[b] = tmpl
-		} else {
-			b.Pkts = make([]dataplane.Packet, batchSize)
-			for j := range b.Pkts {
-				node := graph.NodeID(rng.Intn(g.NumNodes()))
-				nb := g.Neighbors(node)[rng.Intn(g.Degree(node))]
-				b.Pkts[j] = dataplane.Packet{
-					Node:    node,
-					Dst:     graph.NodeID(rng.Intn(g.NumNodes())),
-					Ingress: rotation.ReverseID(sys.OutgoingDart(node, nb.Link)),
-					Hdr:     core.Header{PR: rng.Intn(4) == 0, DD: float64(rng.Intn(8))},
+			free <- b
+		}
+		start := time.Now()
+		for i := 0; i < batches; i++ {
+			b := <-free
+			if wire {
+				tmpl := templates[b]
+				for j := range b.Wire {
+					copy(b.Wire[j].Buf, tmpl[j])
 				}
 			}
-		}
-		free <- b
-	}
-	start := time.Now()
-	for i := 0; i < batches; i++ {
-		b := <-free
-		if wire {
-			tmpl := templates[b]
-			for j := range b.Wire {
-				copy(b.Wire[j].Buf, tmpl[j])
+			for !eng.Submit(b) {
+				// Rings full: the workers are behind; yield and retry.
+				time.Sleep(10 * time.Microsecond)
 			}
 		}
-		for !eng.Submit(b) {
-			// Rings full: the workers are behind; yield and retry.
-			time.Sleep(10 * time.Microsecond)
-		}
+		decided := eng.Close()
+		return decided, time.Since(start), nil
 	}
-	decided := eng.Close()
-	elapsed := time.Since(start)
-	pps := float64(decided) / elapsed.Seconds()
+
 	unit := "decisions"
 	if wire {
 		unit = "frames"
 	}
-	fmt.Printf("# compiled dataplane throughput\n")
+	fmt.Printf("# compiled dataplane throughput (ingest → decide → transmit)\n")
 	fmt.Printf("topology   %s (%d nodes, %d links)\n", tp.Name, g.NumNodes(), g.NumLinks())
 	fmt.Printf("codec      %s (%d DD bits)\n", fib.Codec(), fib.DDBits())
-	fmt.Printf("shards     %d\n", eng.Shards())
 	fmt.Printf("batch      %d packets\n", batchSize)
-	fmt.Printf("%-10s %d in %v\n", unit, decided, elapsed.Round(time.Millisecond))
-	fmt.Printf("rate       %.1f M %s/sec\n", pps/1e6, unit)
+	if source != nil && !wire {
+		fmt.Printf("sizes      %s\n", source.Name())
+	}
+
+	decided, elapsed, err := runPhase(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shards     %d\n", engShards)
+	fmt.Printf("decide-only   %d %s in %v — %.1f M %s/sec\n",
+		decided, unit, elapsed.Round(time.Millisecond), float64(decided)/elapsed.Seconds()/1e6, unit)
+
+	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: egressBw})
+	decided, elapsed, err = runPhase(tx)
+	if err != nil {
+		return err
+	}
+	st := tx.Stats()
+	fmt.Printf("end-to-end    %d %s in %v — %.1f M %s/sec (egress %.0f Gb/s links)\n",
+		decided, unit, elapsed.Round(time.Millisecond), float64(decided)/elapsed.Seconds()/1e6, unit, egressBw/1e9)
+	fmt.Printf("egress        sent %d (%.1f Gb) | queue-full drops %d | link-down drops %d\n",
+		st.Sent, float64(st.SentBits)/1e9, st.DropQueueFull, st.DropLinkDown)
 	return nil
 }
 

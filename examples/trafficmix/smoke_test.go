@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the example end to end: it must compute every artefact
+// it prints without log.Fatal-ing (which would exit non-zero and fail
+// the test binary) — including its own zero-drop assertion on the PR
+// run. This puts example drift under tier-1 instead of leaving it to
+// users.
+func TestSmoke(t *testing.T) {
+	main()
+}

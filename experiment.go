@@ -57,6 +57,14 @@ func WriteOverheads(w io.Writer, names []string) error {
 	return eval.WriteOverheadReport(w, names)
 }
 
+// WriteTrafficLoss renders the §1 loss-window experiment over a panel
+// of traffic sources (nil = the default fixed/Poisson/MMPP/Pareto mix)
+// for a built-in topology: every scheme replays the identical offered
+// load, so the loss columns compare recovery, not luck.
+func WriteTrafficLoss(w io.Writer, topology string, sources []TrafficSource) error {
+	return eval.WriteTrafficLossReport(w, topology, sources)
+}
+
 // SingleFailures enumerates every connectivity-preserving single-link
 // failure of a graph.
 func SingleFailures(g *Graph) []*FailureSet { return graph.SingleFailureScenarios(g) }

@@ -187,6 +187,63 @@ func BenchmarkForwardWireBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
 }
 
+// BenchmarkTxQueueSend measures the egress hot path: one per-dart
+// paced, bounded transmit. Must stay at 0 allocs/op.
+func BenchmarkTxQueueSend(b *testing.B) {
+	fib, g, _ := benchFixture(b, "geant")
+	q := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: 1e13})
+	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(0))
+	numDarts := rotation.DartID(2 * g.NumLinks())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Send(rotation.DartID(i)%numDarts, 8192, st)
+	}
+	if n := testing.AllocsPerRun(100, func() { q.Send(2, 8192, st) }); n != 0 {
+		b.Fatalf("Send allocates %v per op; want 0", n)
+	}
+}
+
+// BenchmarkEngineEgress measures the full three-stage pipeline — ingest,
+// decide, transmit through per-dart paced queues — per shard count. Its
+// pps metric is the end-to-end counterpart of BenchmarkEngine's
+// decide-only number; the delta is the egress cost.
+func BenchmarkEngineEgress(b *testing.B) {
+	const batchSize = 256
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("geant/shards-%d", shards), func(b *testing.B) {
+			fib, g, sys := benchFixture(b, "geant")
+			tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{
+				// Links fast enough that pacing, not dropping, dominates:
+				// the benchmark measures transmit cost, not drop cost.
+				BandwidthBps: 1e13,
+			})
+			free := make(chan *dataplane.Batch, 64)
+			eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
+				Shards: shards,
+				Egress: tx,
+				OnDone: func(batch *dataplane.Batch) { free <- batch },
+			})
+			eng.SetLink(0, true)
+			for i := 0; i < 4*shards; i++ {
+				free <- &dataplane.Batch{Pkts: benchWorkload(g, sys, int64(i+1))[:batchSize]}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batchSize {
+				batch := <-free
+				for !eng.Submit(batch) {
+				}
+			}
+			decided := eng.Close()
+			b.StopTimer()
+			b.ReportMetric(float64(decided)/b.Elapsed().Seconds(), "decisions/s")
+			st := tx.Stats()
+			b.ReportMetric(float64(st.Sent)/b.Elapsed().Seconds(), "tx/s")
+		})
+	}
+}
+
 // BenchmarkEngine measures sharded engine throughput per topology and
 // shard count. The per-op time is per decision; the pps metric is
 // decisions per second across all shards.

@@ -32,6 +32,13 @@
 //     atomically swapped interface-state snapshot (RCU style), so local
 //     failure detection never takes a lock on the hot path.
 //
+//   - Egress (egress.go): the pipeline's transmit stage. TxQueue gives
+//     every dart (link direction) a bounded, link-rate-paced transmit
+//     queue mirroring the simulator's linkFree serialisation model, so
+//     engine throughput numbers are end-to-end ingest → decide →
+//     transmit, with overload surfacing as counted queue drops instead
+//     of free pps.
+//
 // Interface state is a LinkState bitset rather than core's map-backed
 // graph.FailureSet: membership tests become single AND instructions and
 // snapshots are cheap to copy-on-write.

@@ -1,0 +1,238 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"recycle/internal/rotation"
+)
+
+// Egress is stage three of the engine pipeline (ingest → decide →
+// transmit): it receives each decided batch on the deciding worker's
+// goroutine, together with the interface-state snapshot the decisions
+// were made under, before OnDone sees the batch. Implementations must be
+// safe for concurrent calls from every shard and must not retain the
+// batch. TxQueue is the built-in implementation; an AF_PACKET/XDP-style
+// sink would implement the same interface.
+type Egress interface {
+	Transmit(b *Batch, st *LinkState)
+}
+
+// TxVerdict classifies the outcome of one transmit attempt.
+type TxVerdict uint8
+
+const (
+	// TxSent: the packet was serialised onto its egress link.
+	TxSent TxVerdict = iota
+	// TxDropQueueFull: the per-dart transmit queue exceeded its bound —
+	// the engine is offered more than the link drains.
+	TxDropQueueFull
+	// TxDropLinkDown: the egress link is marked down in the snapshot the
+	// batch was decided under (a failure detected between decision and
+	// transmit, or a caller replaying stale decisions).
+	TxDropLinkDown
+)
+
+// String names the verdict.
+func (v TxVerdict) String() string {
+	switch v {
+	case TxSent:
+		return "sent"
+	case TxDropQueueFull:
+		return "drop-queue-full"
+	case TxDropLinkDown:
+		return "drop-link-down"
+	}
+	return fmt.Sprintf("TxVerdict(%d)", uint8(v))
+}
+
+// TxConfig parameterises NewTxQueue.
+type TxConfig struct {
+	// BandwidthBps is the serialisation rate of every link direction
+	// (default 9.953 Gb/s, an OC-192 — the simulator's default).
+	BandwidthBps float64
+	// MaxBacklog bounds each dart's queue as the maximum queueing delay a
+	// packet may be enqueued behind (default 10 ms; at OC-192 that is a
+	// ≈12 MB buffer). Packets arriving at a fuller queue are dropped with
+	// TxDropQueueFull.
+	MaxBacklog time.Duration
+	// DefaultBits sizes abstract packets whose Bits field is zero
+	// (default 8192 = 1 kB, the paper's average packet size). Wire frames
+	// are sized from their IP total-length field instead.
+	DefaultBits int
+	// Now is the transmit clock, an offset from some fixed origin.
+	// Defaults to wall time since NewTxQueue; tests inject a virtual
+	// clock for deterministic pacing.
+	Now func() time.Duration
+}
+
+// TxStats aggregates transmit outcomes across all darts.
+type TxStats struct {
+	// Sent counts packets serialised; SentBits their total size.
+	Sent, SentBits uint64
+	// DropQueueFull and DropLinkDown count the two drop verdicts.
+	DropQueueFull, DropLinkDown uint64
+}
+
+// Dropped sums the drop counters.
+func (s TxStats) Dropped() uint64 { return s.DropQueueFull + s.DropLinkDown }
+
+// TxQueue is the engine's built-in Egress: one bounded, link-rate-paced
+// transmit queue per dart (link direction), mirroring the simulator's
+// linkFree serialisation model. Each dart keeps a virtual
+// transmitter-idle instant; a packet starts serialising at
+// max(now, free) and advances free by its serialisation time, so
+// packets on one dart depart strictly in the order they were handed in
+// — per-dart FIFO link-order delivery — while different darts proceed
+// independently. A packet that would wait longer than MaxBacklog is
+// dropped and counted, never silently discarded.
+//
+// The hot path takes one per-dart mutex, does integer/float arithmetic
+// and allocates nothing; contention is per link direction, not global,
+// so shards transmitting onto different links never serialise against
+// each other.
+type TxQueue struct {
+	bandwidth   float64
+	maxBacklog  time.Duration
+	defaultBits int64
+	now         func() time.Duration
+	darts       []txDart
+}
+
+// txDart is one link direction's transmit state, padded so neighbouring
+// darts' counters do not false-share cache lines.
+type txDart struct {
+	mu   sync.Mutex
+	free time.Duration // virtual instant the transmitter goes idle
+	// counters, updated under mu
+	sent, sentBits, dropFull, dropDown uint64
+	_                                  [64]byte
+}
+
+// NewTxQueue builds transmit queues for a FIB's 2×NumLinks darts.
+func NewTxQueue(fib *FIB, cfg TxConfig) *TxQueue {
+	return NewTxQueueDarts(2*fib.NumLinks(), cfg)
+}
+
+// NewTxQueueDarts is NewTxQueue for an explicit dart count.
+func NewTxQueueDarts(numDarts int, cfg TxConfig) *TxQueue {
+	if cfg.BandwidthBps <= 0 {
+		cfg.BandwidthBps = 9.953e9
+	}
+	if cfg.MaxBacklog <= 0 {
+		cfg.MaxBacklog = 10 * time.Millisecond
+	}
+	if cfg.DefaultBits <= 0 {
+		cfg.DefaultBits = 8192
+	}
+	q := &TxQueue{
+		bandwidth:   cfg.BandwidthBps,
+		maxBacklog:  cfg.MaxBacklog,
+		defaultBits: int64(cfg.DefaultBits),
+		now:         cfg.Now,
+		darts:       make([]txDart, numDarts),
+	}
+	if q.now == nil {
+		start := time.Now()
+		q.now = func() time.Duration { return time.Since(start) }
+	}
+	return q
+}
+
+// Transmit implements Egress: every successfully decided packet in the
+// batch is handed to its egress dart's queue. Packets the FIB delivered
+// locally or refused (OK false / a non-forward wire verdict) never reach
+// a transmitter and are not counted here.
+func (q *TxQueue) Transmit(b *Batch, st *LinkState) {
+	for i := range b.Pkts {
+		p := &b.Pkts[i]
+		if !p.OK {
+			continue
+		}
+		bits := int64(p.Bits)
+		if bits == 0 {
+			bits = q.defaultBits
+		}
+		q.Send(p.Egress, bits, st)
+	}
+	for i := range b.Wire {
+		p := &b.Wire[i]
+		if p.Verdict != WireForward {
+			continue
+		}
+		q.Send(p.Egress, wireFrameBits(p.Buf), st)
+	}
+}
+
+// Send queues one packet of the given size onto dart d, returning the
+// transmit verdict. It is the single-packet core of Transmit, exported
+// for callers that pace individual packets (the simulator bridge,
+// tests).
+func (q *TxQueue) Send(d rotation.DartID, bits int64, st *LinkState) TxVerdict {
+	dq := &q.darts[d]
+	tx := time.Duration(float64(bits) / q.bandwidth * float64(time.Second))
+	now := q.now()
+	dq.mu.Lock()
+	if st != nil && st.Down(rotation.LinkOf(d)) {
+		dq.dropDown++
+		dq.mu.Unlock()
+		return TxDropLinkDown
+	}
+	start := now
+	if dq.free > start {
+		start = dq.free
+	}
+	if start-now > q.maxBacklog {
+		dq.dropFull++
+		dq.mu.Unlock()
+		return TxDropQueueFull
+	}
+	dq.free = start + tx
+	dq.sent++
+	dq.sentBits += uint64(bits)
+	dq.mu.Unlock()
+	return TxSent
+}
+
+// Backlog returns dart d's current queueing delay: how long a packet
+// handed in now would wait before its first bit serialises.
+func (q *TxQueue) Backlog(d rotation.DartID) time.Duration {
+	dq := &q.darts[d]
+	now := q.now()
+	dq.mu.Lock()
+	free := dq.free
+	dq.mu.Unlock()
+	if free <= now {
+		return 0
+	}
+	return free - now
+}
+
+// Stats sums transmit outcomes across all darts.
+func (q *TxQueue) Stats() TxStats {
+	var s TxStats
+	for i := range q.darts {
+		dq := &q.darts[i]
+		dq.mu.Lock()
+		s.Sent += dq.sent
+		s.SentBits += dq.sentBits
+		s.DropQueueFull += dq.dropFull
+		s.DropLinkDown += dq.dropDown
+		dq.mu.Unlock()
+	}
+	return s
+}
+
+// wireFrameBits sizes a raw frame from its IP total-length field (IPv4
+// bytes 2–3; IPv6 fixed header plus payload length), falling back to the
+// buffer length for anything unparseable.
+func wireFrameBits(buf []byte) int64 {
+	if len(buf) >= 20 && buf[0]>>4 == 4 {
+		return 8 * int64(uint16(buf[2])<<8|uint16(buf[3]))
+	}
+	if len(buf) >= 40 && buf[0]>>4 == 6 {
+		return 8 * (40 + int64(uint16(buf[4])<<8|uint16(buf[5])))
+	}
+	return 8 * int64(len(buf))
+}

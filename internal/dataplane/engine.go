@@ -20,6 +20,9 @@ type Packet struct {
 	// Ingress is the dart the packet arrived on (rotation.NoDart at the
 	// origin).
 	Ingress rotation.DartID
+	// Bits is the packet's wire size, used by the egress stage for
+	// link-rate pacing (0 = the egress default, 8192 bits).
+	Bits int32
 	// Hdr is the PR header before the decision; the worker overwrites it
 	// with the post-decision header.
 	Hdr core.Header
@@ -52,18 +55,28 @@ type EngineConfig struct {
 	// RingDepth is the per-shard ring capacity in batches, rounded up to
 	// a power of two (default 256).
 	RingDepth int
+	// Egress, when non-nil, is the pipeline's transmit stage: every
+	// decided batch is handed to it (with the snapshot it was decided
+	// under) before OnDone. See TxQueue for the built-in per-dart
+	// serialising implementation.
+	Egress Egress
 	// OnDone, when non-nil, receives each batch after its packets have
-	// been decided, on the deciding worker's goroutine. The engine keeps
-	// no reference afterwards, so OnDone may recycle the batch.
+	// been decided and transmitted, on the deciding worker's goroutine.
+	// The engine keeps no reference afterwards, so OnDone may recycle
+	// the batch.
 	OnDone func(*Batch)
 }
 
-// Engine is the sharded forwarding engine: per-shard batch rings drained
-// by worker goroutines that decide on the compiled FIB. Interface state
-// lives in an atomically swapped immutable snapshot (RCU style): SetLink
-// copies, flips one bit and publishes, so workers never take a lock or
-// see a torn state, and a snapshot is loaded once per batch rather than
-// per packet.
+// Engine is the sharded forwarding engine, a three-stage pipeline:
+// ingest (Submit pushes batches onto per-shard rings), decide (worker
+// goroutines drain their ring against the compiled FIB), transmit (the
+// configured Egress paces decided packets onto per-dart queues). With no
+// Egress configured the pipeline stops at the decision, the shape the
+// engine had before transmit existed. Interface state lives in an
+// atomically swapped immutable snapshot (RCU style): SetLink copies,
+// flips one bit and publishes, so workers never take a lock or see a
+// torn state, and a snapshot is loaded once per batch rather than per
+// packet.
 type Engine struct {
 	fib    *FIB
 	cfg    EngineConfig
@@ -235,6 +248,9 @@ func (e *Engine) Close() uint64 {
 			st := e.state.Load()
 			e.fib.DecideBatch(b.Pkts, st)
 			e.fib.ForwardWireBatch(b.Wire, st)
+			if e.cfg.Egress != nil {
+				e.cfg.Egress.Transmit(b, st)
+			}
 			sh.decided.Add(b.size())
 			if e.cfg.OnDone != nil {
 				e.cfg.OnDone(b)
@@ -286,10 +302,14 @@ func (e *Engine) worker(sh *shard) {
 		}
 		idle = 0
 		// One snapshot load covers the whole batch: decisions within a
-		// batch see a single consistent interface state.
+		// batch see a single consistent interface state, and the egress
+		// stage paces under the same snapshot.
 		st := e.state.Load()
 		fib.DecideBatch(b.Pkts, st)
 		fib.ForwardWireBatch(b.Wire, st)
+		if e.cfg.Egress != nil {
+			e.cfg.Egress.Transmit(b, st)
+		}
 		sh.decided.Add(b.size())
 		if e.cfg.OnDone != nil {
 			e.cfg.OnDone(b)

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/dataplane"
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/route"
+	"recycle/internal/sim"
+	"recycle/internal/topo"
+	"recycle/internal/traffic"
+)
+
+// DefaultTrafficMix is the traffic-source panel the loss-window report
+// runs when the caller names none: the legacy fixed-interval probe, a
+// Poisson process at the same mean rate, silent-burst MMPP at the same
+// mean rate, and heavy-tailed (bounded-Pareto) packet sizes on Poisson
+// arrivals.
+func DefaultTrafficMix() []traffic.Source {
+	return []traffic.Source{
+		traffic.Fixed{Interval: time.Second / 2430},
+		traffic.Poisson{Rate: 2430, Seed: 1},
+		traffic.MMPP{RateOn: 12_150, MeanOn: 20 * time.Millisecond,
+			MeanOff: 80 * time.Millisecond, Seed: 1},
+		traffic.Poisson{Rate: 2430,
+			Sizes: traffic.BoundedPareto{Alpha: 1.3, MinBits: 512, MaxBits: 96_000}, Seed: 1},
+	}
+}
+
+// TrafficLossReport is a completed loss-window-over-traffic-mixes
+// experiment: the probe pair it crossed and one row per (traffic
+// source, scheme) pair. Each row's Traffic field carries the qualified
+// source label (e.g. "poisson+bounded-pareto").
+type TrafficLossReport struct {
+	// Src and Dst are the probe flow's endpoints (the topology's
+	// hop-diameter pair).
+	Src, Dst graph.NodeID
+	// Rows holds one result per source × scheme, sources outermost.
+	Rows []sim.LossWindowResult
+}
+
+// RunTrafficLoss runs the §1 loss-window experiment over a panel of
+// traffic sources: for each source, the same offered load (identical
+// deterministic stream) is played against PR on the compiled dataplane,
+// FCP and a reconverging IGP, with the first link of the probe's
+// shortest path failing one second in. The probe flow crosses the
+// topology's hop-diameter pair, so every scheme reroutes a worst-case
+// path.
+func RunTrafficLoss(tp topo.Topology, sources []traffic.Source) (*TrafficLossReport, error) {
+	g := tp.Graph
+	src, dst := diameterPair(g)
+	sys := tp.Embedding
+	if sys == nil {
+		var err error
+		if sys, err = (embedding.Auto{Seed: 1}).Embed(g); err != nil {
+			return nil, err
+		}
+	}
+	prot, err := core.New(g, sys, route.Build(g, route.HopCount), core.Config{Variant: core.Full})
+	if err != nil {
+		return nil, err
+	}
+	fib, err := dataplane.Compile(prot)
+	if err != nil {
+		return nil, err
+	}
+	report := &TrafficLossReport{Src: src, Dst: dst}
+	for _, source := range sources {
+		if err := source.Validate(); err != nil {
+			return nil, fmt.Errorf("eval: traffic mix: %w", err)
+		}
+		schemes := []sim.Scheme{
+			&sim.CompiledPRScheme{FIB: fib},
+			&sim.FCPScheme{},
+			&sim.ReconvScheme{},
+		}
+		for _, scheme := range schemes {
+			res, err := sim.RunLossWindowTraffic(sim.Config{
+				Graph:          g,
+				Scheme:         scheme,
+				Horizon:        3 * time.Second,
+				DetectionDelay: 50 * time.Millisecond,
+			}, src, dst, source, time.Second)
+			if err != nil {
+				return nil, err
+			}
+			res.Traffic = sourceLabel(source)
+			report.Rows = append(report.Rows, res)
+		}
+	}
+	return report, nil
+}
+
+// WriteTrafficLossReport renders the loss-window-over-traffic-mixes
+// figure for a named topology. A nil sources slice runs
+// DefaultTrafficMix.
+func WriteTrafficLossReport(w io.Writer, topoName string, sources []traffic.Source) error {
+	tp, err := topo.ByName(topoName)
+	if err != nil {
+		return err
+	}
+	if sources == nil {
+		sources = DefaultTrafficMix()
+	}
+	report, err := RunTrafficLoss(tp, sources)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# §1 loss window over traffic mixes on %s: %s→%s flow, first-hop link fails at t=1s\n",
+		tp.Name, tp.Graph.Name(report.Src), tp.Graph.Name(report.Dst))
+	fmt.Fprintf(w, "%-22s %-30s %-10s %-10s %-10s %-8s %-5s %-9s\n",
+		"traffic", "scheme", "generated", "delivered", "blackhole", "noroute", "ttl", "delivery")
+	for _, r := range report.Rows {
+		rate := 1.0
+		if r.Generated > 0 {
+			rate = float64(r.Delivered) / float64(r.Generated)
+		}
+		fmt.Fprintf(w, "%-22s %-30s %-10d %-10d %-10d %-8d %-5d %-9.4f\n",
+			r.Traffic, r.Scheme, r.Generated, r.Delivered, r.Blackhole, r.NoRoute, r.TTL, rate)
+	}
+	return nil
+}
+
+// sourceLabel names a source for the report, qualifying the size
+// distribution when one is attached.
+func sourceLabel(s traffic.Source) string {
+	switch src := s.(type) {
+	case traffic.Poisson:
+		if src.Sizes != nil {
+			return s.Name() + "+" + src.Sizes.Name()
+		}
+	case traffic.MMPP:
+		if src.Sizes != nil {
+			return s.Name() + "+" + src.Sizes.Name()
+		}
+	}
+	return s.Name()
+}
+
+// diameterPair returns a (src, dst) pair realising the graph's hop
+// diameter — the longest shortest path, the probe every scheme has to
+// reroute hardest for.
+func diameterPair(g *graph.Graph) (graph.NodeID, graph.NodeID) {
+	bestS, bestD := graph.NodeID(0), graph.NodeID(1)
+	best := -1
+	for d := 0; d < g.NumNodes(); d++ {
+		tree := graph.ShortestPathTree(g, graph.NodeID(d), nil)
+		for s := 0; s < g.NumNodes(); s++ {
+			if tree.Hops[s] > best {
+				best = tree.Hops[s]
+				bestS, bestD = graph.NodeID(s), graph.NodeID(d)
+			}
+		}
+	}
+	return bestS, bestD
+}

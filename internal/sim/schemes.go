@@ -8,6 +8,7 @@ import (
 	"recycle/internal/graph"
 	"recycle/internal/reconv"
 	"recycle/internal/rotation"
+	"recycle/internal/traffic"
 )
 
 // Scheme is a pluggable forwarding mechanism driven by the simulator.
@@ -330,6 +331,7 @@ func dartFrom(g *graph.Graph, n graph.NodeID, l graph.LinkID) rotation.DartID {
 // LossWindowResult compares schemes on one outage scenario.
 type LossWindowResult struct {
 	Scheme    string
+	Traffic   string
 	Generated int
 	Delivered int
 	Blackhole int
@@ -343,18 +345,38 @@ type LossWindowResult struct {
 // horizon; the first link of src's shortest path fails at failAt.
 func RunLossWindow(cfg Config, src, dst graph.NodeID, pps float64, failAt time.Duration) (LossWindowResult, error) {
 	interval := time.Duration(float64(time.Second) / pps)
-	cfg.Flows = []Flow{{Src: src, Dst: dst, Interval: interval, Bits: 8192}}
+	return runLossWindowFlow(cfg, Flow{Src: src, Dst: dst, Interval: interval, Bits: 8192}, failAt)
+}
+
+// RunLossWindowTraffic is RunLossWindow with an arbitrary arrival process
+// driving the flow — the loss window under Poisson, MMPP-burst or replay
+// traffic instead of the fixed-interval probe. The source's stream is
+// minted fresh for the run, so the same source gives every scheme under
+// comparison the identical offered load.
+func RunLossWindowTraffic(cfg Config, src, dst graph.NodeID, source traffic.Source, failAt time.Duration) (LossWindowResult, error) {
+	return runLossWindowFlow(cfg, Flow{Src: src, Dst: dst, Source: source}, failAt)
+}
+
+// runLossWindowFlow is the shared body: one flow, the first link of the
+// source's shortest path failing at failAt.
+func runLossWindowFlow(cfg Config, flow Flow, failAt time.Duration) (LossWindowResult, error) {
+	cfg.Flows = []Flow{flow}
 	s, err := New(cfg)
 	if err != nil {
 		return LossWindowResult{}, err
 	}
 	// Fail the first link on src's current shortest path.
-	tree := graph.ShortestPathTree(cfg.Graph, dst, nil)
-	target := tree.NextLink[src]
+	tree := graph.ShortestPathTree(cfg.Graph, flow.Dst, nil)
+	target := tree.NextLink[flow.Src]
 	s.FailLinkAt(target, failAt)
 	st := s.Run()
+	trafficName := "fixed"
+	if flow.Source != nil {
+		trafficName = flow.Source.Name()
+	}
 	return LossWindowResult{
 		Scheme:    cfg.Scheme.Name(),
+		Traffic:   trafficName,
 		Generated: st.Generated,
 		Delivered: st.Delivered,
 		Blackhole: st.Drops[DropBlackhole],

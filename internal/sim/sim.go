@@ -7,6 +7,7 @@ import (
 
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
+	"recycle/internal/traffic"
 )
 
 // Packet is one simulated datagram.
@@ -45,17 +46,28 @@ const (
 	DropTTL DropReason = "ttl"
 )
 
-// Flow emits fixed-size packets at a fixed interval between two nodes.
+// Flow emits packets between two nodes. By default it is fixed-interval
+// (Interval/Bits, the legacy behaviour); setting Source drives the flow
+// with any traffic arrival process instead — Poisson, MMPP bursts,
+// bounded-Pareto sizes, trace replay (package traffic).
 type Flow struct {
 	Src, Dst graph.NodeID
-	// Interval between packets.
+	// Interval between packets when Source is nil.
 	Interval time.Duration
-	// Bits per packet (default 8192 = 1 kB, the paper's average size).
+	// Bits per packet when Source is nil (default 8192 = 1 kB, the
+	// paper's average size).
 	Bits int
-	// Start offsets the first packet.
+	// Start offsets the first packet (for a Source-driven flow, the
+	// process origin: the first packet lands at Start plus the source's
+	// first inter-arrival gap).
 	Start time.Duration
 	// Class tags emitted packets for per-class policies (§7).
 	Class string
+	// Source optionally replaces the fixed-interval process. The
+	// simulator mints a fresh deterministic stream per run, so reusing a
+	// Config replays identical traffic. traffic.Fixed reproduces the nil
+	// behaviour bit-identically (see the differential test).
+	Source traffic.Source
 }
 
 // Config parameterises a simulation run.
@@ -137,13 +149,16 @@ type Simulator struct {
 	linkGen   []uint64          // physical state generation, for flap damping
 	knownDown *graph.FailureSet // locally detected state, fed to schemes
 	linkFree  []time.Duration   // next instant each link's transmitter is idle (per direction)
+	streams   []traffic.Stream  // per-flow emission streams (nil = legacy fixed-interval)
 
 	nextPacketID int64
 	// Stats is populated during Run.
 	Stats Stats
 }
 
-// New validates the configuration and prepares a simulator.
+// New validates the configuration and prepares a simulator. Every flow
+// and source parameter is checked up front with a descriptive error —
+// a bad rate or dwell time fails here, not as a panic mid-run.
 func New(cfg Config) (*Simulator, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("sim: nil graph")
@@ -153,6 +168,18 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if cfg.Horizon <= 0 {
 		return nil, fmt.Errorf("sim: horizon must be positive")
+	}
+	if cfg.BandwidthBps < 0 {
+		return nil, fmt.Errorf("sim: negative bandwidth %g bps", cfg.BandwidthBps)
+	}
+	if cfg.DetectionDelay < 0 {
+		return nil, fmt.Errorf("sim: negative detection delay %v", cfg.DetectionDelay)
+	}
+	if cfg.HoldDown < 0 {
+		return nil, fmt.Errorf("sim: negative hold-down %v", cfg.HoldDown)
+	}
+	if cfg.TTL < 0 {
+		return nil, fmt.Errorf("sim: negative TTL %d", cfg.TTL)
 	}
 	if cfg.BandwidthBps == 0 {
 		cfg.BandwidthBps = 9.953e9
@@ -179,14 +206,52 @@ func New(cfg Config) (*Simulator, error) {
 		linkGen:   make([]uint64, cfg.Graph.NumLinks()),
 		knownDown: graph.NewFailureSet(),
 		linkFree:  make([]time.Duration, 2*cfg.Graph.NumLinks()),
+		streams:   make([]traffic.Stream, len(cfg.Flows)),
 	}
 	for i, f := range cfg.Flows {
-		if f.Interval <= 0 {
-			return nil, fmt.Errorf("sim: flow %d has non-positive interval", i)
+		if err := validateFlow(cfg.Graph, i, f); err != nil {
+			return nil, err
 		}
-		s.schedule(&event{at: f.Start, kind: evGenerate, flow: i})
+		if f.Source == nil {
+			// Legacy fixed-interval path, kept verbatim: the differential
+			// test pins traffic.Fixed bit-identical to it.
+			s.schedule(&event{at: f.Start, kind: evGenerate, flow: i})
+			continue
+		}
+		st := f.Source.Stream()
+		s.streams[i] = st
+		if gap, bits, ok := st.Next(); ok {
+			s.schedule(&event{at: f.Start + gap, kind: evGenerate, flow: i, bits: bits})
+		}
 	}
 	return s, nil
+}
+
+// validateFlow checks one flow's parameters, including its source's.
+func validateFlow(g *graph.Graph, i int, f Flow) error {
+	n := g.NumNodes()
+	if f.Src < 0 || int(f.Src) >= n {
+		return fmt.Errorf("sim: flow %d source node %d outside [0, %d)", i, f.Src, n)
+	}
+	if f.Dst < 0 || int(f.Dst) >= n {
+		return fmt.Errorf("sim: flow %d destination node %d outside [0, %d)", i, f.Dst, n)
+	}
+	if f.Start < 0 {
+		return fmt.Errorf("sim: flow %d has negative start %v", i, f.Start)
+	}
+	if f.Source != nil {
+		if err := f.Source.Validate(); err != nil {
+			return fmt.Errorf("sim: flow %d: %w", i, err)
+		}
+		return nil
+	}
+	if f.Interval <= 0 {
+		return fmt.Errorf("sim: flow %d has non-positive interval", i)
+	}
+	if f.Bits < 0 {
+		return fmt.Errorf("sim: flow %d has negative bits %d", i, f.Bits)
+	}
+	return nil
 }
 
 // Now returns the current simulated time (useful to schemes).
@@ -230,7 +295,7 @@ func (s *Simulator) Run() *Stats {
 		s.now = e.at
 		switch e.kind {
 		case evGenerate:
-			s.handleGenerate(e.flow)
+			s.handleGenerate(e.flow, e.bits)
 		case evArrive:
 			s.handleArrive(e.pkt, e.node)
 		case evLinkDown:
@@ -267,11 +332,15 @@ func (s *Simulator) ScheduleConvergeAt(at time.Duration) {
 	s.schedule(&event{at: at, kind: evConverge})
 }
 
-func (s *Simulator) handleGenerate(flowIdx int) {
+func (s *Simulator) handleGenerate(flowIdx, bits int) {
 	f := s.cfg.Flows[flowIdx]
-	bits := f.Bits
-	if bits == 0 {
-		bits = 8192
+	stream := s.streams[flowIdx]
+	if stream == nil {
+		// Legacy fixed-interval flow: the event carries no size.
+		bits = f.Bits
+		if bits == 0 {
+			bits = 8192
+		}
 	}
 	pkt := &Packet{
 		ID:      s.nextPacketID,
@@ -285,7 +354,11 @@ func (s *Simulator) handleGenerate(flowIdx int) {
 	s.nextPacketID++
 	s.Stats.Generated++
 	// Schedule the flow's next emission, then process this packet.
-	s.schedule(&event{at: s.now + f.Interval, kind: evGenerate, flow: flowIdx})
+	if stream == nil {
+		s.schedule(&event{at: s.now + f.Interval, kind: evGenerate, flow: flowIdx})
+	} else if gap, nbits, ok := stream.Next(); ok {
+		s.schedule(&event{at: s.now + gap, kind: evGenerate, flow: flowIdx, bits: nbits})
+	}
 	s.handleArrive(pkt, f.Src)
 }
 

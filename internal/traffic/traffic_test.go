@@ -1,0 +1,292 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drain pulls n emissions from a stream, returning gaps and sizes.
+func drain(t *testing.T, s Stream, n int) (gaps []time.Duration, bits []int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		g, b, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended after %d emissions; want %d", i, n)
+		}
+		gaps = append(gaps, g)
+		bits = append(bits, b)
+	}
+	return gaps, bits
+}
+
+func TestFixedStream(t *testing.T) {
+	f := Fixed{Interval: 5 * time.Millisecond, Bits: 4096}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gaps, bits := drain(t, f.Stream(), 4)
+	// The first gap is zero (emit at flow start, the legacy behaviour),
+	// then the fixed interval forever.
+	want := []time.Duration{0, 5 * time.Millisecond, 5 * time.Millisecond, 5 * time.Millisecond}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gap[%d] = %v; want %v", i, gaps[i], want[i])
+		}
+		if bits[i] != 4096 {
+			t.Fatalf("bits[%d] = %d; want 4096", i, bits[i])
+		}
+	}
+	// Zero bits defaults to DefaultBits.
+	_, bits = drain(t, Fixed{Interval: time.Millisecond}.Stream(), 1)
+	if bits[0] != DefaultBits {
+		t.Fatalf("default bits = %d; want %d", bits[0], DefaultBits)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		src  Source
+		want string
+	}{
+		{Fixed{Interval: 0}, "non-positive interval"},
+		{Fixed{Interval: time.Millisecond, Bits: -1}, "negative bits"},
+		{Poisson{Rate: 0}, "non-positive rate"},
+		{Poisson{Rate: -3}, "non-positive rate"},
+		{Poisson{Rate: 100, Sizes: BoundedPareto{Alpha: 0, MinBits: 1, MaxBits: 2}}, "non-positive alpha"},
+		{MMPP{RateOn: 0, MeanOn: time.Second, MeanOff: time.Second}, "non-positive on-state rate"},
+		{MMPP{RateOn: 10, RateOff: -1, MeanOn: time.Second, MeanOff: time.Second}, "negative off-state rate"},
+		{MMPP{RateOn: 10, MeanOn: 0, MeanOff: time.Second}, "burst length must be positive"},
+		{MMPP{RateOn: 10, MeanOn: time.Second, MeanOff: -time.Second}, "negative off-state dwell"},
+		{Replay{Records: []Record{{At: time.Second, Bits: 100}, {At: 0, Bits: 100}}}, "time-sorted"},
+		{Replay{Records: []Record{{At: 0, Bits: 0}}}, "non-positive size"},
+	}
+	for _, c := range cases {
+		err := c.src.Validate()
+		if err == nil {
+			t.Fatalf("%s %+v: Validate() = nil; want error containing %q", c.src.Name(), c.src, c.want)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not contain %q", c.src.Name(), err, c.want)
+		}
+	}
+}
+
+// TestStreamsAreDeterministic: two streams from the same source replay
+// identical sequences — the property that lets one Source drive many
+// scheme-comparison runs fairly.
+func TestStreamsAreDeterministic(t *testing.T) {
+	sources := []Source{
+		Poisson{Rate: 1000, Seed: 7},
+		Poisson{Rate: 500, Sizes: BoundedPareto{Alpha: 1.3, MinBits: 512, MaxBits: 96000}, Seed: 3},
+		MMPP{RateOn: 5000, MeanOn: 10 * time.Millisecond, MeanOff: 40 * time.Millisecond, Seed: 9},
+	}
+	for _, src := range sources {
+		a, b := src.Stream(), src.Stream()
+		for i := 0; i < 500; i++ {
+			ga, ba, _ := a.Next()
+			gb, bb, _ := b.Next()
+			if ga != gb || ba != bb {
+				t.Fatalf("%s: emission %d differs between streams: (%v,%d) vs (%v,%d)",
+					src.Name(), i, ga, ba, gb, bb)
+			}
+		}
+	}
+}
+
+// TestPoissonStatistics: with a fixed seed, the empirical mean and
+// variance of inter-arrival gaps match the exponential distribution
+// (mean 1/λ, variance 1/λ²) within a few percent, and counts in windows
+// have dispersion index ≈ 1 (the Poisson signature).
+func TestPoissonStatistics(t *testing.T) {
+	const rate = 2000.0
+	const n = 200_000
+	gaps, _ := drain(t, Poisson{Rate: rate, Seed: 42}.Stream(), n)
+
+	var sum, sumSq float64
+	for _, g := range gaps {
+		s := g.Seconds()
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1/rate)/(1/rate) > 0.02 {
+		t.Fatalf("mean gap = %g s; want ≈ %g (±2%%)", mean, 1/rate)
+	}
+	wantVar := 1 / (rate * rate)
+	if math.Abs(variance-wantVar)/wantVar > 0.05 {
+		t.Fatalf("gap variance = %g; want ≈ %g (±5%%)", variance, wantVar)
+	}
+
+	// Dispersion index of counts in 50 ms windows: ≈1 for Poisson.
+	counts := windowCounts(gaps, 50*time.Millisecond)
+	d := dispersion(counts)
+	if d < 0.9 || d > 1.1 {
+		t.Fatalf("dispersion index = %g; want ≈ 1 for Poisson", d)
+	}
+}
+
+// TestMMPPStatistics: the empirical mean rate matches the dwell-weighted
+// analytic rate, the traffic is overdispersed relative to Poisson (the
+// point of using MMPP), and with a silent off state the long silences
+// have mean ≈ MeanOff — the state dwell time surfacing in the gap
+// sequence.
+func TestMMPPStatistics(t *testing.T) {
+	src := MMPP{
+		RateOn:  10_000,
+		RateOff: 0,
+		MeanOn:  20 * time.Millisecond,
+		MeanOff: 80 * time.Millisecond,
+		Seed:    11,
+	}
+	// The rate estimator's error is governed by the number of on/off
+	// cycles observed (~one per 100 ms), not the packet count, so the run
+	// must be long in cycles: 400k packets ≈ 200 s ≈ 2000 cycles.
+	const n = 400_000
+	gaps, _ := drain(t, src.Stream(), n)
+
+	var total time.Duration
+	for _, g := range gaps {
+		total += g
+	}
+	rate := float64(n) / total.Seconds()
+	want := src.MeanRate() // 10000 * 20/(20+80) = 2000 pps
+	if math.Abs(rate-want)/want > 0.05 {
+		t.Fatalf("empirical rate = %g pps; want ≈ %g (±5%%)", rate, want)
+	}
+
+	// Burstiness: counts in windows must be far overdispersed vs Poisson.
+	counts := windowCounts(gaps, 50*time.Millisecond)
+	if d := dispersion(counts); d < 2 {
+		t.Fatalf("dispersion index = %g; want ≫ 1 for on/off bursts", d)
+	}
+
+	// Off-state dwells: with RateOff = 0 every silence longer than a few
+	// on-state gaps is an off dwell plus one on-state arrival gap.
+	// E[silence] ≈ MeanOff + 1/RateOn. The threshold (10× the mean
+	// on-state gap) misclassifies a vanishing fraction of on-gaps.
+	threshold := 10 * time.Duration(float64(time.Second)/src.RateOn)
+	var silence time.Duration
+	silences := 0
+	for _, g := range gaps {
+		if g > threshold {
+			silence += g
+			silences++
+		}
+	}
+	if silences == 0 {
+		t.Fatal("no off-state silences observed")
+	}
+	meanSilence := (silence / time.Duration(silences)).Seconds()
+	wantSilence := src.MeanOff.Seconds() + 1/src.RateOn
+	if math.Abs(meanSilence-wantSilence)/wantSilence > 0.10 {
+		t.Fatalf("mean off-state silence = %gs; want ≈ %gs (±10%%)", meanSilence, wantSilence)
+	}
+}
+
+// TestBoundedParetoStatistics: samples respect the bounds and the
+// empirical mean matches the analytic mean.
+func TestBoundedParetoStatistics(t *testing.T) {
+	dist := BoundedPareto{Alpha: 1.3, MinBits: 512, MaxBits: 12_000_000}
+	if err := dist.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	const n = 500_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		b := dist.SampleBits(rng)
+		if b < dist.MinBits || b > dist.MaxBits {
+			t.Fatalf("sample %d outside [%d, %d]", b, dist.MinBits, dist.MaxBits)
+		}
+		sum += float64(b)
+	}
+	mean := sum / n
+	want := dist.Mean()
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("empirical mean = %g bits; want ≈ %g (±5%%)", mean, want)
+	}
+}
+
+func TestReplayStream(t *testing.T) {
+	trace := `
+# time(s)  bytes
+0.000  1000
+0.010  500
+0.010  500
+0.035  1500
+`
+	r, err := ReadTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stream()
+	wantGap := []time.Duration{0, 10 * time.Millisecond, 0, 25 * time.Millisecond}
+	wantBits := []int{8000, 4000, 4000, 12000}
+	for i := range wantGap {
+		g, b, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+		if g != wantGap[i] || b != wantBits[i] {
+			t.Fatalf("emission %d = (%v, %d); want (%v, %d)", i, g, b, wantGap[i], wantBits[i])
+		}
+	}
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("stream did not end after the trace ran out")
+	}
+	// A second Next after exhaustion stays false.
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("exhausted stream restarted")
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"0.1 100 extra", "want `<seconds> <bytes>`"},
+		{"abc 100", "bad timestamp"},
+		{"0.1 xyz", "bad size"},
+		{"-1 100", "negative timestamp"},
+		{"1.0 100\n0.5 100", "time-sorted"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c.in)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("ReadTrace(%q) error = %v; want containing %q", c.in, err, c.want)
+		}
+	}
+}
+
+// windowCounts bins a gap sequence into fixed windows and returns the
+// per-window arrival counts.
+func windowCounts(gaps []time.Duration, window time.Duration) []int {
+	var counts []int
+	var now, edge time.Duration
+	edge = window
+	count := 0
+	for _, g := range gaps {
+		now += g
+		for now >= edge {
+			counts = append(counts, count)
+			count = 0
+			edge += window
+		}
+		count++
+	}
+	return counts
+}
+
+// dispersion returns variance/mean of the counts (1 for Poisson).
+func dispersion(counts []int) float64 {
+	var sum, sumSq float64
+	for _, c := range counts {
+		f := float64(c)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(counts))
+	mean := sum / n
+	return (sumSq/n - mean*mean) / mean
+}

@@ -28,12 +28,16 @@
 //   - internal/fcp        — Failure-Carrying Packets baseline
 //   - internal/reconv     — reconvergence baseline
 //   - internal/sim        — discrete-event simulator
+//   - internal/traffic    — pluggable arrival processes (Poisson, MMPP,
+//     bounded-Pareto sizes, trace replay)
 //   - internal/eval       — the paper's Figure 2 / §6 experiment harness
 //   - internal/header     — DSCP pool-2 wire encoding
 //   - internal/dataplane  — compiled FIB, wire fast path, sharded engine
+//     with per-dart egress transmit queues
 package recycle
 
 import (
+	"io"
 	"net/netip"
 
 	"recycle/internal/core"
@@ -44,6 +48,7 @@ import (
 	"recycle/internal/rotation"
 	"recycle/internal/route"
 	"recycle/internal/topo"
+	"recycle/internal/traffic"
 )
 
 // Graph is a weighted undirected network graph.
@@ -238,6 +243,84 @@ type EngineConfig = dataplane.EngineConfig
 
 // NewEngine starts a forwarding engine over a compiled FIB.
 func NewEngine(fib *FIB, cfg EngineConfig) *Engine { return dataplane.NewEngine(fib, cfg) }
+
+// Egress is the engine pipeline's transmit stage: it receives every
+// decided batch, with the link-state snapshot it was decided under,
+// before OnDone. TxQueue is the built-in implementation.
+type Egress = dataplane.Egress
+
+// TxQueue is the built-in Egress: one bounded, link-rate-paced transmit
+// queue per dart, preserving per-link-direction FIFO delivery order.
+type TxQueue = dataplane.TxQueue
+
+// TxConfig parameterises NewTxQueue.
+type TxConfig = dataplane.TxConfig
+
+// TxStats aggregates transmit outcomes across all darts.
+type TxStats = dataplane.TxStats
+
+// TxVerdict classifies one transmit attempt; see TxQueue.Send.
+type TxVerdict = dataplane.TxVerdict
+
+// Transmit verdicts.
+const (
+	// TxSent: the packet was serialised onto its egress link.
+	TxSent = dataplane.TxSent
+	// TxDropQueueFull: the per-dart queue exceeded its backlog bound.
+	TxDropQueueFull = dataplane.TxDropQueueFull
+	// TxDropLinkDown: the egress link is marked down in the snapshot.
+	TxDropLinkDown = dataplane.TxDropLinkDown
+)
+
+// NewTxQueue builds per-dart transmit queues for a compiled FIB's links.
+func NewTxQueue(fib *FIB, cfg TxConfig) *TxQueue { return dataplane.NewTxQueue(fib, cfg) }
+
+// TrafficSource is an immutable description of one flow's arrival
+// process; Stream() mints fresh deterministic iterators, so the same
+// source drives many runs identically. Implementations: FixedTraffic,
+// PoissonTraffic, MMPPTraffic, ReplayTraffic.
+type TrafficSource = traffic.Source
+
+// TrafficStream yields one flow's successive emissions (inter-arrival
+// gap + packet size in bits).
+type TrafficStream = traffic.Stream
+
+// SizeDist draws packet sizes, composable with Poisson/MMPP arrivals;
+// implementations: FixedSize, BoundedPareto.
+type SizeDist = traffic.SizeDist
+
+// FixedTraffic emits fixed-size packets at a fixed interval — the
+// legacy simulator flow, as a TrafficSource.
+type FixedTraffic = traffic.Fixed
+
+// PoissonTraffic emits packets with exponential inter-arrival times.
+type PoissonTraffic = traffic.Poisson
+
+// MMPPTraffic is a two-state on/off Markov-modulated Poisson process:
+// bursts and silences with exponential dwell times.
+type MMPPTraffic = traffic.MMPP
+
+// ReplayTraffic re-emits a recorded packet trace.
+type ReplayTraffic = traffic.Replay
+
+// TraceRecord is one packet of a ReplayTraffic trace.
+type TraceRecord = traffic.Record
+
+// FixedSize is the degenerate size distribution (every packet equal).
+type FixedSize = traffic.FixedSize
+
+// BoundedPareto draws heavy-tailed packet sizes truncated to
+// [MinBits, MaxBits].
+type BoundedPareto = traffic.BoundedPareto
+
+// ParseTrafficSpec parses a textual source specification such as
+// "poisson:rate=2430", "mmpp:on=12150,off=0,dwell=20ms/80ms",
+// "fixed:interval=1ms,bits=8192" or "replay:trace.txt".
+func ParseTrafficSpec(spec string) (TrafficSource, error) { return traffic.ParseSpec(spec) }
+
+// ReadTrafficTrace parses a textual packet trace (`<seconds> <bytes>`
+// per line) into a ReplayTraffic source.
+func ReadTrafficTrace(r io.Reader) (ReplayTraffic, error) { return traffic.ReadTrace(r) }
 
 // Topology bundles a named graph with optional embedding metadata.
 type Topology = topo.Topology
