@@ -1,0 +1,283 @@
+// Command benchdiff gates CI on benchmark regressions: it parses `go
+// test -bench` output, aggregates repeated runs (-count=N) by median,
+// renders a benchstat-style comparison against a committed baseline, and
+// exits non-zero when a gated benchmark regressed — >20% ns/op by
+// default, or any allocs/op increase.
+//
+//	go test -bench . -benchmem -count=5 ./... | tee bench.txt
+//	benchdiff -baseline BENCH_baseline.json bench.txt        # compare
+//	benchdiff -baseline BENCH_baseline.json -write bench.txt # refresh
+//
+// Benchmark names are keyed without the -NCPU suffix so baselines travel
+// between machines with different core counts; the gate list matches by
+// name prefix (sub-benchmarks included).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one aggregated benchmark: median over repeated runs.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	// Note records how the file was produced, for humans.
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against (or write)")
+		write        = flag.Bool("write", false, "write the parsed results as the new baseline instead of comparing")
+		gate         = flag.String("gate", "BenchmarkFIBDecide,BenchmarkEngine", "comma-separated benchmark name prefixes that fail the build on regression")
+		threshold    = flag.Float64("threshold", 0.20, "relative ns/op regression that fails a gated benchmark")
+		note         = flag.String("note", "", "note stored in the baseline with -write")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *write {
+		if err := writeBaseline(*baselinePath, results, *note); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(results), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+	gates := splitGates(*gate)
+	regressions := Compare(os.Stdout, base.Benchmarks, results, gates, *threshold)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d gated regression(s):\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: gated benchmarks within budget")
+}
+
+func splitGates(s string) []string {
+	var out []string
+	for _, g := range strings.Split(s, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Parse reads `go test -bench` output and aggregates repeated runs of
+// each benchmark (keyed without the -NCPU suffix) by median.
+func Parse(r io.Reader) (map[string]Result, error) {
+	samples := map[string][][3]float64{} // ns, B, allocs per run
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, vals, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		samples[name] = append(samples[name], vals)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// go test appends "-GOMAXPROCS" to every name — except when
+	// GOMAXPROCS is 1, when it appends nothing. A trailing "-N" is
+	// therefore the CPU marker only when the same N trails every
+	// benchmark; stripping anything less universal would eat real
+	// sub-benchmark suffixes like "shards-2". This keys baselines
+	// identically across machines with any core count.
+	suffix, universal := "", true
+	for name := range samples {
+		i := strings.LastIndex(name, "-")
+		if i < 0 {
+			universal = false
+			break
+		}
+		tail := name[i:]
+		if _, err := strconv.Atoi(tail[1:]); err != nil {
+			universal = false
+			break
+		}
+		if suffix == "" {
+			suffix = tail
+		} else if suffix != tail {
+			universal = false
+			break
+		}
+	}
+	out := make(map[string]Result, len(samples))
+	for name, runs := range samples {
+		key := name
+		if universal && suffix != "" {
+			key = strings.TrimSuffix(name, suffix)
+		}
+		out[key] = Result{
+			NsPerOp:     medianOf(runs, 0),
+			BytesPerOp:  medianOf(runs, 1),
+			AllocsPerOp: medianOf(runs, 2),
+			Runs:        len(runs),
+		}
+	}
+	return out, nil
+}
+
+// parseLine extracts (name, [ns/op, B/op, allocs/op]) from one benchmark
+// result line; ok is false for any other line.
+func parseLine(line string) (string, [3]float64, bool) {
+	var vals [3]float64
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", vals, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", vals, false // not an iteration count — e.g. a status line
+	}
+	name := fields[0]
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			vals[0], seen = v, true
+		case "B/op":
+			vals[1] = v
+		case "allocs/op":
+			vals[2] = v
+		}
+	}
+	return name, vals, seen
+}
+
+func medianOf(runs [][3]float64, idx int) float64 {
+	vals := make([]float64, len(runs))
+	for i, r := range runs {
+		vals[i] = r[idx]
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// Compare renders the old-vs-new table and returns the gated-regression
+// messages: a gated benchmark fails on ns/op growth beyond threshold or
+// on any allocs/op increase. Benchmarks absent from the baseline are
+// reported as new and never fail; gated baseline entries missing from
+// the results fail (a gate that silently stops running is a regression
+// of the gate itself).
+func Compare(w io.Writer, base, cur map[string]Result, gates []string, threshold float64) []string {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// A gate matches the exact benchmark or its sub-benchmarks ("g" or
+	// "g/..."), never a longer sibling name — "BenchmarkEngine" must not
+	// gate "BenchmarkEngineEgress".
+	gated := func(name string) bool {
+		for _, g := range gates {
+			if name == g || strings.HasPrefix(name, g+"/") {
+				return true
+			}
+		}
+		return false
+	}
+
+	var regressions []string
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		mark := " "
+		if gated(name) {
+			mark = "*"
+		}
+		if !ok {
+			fmt.Fprintf(w, "%s%-51s %14s %14.1f %8s %10.0f\n", mark, name, "(new)", c.NsPerOp, "", c.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		allocNote := fmt.Sprintf("%.0f→%.0f", b.AllocsPerOp, c.AllocsPerOp)
+		fmt.Fprintf(w, "%s%-51s %14.1f %14.1f %+7.1f%% %10s\n", mark, name, b.NsPerOp, c.NsPerOp, delta*100, allocNote)
+		if !gated(name) {
+			continue
+		}
+		if delta > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %+.1f%% (%.1f → %.1f, budget %+.0f%%)", name, delta*100, b.NsPerOp, c.NsPerOp, threshold*100))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op rose %.0f → %.0f", name, b.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok && gated(name) {
+			regressions = append(regressions, fmt.Sprintf("%s: gated benchmark missing from results", name))
+		}
+	}
+	sort.Strings(regressions)
+	return regressions
+}
+
+func writeBaseline(path string, results map[string]Result, note string) error {
+	out, err := json.MarshalIndent(Baseline{Note: note, Benchmarks: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

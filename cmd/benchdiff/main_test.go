@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: recycle/internal/dataplane
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFIBDecide-8         	87966954	        12.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFIBDecide-8         	87966954	        14.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFIBDecide-8         	87966954	        13.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngine/geant/shards-1-8	 4644526	       250.0 ns/op	        4000000 decisions/s	      10 B/op	       0 allocs/op
+BenchmarkRecompileDelta-8    	   10000	     66000 ns/op	   95363 B/op	     155 allocs/op
+PASS
+ok  	recycle/internal/dataplane	30.1s
+`
+
+func TestParse(t *testing.T) {
+	res, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, ok := res["BenchmarkFIBDecide"]
+	if !ok {
+		t.Fatalf("FIBDecide missing: %v", res)
+	}
+	if fib.NsPerOp != 13 || fib.Runs != 3 {
+		t.Fatalf("median aggregation wrong: %+v", fib)
+	}
+	eng, ok := res["BenchmarkEngine/geant/shards-1"]
+	if !ok {
+		t.Fatalf("sub-benchmark key wrong: %v", res)
+	}
+	if eng.NsPerOp != 250 || eng.BytesPerOp != 10 {
+		t.Fatalf("engine parse wrong: %+v", eng)
+	}
+	if _, ok := res["BenchmarkRecompileDelta"]; !ok {
+		t.Fatal("recompile benchmark missing")
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkFIBDecide":             {NsPerOp: 10, AllocsPerOp: 0},
+		"BenchmarkEngine/geant/shards-1": {NsPerOp: 100, AllocsPerOp: 2},
+		"BenchmarkOther":                 {NsPerOp: 50},
+	}
+	gates := []string{"BenchmarkFIBDecide", "BenchmarkEngine"}
+
+	// Within budget: +10% ns/op, allocs flat, ungated wildly slower.
+	cur := map[string]Result{
+		"BenchmarkFIBDecide":             {NsPerOp: 11, AllocsPerOp: 0},
+		"BenchmarkEngine/geant/shards-1": {NsPerOp: 105, AllocsPerOp: 2},
+		"BenchmarkOther":                 {NsPerOp: 500},
+	}
+	var buf bytes.Buffer
+	if regs := Compare(&buf, base, cur, gates, 0.20); len(regs) != 0 {
+		t.Fatalf("within-budget run flagged: %v", regs)
+	}
+
+	// ns/op blowout on a gated benchmark.
+	cur["BenchmarkFIBDecide"] = Result{NsPerOp: 13, AllocsPerOp: 0}
+	regs := Compare(&buf, base, cur, gates, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkFIBDecide") {
+		t.Fatalf("ns/op regression not flagged: %v", regs)
+	}
+
+	// Any allocs/op increase fails, even inside the ns/op budget.
+	cur["BenchmarkFIBDecide"] = Result{NsPerOp: 10, AllocsPerOp: 1}
+	regs = Compare(&buf, base, cur, gates, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("allocs regression not flagged: %v", regs)
+	}
+
+	// A gated benchmark vanishing from the results fails.
+	delete(cur, "BenchmarkFIBDecide")
+	regs = Compare(&buf, base, cur, gates, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("missing gate not flagged: %v", regs)
+	}
+
+	// New benchmarks never fail.
+	cur["BenchmarkFIBDecide"] = Result{NsPerOp: 10}
+	cur["BenchmarkEngine/new-case"] = Result{NsPerOp: 1}
+	if regs := Compare(&buf, base, cur, gates, 0.20); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged: %v", regs)
+	}
+	if !strings.Contains(buf.String(), "(new)") {
+		t.Fatal("new benchmark not reported")
+	}
+
+	// Gates match on sub-benchmark boundaries only: "BenchmarkEngine"
+	// must not gate the sibling "BenchmarkEngineEgress".
+	base["BenchmarkEngineEgress/geant"] = Result{NsPerOp: 100}
+	cur["BenchmarkEngineEgress/geant"] = Result{NsPerOp: 900}
+	if regs := Compare(&buf, base, cur, gates, 0.20); len(regs) != 0 {
+		t.Fatalf("sibling benchmark wrongly gated: %v", regs)
+	}
+}
+
+// TestParseSingleCore pins the GOMAXPROCS=1 convention: go test appends
+// no CPU suffix there, and a naive stripper would eat real
+// sub-benchmark suffixes like shards-2. Keys from a single-core box
+// must match keys from a multi-core box.
+func TestParseSingleCore(t *testing.T) {
+	oneCore := `BenchmarkFIBDecide         	87966954	        12.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngine/geant/shards-1	 4644526	       250.0 ns/op	      10 B/op	       0 allocs/op
+BenchmarkEngine/geant/shards-2	 4644526	       150.0 ns/op	      10 B/op	       0 allocs/op
+`
+	res, err := Parse(strings.NewReader(oneCore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BenchmarkFIBDecide", "BenchmarkEngine/geant/shards-1", "BenchmarkEngine/geant/shards-2"} {
+		if _, ok := res[want]; !ok {
+			t.Fatalf("key %q missing: %v", want, res)
+		}
+	}
+
+	eightCore := strings.ReplaceAll(oneCore, "BenchmarkFIBDecide  ", "BenchmarkFIBDecide-8")
+	eightCore = strings.ReplaceAll(eightCore, "shards-1", "shards-1-8")
+	eightCore = strings.ReplaceAll(eightCore, "shards-2", "shards-2-8")
+	res8, err := Parse(strings.NewReader(eightCore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range res {
+		if _, ok := res8[name]; !ok {
+			t.Fatalf("multi-core key set diverged: %v vs %v", res8, res)
+		}
+	}
+}

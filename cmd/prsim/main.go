@@ -38,6 +38,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"recycle/internal/core"
@@ -73,6 +75,8 @@ func main() {
 		trafficArg = flag.String("traffic", "", "traffic source spec (poisson:rate=2430, mmpp:on=…,dwell=…, replay:path, fixed:rate=…) for -losswindow; sizes abstract -throughput packets")
 		trafficMix = flag.Bool("trafficloss", false, "run the loss-window experiment over a panel of traffic mixes")
 		egressBw   = flag.Float64("egress-bw", 100e9, "per-link egress bandwidth in bps for -throughput's end-to-end phase")
+		churn      = flag.Bool("churn", false, "topology-churn report: full vs delta recompile latency, plus a live engine hot-swap loss check")
+		churnEdits = flag.Int("edits", 10, "random weight edits per topology for -churn")
 	)
 	flag.Parse()
 
@@ -127,6 +131,14 @@ func main() {
 		}
 	case *throughput:
 		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire, *egressBw, trafficSrc); err != nil {
+			fatal(err)
+		}
+	case *churn:
+		s := *seed
+		if s == 0 {
+			s = 1
+		}
+		if err := runChurn(*topoName, *churnEdits, s); err != nil {
 			fatal(err)
 		}
 	case *ablation != "":
@@ -424,6 +436,119 @@ func markWireFrame(fib *dataplane.FIB, buf []byte, dd uint32) error {
 	buf[10], buf[11] = 0, 0
 	ck := header.Checksum(buf[:header.HeaderLen])
 	buf[10], buf[11] = byte(ck>>8), byte(ck)
+	return nil
+}
+
+// runChurn reports the planned-maintenance numbers: the full-vs-delta
+// recompile latency table over a topology panel, then a live hot-swap
+// check on -topo — a sharded engine decides a continuous stream of
+// batches while delta-recompiled FIBs are swapped in (Engine.ApplyDelta);
+// every submitted packet must come out decided, i.e. zero loss across
+// the swaps.
+func runChurn(topoName string, edits int, seed int64) error {
+	if edits <= 0 {
+		return fmt.Errorf("-churn needs -edits ≥ 1 (got %d)", edits)
+	}
+	names := []string{topoName}
+	for _, n := range []string{"abilene", "geant", "teleglobe", "ring:64", "grid:8x8"} {
+		if n != topoName {
+			names = append(names, n)
+		}
+	}
+	fmt.Printf("# topology churn: full vs delta recompile, %d random single-link weight edits per topology (seed %d)\n", edits, seed)
+	if err := eval.WriteChurnReport(os.Stdout, names, edits, seed); err != nil {
+		return err
+	}
+
+	tp, err := topo.ByName(topoName)
+	if err != nil {
+		return err
+	}
+	g := tp.Graph
+	sys := tp.Embedding
+	if sys == nil {
+		if sys, err = (embedding.Auto{Seed: 1}).Embed(g); err != nil {
+			return err
+		}
+	}
+	prot, err := core.New(g, sys, route.Build(g, route.HopCount), core.Config{Variant: core.Full})
+	if err != nil {
+		return err
+	}
+	rec, err := dataplane.NewRecompiler(prot, nil, nil)
+	if err != nil {
+		return err
+	}
+
+	var submitted atomic.Uint64
+	free := make(chan *dataplane.Batch, 64)
+	eng := dataplane.NewEngine(rec.FIB(), dataplane.EngineConfig{
+		OnDone: func(b *dataplane.Batch) { free <- b },
+	})
+	n := g.NumNodes()
+	for i := 0; i < 16; i++ {
+		pkts := make([]dataplane.Packet, 256)
+		for j := range pkts {
+			pkts[j] = dataplane.Packet{
+				Node:    graph.NodeID((i + j) % n),
+				Dst:     graph.NodeID((i + j + 1 + j%(n-1)) % n),
+				Ingress: rotation.NoDart,
+			}
+		}
+		free <- &dataplane.Batch{Pkts: pkts}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case b := <-free:
+				for !eng.Submit(b) {
+				}
+				submitted.Add(uint64(len(b.Pkts)))
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(seed))
+	var recompile, swap time.Duration
+	swaps := 0
+	for i := 0; i < edits; i++ {
+		l := graph.LinkID(rng.Intn(rec.Graph().NumLinks()))
+		w := rec.Graph().Weight(l) * (0.4 + 1.2*rng.Float64())
+		start := time.Now()
+		d, err := rec.Apply(graph.SetWeight(l, w))
+		if err != nil {
+			close(stop)
+			return err
+		}
+		recompile += time.Since(start)
+		start = time.Now()
+		if err := eng.ApplyDelta(d); err != nil {
+			close(stop)
+			return err
+		}
+		swap += time.Since(start)
+		swaps++
+		time.Sleep(time.Millisecond) // let traffic flow between swaps
+	}
+	close(stop)
+	wg.Wait()
+	decided := eng.Close()
+	lost := submitted.Load() - decided
+	fmt.Printf("\n# live hot-swap on %s: %d delta swaps under continuous engine traffic\n", tp.Name, swaps)
+	fmt.Printf("packets submitted  %d\n", submitted.Load())
+	fmt.Printf("packets decided    %d\n", decided)
+	fmt.Printf("packets lost       %d (expected: 0)\n", lost)
+	fmt.Printf("delta recompile    %v mean\n", (recompile / time.Duration(swaps)).Round(time.Microsecond))
+	fmt.Printf("FIB swap           %v mean\n", (swap / time.Duration(swaps)).Round(time.Microsecond))
+	if lost != 0 {
+		return fmt.Errorf("engine dropped %d packets across hot-swaps", lost)
+	}
 	return nil
 }
 

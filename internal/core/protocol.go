@@ -102,6 +102,30 @@ func New(g *graph.Graph, sys *rotation.System, tbl *route.Table, cfg Config) (*P
 	return p, nil
 }
 
+// NewWithQuantiser is New with a prebuilt quantiser — the
+// delta-recompilation hook: an incremental recompiler that already
+// rebuilt only the dirty rank columns (Quantiser.Rebuild) injects the
+// result here instead of paying BuildQuantiser's full O(n² log n) pass.
+// quant must be built over tbl; nil quant with cfg.Quantise set falls
+// back to a full build.
+func NewWithQuantiser(g *graph.Graph, sys *rotation.System, tbl *route.Table, cfg Config, quant *Quantiser) (*Protocol, error) {
+	if quant != nil && quant.n != g.NumNodes() {
+		return nil, fmt.Errorf("core: quantiser sized for %d nodes; graph has %d", quant.n, g.NumNodes())
+	}
+	if !cfg.Quantise {
+		return New(g, sys, tbl, cfg)
+	}
+	cfg.Quantise = quant == nil
+	p, err := New(g, sys, tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if quant != nil {
+		p.quant = quant
+	}
+	return p, nil
+}
+
 // Graph returns the protocol's topology.
 func (p *Protocol) Graph() *graph.Graph { return p.g }
 

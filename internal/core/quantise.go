@@ -37,6 +37,9 @@ type Quantiser struct {
 	n       int
 	rank    []uint32 // rank[node*n+dst]; RankUnreachable when no route
 	maxRank uint32
+	// dstMax[dst] is the largest rank in dst's column, so a delta rebuild
+	// (Rebuild) can recompute the global max from per-column maxima.
+	dstMax []uint32
 }
 
 // BuildQuantiser computes the per-destination rank tables of a routing
@@ -44,39 +47,105 @@ type Quantiser struct {
 // server, never paid at failure time.
 func BuildQuantiser(tbl *route.Table) *Quantiser {
 	n := tbl.Graph().NumNodes()
-	q := &Quantiser{n: n, rank: make([]uint32, n*n)}
+	q := &Quantiser{n: n, rank: make([]uint32, n*n), dstMax: make([]uint32, n)}
 	vals := make([]float64, 0, n)
 	for dst := 0; dst < n; dst++ {
-		vals = vals[:0]
+		vals = q.rankColumn(tbl, graph.NodeID(dst), vals)
+	}
+	q.refreshMax()
+	return q
+}
+
+// rankColumn recomputes destination dst's rank column and per-column max
+// from tbl, reusing vals as scratch. It is the per-destination unit both
+// BuildQuantiser and the delta path's Rebuild share.
+func (q *Quantiser) rankColumn(tbl *route.Table, dst graph.NodeID, vals []float64) []float64 {
+	n := q.n
+	if tbl.DiscriminatorKind() == route.HopCount {
+		// Hop counts toward a destination are dense: every node's parent
+		// is exactly one hop closer, so each value 0..max occurs and the
+		// rank of hop count h among the distinct values is h itself. This
+		// skips the sort the general (weight-sum) column needs.
+		tree := tbl.Tree(dst)
+		max := uint32(0)
 		for node := 0; node < n; node++ {
-			if tbl.Reachable(graph.NodeID(node), graph.NodeID(dst)) {
-				vals = append(vals, tbl.DD(graph.NodeID(node), graph.NodeID(dst)))
-			}
-		}
-		sort.Float64s(vals)
-		// Dedupe in place: ranks must be equal for equal raw values, or the
-		// ≥ branch of the termination test would diverge from the raw rule.
-		distinct := vals[:0]
-		for i, v := range vals {
-			if i == 0 || v != vals[i-1] {
-				distinct = append(distinct, v)
-			}
-		}
-		for node := 0; node < n; node++ {
-			idx := node*n + dst
-			if !tbl.Reachable(graph.NodeID(node), graph.NodeID(dst)) {
+			idx := node*n + int(dst)
+			h := tree.Hops[node]
+			if h < 0 {
 				q.rank[idx] = RankUnreachable
 				continue
 			}
-			dd := tbl.DD(graph.NodeID(node), graph.NodeID(dst))
-			r := uint32(sort.SearchFloat64s(distinct, dd))
-			q.rank[idx] = r
-			if r > q.maxRank {
-				q.maxRank = r
+			q.rank[idx] = uint32(h)
+			if uint32(h) > max {
+				max = uint32(h)
 			}
 		}
+		q.dstMax[dst] = max
+		return vals
 	}
-	return q
+	vals = vals[:0]
+	for node := 0; node < n; node++ {
+		if tbl.Reachable(graph.NodeID(node), dst) {
+			vals = append(vals, tbl.DD(graph.NodeID(node), dst))
+		}
+	}
+	sort.Float64s(vals)
+	// Dedupe in place: ranks must be equal for equal raw values, or the
+	// ≥ branch of the termination test would diverge from the raw rule.
+	distinct := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			distinct = append(distinct, v)
+		}
+	}
+	q.dstMax[dst] = 0
+	for node := 0; node < n; node++ {
+		idx := node*n + int(dst)
+		if !tbl.Reachable(graph.NodeID(node), dst) {
+			q.rank[idx] = RankUnreachable
+			continue
+		}
+		dd := tbl.DD(graph.NodeID(node), dst)
+		r := uint32(sort.SearchFloat64s(distinct, dd))
+		q.rank[idx] = r
+		if r > q.dstMax[dst] {
+			q.dstMax[dst] = r
+		}
+	}
+	return vals
+}
+
+// refreshMax recomputes the global max rank from the per-column maxima.
+func (q *Quantiser) refreshMax() {
+	q.maxRank = 0
+	for _, m := range q.dstMax {
+		if m > q.maxRank {
+			q.maxRank = m
+		}
+	}
+}
+
+// Rebuild returns a quantiser for tbl that recomputes only the given
+// destinations' rank columns and shares every other column with q — the
+// delta-recompilation hook. Rank assignment is independent per
+// destination (the §4.3 termination test only ever compares
+// discriminators toward one destination), so columns whose DD values a
+// topology edit did not touch stay exact. q itself is not modified.
+func (q *Quantiser) Rebuild(tbl *route.Table, dirty []graph.NodeID) *Quantiser {
+	if len(dirty) == 0 {
+		return q
+	}
+	nq := &Quantiser{
+		n:      q.n,
+		rank:   append([]uint32(nil), q.rank...),
+		dstMax: append([]uint32(nil), q.dstMax...),
+	}
+	vals := make([]float64, 0, q.n)
+	for _, dst := range dirty {
+		vals = nq.rankColumn(tbl, dst, vals)
+	}
+	nq.refreshMax()
+	return nq
 }
 
 // Rank returns the quantised discriminator of node toward dst, or

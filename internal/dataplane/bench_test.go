@@ -278,3 +278,106 @@ func BenchmarkEngine(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFIBDecide is the CI-gated per-decision number (see the bench
+// job in .github/workflows/ci.yml and BENCH_baseline.json): one compiled
+// forwarding decision during cycle following on the geant backbone. It
+// must stay at 0 allocs/op.
+func BenchmarkFIBDecide(b *testing.B) {
+	fib, g, _ := benchFixture(b, "geant")
+	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(0))
+	ingress := rotation.DartID(4)
+	node := g.Link(rotation.LinkOf(ingress)).B
+	dst := graph.NodeID(g.NumNodes() - 1)
+	hdr := core.Header{PR: true, DD: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decisionSink = fib.Decide(node, dst, ingress, hdr, st)
+	}
+}
+
+// churnBench builds the ring:64 recompiler fixture for the delta
+// benchmarks: the maintenance scenario the README's churn table pins.
+func churnBench(b testing.TB) (*dataplane.Recompiler, *graph.Graph) {
+	b.Helper()
+	tp, err := topo.ByName("ring:64")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := route.Build(tp.Graph, route.HopCount)
+	p, err := core.New(tp.Graph, tp.Embedding, tbl, core.Config{Variant: core.Full})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := dataplane.NewRecompiler(p, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rec, tp.Graph
+}
+
+// BenchmarkRecompileDelta measures one delta recompile of a single-link
+// weight change (a metric tweak, 1↔2) on ring:64 — the control-plane
+// latency of routine planned maintenance. Compare BenchmarkRecompileFull;
+// the ≥5× ratio is pinned by TestDeltaRecompileSpeedup.
+func BenchmarkRecompileDelta(b *testing.B) {
+	rec, _ := churnBench(b)
+	weights := [2]float64{2, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.Apply(graph.SetWeight(7, weights[i%2])); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecompileDeltaDrain is the heavy variant: costing a link out
+// (1↔8) moves roughly half of every destination tree's distances and
+// re-ranks most quantiser columns — the worst case for delta
+// recompilation, still ~3× a full rebuild.
+func BenchmarkRecompileDeltaDrain(b *testing.B) {
+	rec, _ := churnBench(b)
+	weights := [2]float64{8, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.Apply(graph.SetWeight(7, weights[i%2])); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecompileFull measures the same weight change through today's
+// full rebuild: routing tables, quantiser, protocol and FIB from scratch.
+func BenchmarkRecompileFull(b *testing.B) {
+	rec, g := churnBench(b)
+	sys := rec.System()
+	weights := [2]float64{2, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g2, _, err := graph.ApplyEdit(g, graph.SetWeight(7, weights[i%2]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		orders := make([][]graph.LinkID, g2.NumNodes())
+		for v := 0; v < g2.NumNodes(); v++ {
+			orders[v] = sys.LinkOrder(graph.NodeID(v))
+		}
+		sys2, err := rotation.FromLinkOrders(g2, orders)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl := route.Build(g2, route.HopCount)
+		quant := core.BuildQuantiser(tbl)
+		p, err := core.New(g2, sys2, tbl, core.Config{Variant: core.Full})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dataplane.CompileWith(p, quant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

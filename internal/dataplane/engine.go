@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -72,21 +73,33 @@ type EngineConfig struct {
 // goroutines drain their ring against the compiled FIB), transmit (the
 // configured Egress paces decided packets onto per-dart queues). With no
 // Egress configured the pipeline stops at the decision, the shape the
-// engine had before transmit existed. Interface state lives in an
-// atomically swapped immutable snapshot (RCU style): SetLink copies,
-// flips one bit and publishes, so workers never take a lock or see a
-// torn state, and a snapshot is loaded once per batch rather than per
-// packet.
+// engine had before transmit existed.
+//
+// Forwarding state — the FIB plus the interface-state bitset — lives in
+// one atomically swapped immutable pair (RCU style): SetLink copies the
+// bitset, flips one bit and republishes; SwapFIB/ApplyDelta publish a
+// recompiled FIB with the detected failures carried over. Workers load
+// the pair once per batch, so they never take a lock, never see a torn
+// state, and never mix a FIB with a bitset sized for a different link
+// space. A batch in flight across a swap finishes under the pair it
+// started with; every batch popped after SwapFIB returns decides on the
+// new FIB — that return is the swap barrier, and nothing is dropped.
 type Engine struct {
-	fib    *FIB
+	cur    atomic.Pointer[engineState]
 	cfg    EngineConfig
-	state  atomic.Pointer[LinkState]
-	mu     sync.Mutex // serialises SetLink writers
+	mu     sync.Mutex // serialises SetLink / SwapFIB writers
 	shards []*shard
 	next   atomic.Uint64 // round-robin submit cursor
 	closed atomic.Bool
 	stop   chan struct{} // closed by Close to wake parked workers
 	wg     sync.WaitGroup
+}
+
+// engineState is the RCU unit: a FIB and an interface-state snapshot
+// sized for the same link space, always published together.
+type engineState struct {
+	fib   *FIB
+	links *LinkState
 }
 
 // shard pairs one ring with one worker. Counters are padded apart so
@@ -156,8 +169,8 @@ func NewEngine(fib *FIB, cfg EngineConfig) *Engine {
 	for depth < cfg.RingDepth {
 		depth <<= 1
 	}
-	e := &Engine{fib: fib, cfg: cfg, shards: make([]*shard, cfg.Shards), stop: make(chan struct{})}
-	e.state.Store(NewLinkState(fib.NumLinks()))
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards), stop: make(chan struct{})}
+	e.cur.Store(&engineState{fib: fib, links: NewLinkState(fib.NumLinks())})
 	for i := range e.shards {
 		e.shards[i] = &shard{
 			ring:   ring{buf: make([]*Batch, depth), mask: uint64(depth - 1)},
@@ -174,17 +187,84 @@ func (e *Engine) Shards() int { return len(e.shards) }
 
 // Snapshot returns the current interface-state snapshot. Callers must
 // treat it as immutable.
-func (e *Engine) Snapshot() *LinkState { return e.state.Load() }
+func (e *Engine) Snapshot() *LinkState { return e.cur.Load().links }
+
+// FIB returns the FIB the engine currently forwards on. It changes only
+// through SwapFIB/ApplyDelta.
+func (e *Engine) FIB() *FIB { return e.cur.Load().fib }
 
 // SetLink publishes a local failure detection (or repair): copy-on-write
 // the current snapshot and swap it in. Concurrent writers serialise on a
 // mutex; readers are never blocked.
 func (e *Engine) SetLink(l graph.LinkID, down bool) {
 	e.mu.Lock()
-	next := e.state.Load().Clone()
+	cur := e.cur.Load()
+	next := cur.links.Clone()
 	next.Set(l, down)
-	e.state.Store(next)
+	e.cur.Store(&engineState{fib: cur.fib, links: next})
 	e.mu.Unlock()
+}
+
+// SwapFIB hot-swaps the engine onto a recompiled FIB without dropping a
+// packet: workers pick the new state up at their next batch, batches
+// already in flight finish consistently under the old pair. linkMap
+// carries the currently detected failures into the new FIB's link space
+// (old link ID → new, graph.NoLink for removed links); nil means the
+// link space is unchanged. When SwapFIB returns, every batch not yet
+// being decided — including everything submitted afterwards — is decided
+// on the new FIB: that is the swap barrier the churn tests pin.
+//
+// A configured Egress is keyed by the old FIB's dart space, so a
+// structural swap (non-nil linkMap, or a changed link count) is refused
+// when an Egress is attached; rebuild the engine for structural
+// maintenance in that configuration.
+func (e *Engine) SwapFIB(f *FIB, linkMap []graph.LinkID) error {
+	if f == nil {
+		return fmt.Errorf("dataplane: nil FIB")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.cur.Load()
+	if linkMap == nil && f.NumLinks() != cur.fib.NumLinks() {
+		return fmt.Errorf("dataplane: link space changed (%d → %d links) but no link map",
+			cur.fib.NumLinks(), f.NumLinks())
+	}
+	if linkMap != nil && len(linkMap) != cur.fib.NumLinks() {
+		return fmt.Errorf("dataplane: link map covers %d links; FIB has %d", len(linkMap), cur.fib.NumLinks())
+	}
+	if e.cfg.Egress != nil && (linkMap != nil || f.NumLinks() != cur.fib.NumLinks()) {
+		// A non-nil map means the link set changed even if the count did
+		// not (add+remove in one delta): the per-dart egress queues'
+		// backlog and pacing clocks would throttle the wrong links.
+		return fmt.Errorf("dataplane: egress queues are keyed by dart; rebuild the engine for structural edits")
+	}
+	links := NewLinkState(f.NumLinks())
+	for l := 0; l < cur.fib.NumLinks(); l++ {
+		if !cur.links.Down(graph.LinkID(l)) {
+			continue
+		}
+		nl := graph.LinkID(l)
+		if linkMap != nil {
+			nl = linkMap[l]
+		}
+		if nl != graph.NoLink {
+			links.Set(nl, true)
+		}
+	}
+	e.cur.Store(&engineState{fib: f, links: links})
+	return nil
+}
+
+// ApplyDelta is SwapFIB for a Recompiler delta.
+func (e *Engine) ApplyDelta(d *Delta) error {
+	if d == nil {
+		return fmt.Errorf("dataplane: nil delta")
+	}
+	var m []graph.LinkID
+	if d.Structural {
+		m = d.LinkMap
+	}
+	return e.SwapFIB(d.FIB, m)
 }
 
 // Submit hands a batch to a shard (round-robin, falling over to the next
@@ -245,11 +325,11 @@ func (e *Engine) Close() uint64 {
 		}
 		sh.ring.mu.Unlock()
 		for _, b := range leftovers {
-			st := e.state.Load()
-			e.fib.DecideBatch(b.Pkts, st)
-			e.fib.ForwardWireBatch(b.Wire, st)
+			st := e.cur.Load()
+			st.fib.DecideBatch(b.Pkts, st.links)
+			st.fib.ForwardWireBatch(b.Wire, st.links)
 			if e.cfg.Egress != nil {
-				e.cfg.Egress.Transmit(b, st)
+				e.cfg.Egress.Transmit(b, st.links)
 			}
 			sh.decided.Add(b.size())
 			if e.cfg.OnDone != nil {
@@ -271,7 +351,6 @@ func (e *Engine) Decided() uint64 {
 
 func (e *Engine) worker(sh *shard) {
 	defer e.wg.Done()
-	fib := e.fib
 	idle := 0
 	for {
 		b := sh.ring.pop()
@@ -301,14 +380,15 @@ func (e *Engine) worker(sh *shard) {
 			}
 		}
 		idle = 0
-		// One snapshot load covers the whole batch: decisions within a
-		// batch see a single consistent interface state, and the egress
-		// stage paces under the same snapshot.
-		st := e.state.Load()
-		fib.DecideBatch(b.Pkts, st)
-		fib.ForwardWireBatch(b.Wire, st)
+		// One load covers the whole batch: its decisions see a single
+		// consistent (FIB, interface-state) pair — across a hot-swap a
+		// batch is decided wholly on the old or wholly on the new state —
+		// and the egress stage paces under the same snapshot.
+		st := e.cur.Load()
+		st.fib.DecideBatch(b.Pkts, st.links)
+		st.fib.ForwardWireBatch(b.Wire, st.links)
 		if e.cfg.Egress != nil {
-			e.cfg.Egress.Transmit(b, st)
+			e.cfg.Egress.Transmit(b, st.links)
 		}
 		sh.decided.Add(b.size())
 		if e.cfg.OnDone != nil {

@@ -8,6 +8,7 @@ import (
 	"recycle/internal/graph"
 	"recycle/internal/header"
 	"recycle/internal/rotation"
+	"recycle/internal/route"
 )
 
 // Codec identifies the wire encoding a compiled network stamps its PR
@@ -133,35 +134,84 @@ func CompileWith(p *core.Protocol, quant *core.Quantiser) (*FIB, error) {
 			f.ddBits, header.FlowLabelDDBits)
 	}
 	f.codec = CodecFor(f.ddBits)
+	for dst := 0; dst < n; dst++ {
+		f.fillDest(graph.NodeID(dst), tbl, sys, quant, quantised)
+	}
+	f.fillDarts(sys)
+	return f, nil
+}
+
+// fillDest (re)writes destination dst's column of the compiled tables —
+// the per-destination unit the full compile and the delta recompiler
+// share. The column is a pure function of dst's shortest-path tree and
+// rank column, which is what makes per-destination delta patching exact.
+func (f *FIB) fillDest(dst graph.NodeID, tbl *route.Table, sys *rotation.System, quant *core.Quantiser, quantised bool) {
+	n := f.numNodes
 	for node := 0; node < n; node++ {
-		for dst := 0; dst < n; dst++ {
-			idx := node*n + dst
-			link := tbl.NextLink(graph.NodeID(node), graph.NodeID(dst))
-			if link == graph.NoLink {
-				f.nextDart[idx] = -1
-			} else {
-				f.nextDart[idx] = int32(sys.OutgoingDart(graph.NodeID(node), link))
-			}
-			rank := quant.Rank(graph.NodeID(node), graph.NodeID(dst))
-			f.ddQ[idx] = rank
-			if !tbl.Reachable(graph.NodeID(node), graph.NodeID(dst)) {
-				f.dd[idx] = math.Inf(1)
-				continue
-			}
-			if quantised {
-				f.dd[idx] = float64(rank)
-			} else {
-				f.dd[idx] = tbl.DD(graph.NodeID(node), graph.NodeID(dst))
-			}
+		idx := node*n + int(dst)
+		link := tbl.NextLink(graph.NodeID(node), dst)
+		if link == graph.NoLink {
+			f.nextDart[idx] = -1
+		} else {
+			f.nextDart[idx] = int32(sys.OutgoingDart(graph.NodeID(node), link))
+		}
+		rank := quant.Rank(graph.NodeID(node), dst)
+		f.ddQ[idx] = rank
+		if !tbl.Reachable(graph.NodeID(node), dst) {
+			f.dd[idx] = math.Inf(1)
+			continue
+		}
+		if quantised {
+			f.dd[idx] = float64(rank)
+		} else {
+			f.dd[idx] = tbl.DD(graph.NodeID(node), dst)
 		}
 	}
-	for d := 0; d < 2*m; d++ {
+}
+
+// fillDarts (re)writes the per-dart permutation tables from a rotation
+// system.
+func (f *FIB) fillDarts(sys *rotation.System) {
+	for d := 0; d < 2*f.numLinks; d++ {
 		id := rotation.DartID(d)
 		f.faceNext[d] = int32(sys.FaceNext(id))
 		f.sigma[d] = int32(sys.Complementary(id))
 		f.head[d] = int32(sys.Dart(id).Head)
 	}
-	return f, nil
+}
+
+// cloneFor returns a copy of f sized for numLinks links for the delta
+// recompiler to patch, copying only the planes that can change. The
+// next-hop table is always deep-copied; the discriminator planes are
+// shared when shareDD is set (no destination re-ranked, so dd and ddQ
+// are bit-identical by construction); the dart tables are freshly
+// allocated when structural is set — any edit that touched the link set
+// invalidates the dart space, even when the count happens to match —
+// and shared otherwise. The original stays immutable, which is what
+// lets an Engine keep forwarding on it while the copy is being patched.
+func (f *FIB) cloneFor(numLinks int, structural, shareDD bool) *FIB {
+	c := &FIB{
+		variant:  f.variant,
+		numNodes: f.numNodes,
+		numLinks: numLinks,
+		nextDart: append([]int32(nil), f.nextDart...),
+		ddBits:   f.ddBits,
+		codec:    f.codec,
+	}
+	if shareDD {
+		c.dd, c.ddQ = f.dd, f.ddQ
+	} else {
+		c.dd = append([]float64(nil), f.dd...)
+		c.ddQ = append([]uint32(nil), f.ddQ...)
+	}
+	if !structural && numLinks == f.numLinks {
+		c.faceNext, c.sigma, c.head = f.faceNext, f.sigma, f.head
+	} else {
+		c.faceNext = make([]int32, 2*numLinks)
+		c.sigma = make([]int32, 2*numLinks)
+		c.head = make([]int32, 2*numLinks)
+	}
+	return c
 }
 
 // Variant returns the compiled termination variant.
@@ -195,12 +245,13 @@ func (f *FIB) WireDD(node, dst graph.NodeID) (uint32, bool) {
 // standing in for the failure set), with zero allocations.
 func (f *FIB) Decide(node, dst graph.NodeID, ingress rotation.DartID, hdr core.Header, st *LinkState) core.Decision {
 	if hdr.PR {
-		if ingress < 0 {
+		if ingress < 0 || int(ingress) >= len(f.faceNext) {
 			// A PR-marked packet with no ingress interface is a protocol
 			// impossibility (re-cycling starts at a failure, never at the
 			// origin). core treats it as a caller bug and panics; the
-			// dataplane faces untrusted wire bytes, so it refuses the
-			// packet instead of crashing the engine.
+			// dataplane faces untrusted wire bytes — and, across a
+			// structural hot-swap, darts of a retired FIB — so it refuses
+			// the packet instead of crashing the engine.
 			return core.Decision{Egress: rotation.NoDart, Header: hdr}
 		}
 		// Cycle following: egress is φ(ingress).
@@ -260,7 +311,7 @@ func (f *FIB) decideSP(node, dst graph.NodeID, hdr core.Header, st *LinkState, r
 // wire-vs-walk differential tests.
 func (f *FIB) decideWire(node, dst graph.NodeID, ingress rotation.DartID, pr bool, dd uint32, st *LinkState) (egress rotation.DartID, event core.Event, prOut bool, ddOut uint32, ok bool) {
 	if pr {
-		if ingress < 0 {
+		if ingress < 0 || int(ingress) >= len(f.faceNext) {
 			return rotation.NoDart, 0, pr, dd, false
 		}
 		eg := f.faceNext[ingress]
@@ -317,7 +368,7 @@ func (f *FIB) DecideBatch(pkts []Packet, st *LinkState) {
 	for i := range pkts {
 		p := &pkts[i]
 		if p.Hdr.PR {
-			if p.Ingress >= 0 {
+			if p.Ingress >= 0 && int(p.Ingress) < len(f.faceNext) {
 				eg := f.faceNext[p.Ingress]
 				if !st.Down(graph.LinkID(eg >> 1)) {
 					p.Egress, p.Event, p.OK = rotation.DartID(eg), core.EventCycle, true

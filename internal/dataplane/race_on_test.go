@@ -1,0 +1,8 @@
+//go:build race
+
+package dataplane_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation distorts the timing assertions of the
+// performance-pinning tests.
+const raceEnabled = true

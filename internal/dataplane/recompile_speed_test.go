@@ -1,0 +1,91 @@
+package dataplane_test
+
+import (
+	"testing"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/dataplane"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+)
+
+// TestDeltaRecompileSpeedup pins the headline churn claim: a delta
+// recompile of a single-link weight change on ring:64 is at least 5×
+// faster than the full rebuild (routing tables + quantiser + protocol +
+// FIB from scratch). Both paths are timed over identical alternating
+// 1↔2 metric tweaks; each side keeps its best (minimum) per-edit time
+// across interleaved batches, which cancels machine noise without
+// favouring either path. BenchmarkRecompileDelta/-Full report the same
+// numbers for the CI bench job.
+func TestDeltaRecompileSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the timing ratio")
+	}
+	rec, g := churnBench(t)
+	const (
+		link    = graph.LinkID(7)
+		batches = 9
+		edits   = 16 // per batch per path
+	)
+	weights := [2]float64{2, 1}
+
+	deltaBatch := func() time.Duration {
+		start := time.Now()
+		for i := 0; i < edits; i++ {
+			if _, err := rec.Apply(graph.SetWeight(link, weights[i%2])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / edits
+	}
+	fullBatch := func() time.Duration {
+		sys := rec.System()
+		start := time.Now()
+		for i := 0; i < edits; i++ {
+			g2, _, err := graph.ApplyEdit(g, graph.SetWeight(link, weights[i%2]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			orders := make([][]graph.LinkID, g2.NumNodes())
+			for v := 0; v < g2.NumNodes(); v++ {
+				orders[v] = sys.LinkOrder(graph.NodeID(v))
+			}
+			sys2, err := rotation.FromLinkOrders(g2, orders)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl := route.Build(g2, route.HopCount)
+			quant := core.BuildQuantiser(tbl)
+			p, err := core.New(g2, sys2, tbl, core.Config{Variant: core.Full})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dataplane.CompileWith(p, quant); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / edits
+	}
+
+	// Warm both paths (scratch growth, children cache, allocator).
+	deltaBatch()
+	fullBatch()
+
+	bestDelta, bestFull := time.Duration(1<<62), time.Duration(1<<62)
+	for b := 0; b < batches; b++ {
+		if d := deltaBatch(); d < bestDelta {
+			bestDelta = d
+		}
+		if f := fullBatch(); f < bestFull {
+			bestFull = f
+		}
+	}
+	speedup := float64(bestFull) / float64(bestDelta)
+	t.Logf("full %v, delta %v per edit — %.1f× speedup", bestFull, bestDelta, speedup)
+	if speedup < 5 {
+		t.Fatalf("delta recompile only %.2f× faster than full (full %v, delta %v); want ≥5×",
+			speedup, bestFull, bestDelta)
+	}
+}

@@ -1,0 +1,245 @@
+package dataplane
+
+// The delta-recompilation differential harness: over 100 random
+// 2-edge-connected topologies × chained random edit sequences (weight
+// changes, link additions, link removals) it proves the two claims the
+// churn machinery rests on:
+//
+//  1. Bit-identity: the Recompiler's patched FIB equals a from-scratch
+//     CompileWith over the same edited graph, rotation system and freshly
+//     built routing tables — every array, bit for bit (dd compared as raw
+//     float bits).
+//  2. §4.3 survival: after every delta, the quantiser still
+//     order-preserves the raw discriminators and recycled walks stamp
+//     strictly decreasing DD codes.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"recycle/internal/core"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+)
+
+// fibsEqual compares every compiled table bit for bit.
+func fibsEqual(t *testing.T, ctx string, got, want *FIB) {
+	t.Helper()
+	if got.numNodes != want.numNodes || got.numLinks != want.numLinks {
+		t.Fatalf("%s: size %d/%d ≠ %d/%d", ctx, got.numNodes, got.numLinks, want.numNodes, want.numLinks)
+	}
+	if got.variant != want.variant || got.ddBits != want.ddBits || got.codec != want.codec {
+		t.Fatalf("%s: meta (%v,%d,%v) ≠ (%v,%d,%v)", ctx,
+			got.variant, got.ddBits, got.codec, want.variant, want.ddBits, want.codec)
+	}
+	for i := range want.nextDart {
+		if got.nextDart[i] != want.nextDart[i] {
+			t.Fatalf("%s: nextDart[%d] %d ≠ %d", ctx, i, got.nextDart[i], want.nextDart[i])
+		}
+		if math.Float64bits(got.dd[i]) != math.Float64bits(want.dd[i]) {
+			t.Fatalf("%s: dd[%d] %v ≠ %v", ctx, i, got.dd[i], want.dd[i])
+		}
+		if got.ddQ[i] != want.ddQ[i] {
+			t.Fatalf("%s: ddQ[%d] %d ≠ %d", ctx, i, got.ddQ[i], want.ddQ[i])
+		}
+	}
+	for d := range want.faceNext {
+		if got.faceNext[d] != want.faceNext[d] || got.sigma[d] != want.sigma[d] || got.head[d] != want.head[d] {
+			t.Fatalf("%s: dart %d (φ,σ,head) (%d,%d,%d) ≠ (%d,%d,%d)", ctx, d,
+				got.faceNext[d], got.sigma[d], got.head[d],
+				want.faceNext[d], want.sigma[d], want.head[d])
+		}
+	}
+}
+
+// randomEdit draws a random valid edit for g, preferring weight changes
+// (the delta fast path) but exercising additions and removals too.
+// Removals only target non-bridge links so the §4.3 walk checks keep a
+// connected graph to recycle on.
+func randomEdit(g *graph.Graph, rng *rand.Rand) (graph.Edit, bool) {
+	switch rng.Intn(5) {
+	case 0: // add
+		for try := 0; try < 10; try++ {
+			a := graph.NodeID(rng.Intn(g.NumNodes()))
+			b := graph.NodeID(rng.Intn(g.NumNodes()))
+			if a == b || g.HasLink(a, b) {
+				continue
+			}
+			return graph.AddLinkEdit(a, b, 1+9*rng.Float64()), true
+		}
+		return graph.Edit{}, false
+	case 1: // remove a non-bridge link, keeping some headroom
+		if g.NumLinks() <= g.NumNodes() {
+			return graph.Edit{}, false
+		}
+		bridges := map[graph.LinkID]bool{}
+		for _, b := range graph.Bridges(g) {
+			bridges[b] = true
+		}
+		for try := 0; try < 10; try++ {
+			l := graph.LinkID(rng.Intn(g.NumLinks()))
+			if !bridges[l] {
+				return graph.RemoveLinkEdit(l), true
+			}
+		}
+		return graph.Edit{}, false
+	default: // weight change; integral weights provoke equal-cost ties
+		l := graph.LinkID(rng.Intn(g.NumLinks()))
+		var w float64
+		if rng.Intn(2) == 0 {
+			w = float64(1 + rng.Intn(5))
+		} else {
+			w = g.Weight(l) * (0.3 + 1.5*rng.Float64())
+		}
+		if w <= 0 {
+			w = 1
+		}
+		return graph.SetWeight(l, w), true
+	}
+}
+
+// fullRecompile is the oracle: fresh routing tables over the delta's
+// graph, a fresh protocol over the delta's rotation system, a fresh
+// quantiser, a from-scratch CompileWith.
+func fullRecompile(t *testing.T, d *Delta, disc route.Discriminator, variant core.Variant, quantised bool) (*FIB, *route.Table) {
+	t.Helper()
+	tbl := route.Build(d.Graph, disc)
+	p, err := core.New(d.Graph, d.System, tbl, core.Config{Variant: variant, Quantise: quantised})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, err := CompileWith(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fib, tbl
+}
+
+// TestRecompilerDifferential is the harness entry point: 100 graphs,
+// chained random edit sequences, byte-identical FIBs after every Apply.
+func TestRecompilerDifferential(t *testing.T) {
+	const graphs = 100
+	applies, editsTotal, structurals := 0, 0, 0
+	for seed := int64(1); seed <= graphs; seed++ {
+		rng := rand.New(rand.NewSource(seed * 101))
+		var g *graph.Graph
+		if seed%4 == 0 {
+			g = graph.RandomPlanarLike(7+int(seed%8), seed)
+		} else {
+			n := 6 + int(seed%10)
+			g = graph.RandomTwoConnected(n, n+2+int(seed)%n, seed)
+		}
+		sys := rotation.Random(g, seed*13)
+		disc := route.HopCount
+		if seed%2 == 0 {
+			disc = route.WeightSum
+		}
+		quantised := seed%3 == 0
+		tbl := route.Build(g, disc)
+		p, err := core.New(g, sys, tbl, core.Config{Variant: core.Full, Quantise: quantised})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := NewRecompiler(p, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 6; step++ {
+			// Batches of 1–3 edits exercise sequential in-batch composition.
+			var edits []graph.Edit
+			cur := rec.Graph()
+			for len(edits) < 1+rng.Intn(3) {
+				e, ok := randomEdit(cur, rng)
+				if !ok {
+					break
+				}
+				edits = append(edits, e)
+				// Later edits in the batch reference the intermediate
+				// graph; materialise it so randomEdit sees valid IDs.
+				next, _, err := graph.ApplyEdit(cur, e)
+				if err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				cur = next
+			}
+			if len(edits) == 0 {
+				continue
+			}
+			d, err := rec.Apply(edits...)
+			if err != nil {
+				t.Fatalf("seed %d step %d edits %v: %v", seed, step, edits, err)
+			}
+			applies++
+			editsTotal += len(edits)
+			if d.Structural {
+				structurals++
+			}
+			wantFIB, wantTbl := fullRecompile(t, d, disc, core.Full, quantised)
+			ctx := testCtx(seed, step, edits)
+			fibsEqual(t, ctx, d.FIB, wantFIB)
+			for dst := 0; dst < d.Graph.NumNodes(); dst++ {
+				got, want := d.Table.Tree(graph.NodeID(dst)), wantTbl.Tree(graph.NodeID(dst))
+				for v := range want.Dist {
+					if math.Float64bits(got.Dist[v]) != math.Float64bits(want.Dist[v]) ||
+						got.Hops[v] != want.Hops[v] ||
+						got.NextLink[v] != want.NextLink[v] || got.NextNode[v] != want.NextNode[v] {
+						t.Fatalf("%s: tree %d node %d diverged", ctx, dst, v)
+					}
+				}
+			}
+			if !d.Quantiser.VerifyOrderPreserved(d.Table) {
+				t.Fatalf("%s: delta quantiser order violated", ctx)
+			}
+			assertStrictDecrease(t, ctx, d, rng)
+		}
+	}
+	if applies < graphs {
+		t.Fatalf("only %d applies across %d graphs", applies, graphs)
+	}
+	if structurals == 0 {
+		t.Fatal("no structural edits exercised")
+	}
+	t.Logf("%d graphs, %d applies, %d edits (%d structural applies)", graphs, applies, editsTotal, structurals)
+}
+
+func testCtx(seed int64, step int, edits []graph.Edit) string {
+	s := fmt.Sprintf("seed %d step %d:", seed, step)
+	for _, e := range edits {
+		s += " " + e.String()
+	}
+	return s
+}
+
+// assertStrictDecrease replays the §4.3 termination argument on the
+// delta's protocol: along every recycled walk under a sampled failure
+// set, successive EventDetect stampings strictly decrease.
+func assertStrictDecrease(t *testing.T, ctx string, d *Delta, rng *rand.Rand) {
+	t.Helper()
+	g := d.Graph
+	fails := graph.NewFailureSet()
+	if singles := graph.SingleFailureScenarios(g); len(singles) > 0 {
+		fails = singles[rng.Intn(len(singles))]
+	}
+	for src := 0; src < g.NumNodes(); src++ {
+		for dst := 0; dst < g.NumNodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			res := d.Protocol.Walk(graph.NodeID(src), graph.NodeID(dst), fails)
+			last := math.Inf(1)
+			for _, step := range res.Steps {
+				if step.Event != core.EventDetect {
+					continue
+				}
+				if step.Header.DD >= last {
+					t.Fatalf("%s: %d→%d DD %v did not decrease below %v under %v",
+						ctx, src, dst, step.Header.DD, last, fails)
+				}
+				last = step.Header.DD
+			}
+		}
+	}
+}

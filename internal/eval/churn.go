@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/dataplane"
+	"recycle/internal/embedding"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/route"
+	"recycle/internal/topo"
+)
+
+// Churn quantifies the topology-churn comparison for one topology: what
+// a planned single-link weight change costs through a full recompile
+// (routing tables + quantiser + protocol + FIB from scratch — today's
+// control-plane stall) versus a delta recompile (only the affected
+// destination columns repaired).
+type Churn struct {
+	Topology string
+	Nodes    int
+	Links    int
+	// Edits is how many random single-link weight edits were timed.
+	Edits int
+	// FullMedian and DeltaMedian are per-edit recompile latencies.
+	FullMedian  time.Duration
+	DeltaMedian time.Duration
+	// Speedup is FullMedian / DeltaMedian.
+	Speedup float64
+	// DirtyMean is the mean affected-destination count per edit, out of
+	// Nodes destination trees.
+	DirtyMean float64
+}
+
+// MeasureChurn times full-vs-delta recompilation over a sequence of
+// random single-link weight edits (deterministic per seed). Every delta
+// result is the bit-identical FIB the differential harness pins, so the
+// two columns are directly comparable.
+func MeasureChurn(tp topo.Topology, edits int, seed int64) (Churn, error) {
+	g := tp.Graph
+	c := Churn{Topology: tp.Name, Nodes: g.NumNodes(), Links: g.NumLinks(), Edits: edits}
+	sys := tp.Embedding
+	if sys == nil {
+		var err error
+		sys, err = (embedding.Auto{Seed: 1}).Embed(g)
+		if err != nil {
+			return c, err
+		}
+	}
+	tbl := route.Build(g, route.HopCount)
+	p, err := core.New(g, sys, tbl, core.Config{Variant: core.Full})
+	if err != nil {
+		return c, err
+	}
+	rec, err := dataplane.NewRecompiler(p, nil, nil)
+	if err != nil {
+		return c, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	plan := make([]graph.Edit, edits)
+	for i := range plan {
+		l := graph.LinkID(rng.Intn(g.NumLinks()))
+		w := g.Weight(l) * (0.4 + 1.2*rng.Float64())
+		plan[i] = graph.SetWeight(l, w)
+	}
+
+	fullTimes := make([]time.Duration, 0, edits)
+	deltaTimes := make([]time.Duration, 0, edits)
+	dirty := 0
+	fullSys := sys
+	for _, e := range plan {
+		nextG, _, err := graph.ApplyEdit(rec.Graph(), e)
+		if err != nil {
+			return c, err
+		}
+		// Full path: what a topology change costs without the recompiler
+		// — rebuild the rotation system (same link orders), every routing
+		// tree, the whole quantiser and the whole FIB.
+		start := time.Now()
+		orders := make([][]graph.LinkID, nextG.NumNodes())
+		for v := 0; v < nextG.NumNodes(); v++ {
+			orders[v] = fullSys.LinkOrder(graph.NodeID(v))
+		}
+		if fullSys, err = rotation.FromLinkOrders(nextG, orders); err != nil {
+			return c, err
+		}
+		fullTbl := route.Build(nextG, route.HopCount)
+		fullQuant := core.BuildQuantiser(fullTbl)
+		fullP, err := core.New(nextG, fullSys, fullTbl, core.Config{Variant: core.Full})
+		if err == nil {
+			_, err = dataplane.CompileWith(fullP, fullQuant)
+		}
+		if err != nil {
+			return c, err
+		}
+		fullTimes = append(fullTimes, time.Since(start))
+
+		// Delta path: the recompiler's Apply, producing the identical FIB.
+		start = time.Now()
+		d, err := rec.Apply(e)
+		if err != nil {
+			return c, err
+		}
+		deltaTimes = append(deltaTimes, time.Since(start))
+		dirty += len(d.Dirty)
+	}
+	c.FullMedian = median(fullTimes)
+	c.DeltaMedian = median(deltaTimes)
+	if c.DeltaMedian > 0 {
+		c.Speedup = float64(c.FullMedian) / float64(c.DeltaMedian)
+	}
+	c.DirtyMean = float64(dirty) / float64(edits)
+	return c, nil
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// WriteChurnReport renders the full-vs-delta recompile comparison for
+// the given topologies — the "Topology churn" table in README.md and the
+// panel behind prsim -churn.
+func WriteChurnReport(w io.Writer, names []string, edits int, seed int64) error {
+	fmt.Fprintf(w, "%-10s %-5s %-5s | %-10s %-10s %-8s | %-9s\n",
+		"topology", "nodes", "links", "full", "delta", "speedup", "dirty/dst")
+	for _, name := range names {
+		tp, err := topo.ByName(name)
+		if err != nil {
+			return err
+		}
+		c, err := MeasureChurn(tp, edits, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %-5d %-5d | %-10v %-10v %-8.1f | %5.1f/%-3d\n",
+			c.Topology, c.Nodes, c.Links,
+			c.FullMedian.Round(time.Microsecond), c.DeltaMedian.Round(time.Microsecond),
+			c.Speedup, c.DirtyMean, c.Nodes)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"recycle/internal/topo"
+)
+
+func TestMeasureChurn(t *testing.T) {
+	tp, err := topo.ByName("ring:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MeasureChurn(tp, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Edits != 6 || c.Nodes != 32 {
+		t.Fatalf("churn meta wrong: %+v", c)
+	}
+	if c.FullMedian <= 0 || c.DeltaMedian <= 0 {
+		t.Fatalf("unmeasured latencies: %+v", c)
+	}
+	if c.DirtyMean <= 0 {
+		t.Fatalf("weight edits touched no destinations: %+v", c)
+	}
+	// The hard speed claim (≥5× on ring:64) is pinned by
+	// TestDeltaRecompileSpeedup in internal/dataplane; here we only
+	// require the delta path not to be slower than full recompilation.
+	if c.Speedup < 1 {
+		t.Fatalf("delta slower than full: %+v", c)
+	}
+}
+
+func TestWriteChurnReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChurnReport(&buf, []string{"abilene", "ring:24"}, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"topology", "abilene", "ring:24", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteChurnReport(&buf, []string{"nosuch"}, 2, 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

@@ -1,0 +1,615 @@
+package graph
+
+import (
+	"math"
+)
+
+// SPTRepairer incrementally repairs shortest-path trees after a
+// single-link weight change — the per-destination primitive of delta FIB
+// recompilation. The repaired tree is bit-identical to running
+// ShortestPathTree from scratch on the edited graph: the final state of
+// Dijkstra with this package's deterministic tie-breaking is a canonical
+// function of the graph alone —
+//
+//	Dist[v] = min over incident (u, link) of Dist[u] + weight(link)
+//	parent  = the (u, link)-lexicographically smallest candidate
+//	          achieving that minimum (bit-equal float comparison)
+//	Hops[v] = Hops[parent] + 1
+//
+// — so any algorithm that recomputes exactly the affected part of that
+// fixpoint reproduces the full run. For a weight increase the affected
+// region is the old tree's subtree behind the link; for a decrease it is
+// the set of nodes the cheaper link strictly improves. Both are usually a
+// small fraction of the graph, which is where the delta speedup comes
+// from.
+//
+// A repairer owns reusable scratch sized to the largest graph it has seen
+// and is NOT safe for concurrent use. If an internal consistency check
+// ever fails (a repaired distance that no neighbour candidate achieves),
+// the repairer falls back to a full Dijkstra for that destination and
+// counts it in Stats — correctness never depends on the fast path.
+type SPTRepairer struct {
+	// epoch-stamped scratch: a mark array entry is valid only when it
+	// equals the current epoch, so resets are O(1).
+	epoch    uint32
+	overlay  []float64 // repaired distances, valid when distMark matches
+	distMark []uint32
+	inSub    []uint32 // subtree membership (weight increase)
+	settled  []uint32 // region-Dijkstra settled marks
+	rkMark   []uint32 // recheck-set dedup
+	heap     repairHeap
+	region   []NodeID // affected nodes (increase: subtree; decrease: improved)
+	order    []NodeID // settle order of the region Dijkstra (increase)
+	recheck  []NodeID
+	chain    []NodeID   // cascade stack scratch
+	changes  []reparent // re-parented nodes scratch
+	seeds    []NodeID   // cascade seeds scratch
+	slab     []float64  // bulk allocation pool for repaired distance planes
+	// kids caches each destination's tree children lists across calls:
+	// the subtree walk of a weight increase then costs O(|subtree|)
+	// instead of O(n). Entries are validated by tree pointer and updated
+	// incrementally from the re-parent set, so a chained recompiler hits
+	// the cache on every edit.
+	kids map[NodeID]*childCache
+
+	stats RepairStats
+}
+
+// reparent records one canonical-parent change found by the recheck
+// scan.
+type reparent struct {
+	v    NodeID
+	node NodeID
+	link LinkID
+}
+
+// childCache is one destination's children-list snapshot: head[v] is v's
+// first tree child, next[c] the next sibling (-1 terminated), valid only
+// while tree matches the caller's tree pointer.
+type childCache struct {
+	tree *SPTree
+	head []int32
+	next []int32
+}
+
+// RepairStats counts repairer outcomes, for churn reports and tests.
+type RepairStats struct {
+	// Repaired counts trees rebuilt through the incremental path.
+	Repaired int
+	// Unchanged counts calls that proved the tree unaffected.
+	Unchanged int
+	// FullFallback counts defensive full-Dijkstra rebuilds.
+	FullFallback int
+	// NodesTouched sums affected-region sizes across repairs.
+	NodesTouched int64
+}
+
+// Stats returns the repairer's cumulative counters.
+func (r *SPTRepairer) Stats() RepairStats { return r.stats }
+
+// repairItem is one heap entry of the region Dijkstra.
+type repairItem struct {
+	dist float64
+	node NodeID
+}
+
+// repairHeap is a plain binary min-heap on (dist, node), matching the
+// full Dijkstra's pop order. Lazy deletion: stale entries are skipped at
+// pop time against the overlay distance.
+type repairHeap []repairItem
+
+func (h *repairHeap) push(it repairItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !repairLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *repairHeap) pop() repairItem {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && repairLess((*h)[l], (*h)[small]) {
+			small = l
+		}
+		if r < n && repairLess((*h)[r], (*h)[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+func repairLess(a, b repairItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.node < b.node
+}
+
+// grow sizes the scratch for an n-node graph and starts a fresh epoch.
+func (r *SPTRepairer) grow(n int) {
+	if len(r.overlay) < n {
+		r.overlay = make([]float64, n)
+		r.distMark = make([]uint32, n)
+		r.inSub = make([]uint32, n)
+		r.settled = make([]uint32, n)
+		r.rkMark = make([]uint32, n)
+	}
+	r.epoch++
+	if r.epoch == 0 { // wrapped: scrub stale marks once
+		for i := range r.distMark {
+			r.distMark[i], r.inSub[i] = 0, 0
+			r.settled[i], r.rkMark[i] = 0, 0
+		}
+		r.epoch = 1
+	}
+	r.heap = r.heap[:0]
+	r.region = r.region[:0]
+	r.order = r.order[:0]
+	r.recheck = r.recheck[:0]
+}
+
+// dist reads the repaired distance of v: the overlay when set this epoch,
+// the old tree's value otherwise.
+func (r *SPTRepairer) dist(old *SPTree, v NodeID) float64 {
+	if r.distMark[v] == r.epoch {
+		return r.overlay[v]
+	}
+	return old.Dist[v]
+}
+
+// allocDist cuts an n-sized distance plane from a slab: repaired trees
+// are allocated in bulk (16 planes at a time), trading 16× fewer small
+// allocations for the slab living as long as its longest-lived tree —
+// the right trade for a control plane that repairs most destinations on
+// every edit.
+func (r *SPTRepairer) allocDist(n int) []float64 {
+	if len(r.slab) < n {
+		r.slab = make([]float64, 16*n)
+	}
+	out := r.slab[:n:n]
+	r.slab = r.slab[n:]
+	return out
+}
+
+func (r *SPTRepairer) setDist(v NodeID, d float64) {
+	if r.distMark[v] != r.epoch {
+		r.distMark[v] = r.epoch
+		r.region = append(r.region, v)
+	}
+	r.overlay[v] = d
+}
+
+// WeightChange repairs old — a canonical shortest-path tree toward
+// old.Dest on the pre-edit graph — into the canonical tree on g, where g
+// differs from the pre-edit graph only by link l's weight (previously
+// oldW, now g.Weight(l)). When the tree is unaffected the original tree
+// is returned with changed == false.
+func (r *SPTRepairer) WeightChange(g *Graph, old *SPTree, l LinkID, oldW float64) (t *SPTree, changed bool) {
+	wNew := g.Weight(l)
+	if wNew == oldW {
+		r.stats.Unchanged++
+		return old, false
+	}
+	link := g.Link(l)
+	a, b := link.A, link.B
+	if !old.Reachable(a) && !old.Reachable(b) {
+		// Both endpoints in an unreachable component: every candidate
+		// through l stays infinite.
+		r.stats.Unchanged++
+		return old, false
+	}
+	r.grow(g.NumNodes())
+	if wNew > oldW {
+		if !r.raiseDists(g, old, l) {
+			r.stats.Unchanged++
+			return old, false
+		}
+	} else {
+		r.lowerDists(g, old, l)
+	}
+
+	// Recheck set. For an increase it is exactly the region: a node
+	// outside keeps its distance and every outside candidate value, and
+	// any inside candidate that tied for its parent slot would have put
+	// the node inside the region in the first place — while inside
+	// candidates only got worse, so no outside parent can move. For a
+	// decrease, tied candidates can appear anywhere next to an improved
+	// node (and at l's endpoints, whose l-candidate changed even when no
+	// distance did), so neighbours join the set.
+	recheck := r.region
+	if wNew < oldW {
+		addRecheck := func(v NodeID) {
+			if r.rkMark[v] != r.epoch {
+				r.rkMark[v] = r.epoch
+				r.recheck = append(r.recheck, v)
+			}
+		}
+		for _, v := range r.region {
+			addRecheck(v)
+			// An unimproved neighbour's parent can only move when an
+			// improved candidate lands bit-equal on its distance — a
+			// strictly better one would have improved it into the
+			// region, a worse one never enters the achiever set.
+			dv := r.overlay[v]
+			for _, nb := range g.Neighbors(v) {
+				if dv+g.Weight(nb.Link) == r.dist(old, nb.Node) {
+					addRecheck(nb.Node)
+				}
+			}
+		}
+		// l's own candidate changed even where no distance did: a new
+		// bit-equal tie at an endpoint can flip its parent onto l.
+		if old.Reachable(a) && old.Reachable(b) {
+			if r.dist(old, b)+wNew == r.dist(old, a) {
+				addRecheck(a)
+			}
+			if r.dist(old, a)+wNew == r.dist(old, b) {
+				addRecheck(b)
+			}
+		}
+		recheck = r.recheck
+	}
+
+	// Materialise the repaired distance plane before the parent scan:
+	// copy-on-write only when some distance actually moved, after which
+	// every read below is a plain array load.
+	distChanged := false
+	for _, v := range r.region {
+		if r.overlay[v] != old.Dist[v] {
+			distChanged = true
+			break
+		}
+	}
+	dist := old.Dist
+	if distChanged {
+		dist = r.allocDist(len(old.Dist))
+		copy(dist, old.Dist)
+		for _, v := range r.region {
+			dist[v] = r.overlay[v]
+		}
+	}
+
+	// Canonical parent re-selection over the recheck set. Neighbors are
+	// (node, link)-sorted after Freeze, so a strict `<` scan yields the
+	// lexicographically smallest candidate achieving the minimum — the
+	// same parent the full Dijkstra's betterTie rule converges to.
+	changes := r.changes[:0]
+	for _, v := range recheck {
+		if v == old.Dest || !old.Reachable(v) {
+			continue
+		}
+		bestD := math.Inf(1)
+		bestP, bestL := NoNode, NoLink
+		for _, nb := range g.Neighbors(v) {
+			du := dist[nb.Node]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			if cand := du + g.Weight(nb.Link); cand < bestD {
+				bestD, bestP, bestL = cand, nb.Node, nb.Link
+			}
+		}
+		if bestD != dist[v] {
+			// A repaired distance no candidate achieves (or vice versa):
+			// the incremental invariants were violated. Never deliver a
+			// wrong tree — recompute this destination from scratch.
+			r.stats.FullFallback++
+			return ShortestPathTree(g, old.Dest, nil), true
+		}
+		if bestP != old.NextNode[v] || bestL != old.NextLink[v] {
+			changes = append(changes, reparent{v: v, node: bestP, link: bestL})
+		}
+	}
+	if !distChanged && len(changes) == 0 {
+		r.stats.Unchanged++
+		return old, false
+	}
+
+	// Materialise the rest of the repaired tree with per-array
+	// copy-on-write: only the planes that actually moved are cloned, the
+	// rest are shared with the old tree. Downstream consumers exploit
+	// the sharing — a shared Hops (or Dist) plane proves the
+	// discriminator column unchanged without a scan. Hops can only move
+	// when some parent moved (Hops[v] is Hops[parent]+1 along an
+	// unchanged chain), so the hop plane is cloned exactly when the
+	// parent planes are.
+	nt := &SPTree{Dest: old.Dest, Dist: dist, Hops: old.Hops,
+		NextLink: old.NextLink, NextNode: old.NextNode}
+	cc := r.children(old)
+	if len(changes) > 0 {
+		nt.NextLink = append([]LinkID(nil), old.NextLink...)
+		nt.NextNode = append([]NodeID(nil), old.NextNode...)
+		for _, c := range changes {
+			cc.reparent(c.v, old.NextNode[c.v], c.node, nt)
+			nt.NextNode[c.v] = c.node
+			nt.NextLink[c.v] = c.link
+		}
+		// The hop plane clones lazily, on the first hop count that
+		// actually moves: a tie flip between equal-length paths (the
+		// common planned-maintenance case) re-parents without touching a
+		// single hop, and the shared plane then proves the hop-count
+		// discriminator column unchanged for free.
+		if wNew > oldW {
+			// Every hop change of an increase is confined to the region
+			// (a tie-flipped parent and all its tree descendants route
+			// over l), and the region Dijkstra's settle order lists it
+			// parent-before-child — one linear pass repairs the plane.
+			hops := old.Hops
+			for _, v := range r.order {
+				h := hops[nt.NextNode[v]] + 1
+				if h == hops[v] {
+					continue
+				}
+				if &hops[0] == &old.Hops[0] {
+					hops = append([]int(nil), old.Hops...)
+				}
+				hops[v] = h
+			}
+			nt.Hops = hops
+		} else {
+			seeds := r.seeds[:0]
+			for _, c := range changes {
+				seeds = append(seeds, c.v)
+			}
+			nt.Hops = r.cascadeHops(cc, nt, old.Hops, seeds)
+			r.seeds = seeds[:0]
+		}
+	}
+	cc.tree = nt
+	r.changes = changes[:0]
+	r.stats.Repaired++
+	r.stats.NodesTouched += int64(len(r.region))
+	return nt, true
+}
+
+// SharedHops reports whether two trees share the same backing array for
+// the hop-count plane — the O(1) "this column did not move" proof the
+// repairer's copy-on-write leaves behind.
+func SharedHops(a, b *SPTree) bool {
+	return len(a.Hops) > 0 && len(b.Hops) > 0 && &a.Hops[0] == &b.Hops[0]
+}
+
+// SharedDist reports whether two trees share the distance plane.
+func SharedDist(a, b *SPTree) bool {
+	return len(a.Dist) > 0 && len(b.Dist) > 0 && &a.Dist[0] == &b.Dist[0]
+}
+
+// SharedNextLink reports whether two trees share the next-hop plane.
+func SharedNextLink(a, b *SPTree) bool {
+	return len(a.NextLink) > 0 && len(b.NextLink) > 0 && &a.NextLink[0] == &b.NextLink[0]
+}
+
+// raiseDists handles a weight increase: only nodes whose old shortest
+// path crosses l — the old tree's subtree behind l — can move. It
+// recomputes their distances with a Dijkstra over that region seeded from
+// the (unchanged) boundary, and reports whether any node was affected.
+func (r *SPTRepairer) raiseDists(g *Graph, old *SPTree, l LinkID) bool {
+	link := g.Link(l)
+	// The child endpoint c routes over l; if neither endpoint does, no
+	// shortest path uses l and a worse l changes nothing (alternatives
+	// only lost ground).
+	var c NodeID
+	switch {
+	case old.NextLink[link.A] == l:
+		c = link.A
+	case old.NextLink[link.B] == l:
+		c = link.B
+	default:
+		return false
+	}
+	r.markSubtree(old, c)
+	// Seed every region node with its best boundary candidate.
+	for _, v := range r.region {
+		best := math.Inf(1)
+		for _, nb := range g.Neighbors(v) {
+			if r.inSub[nb.Node] == r.epoch {
+				continue
+			}
+			du := old.Dist[nb.Node]
+			if math.IsInf(du, 1) {
+				continue
+			}
+			if cand := du + g.Weight(nb.Link); cand < best {
+				best = cand
+			}
+		}
+		r.overlay[v] = best
+		if !math.IsInf(best, 1) {
+			r.heap.push(repairItem{dist: best, node: v})
+		}
+	}
+	// Region Dijkstra: settle in (dist, node) order, relaxing only
+	// region-internal links (l itself is a boundary link by construction).
+	for len(r.heap) > 0 {
+		it := r.heap.pop()
+		v := it.node
+		if r.settled[v] == r.epoch || it.dist != r.overlay[v] {
+			continue
+		}
+		r.settled[v] = r.epoch
+		r.order = append(r.order, v)
+		for _, nb := range g.Neighbors(v) {
+			u := nb.Node
+			if r.inSub[u] != r.epoch || r.settled[u] == r.epoch {
+				continue
+			}
+			if cand := it.dist + g.Weight(nb.Link); cand < r.overlay[u] {
+				r.overlay[u] = cand
+				r.heap.push(repairItem{dist: cand, node: u})
+			}
+		}
+	}
+	return true
+}
+
+// children returns the destination's children-list cache for old,
+// rebuilding it only when the cached snapshot is for a different tree.
+func (r *SPTRepairer) children(old *SPTree) *childCache {
+	if r.kids == nil {
+		r.kids = make(map[NodeID]*childCache)
+	}
+	cc := r.kids[old.Dest]
+	if cc != nil && cc.tree == old {
+		return cc
+	}
+	n := len(old.Dist)
+	if cc == nil || len(cc.head) < n {
+		cc = &childCache{head: make([]int32, n), next: make([]int32, n)}
+		r.kids[old.Dest] = cc
+	}
+	for v := 0; v < n; v++ {
+		cc.head[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		p := old.NextNode[v]
+		if p == NoNode {
+			continue
+		}
+		cc.next[v] = cc.head[p]
+		cc.head[p] = int32(v)
+	}
+	cc.tree = old
+	return cc
+}
+
+// reparentCached moves v from oldParent's child list to newParent's and
+// stamps the cache as describing nt. Sibling lists are degree-bounded,
+// so the unlink scan is cheap.
+func (cc *childCache) reparent(v, oldParent, newParent NodeID, nt *SPTree) {
+	if oldParent != NoNode {
+		if cc.head[oldParent] == int32(v) {
+			cc.head[oldParent] = cc.next[v]
+		} else {
+			for c := cc.head[oldParent]; c >= 0; c = cc.next[c] {
+				if cc.next[c] == int32(v) {
+					cc.next[c] = cc.next[v]
+					break
+				}
+			}
+		}
+	}
+	if newParent != NoNode {
+		cc.next[v] = cc.head[newParent]
+		cc.head[newParent] = int32(v)
+	}
+	cc.tree = nt
+}
+
+// markSubtree collects the old tree's subtree rooted at c (inclusive)
+// into r.region, marking membership in r.inSub — a BFS over the cached
+// children lists, O(|subtree|).
+func (r *SPTRepairer) markSubtree(old *SPTree, c NodeID) *childCache {
+	cc := r.children(old)
+	r.inSub[c] = r.epoch
+	r.distMark[c] = r.epoch
+	r.region = append(r.region, c)
+	for i := 0; i < len(r.region); i++ {
+		for ch := cc.head[r.region[i]]; ch >= 0; ch = cc.next[ch] {
+			v := NodeID(ch)
+			r.inSub[v] = r.epoch
+			r.distMark[v] = r.epoch
+			r.region = append(r.region, v)
+		}
+	}
+	return cc
+}
+
+// lowerDists handles a weight decrease: strict improvements seeded at l's
+// endpoints propagate outward Dijkstra-style; distances can only drop.
+func (r *SPTRepairer) lowerDists(g *Graph, old *SPTree, l LinkID) {
+	link := g.Link(l)
+	w := g.Weight(l)
+	seed := func(e, via NodeID) {
+		dvia := old.Dist[via]
+		if math.IsInf(dvia, 1) {
+			return
+		}
+		if cand := dvia + w; cand < old.Dist[e] {
+			r.setDist(e, cand)
+			r.heap.push(repairItem{dist: cand, node: e})
+		}
+	}
+	seed(link.A, link.B)
+	seed(link.B, link.A)
+	for len(r.heap) > 0 {
+		it := r.heap.pop()
+		v := it.node
+		if r.settled[v] == r.epoch || it.dist != r.overlay[v] {
+			continue
+		}
+		r.settled[v] = r.epoch
+		for _, nb := range g.Neighbors(v) {
+			u := nb.Node
+			if cand := it.dist + g.Weight(nb.Link); cand < r.dist(old, u) {
+				r.setDist(u, cand)
+				r.heap.push(repairItem{dist: cand, node: u})
+			}
+		}
+	}
+}
+
+// cascadeHops repairs hop counts below every re-parented node: a node's
+// hop count is its parent's plus one, so a parent change can shift whole
+// subtrees even when no distance moved (equal-cost paths of different
+// lengths). The cascade follows the repaired tree's children lists (cc
+// must already describe nt's parents) and prunes branches whose hop
+// count is confirmed unchanged. It returns the repaired plane — oldHops
+// itself when nothing moved, a lazy clone otherwise.
+func (r *SPTRepairer) cascadeHops(cc *childCache, nt *SPTree, oldHops []int, seeds []NodeID) []int {
+	hops := oldHops
+	stack := r.chain[:0]
+	for _, s := range seeds {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h := hops[nt.NextNode[v]] + 1
+		if h == hops[v] {
+			continue
+		}
+		if &hops[0] == &oldHops[0] {
+			hops = append([]int(nil), oldHops...)
+		}
+		hops[v] = h
+		for c := cc.head[v]; c >= 0; c = cc.next[c] {
+			stack = append(stack, NodeID(c))
+		}
+	}
+	r.chain = stack[:0]
+	return hops
+}
+
+// RemapTreeLinks rewrites a tree's NextLink column through a link-ID
+// mapping (see ApplyEdit), sharing every other array with the original.
+// It is the cheap half of surviving a link removal: trees that never used
+// the removed link keep their structure, only the IDs shift.
+func RemapTreeLinks(t *SPTree, linkMap []LinkID) *SPTree {
+	nl := make([]LinkID, len(t.NextLink))
+	for i, l := range t.NextLink {
+		if l == NoLink {
+			nl[i] = NoLink
+		} else {
+			nl[i] = linkMap[l]
+		}
+	}
+	return &SPTree{Dest: t.Dest, Dist: t.Dist, Hops: t.Hops, NextLink: nl, NextNode: t.NextNode}
+}

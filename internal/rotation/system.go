@@ -142,6 +142,28 @@ func Random(g *graph.Graph, seed int64) *System {
 // Graph returns the underlying graph.
 func (s *System) Graph() *graph.Graph { return s.g }
 
+// Rebind returns a system identical to s over g2, sharing every
+// permutation array — the delta-recompilation hook for weight-only
+// topology edits, where the embedding is untouched but downstream
+// constructors insist the system and graph instances match. g2 must have
+// exactly the same structure as s's graph: the same node count and the
+// same links joining the same endpoints (weights are free to differ).
+func (s *System) Rebind(g2 *graph.Graph) (*System, error) {
+	g := s.g
+	if g2.NumNodes() != g.NumNodes() || g2.NumLinks() != g.NumLinks() {
+		return nil, fmt.Errorf("rotation: rebind target is %d nodes / %d links; system has %d / %d",
+			g2.NumNodes(), g2.NumLinks(), g.NumNodes(), g.NumLinks())
+	}
+	for i, l := range g.Links() {
+		l2 := g2.Link(graph.LinkID(i))
+		if l.A != l2.A || l.B != l2.B {
+			return nil, fmt.Errorf("rotation: rebind target link %d joins %d-%d; system has %d-%d",
+				i, l2.A, l2.B, l.A, l.B)
+		}
+	}
+	return &System{g: g2, order: s.order, next: s.next, prev: s.prev}, nil
+}
+
 // NumDarts returns the dart count (2 × links).
 func (s *System) NumDarts() int { return 2 * s.g.NumLinks() }
 

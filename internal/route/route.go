@@ -56,6 +56,24 @@ func Build(g *graph.Graph, disc Discriminator) *Table {
 	return t
 }
 
+// NewFromTrees assembles a Table over g from externally computed
+// per-destination trees — the delta-recompilation hook: an incremental
+// recompiler repairs only the destination trees a topology edit touched
+// and shares every clean tree with the previous table. trees[d] must be
+// the canonical ShortestPathTree toward destination d on g (the
+// differential harness in internal/dataplane enforces this bit-for-bit).
+func NewFromTrees(g *graph.Graph, disc Discriminator, trees []*graph.SPTree) (*Table, error) {
+	if len(trees) != g.NumNodes() {
+		return nil, fmt.Errorf("route: %d trees for %d nodes", len(trees), g.NumNodes())
+	}
+	for d, tree := range trees {
+		if tree == nil || tree.Dest != graph.NodeID(d) {
+			return nil, fmt.Errorf("route: tree %d missing or rooted elsewhere", d)
+		}
+	}
+	return &Table{g: g, disc: disc, trees: trees}, nil
+}
+
 // Graph returns the topology the table was built for.
 func (t *Table) Graph() *graph.Graph { return t.g }
 

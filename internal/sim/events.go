@@ -19,12 +19,13 @@ import (
 type eventKind int
 
 const (
-	evArrive   eventKind = iota // packet arrives at a node
-	evGenerate                  // flow emits its next packet
-	evLinkDown                  // physical link failure
-	evLinkUp                    // physical link repair
-	evDetect                    // routers adjacent to a link learn its state
-	evConverge                  // reconvergence completes network-wide
+	evArrive     eventKind = iota // packet arrives at a node
+	evGenerate                    // flow emits its next packet
+	evLinkDown                    // physical link failure
+	evLinkUp                      // physical link repair
+	evDetect                      // routers adjacent to a link learn its state
+	evConverge                    // reconvergence completes network-wide
+	evTopoUpdate                  // planned topology change takes effect
 )
 
 // event is one scheduled occurrence. seq breaks time ties deterministically
@@ -41,6 +42,8 @@ type event struct {
 	link graph.LinkID // evLinkDown / evLinkUp / evDetect
 	down bool         // evDetect: new state
 	gen  uint64       // evDetect: link state generation; stale events no-op
+
+	edits []graph.Edit // evTopoUpdate: the maintenance edit set
 }
 
 type eventHeap []*event

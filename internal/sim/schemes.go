@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"time"
 
 	"recycle/internal/core"
@@ -87,8 +88,20 @@ func (p *PRScheme) Converge(*Simulator) {}
 // differential test proves bit-identity), a fraction of the per-packet
 // cost. Local failure detections flip bits in a dataplane.LinkState
 // mirror of the simulator's known-failure set.
+//
+// With a Recompiler attached the scheme also covers the maintenance
+// scenario class: a planned topology change (Simulator.UpdateTopologyAt)
+// is delta-recompiled and the scheme hops onto the patched FIB — the
+// simulator counterpart of Engine.ApplyDelta. Without one, the scheme
+// keeps its pre-maintenance FIB, modelling a router the control plane
+// has not updated yet (still loss-free for weight changes: stale
+// shortest paths remain live paths, just not optimal ones).
 type CompiledPRScheme struct {
 	FIB *dataplane.FIB
+	// Recompiler, when non-nil, reacts to planned topology updates with
+	// a delta recompile. It must have been built over the same network
+	// state FIB was compiled from.
+	Recompiler *dataplane.Recompiler
 
 	state *dataplane.LinkState
 }
@@ -118,6 +131,22 @@ func (c *CompiledPRScheme) Process(s *Simulator, node graph.NodeID, pkt *Packet)
 // compiled link-state bitset.
 func (c *CompiledPRScheme) TopologyChanged(_ *Simulator, l graph.LinkID, down bool) {
 	c.state.Set(l, down)
+}
+
+// TopologyUpdated implements TopologyUpdater: delta-recompile the edit
+// set and swap onto the patched FIB. The link-state mirror is rebuilt in
+// the new link space from the simulator's known failures — the same
+// carry-over Engine.ApplyDelta performs.
+func (c *CompiledPRScheme) TopologyUpdated(s *Simulator, edits []graph.Edit) {
+	if c.Recompiler == nil {
+		return // un-updated router: keep forwarding on the stale FIB
+	}
+	d, err := c.Recompiler.Apply(edits...)
+	if err != nil {
+		panic(fmt.Sprintf("sim: delta recompile failed: %v", err))
+	}
+	c.FIB = d.FIB
+	c.state = dataplane.FromFailureSet(d.Graph.NumLinks(), s.KnownFailures())
 }
 
 // Converge implements Scheme.
@@ -309,6 +338,16 @@ func (r *ReconvScheme) TopologyChanged(s *Simulator, _ graph.LinkID, _ bool) {
 	s.ScheduleConvergeAt(s.Now() + window)
 }
 
+// TopologyUpdated implements TopologyUpdater: a planned change floods
+// like any LSA — the IGP converges onto the new metrics after the model
+// window (no detection delay: the operator announced it, nobody had to
+// notice a loss-of-light).
+func (r *ReconvScheme) TopologyUpdated(s *Simulator, _ []graph.Edit) {
+	r.g = s.Graph()
+	window := r.Model.Window(r.radius) - r.Model.Detection
+	s.ScheduleConvergeAt(s.Now() + window)
+}
+
 // Converge implements Scheme: install tables reflecting everything
 // currently known.
 func (r *ReconvScheme) Converge(s *Simulator) {
@@ -360,6 +399,29 @@ func RunLossWindowTraffic(cfg Config, src, dst graph.NodeID, source traffic.Sour
 // runLossWindowFlow is the shared body: one flow, the first link of the
 // source's shortest path failing at failAt.
 func runLossWindowFlow(cfg Config, flow Flow, failAt time.Duration) (LossWindowResult, error) {
+	return runOutageFlow(cfg, flow, failAt, 0)
+}
+
+// RunMaintenance runs the planned-decommission experiment: the first
+// link of src's shortest path is drained (its weight costed out to above
+// any alternative path) at drainAt, then taken down at failAt — the
+// operator playbook for maintenance. A scheme that reacts to the drain
+// (TopologyUpdater: delta-recompiled PR, a reconverging IGP) has moved
+// all traffic off the link before it dies and loses nothing; a scheme
+// that ignores planned updates eats the §1 detection loss window even
+// though the outage was announced.
+func RunMaintenance(cfg Config, src, dst graph.NodeID, pps float64, drainAt, failAt time.Duration) (LossWindowResult, error) {
+	if failAt < drainAt {
+		return LossWindowResult{}, fmt.Errorf("sim: maintenance fails at %v before the %v drain", failAt, drainAt)
+	}
+	interval := time.Duration(float64(time.Second) / pps)
+	return runOutageFlow(cfg, Flow{Src: src, Dst: dst, Interval: interval, Bits: 8192}, failAt, drainAt)
+}
+
+// runOutageFlow fails the first link of the flow's shortest path at
+// failAt, optionally draining it (weight cost-out via a topology update)
+// at drainAt first (0 = no drain).
+func runOutageFlow(cfg Config, flow Flow, failAt, drainAt time.Duration) (LossWindowResult, error) {
 	cfg.Flows = []Flow{flow}
 	s, err := New(cfg)
 	if err != nil {
@@ -368,6 +430,15 @@ func runLossWindowFlow(cfg Config, flow Flow, failAt time.Duration) (LossWindowR
 	// Fail the first link on src's current shortest path.
 	tree := graph.ShortestPathTree(cfg.Graph, flow.Dst, nil)
 	target := tree.NextLink[flow.Src]
+	if drainAt > 0 {
+		heavy := 1.0
+		for _, l := range cfg.Graph.Links() {
+			heavy += l.Weight
+		}
+		if err := s.UpdateTopologyAt(drainAt, graph.SetWeight(target, heavy)); err != nil {
+			return LossWindowResult{}, err
+		}
+	}
 	s.FailLinkAt(target, failAt)
 	st := s.Run()
 	trafficName := "fixed"

@@ -274,6 +274,59 @@ func (s *Simulator) RepairLinkAt(l graph.LinkID, at time.Duration) {
 	s.schedule(&event{at: at, kind: evLinkUp, link: l})
 }
 
+// UpdateTopologyAt schedules a planned topology change — the maintenance
+// scenario class: link weights shift (drain or cost-out) or new links
+// come up mid-run. Schemes implementing TopologyUpdater (e.g. a compiled
+// PR scheme with a delta recompiler) react; everything else keeps
+// forwarding on its pre-maintenance tables, exactly like a router the
+// control plane has not reached yet.
+//
+// Removals are rejected: they renumber the live link space under
+// in-flight packets. Model a decommission as a weight cost-out (drain)
+// followed by FailLinkAt — which is how operators do it anyway.
+func (s *Simulator) UpdateTopologyAt(at time.Duration, edits ...graph.Edit) error {
+	if len(edits) == 0 {
+		return fmt.Errorf("sim: empty topology update")
+	}
+	for _, e := range edits {
+		if e.Kind == graph.EditRemoveLink {
+			return fmt.Errorf("sim: %v not schedulable mid-run; drain the link (SetWeight) and FailLinkAt instead", e)
+		}
+		if e.Kind != graph.EditWeight && e.Kind != graph.EditAddLink {
+			return fmt.Errorf("sim: unknown edit kind in %v", e)
+		}
+	}
+	s.schedule(&event{at: at, kind: evTopoUpdate, edits: edits})
+	return nil
+}
+
+// TopologyUpdater is implemented by schemes that react to planned
+// topology changes (UpdateTopologyAt). The simulator's graph has already
+// been swapped when the hook runs; edits describe the change.
+type TopologyUpdater interface {
+	TopologyUpdated(s *Simulator, edits []graph.Edit)
+}
+
+// applyTopoUpdate swaps the simulator onto the edited graph, growing the
+// per-link state for any added links, then notifies the scheme.
+func (s *Simulator) applyTopoUpdate(edits []graph.Edit) {
+	g2, _, err := graph.ApplyEdits(s.g, edits)
+	if err != nil {
+		// UpdateTopologyAt screened the edit kinds; a failure here is a
+		// malformed maintenance plan (bad link/node IDs) — a caller bug.
+		panic(fmt.Sprintf("sim: topology update failed: %v", err))
+	}
+	for grow := g2.NumLinks() - s.g.NumLinks(); grow > 0; grow-- {
+		s.physDown = append(s.physDown, false)
+		s.linkGen = append(s.linkGen, 0)
+		s.linkFree = append(s.linkFree, 0, 0)
+	}
+	s.g = g2
+	if tu, ok := s.cfg.Scheme.(TopologyUpdater); ok {
+		tu.TopologyUpdated(s, edits)
+	}
+}
+
 func (s *Simulator) schedule(e *event) {
 	// The horizon caps packet generation only; deliveries, detections and
 	// convergences in flight at the horizon still drain, so every
@@ -322,6 +375,8 @@ func (s *Simulator) Run() *Stats {
 			s.cfg.Scheme.TopologyChanged(s, e.link, e.down)
 		case evConverge:
 			s.cfg.Scheme.Converge(s)
+		case evTopoUpdate:
+			s.applyTopoUpdate(e.edits)
 		}
 	}
 	return &s.Stats

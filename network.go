@@ -3,6 +3,7 @@ package recycle
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"recycle/internal/core"
 	"recycle/internal/dataplane"
@@ -15,7 +16,8 @@ import (
 
 // Network is a PR-enabled network: a topology, its offline cellular
 // embedding, the conventional routing tables, and the PR forwarding engine.
-// Networks are immutable after construction and safe for concurrent use.
+// Networks are immutable after construction and safe for concurrent use;
+// Update derives an edited network rather than mutating this one.
 type Network struct {
 	g        *Graph
 	sys      *RotationSystem
@@ -24,6 +26,12 @@ type Network struct {
 	protocol *core.Protocol
 	basic    *core.Protocol
 	name     string
+
+	// compiled caches the full-variant FIB: shared by Compile and the
+	// delta path of Update, built at most once (a FIB is immutable).
+	compileOnce sync.Once
+	compiled    *FIB
+	compileErr  error
 }
 
 // Option customises NewNetwork.
@@ -144,7 +152,59 @@ func (n *Network) Protocol() *core.Protocol { return n.protocol }
 // per-hop decision is a handful of indexings with zero allocations,
 // bit-identical to Protocol().Decide. This is the offline step the paper
 // assigns to the designated server — run once, never at failure time.
-func (n *Network) Compile() (*FIB, error) { return dataplane.CompileWith(n.protocol, n.quant) }
+// The FIB is immutable, built once and shared by every caller (and by
+// Update's delta path).
+func (n *Network) Compile() (*FIB, error) {
+	n.compileOnce.Do(func() {
+		n.compiled, n.compileErr = dataplane.CompileWith(n.protocol, n.quant)
+	})
+	return n.compiled, n.compileErr
+}
+
+// Update derives the network that results from a planned topology edit
+// set — link weight changes, link additions, link removals — by delta
+// recompilation: only the destination trees, quantiser columns and FIB
+// columns the edits touch are recomputed; everything else is shared with
+// this network. The returned delta carries the patched FIB, the link-ID
+// mapping and the dirty-destination list; hand it to Engine.ApplyDelta
+// to hot-swap a running dataplane without dropping a packet. The result
+// is bit-identical to rebuilding the network from scratch over the
+// edited graph (differential-tested in internal/dataplane).
+//
+// n itself is unchanged and remains fully usable.
+func (n *Network) Update(edits ...Edit) (*Network, *TopologyDelta, error) {
+	fib, err := n.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := dataplane.NewRecompiler(n.protocol, n.quant, fib)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := rec.Apply(edits...)
+	if err != nil {
+		return nil, nil, err
+	}
+	basic, err := core.New(d.Graph, d.System, d.Table, core.Config{Variant: Basic})
+	if err != nil {
+		return nil, nil, err
+	}
+	nn := &Network{g: d.Graph, sys: d.System, tbl: d.Table, quant: d.Quantiser,
+		protocol: d.Protocol, basic: basic, name: n.name}
+	nn.compileOnce.Do(func() { nn.compiled = d.FIB })
+	return nn, d, nil
+}
+
+// Recompiler returns a fresh incremental recompiler over this network's
+// compiled state, for control planes that chain many edit sets and want
+// the recompiler to carry its scratch (and stats) across them.
+func (n *Network) Recompiler() (*dataplane.Recompiler, error) {
+	fib, err := n.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return dataplane.NewRecompiler(n.protocol, n.quant, fib)
+}
 
 // CompileBasic compiles the Basic (§4.2) variant's FIB.
 func (n *Network) CompileBasic() (*FIB, error) { return dataplane.CompileWith(n.basic, n.quant) }

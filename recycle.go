@@ -60,6 +60,10 @@ type NodeID = graph.NodeID
 // LinkID identifies an undirected link of a Graph.
 type LinkID = graph.LinkID
 
+// NoLink is the invalid link index; a TopologyDelta's LinkMap maps
+// removed links to it.
+const NoLink = graph.NoLink
+
 // FailureSet is a set of failed (bidirectional) links.
 type FailureSet = graph.FailureSet
 
@@ -321,6 +325,32 @@ func ParseTrafficSpec(spec string) (TrafficSource, error) { return traffic.Parse
 // ReadTrafficTrace parses a textual packet trace (`<seconds> <bytes>`
 // per line) into a ReplayTraffic source.
 func ReadTrafficTrace(r io.Reader) (ReplayTraffic, error) { return traffic.ReadTrace(r) }
+
+// Edit is one planned topology change — a link weight shift, addition or
+// removal — consumed by Network.Update and the incremental Recompiler.
+type Edit = graph.Edit
+
+// SetWeight returns the edit changing link l's weight to w.
+func SetWeight(l LinkID, w float64) Edit { return graph.SetWeight(l, w) }
+
+// AddLink returns the edit adding an a–b link of weight w.
+func AddLink(a, b NodeID, w float64) Edit { return graph.AddLinkEdit(a, b, w) }
+
+// RemoveLink returns the edit removing link l (link IDs above it shift
+// down; the TopologyDelta's LinkMap records the renumbering).
+func RemoveLink(l LinkID) Edit { return graph.RemoveLinkEdit(l) }
+
+// TopologyDelta is the product of one delta recompilation: the edited
+// network's forwarding state plus the bookkeeping Engine.ApplyDelta needs
+// to hot-swap onto it.
+type TopologyDelta = dataplane.Delta
+
+// Recompiler performs incremental FIB recompilation across chained edit
+// sets; see Network.Recompiler and Network.Update.
+type Recompiler = dataplane.Recompiler
+
+// RecompileStats counts recompiler work across Applies.
+type RecompileStats = dataplane.RecompileStats
 
 // Topology bundles a named graph with optional embedding metadata.
 type Topology = topo.Topology

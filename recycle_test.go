@@ -249,6 +249,72 @@ func TestCompileFacade(t *testing.T) {
 	// exhaustively in internal/dataplane's differential tests.
 }
 
+// TestUpdateFacade drives the topology-churn API end to end: a weight
+// cost-out, an addition and a removal through Network.Update, with the
+// delta hot-swapped into a running engine.
+func TestUpdateFacade(t *testing.T) {
+	net, err := FromTopology("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := net.MustLinkBetween("Denver", "KansasCity")
+	n2, d, err := net.Update(SetWeight(drained, 1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Structural || len(d.Dirty) == 0 {
+		t.Fatalf("weight delta: %+v", d)
+	}
+	if n2.Graph().Weight(drained) != 1e6 || net.Graph().Weight(drained) == 1e6 {
+		t.Fatal("Update must edit the copy, not the original")
+	}
+	// The drained link is off every shortest path of the new network.
+	den, _ := net.Node("Denver")
+	kc, _ := net.Node("KansasCity")
+	res := n2.RouteIDs(den, kc, nil)
+	if !res.Delivered() || res.Hops() < 2 {
+		t.Fatalf("drained link still on the shortest path: %+v", res.Path())
+	}
+
+	// Hot-swap a running engine onto the delta and probe it.
+	fib, err := net.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *dataplane.Batch, 1)
+	eng := NewEngine(fib, EngineConfig{Shards: 1, OnDone: func(b *dataplane.Batch) { done <- b }})
+	if err := eng.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	b := &dataplane.Batch{Pkts: []dataplane.Packet{{Node: den, Dst: kc, Ingress: NoDart}}}
+	if !eng.Submit(b) {
+		t.Fatal("Submit failed")
+	}
+	out := <-done
+	if eng.Close() != 1 {
+		t.Fatal("engine should have decided exactly one packet")
+	}
+	want := d.FIB.Decide(den, kc, NoDart, Header{}, NewLinkState(d.Graph.NumLinks()))
+	if !out.Pkts[0].OK || out.Pkts[0].Egress != want.Egress {
+		t.Fatalf("post-swap decision %+v; want egress %d", out.Pkts[0], want.Egress)
+	}
+
+	// Structural edits: add a bypass, then decommission the drained link.
+	n3, d3, err := n2.Update(AddLink(den, kc, 2500), RemoveLink(drained))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.Structural || d3.LinkMap[drained] != NoLink {
+		t.Fatalf("structural delta: structural=%v map=%v", d3.Structural, d3.LinkMap)
+	}
+	if n3.Graph().NumLinks() != n2.Graph().NumLinks() {
+		t.Fatalf("add+remove should keep the link count, got %d", n3.Graph().NumLinks())
+	}
+	if res := n3.RouteIDs(den, kc, nil); !res.Delivered() || res.Hops() != 1 {
+		t.Fatalf("bypass link unused: %+v", res.Path())
+	}
+}
+
 func TestEngineFacade(t *testing.T) {
 	net, err := FromTopology("abilene")
 	if err != nil {
