@@ -26,9 +26,26 @@
 // end-to-end rate through the egress stage (per-dart paced transmit
 // queues, -egress-bw per-link bandwidth), with queue drops counted.
 //
+// The Monte-Carlo resilience harness quantifies the paper's headline
+// claim — zero loss under any failure combination that leaves the pair
+// connected — by sweeping seeded failure-scenario draws over a topology
+// panel, PR against the reconvergence baseline, with every loss refereed
+// by a connectivity oracle:
+//
+//	prsim -resilience                           # default panel, 50 draws each
+//	prsim -resilience -topo ring:24 -draws 100
+//	prsim -resilience -scenario mtbf:up=2s,down=300ms+srlg:links=0;1,at=1s
+//	prsim -resilience -scenario @storms.txt     # scripted scenario file
+//
+// One global -seed flag makes every panel reproducible: it seeds the
+// figure scenario sampling, -traffic sources (unless the spec pins its
+// own seed=), the -churn edit draw and the -resilience Monte-Carlo
+// draws. 0 keeps each panel's documented default.
+//
 // -topo accepts the built-in names and generator specs (ring:24,
-// wring:16@7, grid:4x8, chain:12) for large-diameter workloads, where
-// Compile selects the IPv6 flow-label codec automatically.
+// wring:16@7, grid:4x8, chain:12, rand:24@7) for large-diameter
+// workloads, where Compile selects the IPv6 flow-label codec
+// automatically.
 //
 // Output is plain text suitable for gnuplot or column(1).
 package main
@@ -38,6 +55,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +64,7 @@ import (
 	"recycle/internal/dataplane"
 	"recycle/internal/embedding"
 	"recycle/internal/eval"
+	"recycle/internal/failure"
 	"recycle/internal/graph"
 	"recycle/internal/header"
 	"recycle/internal/rotation"
@@ -63,7 +82,7 @@ func main() {
 		lossWindow = flag.Bool("losswindow", false, "run the §1 loss-window experiment")
 		ablation   = flag.String("embedding-ablation", "", "delivery-vs-embedding report for a topology")
 		scenarios  = flag.Int("scenarios", 0, "override multi-failure scenario count")
-		seed       = flag.Int64("seed", 0, "override scenario sampling seed")
+		seed       = flag.Int64("seed", 0, "global seed: figures, -traffic sources, -churn edits and -resilience draws all honour it (0 = each panel's default)")
 		unit       = flag.Bool("unit-weights", false, "use hop-count link weights instead of distances")
 		plane      = flag.String("dataplane", "interpreted", "PR forwarding engine: interpreted (core.Protocol) or compiled (dataplane FIB)")
 		throughput = flag.Bool("throughput", false, "measure compiled-dataplane decisions/sec")
@@ -77,13 +96,27 @@ func main() {
 		egressBw   = flag.Float64("egress-bw", 100e9, "per-link egress bandwidth in bps for -throughput's end-to-end phase")
 		churn      = flag.Bool("churn", false, "topology-churn report: full vs delta recompile latency, plus a live engine hot-swap loss check")
 		churnEdits = flag.Int("edits", 10, "random weight edits per topology for -churn")
+		resilience = flag.Bool("resilience", false, "Monte-Carlo resilience sweep: seeded failure-scenario draws, PR vs reconvergence, losses refereed by the connectivity oracle")
+		scenario   = flag.String("scenario", "", "failure process spec for -resilience (failure.ParseScenario grammar; @path loads a scripted scenario file)")
+		draws      = flag.Int("draws", 0, "scenario draws per topology for -resilience (default 50)")
 	)
 	flag.Parse()
+	topoSet := false
+	flag.Visit(func(f *flag.Flag) { topoSet = topoSet || f.Name == "topo" })
+
+	// One global -seed: panels with their own historical defaults keep
+	// them when the flag is absent.
+	seedOr := func(def int64) int64 {
+		if *seed != 0 {
+			return *seed
+		}
+		return def
+	}
 
 	var trafficSrc traffic.Source
 	if *trafficArg != "" {
 		var err error
-		if trafficSrc, err = traffic.ParseSpec(*trafficArg); err != nil {
+		if trafficSrc, err = traffic.ParseSpecSeeded(*trafficArg, seedOr(1)); err != nil {
 			fatal(err)
 		}
 	}
@@ -130,23 +163,19 @@ func main() {
 			fatal(err)
 		}
 	case *throughput:
-		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire, *egressBw, trafficSrc); err != nil {
+		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire, *egressBw, trafficSrc, seedOr(1)); err != nil {
 			fatal(err)
 		}
 	case *churn:
-		s := *seed
-		if s == 0 {
-			s = 1
+		if err := runChurn(*topoName, *churnEdits, seedOr(1)); err != nil {
+			fatal(err)
 		}
-		if err := runChurn(*topoName, *churnEdits, s); err != nil {
+	case *resilience:
+		if err := runResilience(*topoName, topoSet, *scenario, *draws, seedOr(1)); err != nil {
 			fatal(err)
 		}
 	case *ablation != "":
-		s := *seed
-		if s == 0 {
-			s = 7
-		}
-		if err := eval.WriteEmbeddingDeliveryReport(os.Stdout, *ablation, s); err != nil {
+		if err := eval.WriteEmbeddingDeliveryReport(os.Stdout, *ablation, seedOr(7)); err != nil {
 			fatal(err)
 		}
 	default:
@@ -258,7 +287,7 @@ func runLossWindow(plane string, source traffic.Source) error {
 // ForwardWire's byte-rewriting fast path. A non-nil traffic source
 // draws abstract packet sizes from its size distribution, so egress
 // pacing sees the configured mix instead of uniform 1 kB packets.
-func runThroughput(topoName string, shards, packets, batchSize int, wire bool, egressBw float64, source traffic.Source) error {
+func runThroughput(topoName string, shards, packets, batchSize int, wire bool, egressBw float64, source traffic.Source, seed int64) error {
 	tp, err := topo.ByName(topoName)
 	if err != nil {
 		return err
@@ -300,9 +329,9 @@ func runThroughput(topoName string, shards, packets, batchSize int, wire bool, e
 		// Pre-generate the workload: a mostly-shortest-path mix with one
 		// in four packets cycle following. Every packet carries a
 		// concrete ingress dart, so recycled batches stay valid whatever
-		// header the previous pass left behind. The fixed seed makes both
-		// phases replay the identical mix.
-		rng := rand.New(rand.NewSource(1))
+		// header the previous pass left behind. The same seed in both
+		// phases makes them replay the identical mix.
+		rng := rand.New(rand.NewSource(seed))
 		var sizes traffic.Stream
 		if source != nil {
 			sizes = source.Stream()
@@ -437,6 +466,39 @@ func markWireFrame(fib *dataplane.FIB, buf []byte, dd uint32) error {
 	ck := header.Checksum(buf[:header.HeaderLen])
 	buf[10], buf[11] = byte(ck>>8), byte(ck)
 	return nil
+}
+
+// runResilience quantifies the paper's headline claim: a Monte-Carlo
+// sweep of seeded failure-scenario draws over a topology panel, PR on
+// the compiled dataplane against the reconvergence baseline, every loss
+// refereed by the scenario's connectivity oracle. An explicit -topo
+// narrows the panel to that topology; the default panel covers the
+// ring, grid and random generator families — three structurally
+// different genus-0 regimes. A -scenario starting with '@' loads a
+// scripted scenario file (one spec per line, '#' comments).
+func runResilience(topoName string, topoSet bool, spec string, draws int, seed int64) error {
+	names := []string{"ring:24", "grid:4x8", "rand:24@7"}
+	if topoSet {
+		names = []string{topoName}
+	}
+	var proc failure.Process
+	if strings.HasPrefix(spec, "@") {
+		f, err := os.Open(spec[1:])
+		if err != nil {
+			return fmt.Errorf("-scenario script: %w", err)
+		}
+		defer f.Close()
+		if proc, err = failure.ParseScript(f); err != nil {
+			return err
+		}
+		spec = fmt.Sprintf("%s (script %s)", proc.Name(), spec[1:])
+	}
+	return eval.WriteResilienceReport(os.Stdout, names, eval.ResilienceConfig{
+		Spec:    spec,
+		Process: proc,
+		Draws:   draws,
+		Seed:    seed,
+	})
 }
 
 // runChurn reports the planned-maintenance numbers: the full-vs-delta

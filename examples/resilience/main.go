@@ -1,0 +1,72 @@
+// Resilience quantifies the paper's headline claim with the Monte-Carlo
+// failure harness: across seeded draws of a stochastic failure process —
+// independent per-link MTBF/MTTR noise with a correlated SRLG fiber cut
+// layered on top — packet re-cycling loses not a single packet while its
+// source–destination pair stays physically connected, where a
+// reconverging IGP bleeds traffic through every convergence window. A
+// connectivity oracle referees each loss: *excused* when the pair was
+// partitioned (no scheme delivers across a partition), a *violation*
+// when a live path existed and the scheme lost the packet anyway.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"recycle"
+)
+
+func main() {
+	// A composed failure process: background exponential up/down on every
+	// link, plus a deterministic shared-risk cut of two links at t=1s —
+	// the correlated multi-failure regime independent-MTBF models miss.
+	spec := "mtbf:up=2s,down=300ms+srlg:links=0;1,at=1s,down=500ms"
+	proc, err := recycle.ParseFailureScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Peek at one draw: the same (graph, horizon, seed) triple always
+	// yields the identical scenario, so any reported number is replayable.
+	net, err := recycle.FromTopology("ring:24")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := proc.Generate(net.Graph(), 4*time.Second, recycle.FailureDrawSeed(1, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := recycle.NewConnectivityOracle(net.Graph(), sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("draw 0 of %q on %s: %d outages, %d link-state epochs\n\n",
+		spec, net.Name(), len(sc.Outages), oracle.Epochs())
+
+	// The sweep: 25 seeded draws on the ring and grid families, PR on the
+	// compiled dataplane vs the reconvergence baseline, identical probe
+	// traffic, instantaneous local detection (isolating routing resilience
+	// from loss-of-light latency, which hits every scheme the same).
+	cfg := recycle.ResilienceConfig{Spec: spec, Draws: 25}
+	if err := recycle.WriteResilience(os.Stdout, []string{"ring:24", "grid:4x8"}, cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	// The guarantee, asserted: zero violations for PR on both topologies.
+	fmt.Println()
+	for _, name := range []string{"ring:24", "grid:4x8"} {
+		rows, err := recycle.RunResilience(name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr, reconv := rows[0], rows[1]
+		if pr.Violations != 0 {
+			log.Fatalf("%s: PR lost %d packets while the pair was connected — the §1 guarantee is broken",
+				name, pr.Violations)
+		}
+		fmt.Printf("%-10s PR violations 0 (availability %.6f) | reconvergence violations %d (availability %.6f)\n",
+			name, pr.Availability(), reconv.Violations, reconv.Availability())
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the example end to end: it must compute every artefact
+// it prints without log.Fatal-ing (which would exit non-zero and fail the
+// test binary). The example itself asserts zero PR violations, so this
+// smoke test doubles as a guarantee check.
+func TestSmoke(t *testing.T) {
+	main()
+}

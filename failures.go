@@ -1,0 +1,107 @@
+package recycle
+
+import (
+	"io"
+	"time"
+
+	"recycle/internal/eval"
+	"recycle/internal/failure"
+	"recycle/internal/topo"
+)
+
+// FailureProcess is an immutable description of a stochastic or scripted
+// failure model: Generate draws one concrete scenario per (graph,
+// horizon, seed), deterministically, so a Monte-Carlo sweep replays
+// every draw against every scheme under comparison.
+type FailureProcess = failure.Process
+
+// FailureScenario is one concrete failure history: a set of timed outage
+// intervals over links and nodes, as drawn by a FailureProcess.
+type FailureScenario = failure.Scenario
+
+// Outage is one contiguous down interval of a link or a node.
+type Outage = failure.Outage
+
+// ForeverOutage marks an outage that is never repaired within the run.
+const ForeverOutage = failure.Forever
+
+// LinkOutage returns the outage taking link l down during [from, to).
+func LinkOutage(l LinkID, from, to time.Duration) Outage { return failure.LinkOutage(l, from, to) }
+
+// NodeOutage returns the outage taking node n — every incident link, the
+// paper's §4 dead-router model — down during [from, to).
+func NodeOutage(n NodeID, from, to time.Duration) Outage { return failure.NodeOutageAt(n, from, to) }
+
+// Failure process implementations (package failure). MTBFProcess fails
+// every link independently with exponential up/down dwells; FlapProcess
+// is the §7 flap storm; SRLGProcess cuts a shared-risk link group
+// together; NodeOutageProcess kills a router; RegionalProcess takes down
+// a hop-radius ball of the topology; MultiProcess composes any of them
+// into one correlated scenario.
+type (
+	MTBFProcess       = failure.MTBF
+	FlapProcess       = failure.Flap
+	SRLGProcess       = failure.SRLG
+	NodeOutageProcess = failure.NodeOutage
+	RegionalProcess   = failure.Regional
+	MultiProcess      = failure.Multi
+)
+
+// ParseFailureScenario parses a compact failure-process spec, e.g.
+// "mtbf:up=10s,down=200ms", "srlg:links=3-7;9,at=1s,down=500ms",
+// "region:center=12,radius=2,at=1s", or '+'-joined compositions. See
+// package failure for the grammar.
+func ParseFailureScenario(spec string) (FailureProcess, error) { return failure.ParseScenario(spec) }
+
+// ParseFailureScript parses a scripted scenario file: one spec per line,
+// '#' comments, all lines composed into one correlated process.
+func ParseFailureScript(r io.Reader) (FailureProcess, error) { return failure.ParseScript(r) }
+
+// ConnectivityOracle answers whether a src–dst pair was physically
+// connected at (or throughout) an instant under a scenario — the referee
+// that classifies each packet loss as excusable (pair partitioned) or a
+// violation of the paper's guarantee (pair connected, loss anyway).
+type ConnectivityOracle = failure.Oracle
+
+// NewConnectivityOracle indexes a scenario's link-state timeline over a
+// graph.
+func NewConnectivityOracle(g *Graph, sc *FailureScenario) (*ConnectivityOracle, error) {
+	return failure.NewOracle(g, sc)
+}
+
+// FailureDrawSeed derives the seed of Monte-Carlo draw i from a sweep's
+// master seed (decorrelated via splitmix64 sequencing).
+func FailureDrawSeed(seed int64, draw int) int64 { return failure.DrawSeed(seed, draw) }
+
+// ResilienceConfig parameterises a Monte-Carlo resilience sweep: the
+// failure spec, the number of seeded draws, the master seed, the run
+// horizon and the probe rate.
+type ResilienceConfig = eval.ResilienceConfig
+
+// ResilienceRow is one (topology, scheme) cell of a resilience sweep:
+// generated/delivered counts, the violation/transient/excused loss
+// partition and the availability quotient.
+type ResilienceRow = eval.ResilienceRow
+
+// RunResilience sweeps Monte-Carlo failure scenarios over one named
+// topology (built-in or generator spec): every draw is replayed against
+// PR on the compiled dataplane and against the reconvergence baseline
+// with identical probe traffic, and every loss is refereed by the
+// scenario's connectivity oracle. On a genus-0 embedding the PR row's
+// Violations must be zero — that is the paper's §1 claim.
+func RunResilience(topology string, cfg ResilienceConfig) ([]ResilienceRow, error) {
+	tp, err := topo.ByName(topology)
+	if err != nil {
+		return nil, err
+	}
+	return eval.RunResilience(tp, cfg)
+}
+
+// WriteResilience runs the sweep over a panel of named topologies (nil =
+// the default ring/grid/random panel) and renders the report table.
+func WriteResilience(w io.Writer, names []string, cfg ResilienceConfig) error {
+	if names == nil {
+		names = []string{"ring:24", "grid:4x8", "rand:24@7"}
+	}
+	return eval.WriteResilienceReport(w, names, cfg)
+}

@@ -1,0 +1,87 @@
+package recycle
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFacadeFailureScenario drives the failure subsystem end to end
+// through the public facade alone: parse a spec, draw a scenario, ask
+// the connectivity oracle, and run the Monte-Carlo harness.
+func TestFacadeFailureScenario(t *testing.T) {
+	p, err := ParseFailureScenario("mtbf:up=4s,down=300ms+srlg:links=0;1,at=1s,down=500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := FromTopology("ring:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := p.Generate(net.Graph(), 4*time.Second, FailureDrawSeed(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(net.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewConnectivityOracle(net.Graph(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During [1s, 1.5s) the SRLG holds links 0 and 1 down: node 1 (between
+	// them on the ring) is cut off.
+	if oracle.ConnectedAt(1, 6, 1200*time.Millisecond) {
+		t.Fatal("node 1 connected while both its ring links are SRLG-cut")
+	}
+	if oracle.Epochs() < 2 {
+		t.Fatalf("oracle indexed %d epochs; want ≥ 2", oracle.Epochs())
+	}
+}
+
+func TestFacadeHandAssembledScenario(t *testing.T) {
+	net, err := FromTopology("ring:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &FailureScenario{Name: "hand", Outages: []Outage{
+		LinkOutage(0, time.Second, 2*time.Second),
+		NodeOutage(4, time.Second, ForeverOutage),
+	}}
+	if err := sc.Validate(net.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	var _ FailureProcess = MultiProcess{Processes: []FailureProcess{
+		MTBFProcess{MeanUp: time.Second, MeanDown: 100 * time.Millisecond},
+		SRLGProcess{Links: []LinkID{0, 1}, At: time.Second},
+		FlapProcess{Link: 2, Flaps: 3, Period: 50 * time.Millisecond},
+		NodeOutageProcess{Node: 1, At: time.Second},
+		RegionalProcess{Center: 0, Radius: 1, At: time.Second},
+	}}
+}
+
+func TestFacadeRunResilience(t *testing.T) {
+	rows, err := RunResilience("ring:12", ResilienceConfig{Draws: 3, Horizon: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows; want PR and reconvergence", len(rows))
+	}
+	if rows[0].Violations != 0 {
+		t.Fatalf("PR violations = %d; want 0", rows[0].Violations)
+	}
+	var b strings.Builder
+	if err := WriteResilience(&b, []string{"ring:12"}, ResilienceConfig{Draws: 2, Horizon: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "reconvergence") {
+		t.Fatalf("report lacks the baseline row:\n%s", b.String())
+	}
+	if _, err := RunResilience("no-such-topo", ResilienceConfig{Draws: 1}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := ParseFailureScript(strings.NewReader("mtbf:up=2s,down=100ms\n")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package failure generates, schedules and replays failure scenarios
+// against the simulator. The paper's headline claim — zero loss under any
+// failure combination that leaves the source–destination pair connected —
+// was exercised so far only by hand-scheduled one- and two-link outages;
+// this package is the subsystem that probes the boundary systematically,
+// the way the related work does (Chiesa et al. stress static failover
+// under adversarial multi-failure sets; Enhanced MRC measures recovery
+// from correlated multiple failures).
+//
+// A Process is an immutable description of a stochastic or scripted
+// failure model — independent per-link MTBF/MTTR, flap storms, SRLG
+// shared-risk groups, node outages, regional outages — whose Generate
+// draws one concrete Scenario deterministically per seed. A Scenario is a
+// set of outage intervals over links and nodes; Events normalises it into
+// the fail/repair event sequence the simulator replays (overlapping
+// outages of one link are merged, so repairing one cause never
+// resurrects a link another cause still holds down). An Oracle answers
+// the question the guarantee hinges on: was this src–dst pair connected
+// at (or throughout) a given instant under the scenario's physical link
+// state — classifying every observed loss as excusable (pair
+// disconnected) or a violation (pair connected: the loss counts against
+// the scheme).
+//
+// Scenario specs are compact text, mirroring traffic.ParseSpec:
+//
+//	mtbf:up=10s,down=200ms
+//	flap:link=3,at=1s,flaps=10,period=20ms
+//	srlg:links=3-7;9,at=1s,down=500ms
+//	node:id=4,at=1s,down=500ms
+//	region:center=12,radius=2,at=1s,down=500ms
+//
+// and '+'-joined specs (or scripted scenario files, one spec per line)
+// compose into correlated multi-process scenarios.
+package failure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"recycle/internal/graph"
+)
+
+// Forever marks an outage that is never repaired within the run.
+const Forever = time.Duration(math.MaxInt64)
+
+// Outage is one contiguous down interval of a link or a node. Exactly one
+// of Link/Node is set (the other holds its No* sentinel). The interval is
+// [From, To): the element fails at From and is repaired at To; To ==
+// Forever means it stays down for the rest of the run.
+type Outage struct {
+	Link graph.LinkID
+	Node graph.NodeID
+	From time.Duration
+	To   time.Duration
+}
+
+// LinkOutage returns the outage taking link l down during [from, to).
+func LinkOutage(l graph.LinkID, from, to time.Duration) Outage {
+	return Outage{Link: l, Node: graph.NoNode, From: from, To: to}
+}
+
+// NodeOutageAt returns the outage taking node n (every incident link)
+// down during [from, to).
+func NodeOutageAt(n graph.NodeID, from, to time.Duration) Outage {
+	return Outage{Link: graph.NoLink, Node: n, From: from, To: to}
+}
+
+// String renders the outage for error messages and debugging.
+func (o Outage) String() string {
+	subject := fmt.Sprintf("link %d", o.Link)
+	if o.Node != graph.NoNode {
+		subject = fmt.Sprintf("node %d", o.Node)
+	}
+	until := "forever"
+	if o.To != Forever {
+		until = o.To.String()
+	}
+	return fmt.Sprintf("%s down [%v, %s)", subject, o.From, until)
+}
+
+// Scenario is one concrete failure history: a named set of outage
+// intervals, as drawn by a Process or assembled by hand. Order is
+// irrelevant; Events and Oracle normalise overlaps.
+type Scenario struct {
+	// Name identifies the generating process (and seed) in reports.
+	Name string
+	// Outages are the down intervals. Overlapping intervals of the same
+	// link are legal and mean the link is down for their union.
+	Outages []Outage
+}
+
+// Validate checks every outage against the graph: known link/node IDs,
+// exactly one subject per outage, non-negative times, From < To.
+func (sc *Scenario) Validate(g *graph.Graph) error {
+	for i, o := range sc.Outages {
+		hasLink := o.Link != graph.NoLink
+		hasNode := o.Node != graph.NoNode
+		if hasLink == hasNode {
+			return fmt.Errorf("failure: outage %d of %q must name exactly one link or node", i, sc.Name)
+		}
+		if hasLink && (o.Link < 0 || int(o.Link) >= g.NumLinks()) {
+			return fmt.Errorf("failure: outage %d of %q: link %d outside [0, %d)", i, sc.Name, o.Link, g.NumLinks())
+		}
+		if hasNode && (o.Node < 0 || int(o.Node) >= g.NumNodes()) {
+			return fmt.Errorf("failure: outage %d of %q: node %d outside [0, %d)", i, sc.Name, o.Node, g.NumNodes())
+		}
+		if o.From < 0 {
+			return fmt.Errorf("failure: outage %d of %q: negative start %v", i, sc.Name, o.From)
+		}
+		if o.To <= o.From {
+			return fmt.Errorf("failure: outage %d of %q: empty interval [%v, %v)", i, sc.Name, o.From, o.To)
+		}
+	}
+	return nil
+}
+
+// Event is one normalised link state transition of a scenario.
+type Event struct {
+	At   time.Duration
+	Link graph.LinkID
+	// Down is true for a failure, false for a repair.
+	Down bool
+}
+
+// Events expands the scenario into the normalised link event sequence:
+// node outages become outages of every incident link, overlapping
+// intervals of one link are merged into their union, and the resulting
+// down/up transitions are returned sorted by time (failures before
+// repairs at equal instants, then by link). Repairs at Forever are
+// omitted — the link simply stays down. The sequence is exactly what
+// Simulator.ApplyScenario schedules and what the Oracle indexes, so the
+// two can never disagree about physical state.
+func (sc *Scenario) Events(g *graph.Graph) ([]Event, error) {
+	if err := sc.Validate(g); err != nil {
+		return nil, err
+	}
+	intervals := make(map[graph.LinkID][][2]time.Duration)
+	add := func(l graph.LinkID, from, to time.Duration) {
+		intervals[l] = append(intervals[l], [2]time.Duration{from, to})
+	}
+	for _, o := range sc.Outages {
+		if o.Node != graph.NoNode {
+			for _, nb := range g.Neighbors(o.Node) {
+				add(nb.Link, o.From, o.To)
+			}
+			continue
+		}
+		add(o.Link, o.From, o.To)
+	}
+	var events []Event
+	for l, ivs := range intervals {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		// Merge overlapping or touching intervals into their union: a link
+		// held down by two causes repairs only when the last one releases.
+		curFrom, curTo := ivs[0][0], ivs[0][1]
+		flush := func() {
+			events = append(events, Event{At: curFrom, Link: l, Down: true})
+			if curTo != Forever {
+				events = append(events, Event{At: curTo, Link: l, Down: false})
+			}
+		}
+		for _, iv := range ivs[1:] {
+			if iv[0] > curTo {
+				flush()
+				curFrom, curTo = iv[0], iv[1]
+				continue
+			}
+			if iv[1] > curTo {
+				curTo = iv[1]
+			}
+		}
+		flush()
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		if events[i].Down != events[j].Down {
+			return events[i].Down
+		}
+		return events[i].Link < events[j].Link
+	})
+	return events, nil
+}
+
+// String summarises the scenario.
+func (sc *Scenario) String() string {
+	return fmt.Sprintf("scenario %q: %d outages", sc.Name, len(sc.Outages))
+}
+
+// Process is an immutable description of a failure model. Generate draws
+// one concrete scenario for a graph and run horizon, deterministically
+// per seed: the same (graph, horizon, seed) triple always yields the
+// identical scenario, so a Monte-Carlo sweep can replay every draw
+// against every scheme under comparison.
+type Process interface {
+	// Name identifies the process kind in reports ("mtbf", "srlg", …).
+	Name() string
+	// Validate reports configuration errors descriptively, before any
+	// scenario is drawn.
+	Validate() error
+	// Generate draws the scenario for one seeded run.
+	Generate(g *graph.Graph, horizon time.Duration, seed int64) (*Scenario, error)
+}
+
+// Multi composes processes: the generated scenario is the union of every
+// member's outages (each member draws from a distinct sub-seed), which is
+// how correlated storms are layered on top of background MTBF noise.
+type Multi struct {
+	Processes []Process
+}
+
+// Name implements Process.
+func (m Multi) Name() string {
+	names := make([]string, len(m.Processes))
+	for i, p := range m.Processes {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Validate implements Process.
+func (m Multi) Validate() error {
+	if len(m.Processes) == 0 {
+		return fmt.Errorf("failure: multi process has no members")
+	}
+	for _, p := range m.Processes {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Generate implements Process.
+func (m Multi) Generate(g *graph.Graph, horizon time.Duration, seed int64) (*Scenario, error) {
+	out := &Scenario{Name: fmt.Sprintf("%s@%d", m.Name(), seed)}
+	for i, p := range m.Processes {
+		// Distinct sub-seed per member: composing A+B never replays A's
+		// draw inside B, whatever the member order.
+		sub, err := p.Generate(g, horizon, subSeed(seed, int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		out.Outages = append(out.Outages, sub.Outages...)
+	}
+	return out, nil
+}
+
+// DrawSeed derives the seed of Monte-Carlo draw i from a sweep's master
+// seed: the same splitmix64 sequencing Multi uses for its members, so a
+// resilience sweep's draws are mutually decorrelated yet each draw is
+// replayable against every scheme under comparison.
+func DrawSeed(seed int64, draw int) int64 { return subSeed(seed, int64(draw)) }
+
+// subSeed derives a decorrelated child seed via splitmix64, the standard
+// seed-sequencing finaliser; adjacent (seed, i) pairs yield unrelated
+// streams.
+func subSeed(seed, i int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,225 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"recycle/internal/graph"
+)
+
+func TestScenarioValidate(t *testing.T) {
+	g := graph.Ring(6)
+	cases := []struct {
+		outage Outage
+		want   string
+	}{
+		{Outage{Link: 0, Node: 2, From: 0, To: time.Second}, "exactly one link or node"},
+		{Outage{Link: graph.NoLink, Node: graph.NoNode, From: 0, To: time.Second}, "exactly one link or node"},
+		{LinkOutage(99, 0, time.Second), "outside"},
+		{NodeOutageAt(99, 0, time.Second), "outside"},
+		{LinkOutage(0, -time.Second, time.Second), "negative start"},
+		{LinkOutage(0, time.Second, time.Second), "empty interval"},
+	}
+	for _, c := range cases {
+		sc := &Scenario{Name: "t", Outages: []Outage{c.outage}}
+		err := sc.Validate(g)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("Validate(%v) = %v; want error containing %q", c.outage, err, c.want)
+		}
+	}
+	ok := &Scenario{Name: "ok", Outages: []Outage{
+		LinkOutage(0, 0, Forever),
+		NodeOutageAt(3, time.Second, 2*time.Second),
+	}}
+	if err := ok.Validate(g); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestEventsMergeOverlaps(t *testing.T) {
+	g := graph.Ring(6)
+	// Two overlapping outages of link 0: repairing the first cause must
+	// not resurrect the link while the second still holds it down.
+	sc := &Scenario{Name: "overlap", Outages: []Outage{
+		LinkOutage(0, 1*time.Second, 3*time.Second),
+		LinkOutage(0, 2*time.Second, 4*time.Second),
+	}}
+	events, err := sc.Events(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{At: 1 * time.Second, Link: 0, Down: true},
+		{At: 4 * time.Second, Link: 0, Down: false},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events %v; want %v", len(events), events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event[%d] = %v; want %v", i, events[i], want[i])
+		}
+	}
+}
+
+func TestEventsTouchingIntervalsMerge(t *testing.T) {
+	g := graph.Ring(6)
+	// Back-to-back intervals [1s,2s) and [2s,3s): the link never observes
+	// an up instant between them, so they merge into one outage.
+	sc := &Scenario{Name: "touch", Outages: []Outage{
+		LinkOutage(0, 1*time.Second, 2*time.Second),
+		LinkOutage(0, 2*time.Second, 3*time.Second),
+	}}
+	events, err := sc.Events(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("touching intervals produced %d events %v; want down@1s, up@3s", len(events), events)
+	}
+	if events[1] != (Event{At: 3 * time.Second, Link: 0, Down: false}) {
+		t.Fatalf("merged repair = %v; want up@3s", events[1])
+	}
+}
+
+func TestEventsForeverOmitsRepair(t *testing.T) {
+	g := graph.Ring(6)
+	sc := &Scenario{Name: "forever", Outages: []Outage{LinkOutage(2, time.Second, Forever)}}
+	events, err := sc.Events(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Down != true {
+		t.Fatalf("forever outage events = %v; want a single down transition", events)
+	}
+}
+
+func TestEventsNodeExpansion(t *testing.T) {
+	g := graph.Ring(6)
+	sc := &Scenario{Name: "node", Outages: []Outage{NodeOutageAt(0, time.Second, 2*time.Second)}}
+	events, err := sc.Events(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 on a ring has two incident links: 2 downs + 2 ups.
+	downs, ups := 0, 0
+	for _, e := range events {
+		if e.Down {
+			downs++
+		} else {
+			ups++
+		}
+	}
+	if downs != 2 || ups != 2 {
+		t.Fatalf("node outage on ring expanded to %d downs, %d ups; want 2, 2", downs, ups)
+	}
+	// Incident links must match graph.FailNode — the §4 dead-router model.
+	fs := graph.FailNode(g, 0)
+	for _, e := range events {
+		if !fs.Down(e.Link) {
+			t.Fatalf("event link %d is not incident to node 0 (FailNode = %v)", e.Link, fs)
+		}
+	}
+}
+
+func TestEventsOrdering(t *testing.T) {
+	g := graph.Ring(6)
+	sc := &Scenario{Name: "order", Outages: []Outage{
+		LinkOutage(3, 2*time.Second, 3*time.Second),
+		LinkOutage(1, 1*time.Second, 2*time.Second),
+		LinkOutage(0, 2*time.Second, 4*time.Second),
+	}}
+	events, err := sc.Events(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(events); i++ {
+		a, b := events[i-1], events[i]
+		if a.At > b.At {
+			t.Fatalf("events out of time order: %v before %v", a, b)
+		}
+		if a.At == b.At && !a.Down && b.Down {
+			t.Fatalf("repair sorted before failure at %v: %v, %v", a.At, a, b)
+		}
+	}
+	// At t=2s: link 0 fails, link 3 fails, link 1 repairs — failures first.
+	var at2 []Event
+	for _, e := range events {
+		if e.At == 2*time.Second {
+			at2 = append(at2, e)
+		}
+	}
+	if len(at2) != 3 || !at2[0].Down || !at2[1].Down || at2[2].Down {
+		t.Fatalf("t=2s events = %v; want two failures then one repair", at2)
+	}
+}
+
+func TestMultiGenerateComposesAndDecorrelates(t *testing.T) {
+	g := graph.Ring(8)
+	mtbf := MTBF{MeanUp: time.Second, MeanDown: 100 * time.Millisecond}
+	cut := SRLG{Links: []graph.LinkID{0, 1}, At: time.Second, Down: 500 * time.Millisecond}
+	m := Multi{Processes: []Process{mtbf, cut}}
+	sc, err := m.Generate(g, 4*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SRLG members must be present verbatim.
+	found := 0
+	for _, o := range sc.Outages {
+		if (o.Link == 0 || o.Link == 1) && o.From == time.Second && o.To == 1500*time.Millisecond {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("composed scenario carries %d of the 2 SRLG outages: %v", found, sc.Outages)
+	}
+	// The MTBF component must NOT replay the top-level seed's draw: Multi
+	// derives decorrelated sub-seeds per member.
+	direct, err := mtbf.Generate(g, 4*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Outages) > 0 && len(sc.Outages) == len(direct.Outages)+2 {
+		same := true
+		for i, o := range direct.Outages {
+			if sc.Outages[i] != o {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("Multi member replayed the master seed's draw; want a decorrelated sub-seed")
+		}
+	}
+	if err := (Multi{}).Validate(); err == nil {
+		t.Fatal("empty Multi validated; want error")
+	}
+}
+
+func TestDrawSeedDecorrelated(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := DrawSeed(1, i)
+		if seen[s] {
+			t.Fatalf("DrawSeed(1, %d) collides with an earlier draw", i)
+		}
+		seen[s] = true
+	}
+	if DrawSeed(1, 0) == DrawSeed(2, 0) {
+		t.Fatal("different master seeds yield the same draw-0 seed")
+	}
+}
+
+func TestOutageString(t *testing.T) {
+	if got := LinkOutage(3, time.Second, Forever).String(); !strings.Contains(got, "link 3") || !strings.Contains(got, "forever") {
+		t.Fatalf("LinkOutage.String() = %q", got)
+	}
+	if got := NodeOutageAt(4, 0, time.Second).String(); !strings.Contains(got, "node 4") {
+		t.Fatalf("NodeOutageAt.String() = %q", got)
+	}
+	sc := &Scenario{Name: "s", Outages: []Outage{LinkOutage(0, 0, time.Second)}}
+	if got := sc.String(); !strings.Contains(got, "1 outages") {
+		t.Fatalf("Scenario.String() = %q", got)
+	}
+}

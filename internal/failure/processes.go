@@ -1,0 +1,337 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"recycle/internal/graph"
+)
+
+// MaxOutages bounds how many outages one Generate call may draw
+// (mirroring parseLinkList's range cap): a hostile or mistyped spec —
+// nanosecond MTBF means, a billion flaps — fails with a descriptive
+// error instead of allocating without bound. At ~50 bytes per outage the
+// cap is ~50 MB, far beyond any scenario a simulator run can replay.
+const MaxOutages = 1 << 20
+
+// ---------------------------------------------------------------------------
+// Independent per-link MTBF/MTTR (exponential up/down renewal process)
+// ---------------------------------------------------------------------------
+
+// MTBF fails every link independently with exponentially distributed up
+// and down dwell times — the classic availability model: MeanUp is the
+// mean time between failures, MeanDown the mean time to repair. Every
+// link starts up and alternates up→down→up until the horizon. Each link
+// draws from its own seed-derived stream, so one link's history is
+// invariant under changes to every other link's.
+type MTBF struct {
+	// MeanUp is the mean up dwell (time between failures) per link.
+	MeanUp time.Duration
+	// MeanDown is the mean down dwell (time to repair) per link.
+	MeanDown time.Duration
+	// Links optionally restricts the process to these links (nil = all).
+	Links []graph.LinkID
+}
+
+// Name implements Process.
+func (m MTBF) Name() string { return "mtbf" }
+
+// Validate implements Process.
+func (m MTBF) Validate() error {
+	if m.MeanUp <= 0 {
+		return fmt.Errorf("failure: mtbf process has non-positive mean up time %v", m.MeanUp)
+	}
+	if m.MeanDown <= 0 {
+		return fmt.Errorf("failure: mtbf process has non-positive mean down time %v", m.MeanDown)
+	}
+	return nil
+}
+
+// Generate implements Process.
+func (m MTBF) Generate(g *graph.Graph, horizon time.Duration, seed int64) (*Scenario, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	links := m.Links
+	if links == nil {
+		links = make([]graph.LinkID, g.NumLinks())
+		for i := range links {
+			links[i] = graph.LinkID(i)
+		}
+	}
+	sc := &Scenario{Name: fmt.Sprintf("mtbf:up=%v,down=%v@%d", m.MeanUp, m.MeanDown, seed)}
+	for _, l := range links {
+		rng := rand.New(rand.NewSource(subSeed(seed, int64(l))))
+		for t := time.Duration(0); t < horizon; {
+			t += expDwell(rng, m.MeanUp)
+			if t >= horizon {
+				break
+			}
+			if len(sc.Outages) >= MaxOutages {
+				return nil, fmt.Errorf("failure: mtbf up=%v,down=%v draws more than %d outages over a %v horizon; means are implausibly small",
+					m.MeanUp, m.MeanDown, MaxOutages, horizon)
+			}
+			down := expDwell(rng, m.MeanDown)
+			sc.Outages = append(sc.Outages, LinkOutage(l, t, t+down))
+			t += down
+		}
+	}
+	return sc, nil
+}
+
+// expDwell draws an exponential dwell with the given mean.
+func expDwell(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d <= 0 {
+		// ExpFloat64 can round to zero at nanosecond scale; a zero dwell
+		// would produce an empty interval.
+		d = 1
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Flap storm (one link bouncing up/down — the §7 damping scenario)
+// ---------------------------------------------------------------------------
+
+// Flap is a deterministic flap storm: the link goes down at At and then
+// bounces — down for Period/2, up for Period/2 — Flaps times before
+// staying up. It reproduces the paper's §7 flap-damping discussion as a
+// scenario the harness can draw alongside stochastic noise.
+type Flap struct {
+	// Link is the flapping link.
+	Link graph.LinkID
+	// At is the first failure instant.
+	At time.Duration
+	// Flaps is how many down phases occur (≥ 1).
+	Flaps int
+	// Period is one full down+up cycle (down Period/2, up Period/2).
+	Period time.Duration
+}
+
+// Name implements Process.
+func (f Flap) Name() string { return "flap" }
+
+// Validate implements Process.
+func (f Flap) Validate() error {
+	if f.Link < 0 {
+		return fmt.Errorf("failure: flap process has negative link %d", f.Link)
+	}
+	if f.At < 0 {
+		return fmt.Errorf("failure: flap process has negative start %v", f.At)
+	}
+	if f.Flaps < 1 {
+		return fmt.Errorf("failure: flap process needs at least one flap, got %d", f.Flaps)
+	}
+	if f.Flaps > MaxOutages {
+		return fmt.Errorf("failure: flap process with %d flaps is implausibly large (max %d)", f.Flaps, MaxOutages)
+	}
+	if f.Period <= 0 {
+		return fmt.Errorf("failure: flap process has non-positive period %v", f.Period)
+	}
+	return nil
+}
+
+// Generate implements Process. Flap is fully scripted: the seed does not
+// enter, so every draw replays the identical storm.
+func (f Flap) Generate(g *graph.Graph, horizon time.Duration, seed int64) (*Scenario, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if int(f.Link) >= g.NumLinks() {
+		return nil, fmt.Errorf("failure: flap link %d outside [0, %d)", f.Link, g.NumLinks())
+	}
+	sc := &Scenario{Name: fmt.Sprintf("flap:link=%d,at=%v,flaps=%d,period=%v", f.Link, f.At, f.Flaps, f.Period)}
+	half := f.Period / 2
+	if half <= 0 {
+		half = 1
+	}
+	for i := 0; i < f.Flaps; i++ {
+		from := f.At + time.Duration(i)*f.Period
+		sc.Outages = append(sc.Outages, LinkOutage(f.Link, from, from+half))
+	}
+	return sc, nil
+}
+
+// ---------------------------------------------------------------------------
+// SRLG (shared-risk link group — one fiber cut, many links)
+// ---------------------------------------------------------------------------
+
+// SRLG is a shared-risk link group: one underlying fault (a fiber cut, a
+// conduit dig-up) takes every member link down simultaneously at At; all
+// members are repaired together after Down. It is the canonical
+// correlated-failure model the independent-MTBF assumption misses.
+type SRLG struct {
+	// Links are the group members sharing the risk.
+	Links []graph.LinkID
+	// At is the cut instant.
+	At time.Duration
+	// Down is how long the repair takes (0 = rest of the run).
+	Down time.Duration
+}
+
+// Name implements Process.
+func (s SRLG) Name() string { return "srlg" }
+
+// Validate implements Process.
+func (s SRLG) Validate() error {
+	if len(s.Links) == 0 {
+		return fmt.Errorf("failure: srlg process has no member links")
+	}
+	for _, l := range s.Links {
+		if l < 0 {
+			return fmt.Errorf("failure: srlg process has negative link %d", l)
+		}
+	}
+	if s.At < 0 {
+		return fmt.Errorf("failure: srlg process has negative cut time %v", s.At)
+	}
+	if s.Down < 0 {
+		return fmt.Errorf("failure: srlg process has negative repair time %v", s.Down)
+	}
+	return nil
+}
+
+// Generate implements Process. SRLG is scripted; the seed does not enter.
+func (s SRLG) Generate(g *graph.Graph, horizon time.Duration, seed int64) (*Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	to := Forever
+	if s.Down > 0 {
+		to = s.At + s.Down
+	}
+	sc := &Scenario{Name: fmt.Sprintf("srlg:%d links,at=%v", len(s.Links), s.At)}
+	for _, l := range s.Links {
+		if int(l) >= g.NumLinks() {
+			return nil, fmt.Errorf("failure: srlg link %d outside [0, %d)", l, g.NumLinks())
+		}
+		sc.Outages = append(sc.Outages, LinkOutage(l, s.At, to))
+	}
+	return sc, nil
+}
+
+// ---------------------------------------------------------------------------
+// Node outage (a dead router: every incident link down)
+// ---------------------------------------------------------------------------
+
+// NodeOutage takes a whole node down at At for Down: the timed-event
+// counterpart of graph.FailNode (§4 models a dead router as all its links
+// failing bidirectionally).
+type NodeOutage struct {
+	// Node is the failing router.
+	Node graph.NodeID
+	// At is the failure instant.
+	At time.Duration
+	// Down is the outage duration (0 = rest of the run).
+	Down time.Duration
+}
+
+// Name implements Process.
+func (n NodeOutage) Name() string { return "node" }
+
+// Validate implements Process.
+func (n NodeOutage) Validate() error {
+	if n.Node < 0 {
+		return fmt.Errorf("failure: node process has negative node %d", n.Node)
+	}
+	if n.At < 0 {
+		return fmt.Errorf("failure: node process has negative start %v", n.At)
+	}
+	if n.Down < 0 {
+		return fmt.Errorf("failure: node process has negative duration %v", n.Down)
+	}
+	return nil
+}
+
+// Generate implements Process. NodeOutage is scripted; the seed does not
+// enter.
+func (n NodeOutage) Generate(g *graph.Graph, horizon time.Duration, seed int64) (*Scenario, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if int(n.Node) >= g.NumNodes() {
+		return nil, fmt.Errorf("failure: node %d outside [0, %d)", n.Node, g.NumNodes())
+	}
+	to := Forever
+	if n.Down > 0 {
+		to = n.At + n.Down
+	}
+	return &Scenario{
+		Name:    fmt.Sprintf("node:id=%d,at=%v", n.Node, n.At),
+		Outages: []Outage{NodeOutageAt(n.Node, n.At, to)},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Regional outage (everything within a hop radius of a center)
+// ---------------------------------------------------------------------------
+
+// Regional takes down every node within Radius hops of Center at At for
+// Down — a power cut or natural disaster over one area of the topology.
+// The region is the hop-ball on the shipped topology itself, so it
+// follows the embedding's geography on the generator families (a grid
+// region is a diamond of neighbouring routers, a ring region an arc).
+type Regional struct {
+	// Center is the epicenter node.
+	Center graph.NodeID
+	// Radius is the hop radius; 0 fails the center alone.
+	Radius int
+	// At is the outage instant.
+	At time.Duration
+	// Down is the outage duration (0 = rest of the run).
+	Down time.Duration
+}
+
+// Name implements Process.
+func (r Regional) Name() string { return "region" }
+
+// Validate implements Process.
+func (r Regional) Validate() error {
+	if r.Center < 0 {
+		return fmt.Errorf("failure: region process has negative center %d", r.Center)
+	}
+	if r.Radius < 0 {
+		return fmt.Errorf("failure: region process has negative radius %d", r.Radius)
+	}
+	if r.At < 0 {
+		return fmt.Errorf("failure: region process has negative start %v", r.At)
+	}
+	if r.Down < 0 {
+		return fmt.Errorf("failure: region process has negative duration %v", r.Down)
+	}
+	return nil
+}
+
+// Generate implements Process. Regional is scripted; the seed does not
+// enter.
+func (r Regional) Generate(g *graph.Graph, horizon time.Duration, seed int64) (*Scenario, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if int(r.Center) >= g.NumNodes() {
+		return nil, fmt.Errorf("failure: region center %d outside [0, %d)", r.Center, g.NumNodes())
+	}
+	to := Forever
+	if r.Down > 0 {
+		to = r.At + r.Down
+	}
+	sc := &Scenario{Name: fmt.Sprintf("region:center=%d,radius=%d,at=%v", r.Center, r.Radius, r.At)}
+	for _, n := range HopBall(g, r.Center, r.Radius) {
+		sc.Outages = append(sc.Outages, NodeOutageAt(n, r.At, to))
+	}
+	return sc, nil
+}
+
+// HopBall returns the nodes within radius hops of center (including the
+// center itself), in ascending NodeID order.
+func HopBall(g *graph.Graph, center graph.NodeID, radius int) []graph.NodeID {
+	var ball []graph.NodeID
+	for n, d := range graph.HopDistances(g, center, nil) {
+		if d >= 0 && d <= radius {
+			ball = append(ball, graph.NodeID(n))
+		}
+	}
+	return ball
+}

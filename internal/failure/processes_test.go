@@ -1,0 +1,252 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"recycle/internal/graph"
+)
+
+// TestMTBFStatistics pins the empirical up/down dwell means of the MTBF
+// renewal process against the configured MTBF/MTTR, mirroring the
+// Poisson/MMPP sanity tests in internal/traffic: a long horizon on a
+// small graph yields thousands of renewal cycles, whose sample means must
+// land within a few percent of the exponentials' parameters.
+func TestMTBFStatistics(t *testing.T) {
+	g := graph.Ring(4)
+	meanUp, meanDown := 2*time.Second, 300*time.Millisecond
+	p := MTBF{MeanUp: meanUp, MeanDown: meanDown}
+	horizon := 4000 * time.Second
+	sc, err := p.Generate(g, horizon, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct per-link dwell sequences: up dwell i is the gap between
+	// repair i-1 (or 0) and failure i; down dwell i is the outage length.
+	type hist struct {
+		lastUp time.Duration
+		ups    []time.Duration
+		downs  []time.Duration
+	}
+	perLink := make(map[graph.LinkID]*hist)
+	for _, o := range sc.Outages {
+		h := perLink[o.Link]
+		if h == nil {
+			h = &hist{}
+			perLink[o.Link] = h
+		}
+		h.ups = append(h.ups, o.From-h.lastUp)
+		h.downs = append(h.downs, o.To-o.From)
+		h.lastUp = o.To
+	}
+	if len(perLink) != g.NumLinks() {
+		t.Fatalf("MTBF touched %d links; want all %d over a %v horizon", len(perLink), g.NumLinks(), horizon)
+	}
+	var allUps, allDowns []time.Duration
+	for _, h := range perLink {
+		allUps = append(allUps, h.ups...)
+		allDowns = append(allDowns, h.downs...)
+	}
+	// ~2000 cycles per link × 4 links: the sample mean of an exponential
+	// with n ≈ 8000 draws has σ/√n ≈ 1.1% relative error; 5% is ~4.5σ.
+	if n := len(allUps); n < 4000 {
+		t.Fatalf("only %d renewal cycles; horizon too short for the statistical assertion", n)
+	}
+	assertMeanWithin(t, "up dwell (MTBF)", allUps, meanUp, 0.05)
+	assertMeanWithin(t, "down dwell (MTTR)", allDowns, meanDown, 0.05)
+}
+
+func assertMeanWithin(t *testing.T, what string, xs []time.Duration, want time.Duration, tol float64) {
+	t.Helper()
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	mean := sum / float64(len(xs))
+	if rel := math.Abs(mean-float64(want)) / float64(want); rel > tol {
+		t.Fatalf("%s empirical mean %v vs configured %v: relative error %.1f%% > %.0f%%",
+			what, time.Duration(mean), want, 100*rel, 100*tol)
+	}
+}
+
+func TestMTBFDeterministicAndLinkLocal(t *testing.T) {
+	g := graph.Ring(8)
+	p := MTBF{MeanUp: time.Second, MeanDown: 100 * time.Millisecond}
+	a, err := p.Generate(g, 10*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(g, 10*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Outages) != len(b.Outages) {
+		t.Fatalf("same seed drew %d vs %d outages", len(a.Outages), len(b.Outages))
+	}
+	for i := range a.Outages {
+		if a.Outages[i] != b.Outages[i] {
+			t.Fatalf("same seed diverged at outage %d: %v vs %v", i, a.Outages[i], b.Outages[i])
+		}
+	}
+	c, err := p.Generate(g, 10*time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Outages) == len(c.Outages) {
+		same := true
+		for i := range a.Outages {
+			if a.Outages[i] != c.Outages[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds drew the identical scenario")
+		}
+	}
+	// Restricting to a link subset replays exactly those links' histories:
+	// each link draws from its own seed-derived stream (link-local
+	// invariance), so the restriction changes nothing for the survivors.
+	restricted, err := MTBF{MeanUp: time.Second, MeanDown: 100 * time.Millisecond,
+		Links: []graph.LinkID{2, 5}}.Generate(g, 10*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromFull []Outage
+	for _, o := range a.Outages {
+		if o.Link == 2 || o.Link == 5 {
+			fromFull = append(fromFull, o)
+		}
+	}
+	if len(restricted.Outages) != len(fromFull) {
+		t.Fatalf("restricted draw has %d outages; the full draw's links 2,5 histories have %d",
+			len(restricted.Outages), len(fromFull))
+	}
+	got := make(map[Outage]bool, len(restricted.Outages))
+	for _, o := range restricted.Outages {
+		got[o] = true
+	}
+	for _, o := range fromFull {
+		if !got[o] {
+			t.Fatalf("restricted draw misses outage %v present in the full draw", o)
+		}
+	}
+}
+
+func TestFlapGenerate(t *testing.T) {
+	g := graph.Ring(6)
+	f := Flap{Link: 2, At: time.Second, Flaps: 3, Period: 100 * time.Millisecond}
+	sc, err := f.Generate(g, 10*time.Second, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Outages) != 3 {
+		t.Fatalf("flap drew %d outages; want 3", len(sc.Outages))
+	}
+	for i, o := range sc.Outages {
+		wantFrom := time.Second + time.Duration(i)*100*time.Millisecond
+		if o.Link != 2 || o.From != wantFrom || o.To != wantFrom+50*time.Millisecond {
+			t.Fatalf("flap outage %d = %v; want link 2 down [%v, %v)", i, o, wantFrom, wantFrom+50*time.Millisecond)
+		}
+	}
+	if _, err := (Flap{Link: 99, Flaps: 1, Period: time.Second}).Generate(g, time.Second, 0); err == nil {
+		t.Fatal("flap on an out-of-range link generated; want error")
+	}
+}
+
+func TestSRLGGenerate(t *testing.T) {
+	g := graph.Ring(6)
+	s := SRLG{Links: []graph.LinkID{1, 3, 4}, At: time.Second, Down: 500 * time.Millisecond}
+	sc, err := s.Generate(g, 10*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Outages) != 3 {
+		t.Fatalf("srlg drew %d outages; want 3", len(sc.Outages))
+	}
+	for _, o := range sc.Outages {
+		if o.From != time.Second || o.To != 1500*time.Millisecond {
+			t.Fatalf("srlg member %v not cut together at [1s, 1.5s)", o)
+		}
+	}
+	// Down=0 means never repaired.
+	sc, err = SRLG{Links: []graph.LinkID{0}, At: time.Second}.Generate(g, 10*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Outages[0].To != Forever {
+		t.Fatalf("srlg with no down duration repaired at %v; want Forever", sc.Outages[0].To)
+	}
+	if _, err := (SRLG{Links: []graph.LinkID{42}, At: 0}).Generate(g, time.Second, 0); err == nil {
+		t.Fatal("srlg with an out-of-range member generated; want error")
+	}
+}
+
+func TestNodeOutageGenerate(t *testing.T) {
+	g := graph.Ring(6)
+	sc, err := NodeOutage{Node: 3, At: time.Second, Down: 200 * time.Millisecond}.Generate(g, 10*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Outages) != 1 || sc.Outages[0].Node != 3 {
+		t.Fatalf("node outage = %v; want one outage of node 3", sc.Outages)
+	}
+	if _, err := (NodeOutage{Node: 99}).Generate(g, time.Second, 0); err == nil {
+		t.Fatal("outage of an out-of-range node generated; want error")
+	}
+}
+
+func TestRegionalGenerate(t *testing.T) {
+	g := graph.Grid(4, 4)
+	sc, err := Regional{Center: 5, Radius: 1, At: time.Second, Down: time.Second}.Generate(g, 10*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 5 of a 4×4 grid is interior: the radius-1 ball is itself + 4
+	// neighbours.
+	if len(sc.Outages) != 5 {
+		t.Fatalf("radius-1 region around an interior grid node failed %d nodes; want 5", len(sc.Outages))
+	}
+	// Radius 0 fails the center alone.
+	sc, err = Regional{Center: 5, Radius: 0, At: time.Second}.Generate(g, 10*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Outages) != 1 || sc.Outages[0].Node != 5 {
+		t.Fatalf("radius-0 region = %v; want the center alone", sc.Outages)
+	}
+	if _, err := (Regional{Center: 99}).Generate(g, time.Second, 0); err == nil {
+		t.Fatal("region centered outside the graph generated; want error")
+	}
+}
+
+func TestHopBall(t *testing.T) {
+	g := graph.Ring(8)
+	ball := HopBall(g, 0, 2)
+	want := map[graph.NodeID]bool{0: true, 1: true, 2: true, 6: true, 7: true}
+	if len(ball) != len(want) {
+		t.Fatalf("HopBall(ring:8, 0, 2) = %v; want the 5-node arc around 0", ball)
+	}
+	for _, n := range ball {
+		if !want[n] {
+			t.Fatalf("HopBall contains %d; want %v", n, want)
+		}
+	}
+	// A radius beyond the diameter covers everything.
+	if got := len(HopBall(g, 0, 100)); got != g.NumNodes() {
+		t.Fatalf("HopBall with huge radius covers %d nodes; want %d", got, g.NumNodes())
+	}
+}
+
+// TestGenerationBounded: hostile or mistyped specs must fail with a
+// descriptive error instead of allocating without bound.
+func TestGenerationBounded(t *testing.T) {
+	g := graph.Ring(4)
+	if _, err := (MTBF{MeanUp: 1, MeanDown: 1}).Generate(g, time.Second, 1); err == nil {
+		t.Fatal("nanosecond MTBF means generated; want an outage-cap error")
+	}
+	if err := (Flap{Link: 0, Flaps: MaxOutages + 1, Period: time.Second}).Validate(); err == nil {
+		t.Fatal("two-billion-flap storm validated; want an error")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"recycle/internal/failure"
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
 	"recycle/internal/traffic"
@@ -87,7 +88,8 @@ type Config struct {
 	// 9.953 Gb/s, an OC-192).
 	BandwidthBps float64
 	// DetectionDelay is how long until routers adjacent to a failed link
-	// locally detect it (default 50 ms; 0 means instantaneous).
+	// locally detect it (default 50 ms; InstantDetection makes state
+	// changes visible to routers in the same instant they happen).
 	DetectionDelay time.Duration
 	// HoldDown delays acting on link *recovery* (up-transitions) beyond
 	// DetectionDelay. The paper's §7 flap-damping rule: a link must stay
@@ -99,11 +101,35 @@ type Config struct {
 	TTL int
 }
 
+// InstantDetection, as Config.DetectionDelay, makes link state changes
+// visible to adjacent routers in the very instant they happen (a literal
+// zero keeps the 50 ms default). It isolates a scheme's *routing*
+// resilience from the hardware loss-of-light latency — which hits every
+// scheme identically and is unavoidable by any of them — so the
+// resilience harness measures exactly the guarantee the paper states:
+// after routers see a failure, does the scheme still deliver?
+const InstantDetection = time.Duration(-1)
+
 // Stats aggregates a run's outcomes.
 type Stats struct {
 	Generated int
 	Delivered int
 	Drops     map[DropReason]int
+	// Violations, Transient and Excused partition the drops when a
+	// scenario oracle is installed (ApplyScenario). A loss is a
+	// *violation* when the src–dst pair was physically connected AND the
+	// link state held constant throughout the packet's lifetime — the
+	// scheme had a live path, nothing changed underneath it, and it lost
+	// the packet anyway: exactly the regime of the paper's §1 guarantee.
+	// It is *transient* when the pair stayed connected but a failure or
+	// repair took effect mid-flight — the §7 in-flight-across-a-change
+	// regime no scheme guarantees and damping mitigates. It is *excused*
+	// when the pair was physically partitioned at some instant of the
+	// packet's lifetime: no scheme can deliver across a partition.
+	// Without an oracle all three stay zero.
+	Violations int
+	Transient  int
+	Excused    int
 	// TotalLatency accumulates delivery latencies; divide by Delivered
 	// for the mean.
 	TotalLatency time.Duration
@@ -150,6 +176,7 @@ type Simulator struct {
 	knownDown *graph.FailureSet // locally detected state, fed to schemes
 	linkFree  []time.Duration   // next instant each link's transmitter is idle (per direction)
 	streams   []traffic.Stream  // per-flow emission streams (nil = legacy fixed-interval)
+	oracle    *failure.Oracle   // loss referee installed by ApplyScenario (nil = don't classify)
 
 	nextPacketID int64
 	// Stats is populated during Run.
@@ -172,7 +199,7 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.BandwidthBps < 0 {
 		return nil, fmt.Errorf("sim: negative bandwidth %g bps", cfg.BandwidthBps)
 	}
-	if cfg.DetectionDelay < 0 {
+	if cfg.DetectionDelay < 0 && cfg.DetectionDelay != InstantDetection {
 		return nil, fmt.Errorf("sim: negative detection delay %v", cfg.DetectionDelay)
 	}
 	if cfg.HoldDown < 0 {
@@ -186,6 +213,8 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if cfg.DetectionDelay == 0 {
 		cfg.DetectionDelay = 50 * time.Millisecond
+	} else if cfg.DetectionDelay == InstantDetection {
+		cfg.DetectionDelay = 0
 	}
 	if cfg.TTL == 0 {
 		cfg.TTL = 4 * cfg.Graph.NumNodes()
@@ -274,6 +303,75 @@ func (s *Simulator) RepairLinkAt(l graph.LinkID, at time.Duration) {
 	s.schedule(&event{at: at, kind: evLinkUp, link: l})
 }
 
+// FailNodeAt schedules a whole-node outage: every link incident to n
+// fails at the same instant. This is the timed-event counterpart of
+// graph.FailNode — the paper's §4 model of a dead router (all its links
+// failing bidirectionally) as a first-class sim event.
+func (s *Simulator) FailNodeAt(n graph.NodeID, at time.Duration) {
+	for _, nb := range s.g.Neighbors(n) {
+		s.FailLinkAt(nb.Link, at)
+	}
+}
+
+// RepairNodeAt schedules the node's return: every incident link repairs
+// at the same instant. Pair with FailNodeAt; a link the node shares with
+// another scheduled outage repairs here regardless — prefer
+// ApplyScenario, which merges overlapping outages, when composing
+// multi-cause histories.
+func (s *Simulator) RepairNodeAt(n graph.NodeID, at time.Duration) {
+	for _, nb := range s.g.Neighbors(n) {
+		s.RepairLinkAt(nb.Link, at)
+	}
+}
+
+// ApplyScenario expands a failure scenario into its normalised fail/
+// repair event sequence (overlapping outages of one link merged, node
+// outages expanded to incident links — see failure.Scenario.Events) and
+// schedules it, then installs the scenario's connectivity oracle: every
+// subsequent packet loss is refereed into Stats.Violations (pair
+// connected, state stable over the packet's lifetime — counts against
+// the scheme), Stats.Transient (pair connected but the state changed
+// mid-flight, §7's damped regime) or Stats.Excused (the pair was
+// partitioned at some instant — no scheme delivers across a partition).
+func (s *Simulator) ApplyScenario(sc *failure.Scenario) error {
+	events, err := sc.Events(s.g)
+	if err != nil {
+		return err
+	}
+	oracle, err := failure.NewOracle(s.g, sc)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		if e.Down {
+			s.FailLinkAt(e.Link, e.At)
+		} else {
+			s.RepairLinkAt(e.Link, e.At)
+		}
+	}
+	s.oracle = oracle
+	return nil
+}
+
+// Oracle returns the connectivity oracle installed by ApplyScenario
+// (nil before it).
+func (s *Simulator) Oracle() *failure.Oracle { return s.oracle }
+
+// classifyLoss referees one drop against the scenario oracle.
+func (s *Simulator) classifyLoss(pkt *Packet) {
+	if s.oracle == nil {
+		return
+	}
+	switch {
+	case !s.oracle.ConnectedThroughout(pkt.Src, pkt.Dst, pkt.Created, s.now):
+		s.Stats.Excused++
+	case !s.oracle.StableThroughout(pkt.Created, s.now):
+		s.Stats.Transient++
+	default:
+		s.Stats.Violations++
+	}
+}
+
 // UpdateTopologyAt schedules a planned topology change — the maintenance
 // scenario class: link weights shift (drain or cost-out) or new links
 // come up mid-run. Schemes implementing TopologyUpdater (e.g. a compiled
@@ -354,11 +452,24 @@ func (s *Simulator) Run() *Stats {
 		case evLinkDown:
 			s.physDown[e.link] = true
 			s.linkGen[e.link]++
+			if s.cfg.DetectionDelay == 0 {
+				// InstantDetection: apply atomically with the physical
+				// transition, so no same-instant arrival can slip between
+				// the failure and its detection.
+				s.knownDown.Add(e.link)
+				s.cfg.Scheme.TopologyChanged(s, e.link, true)
+				break
+			}
 			s.schedule(&event{at: s.now + s.cfg.DetectionDelay, kind: evDetect,
 				link: e.link, down: true, gen: s.linkGen[e.link]})
 		case evLinkUp:
 			s.physDown[e.link] = false
 			s.linkGen[e.link]++
+			if s.cfg.DetectionDelay == 0 && s.cfg.HoldDown == 0 {
+				s.knownDown.Remove(e.link)
+				s.cfg.Scheme.TopologyChanged(s, e.link, false)
+				break
+			}
 			// §7 flap damping: recoveries additionally wait out the
 			// hold-down before routers act on them.
 			s.schedule(&event{at: s.now + s.cfg.DetectionDelay + s.cfg.HoldDown, kind: evDetect,
@@ -430,11 +541,13 @@ func (s *Simulator) handleArrive(pkt *Packet, node graph.NodeID) {
 	}
 	if pkt.Hops >= s.cfg.TTL {
 		s.Stats.Drops[DropTTL]++
+		s.classifyLoss(pkt)
 		return
 	}
 	egress, ok := s.cfg.Scheme.Process(s, node, pkt)
 	if !ok {
 		s.Stats.Drops[DropNoRoute]++
+		s.classifyLoss(pkt)
 		return
 	}
 	link := rotation.LinkOf(egress)
@@ -442,6 +555,7 @@ func (s *Simulator) handleArrive(pkt *Packet, node graph.NodeID) {
 		// The scheme chose a dead link (failure not yet locally
 		// detected): the packet is lost in the outage.
 		s.Stats.Drops[DropBlackhole]++
+		s.classifyLoss(pkt)
 		return
 	}
 	// FIFO serialisation per link direction, then propagation.

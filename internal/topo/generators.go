@@ -143,9 +143,60 @@ func Chain(k int) Topology {
 	}
 }
 
+// Rand returns a random planar 2-edge-connected topology: the n-cycle
+// plus non-crossing random chords drawn inside the disc, with
+// deterministic pseudo-random link weights in [1, 10). Planarity is by
+// construction (nested chords never cross), so the Auto embedder finds a
+// genus-0 embedding and the §5 delivery guarantee applies — which makes
+// the family the "random" leg of the resilience harness: unlike ring and
+// grid it has irregular degree, asymmetric redundancy and weight-diverse
+// shortest paths, while staying inside the guarantee's preconditions.
+func Rand(n int, seed int64) Topology {
+	if n < 4 {
+		panic("topo: rand needs ≥ 4 nodes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n, 2*n)
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("x%d", i))
+	}
+	weight := func() float64 { return 1 + 9*rng.Float64() }
+	for i := 0; i < n; i++ {
+		g.MustAddLink(graph.NodeID(i), graph.NodeID((i+1)%n), weight())
+	}
+	// Draw chords (a, b), a < b, rejecting any that would cross an
+	// accepted one: two chords inside the disc cross iff their endpoints
+	// strictly interleave around the cycle. Aim for n/2 chords; give up
+	// after a bounded number of rejections so dense small cases terminate.
+	type chord struct{ a, b int }
+	var chords []chord
+	crosses := func(c chord) bool {
+		for _, d := range chords {
+			if (d.a < c.a && c.a < d.b && d.b < c.b) ||
+				(c.a < d.a && d.a < c.b && c.b < d.b) {
+				return true
+			}
+		}
+		return false
+	}
+	for tries := 8 * n; tries > 0 && len(chords) < n/2; tries-- {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a > b {
+			a, b = b, a
+		}
+		c := chord{a, b}
+		if b-a < 2 || (a == 0 && b == n-1) || g.HasLink(graph.NodeID(a), graph.NodeID(b)) || crosses(c) {
+			continue
+		}
+		chords = append(chords, c)
+		g.MustAddLink(graph.NodeID(a), graph.NodeID(b), weight())
+	}
+	return Topology{Name: fmt.Sprintf("rand:%d@%d", n, seed), Graph: g.Freeze()}
+}
+
 // Generated parses a generator spec — "ring:24", "wring:16@7",
-// "grid:4x8", "chain:12" — and returns the topology. The wring seed after
-// '@' is optional (default 1).
+// "grid:4x8", "chain:12", "rand:24@7" — and returns the topology. The
+// seed after '@' is optional (default 1).
 func Generated(spec string) (Topology, error) {
 	kind, arg, ok := strings.Cut(spec, ":")
 	if !ok {
@@ -207,6 +258,23 @@ func Generated(spec string) (Topology, error) {
 			return bad(fmt.Errorf("chain needs ≥ 1 cell"))
 		}
 		return Chain(k), nil
+	case "rand":
+		sizeStr, seedStr, hasSeed := strings.Cut(arg, "@")
+		n, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			return bad(err)
+		}
+		if n < 4 {
+			return bad(fmt.Errorf("rand needs ≥ 4 nodes"))
+		}
+		seed := int64(1)
+		if hasSeed {
+			seed, err = strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return bad(err)
+			}
+		}
+		return Rand(n, seed), nil
 	}
-	return Topology{}, fmt.Errorf("topo: unknown generator %q (want ring, wring, grid or chain)", kind)
+	return Topology{}, fmt.Errorf("topo: unknown generator %q (want ring, wring, grid, chain or rand)", kind)
 }

@@ -3,6 +3,7 @@ package topo
 import (
 	"testing"
 
+	"recycle/internal/embedding"
 	"recycle/internal/graph"
 )
 
@@ -101,6 +102,67 @@ func TestGeneratedSpecParsing(t *testing.T) {
 		"ring:2", "ring:x", "grid:4", "grid:1x5", "grid:axb",
 		"chain:0", "chain:z", "wring:16@x", "torus:3x3", "ring",
 	} {
+		if _, err := ByName(spec); err == nil {
+			t.Fatalf("%s: accepted", spec)
+		}
+	}
+}
+
+// TestRandGenerator: the random planar family must stay inside the §5
+// guarantee's preconditions — 2-edge-connected (chords never cross by
+// construction, so the cycle+chords graph is planar and the Auto
+// embedder must find genus 0) — while being deterministic per seed and
+// actually irregular (some chords drawn).
+func TestRandGenerator(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		tp := Rand(24, seed)
+		g := tp.Graph
+		if !g.Frozen() {
+			t.Fatal("rand graph not frozen")
+		}
+		if g.NumNodes() != 24 {
+			t.Fatalf("rand:24@%d has %d nodes", seed, g.NumNodes())
+		}
+		if g.NumLinks() <= 24 {
+			t.Fatalf("rand:24@%d drew no chords (%d links); the family must be denser than the bare cycle",
+				seed, g.NumLinks())
+		}
+		if !graph.TwoEdgeConnected(g) {
+			t.Fatalf("rand:24@%d is not 2-edge-connected", seed)
+		}
+		sys, err := (embedding.Auto{Seed: 1}).Embed(g)
+		if err != nil {
+			t.Fatalf("rand:24@%d: %v", seed, err)
+		}
+		if genus := sys.Genus(); genus != 0 {
+			t.Fatalf("rand:24@%d embedding genus = %d; want 0 (chords are non-crossing by construction)", seed, genus)
+		}
+	}
+	a, b := Rand(20, 5), Rand(20, 5)
+	if a.Graph.NumLinks() != b.Graph.NumLinks() {
+		t.Fatal("rand not deterministic per seed")
+	}
+	for l := 0; l < a.Graph.NumLinks(); l++ {
+		la, lb := a.Graph.Link(graph.LinkID(l)), b.Graph.Link(graph.LinkID(l))
+		if la.A != lb.A || la.B != lb.B || la.Weight != lb.Weight {
+			t.Fatalf("rand link %d differs across same-seed draws: %+v vs %+v", l, la, lb)
+		}
+	}
+}
+
+// TestRandSpecParsing: ByName accepts rand:N and rand:N@S.
+func TestRandSpecParsing(t *testing.T) {
+	tp, err := ByName("rand:24@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Graph.NumNodes() != 24 || tp.Name != "rand:24@7" {
+		t.Fatalf("rand:24@7 parsed to %q with %d nodes", tp.Name, tp.Graph.NumNodes())
+	}
+	if tp2, err := ByName("rand:16"); err != nil || tp2.Name != "rand:16@1" {
+		t.Fatalf("rand:16 default seed: %v, %q", err, tp2.Name)
+	}
+	for _, spec := range []string{"rand:3", "rand:x", "rand:24@x"} {
 		if _, err := ByName(spec); err == nil {
 			t.Fatalf("%s: accepted", spec)
 		}

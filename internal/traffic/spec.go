@@ -20,13 +20,22 @@ import (
 // Common options: bits=N (fixed packet size), pareto=alpha/minbits/maxbits
 // (heavy-tailed sizes; overrides bits), seed=S (RNG seed, default 1).
 // The returned Source is validated.
-func ParseSpec(spec string) (Source, error) {
+func ParseSpec(spec string) (Source, error) { return ParseSpecSeeded(spec, 1) }
+
+// ParseSpecSeeded is ParseSpec with a caller-supplied default seed: a
+// spec that names seed= explicitly keeps it, any other stochastic spec
+// draws from defaultSeed. It is how a CLI's single global -seed flag
+// reaches traffic sources without forbidding per-spec overrides.
+func ParseSpecSeeded(spec string, defaultSeed int64) (Source, error) {
 	kind, rest, _ := strings.Cut(spec, ":")
 	switch kind {
 	case "fixed", "poisson", "mmpp":
 		opts, err := parseOpts(kind, rest)
 		if err != nil {
 			return nil, err
+		}
+		if !opts.has("seed") {
+			opts.seed = defaultSeed
 		}
 		return buildSource(kind, opts)
 	case "replay":

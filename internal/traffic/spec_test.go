@@ -77,3 +77,28 @@ func TestParseSpecReplay(t *testing.T) {
 		t.Fatalf("record 1 = %+v; want {500ms 1600}", r.Records[1])
 	}
 }
+
+// TestParseSpecSeeded: a global CLI seed reaches stochastic specs that
+// do not pin their own, and never overrides an explicit seed=.
+func TestParseSpecSeeded(t *testing.T) {
+	src, err := ParseSpecSeeded("poisson:rate=100", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := src.(Poisson).Seed; got != 9 {
+		t.Fatalf("default seed not applied: got %d; want 9", got)
+	}
+	src, err = ParseSpecSeeded("poisson:rate=100,seed=3", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := src.(Poisson).Seed; got != 3 {
+		t.Fatalf("explicit seed overridden: got %d; want 3", got)
+	}
+	if src, err = ParseSpecSeeded("mmpp:on=5000,dwell=10ms/90ms", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.(MMPP).Seed; got != 4 {
+		t.Fatalf("mmpp default seed not applied: got %d; want 4", got)
+	}
+}
