@@ -37,6 +37,16 @@
 //	prsim -resilience -scenario mtbf:up=2s,down=300ms+srlg:links=0;1,at=1s
 //	prsim -resilience -scenario @storms.txt     # scripted scenario file
 //
+// The telemetry surface (package telemetry) is reachable from the same
+// binary: -trace replays one resilience draw with the per-packet flight
+// recorder armed and prints a recycled packet's explained cycle walk
+// plus the per-epoch counter timeline (whose summed deltas are verified
+// to equal the aggregate exactly), and -metrics serves live JSON
+// registry snapshots over HTTP while any metered mode runs:
+//
+//	prsim -resilience -trace -topo ring:24      # explain one cycle walk
+//	prsim -throughput -metrics localhost:6060   # then: curl :6060/metrics
+//
 // One global -seed flag makes every panel reproducible: it seeds the
 // figure scenario sampling, -traffic sources (unless the spec pins its
 // own seed=), the -churn edit draw and the -resilience Monte-Carlo
@@ -70,6 +80,7 @@ import (
 	"recycle/internal/rotation"
 	"recycle/internal/route"
 	"recycle/internal/sim"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 	"recycle/internal/traffic"
 )
@@ -99,6 +110,8 @@ func main() {
 		resilience = flag.Bool("resilience", false, "Monte-Carlo resilience sweep: seeded failure-scenario draws, PR vs reconvergence, losses refereed by the connectivity oracle")
 		scenario   = flag.String("scenario", "", "failure process spec for -resilience (failure.ParseScenario grammar; @path loads a scripted scenario file)")
 		draws      = flag.Int("draws", 0, "scenario draws per topology for -resilience (default 50)")
+		metrics    = flag.String("metrics", "", "serve the telemetry registry as JSON on this address while the run executes (e.g. localhost:6060)")
+		trace      = flag.Bool("trace", false, "with -resilience: arm the flight recorder on one traced draw and print a recycled packet's explained cycle walk plus the per-epoch counter timeline")
 	)
 	flag.Parse()
 	topoSet := false
@@ -126,6 +139,20 @@ func main() {
 	}
 	if *plane == "compiled" && !*lossWindow && !*throughput {
 		fatal(fmt.Errorf("-dataplane applies to -losswindow only (-throughput always runs the compiled engine)"))
+	}
+	if *trace && !*resilience {
+		fatal(fmt.Errorf("-trace requires -resilience"))
+	}
+
+	// One process-wide registry, served over HTTP for the run's duration
+	// when -metrics names an address. Modes that run live metered
+	// components (-throughput, -churn, -resilience -trace) feed it; a nil
+	// registry keeps their hot paths uninstrumented.
+	var mreg *telemetry.Registry
+	if *metrics != "" {
+		mreg = telemetry.NewRegistry()
+		telemetry.Serve(*metrics, mreg)
+		fmt.Printf("# telemetry: serving JSON snapshots on http://%s/metrics\n", *metrics)
 	}
 
 	switch {
@@ -163,14 +190,20 @@ func main() {
 			fatal(err)
 		}
 	case *throughput:
-		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire, *egressBw, trafficSrc, seedOr(1)); err != nil {
+		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire, *egressBw, trafficSrc, seedOr(1), mreg); err != nil {
 			fatal(err)
 		}
 	case *churn:
-		if err := runChurn(*topoName, *churnEdits, seedOr(1)); err != nil {
+		if err := runChurn(*topoName, *churnEdits, seedOr(1), mreg); err != nil {
 			fatal(err)
 		}
 	case *resilience:
+		if *trace {
+			if err := runTrace(*topoName, topoSet, *scenario, *draws, seedOr(1), mreg); err != nil {
+				fatal(err)
+			}
+			break
+		}
 		if err := runResilience(*topoName, topoSet, *scenario, *draws, seedOr(1)); err != nil {
 			fatal(err)
 		}
@@ -287,7 +320,7 @@ func runLossWindow(plane string, source traffic.Source) error {
 // ForwardWire's byte-rewriting fast path. A non-nil traffic source
 // draws abstract packet sizes from its size distribution, so egress
 // pacing sees the configured mix instead of uniform 1 kB packets.
-func runThroughput(topoName string, shards, packets, batchSize int, wire bool, egressBw float64, source traffic.Source, seed int64) error {
+func runThroughput(topoName string, shards, packets, batchSize int, wire bool, egressBw float64, source traffic.Source, seed int64, reg *telemetry.Registry) error {
 	tp, err := topo.ByName(topoName)
 	if err != nil {
 		return err
@@ -320,9 +353,10 @@ func runThroughput(topoName string, shards, packets, batchSize int, wire bool, e
 	runPhase := func(egress dataplane.Egress) (uint64, time.Duration, error) {
 		free := make(chan *dataplane.Batch, 1024)
 		eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
-			Shards: shards,
-			Egress: egress,
-			OnDone: func(b *dataplane.Batch) { free <- b },
+			Shards:  shards,
+			Egress:  egress,
+			OnDone:  func(b *dataplane.Batch) { free <- b },
+			Metrics: reg,
 		})
 		engShards = eng.Shards()
 		eng.SetLink(0, true) // exercise detect/continue/resume branches too
@@ -431,7 +465,7 @@ func runThroughput(topoName string, shards, packets, batchSize int, wire bool, e
 	fmt.Printf("decide-only   %d %s in %v — %.1f M %s/sec\n",
 		decided, unit, elapsed.Round(time.Millisecond), float64(decided)/elapsed.Seconds()/1e6, unit)
 
-	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: egressBw})
+	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: egressBw, Metrics: reg})
 	decided, elapsed, err = runPhase(tx)
 	if err != nil {
 		return err
@@ -501,13 +535,70 @@ func runResilience(topoName string, topoSet bool, spec string, draws int, seed i
 	})
 }
 
+// runTrace is -resilience -trace: instead of the aggregate sweep it
+// replays draws with the flight recorder armed on every packet and the
+// registry folded into per-epoch deltas, then prints the explained
+// cycle walk of a recycled packet and the epoch timeline. The traced
+// topology is -topo when set, otherwise the first panel topology.
+// TraceResilience verifies the timeline's summed deltas equal the
+// aggregate counters exactly before returning, so a printed timeline
+// is guaranteed lossless.
+func runTrace(topoName string, topoSet bool, spec string, draws int, seed int64, reg *telemetry.Registry) error {
+	name := "ring:24"
+	if topoSet {
+		name = topoName
+	}
+	tp, err := topo.ByName(name)
+	if err != nil {
+		return err
+	}
+	var proc failure.Process
+	if strings.HasPrefix(spec, "@") {
+		f, err := os.Open(spec[1:])
+		if err != nil {
+			return fmt.Errorf("-scenario script: %w", err)
+		}
+		defer f.Close()
+		if proc, err = failure.ParseScript(f); err != nil {
+			return err
+		}
+		spec = ""
+	}
+	res, err := eval.TraceResilience(tp, eval.ResilienceConfig{
+		Spec:    spec,
+		Process: proc,
+		Draws:   draws,
+		Seed:    seed,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("# flight-recorded resilience trace: %s, scheme %s, scenario %s (draw %d)\n",
+		tp.Name, res.Scheme, res.Scenario, res.Draw)
+	fmt.Printf("flights kept %d | generated %d delivered %d violations %d\n\n",
+		len(res.Flights), res.Stats.Generated, res.Stats.Delivered, res.Stats.Violations)
+
+	if f := res.Recycled(); f != nil {
+		fmt.Println("## recycled packet (cycle walk)")
+		fmt.Print(f.Explain())
+	} else {
+		fmt.Printf("no recycled packet in %d draw(s); try more -draws or a denser -scenario\n", max(draws, 1))
+	}
+
+	fmt.Println("\n## per-epoch counter timeline (summed deltas == aggregate, verified)")
+	eval.WriteTimeline(os.Stdout, res.Epochs)
+	return nil
+}
+
 // runChurn reports the planned-maintenance numbers: the full-vs-delta
 // recompile latency table over a topology panel, then a live hot-swap
 // check on -topo — a sharded engine decides a continuous stream of
 // batches while delta-recompiled FIBs are swapped in (Engine.ApplyDelta);
 // every submitted packet must come out decided, i.e. zero loss across
 // the swaps.
-func runChurn(topoName string, edits int, seed int64) error {
+func runChurn(topoName string, edits int, seed int64, reg *telemetry.Registry) error {
 	if edits <= 0 {
 		return fmt.Errorf("-churn needs -edits ≥ 1 (got %d)", edits)
 	}
@@ -542,10 +633,14 @@ func runChurn(topoName string, edits int, seed int64) error {
 		return err
 	}
 
+	if reg != nil {
+		rec.Register(reg)
+	}
 	var submitted atomic.Uint64
 	free := make(chan *dataplane.Batch, 64)
 	eng := dataplane.NewEngine(rec.FIB(), dataplane.EngineConfig{
-		OnDone: func(b *dataplane.Batch) { free <- b },
+		OnDone:  func(b *dataplane.Batch) { free <- b },
+		Metrics: reg,
 	})
 	n := g.NumNodes()
 	for i := 0; i < 16; i++ {

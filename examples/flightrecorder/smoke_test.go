@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the example end to end: it must trace a draw, find a
+// recycled packet's cycle walk and print the verified per-epoch
+// timeline without log.Fatal-ing. The example asserts that the SRLG
+// cut actually forces PR to recycle, so this doubles as a recorder
+// coverage check.
+func TestSmoke(t *testing.T) {
+	main()
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"recycle/internal/rotation"
+	"recycle/internal/telemetry"
 )
 
 // Egress is stage three of the engine pipeline (ingest → decide →
@@ -65,9 +66,29 @@ type TxConfig struct {
 	// Defaults to wall time since NewTxQueue; tests inject a virtual
 	// clock for deterministic pacing.
 	Now func() time.Duration
+	// Metrics, when non-nil, publishes transmit telemetry into the
+	// registry: the tx.* counters (collected from the per-dart state at
+	// snapshot time, so the Send hot path stays untouched) and a
+	// tx.queue_wait_ns histogram of the queueing delay each sent packet
+	// paid behind its link's serialiser.
+	Metrics *telemetry.Registry
 }
 
+// Transmit metric names.
+const (
+	MetricTxSent          = "tx.sent"
+	MetricTxSentBits      = "tx.sent_bits"
+	MetricTxDropQueueFull = "tx.drop.queue-full"
+	MetricTxDropLinkDown  = "tx.drop.link-down"
+	MetricTxQueueWaitNs   = "tx.queue_wait_ns"
+)
+
 // TxStats aggregates transmit outcomes across all darts.
+//
+// Deprecated: TxStats is a compatibility view. With TxConfig.Metrics
+// set the same totals appear as the tx.* names in a
+// telemetry.Registry snapshot, coherent with the engine and simulator
+// counters; prefer reading them there.
 type TxStats struct {
 	// Sent counts packets serialised; SentBits their total size.
 	Sent, SentBits uint64
@@ -97,6 +118,7 @@ type TxQueue struct {
 	maxBacklog  time.Duration
 	defaultBits int64
 	now         func() time.Duration
+	wait        *telemetry.Histogram // nil when uninstrumented
 	darts       []txDart
 }
 
@@ -136,6 +158,18 @@ func NewTxQueueDarts(numDarts int, cfg TxConfig) *TxQueue {
 	if q.now == nil {
 		start := time.Now()
 		q.now = func() time.Duration { return time.Since(start) }
+	}
+	if cfg.Metrics != nil {
+		// 1 µs .. ~1 s queue-wait buckets; a zero wait (idle link) lands
+		// in the first.
+		q.wait = cfg.Metrics.Histogram(MetricTxQueueWaitNs, telemetry.ExponentialBuckets(1000, 4, 10))
+		cfg.Metrics.RegisterCollector(telemetry.CollectorFunc(func(s *telemetry.Snapshot) {
+			st := q.Stats()
+			s.SetCounter(MetricTxSent, st.Sent)
+			s.SetCounter(MetricTxSentBits, st.SentBits)
+			s.SetCounter(MetricTxDropQueueFull, st.DropQueueFull)
+			s.SetCounter(MetricTxDropLinkDown, st.DropLinkDown)
+		}))
 	}
 	return q
 }
@@ -192,6 +226,9 @@ func (q *TxQueue) Send(d rotation.DartID, bits int64, st *LinkState) TxVerdict {
 	dq.sent++
 	dq.sentBits += uint64(bits)
 	dq.mu.Unlock()
+	if q.wait != nil {
+		q.wait.Observe(int64(start - now))
+	}
 	return TxSent
 }
 

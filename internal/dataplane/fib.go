@@ -387,6 +387,75 @@ func (f *FIB) DecideBatch(pkts []Packet, st *LinkState) {
 	}
 }
 
+// DecideBatchTally is DecideBatch with per-event accounting folded in.
+// The batch is processed in chunks of two passes: a call-free fast-path
+// pass that decides the common cases (counting cycle hits in a register
+// and noting misses in a small stack buffer), then a slow pass that runs
+// the full Decide only on the misses and tallies their events. Keeping
+// the hot loop free of calls lets the counters live in registers — a
+// loop-carried counter in DecideBatch's shape would be spilled to the
+// stack on every iteration because of the Decide call — and the routed
+// total falls out by subtraction, so the dominant path pays nothing.
+// The metered engine calls this; the unmetered engine keeps the bare
+// DecideBatch.
+func (f *FIB) DecideBatchTally(pkts []Packet, st *LinkState, tally *[8]uint64) {
+	const chunk = 64
+	var miss [chunk]int32
+	for base := 0; base < len(pkts); base += chunk {
+		end := base + chunk
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		nMiss, nCycle := f.fastPass(pkts[base:end], st, &miss)
+		for k := 0; k < nMiss; k++ {
+			p := &pkts[base+int(miss[k])]
+			d := f.Decide(p.Node, p.Dst, p.Ingress, p.Hdr, st)
+			p.Egress, p.Event, p.Hdr, p.OK = d.Egress, d.Event, d.Header, d.OK
+			if d.OK {
+				// The FIB never emits EventDeliver, so the event is
+				// always < 5; the mask only elides the bounds check.
+				tally[int(d.Event)&7]++
+			} else {
+				tally[5]++
+			}
+		}
+		tally[core.EventRoute] += uint64(end-base-nMiss) - nCycle
+		tally[core.EventCycle] += nCycle
+	}
+}
+
+// fastPass decides the call-free fast paths over one chunk, writing miss
+// indexes (relative to the chunk) for the packets that need the full
+// Decide. It deliberately lives in its own (non-inlined) function: its
+// register set must not share the caller's tally pointer and chunk
+// bookkeeping, or the counters spill to the stack on every iteration.
+//
+//go:noinline
+func (f *FIB) fastPass(pkts []Packet, st *LinkState, miss *[64]int32) (nMiss int, nCycle uint64) {
+	for i := range pkts {
+		p := &pkts[i]
+		if p.Hdr.PR {
+			if p.Ingress >= 0 && int(p.Ingress) < len(f.faceNext) {
+				eg := f.faceNext[p.Ingress]
+				if !st.Down(graph.LinkID(eg >> 1)) {
+					p.Egress, p.Event, p.OK = rotation.DartID(eg), core.EventCycle, true
+					nCycle++
+					continue
+				}
+			}
+		} else {
+			nd := f.nextDart[int(p.Node)*f.numNodes+int(p.Dst)]
+			if nd >= 0 && !st.Down(graph.LinkID(nd>>1)) {
+				p.Egress, p.Event, p.OK = rotation.DartID(nd), core.EventRoute, true
+				continue
+			}
+		}
+		miss[nMiss] = int32(i)
+		nMiss++
+	}
+	return nMiss, nCycle
+}
+
 // firstUp walks σ(d), σ²(d), ... of a failed egress dart until an up link
 // is found; ok is false when the rotation wraps with everything failed.
 func (f *FIB) firstUp(failed int32, st *LinkState) (int32, bool) {

@@ -9,6 +9,7 @@ import (
 	"recycle/internal/header"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
+	"recycle/internal/telemetry"
 )
 
 // Recompiler performs incremental FIB recompilation for planned topology
@@ -44,6 +45,11 @@ type Recompiler struct {
 }
 
 // RecompileStats counts recompiler work, for churn reports.
+//
+// Deprecated: RecompileStats is a compatibility view. With
+// Recompiler.Register the same totals appear as the recompile.* and
+// repair.* names in a telemetry.Registry snapshot, coherent with the
+// engine and simulator counters; prefer reading them there.
 type RecompileStats struct {
 	// Applies counts Apply calls, Edits the edits they carried.
 	Applies, Edits int
@@ -137,6 +143,37 @@ func (r *Recompiler) Stats() RecompileStats {
 	st := r.stats
 	st.Repair = r.rep.Stats()
 	return st
+}
+
+// Recompiler and shortest-path-repair metric names.
+const (
+	MetricRecompileApplies    = "recompile.applies"
+	MetricRecompileEdits      = "recompile.edits"
+	MetricRecompileDirtyDests = "recompile.dirty_dests"
+	MetricRecompileFullDests  = "recompile.full_dests"
+	MetricRepairRepaired      = "repair.repaired"
+	MetricRepairUnchanged     = "repair.unchanged"
+	MetricRepairFullFallback  = "repair.full_fallback"
+	MetricRepairNodesTouched  = "repair.nodes_touched"
+)
+
+// Register publishes the recompiler's counters into reg as the
+// recompile.* and repair.* names, sampled from Stats at snapshot time —
+// the control plane's contribution to the unified telemetry surface.
+// Apply is single-writer, so snapshot-time collection reads a settled
+// state between applies.
+func (r *Recompiler) Register(reg *telemetry.Registry) {
+	reg.RegisterCollector(telemetry.CollectorFunc(func(s *telemetry.Snapshot) {
+		st := r.Stats()
+		s.SetCounter(MetricRecompileApplies, uint64(st.Applies))
+		s.SetCounter(MetricRecompileEdits, uint64(st.Edits))
+		s.SetCounter(MetricRecompileDirtyDests, uint64(st.DirtyDests))
+		s.SetCounter(MetricRecompileFullDests, uint64(st.FullDests))
+		s.SetCounter(MetricRepairRepaired, uint64(st.Repair.Repaired))
+		s.SetCounter(MetricRepairUnchanged, uint64(st.Repair.Unchanged))
+		s.SetCounter(MetricRepairFullFallback, uint64(st.Repair.FullFallback))
+		s.SetCounter(MetricRepairNodesTouched, uint64(st.Repair.NodesTouched))
+	}))
 }
 
 // Apply recompiles the network state through an edit set. Edits apply in

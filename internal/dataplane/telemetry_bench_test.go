@@ -1,0 +1,252 @@
+package dataplane_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/dataplane"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+	"recycle/internal/telemetry"
+)
+
+// BenchmarkFIBDecideInstrumented is BenchmarkFIBDecide with the engine's
+// per-decision accounting applied: one non-atomic tally increment per
+// decision, the tally flushed through a CounterBank at batch (256)
+// granularity. CI gates it at 0 allocs/op and within the ns/op budget of
+// BENCH_baseline.json; TestInstrumentedDecideOverhead pins it against
+// the bare decide directly.
+func BenchmarkFIBDecideInstrumented(b *testing.B) {
+	fib, g, _ := benchFixture(b, "geant")
+	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(0))
+	ingress := rotation.DartID(4)
+	node := g.Link(rotation.LinkOf(ingress)).B
+	dst := graph.NodeID(g.NumNodes() - 1)
+	hdr := core.Header{PR: true, DD: 3}
+
+	reg := telemetry.NewRegistry()
+	bank := telemetry.NewCounterBank(reg,
+		dataplane.MetricEventRoute, dataplane.MetricEventDetect,
+		dataplane.MetricEventCycle, dataplane.MetricEventContinue,
+		dataplane.MetricEventResume, dataplane.MetricDropNoRoute)
+	var tally telemetry.Tally
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decisionSink = fib.Decide(node, dst, ingress, hdr, st)
+		// The engine counts at each branch site, where the event class is
+		// a compile-time constant (DecideBatchTally); reading the event
+		// back out of the returned struct would instead stall on store
+		// forwarding and misstate the real accounting cost.
+		tally[int(core.EventCycle)]++
+		if i&255 == 255 {
+			bank.Flush(&tally)
+		}
+	}
+}
+
+// BenchmarkEngineInstrumented is the metered twin of the CI-gated
+// BenchmarkEngine shape (geant, 2 shards): the full engine pipeline with
+// a live telemetry registry attached. The benchdiff gate holds it to 0
+// allocs/op — instrumentation must not add a single allocation to the
+// batch path.
+func BenchmarkEngineInstrumented(b *testing.B) {
+	const batchSize = 256
+	fib, g, sys := benchFixture(b, "geant")
+	reg := telemetry.NewRegistry()
+	free := make(chan *dataplane.Batch, 64)
+	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
+		Shards:  2,
+		OnDone:  func(batch *dataplane.Batch) { free <- batch },
+		Metrics: reg,
+	})
+	eng.SetLink(0, true)
+	for i := 0; i < 8; i++ {
+		free <- &dataplane.Batch{Pkts: benchWorkload(g, sys, int64(i+1))[:batchSize]}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		batch := <-free
+		for !eng.Submit(batch) {
+		}
+	}
+	decided := eng.Close()
+	b.StopTimer()
+	b.ReportMetric(float64(decided)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// pinOverhead measures bare vs instrumented as the median of paired
+// ratios: each round times the two sides back to back (alternating the
+// order), so slow spells on a shared machine hit both sides of a pair
+// equally and cancel in the ratio, and the median discards the rounds a
+// scheduler preemption still skews. Returns the fractional overhead and
+// the two best per-decision times in nanoseconds (for the log line).
+func pinOverhead(bare, instrumented func() float64) (overhead, bestBare, bestInstr float64) {
+	bare()
+	instrumented() // warm both paths
+	const rounds = 25
+	ratios := make([]float64, 0, rounds)
+	bestBare, bestInstr = 1e18, 1e18
+	for round := 0; round < rounds; round++ {
+		var b, in float64
+		if round&1 == 0 {
+			b = bare()
+			in = instrumented()
+		} else {
+			in = instrumented()
+			b = bare()
+		}
+		ratios = append(ratios, in/b)
+		if b < bestBare {
+			bestBare = b
+		}
+		if in < bestInstr {
+			bestInstr = in
+		}
+	}
+	sort.Float64s(ratios)
+	return ratios[rounds/2] - 1, bestBare, bestInstr
+}
+
+// TestInstrumentedDecideOverhead pins the tentpole's hot-path budget
+// from two angles.
+//
+// The 5% pin is the issue's acceptance shape: a single forwarding
+// decision (the BenchmarkFIBDecide body) with the engine's marginal
+// per-decision accounting added — one non-atomic tally increment whose
+// index is a constant at the counting site, plus the per-256 bank flush
+// and shard counters. That is exactly what a metered decision costs
+// over an unmetered one.
+//
+// The batch pin compares DecideBatch against the full metered batch
+// stage (DecideBatchTally + flush). The bare batch loop's fast path is
+// ~3ns/decision, so even the handful of amortised atomics per 256
+// packets shows up as a few percent; the 20% budget here matches the
+// benchdiff gate for BenchmarkEngineInstrumented and exists to catch
+// structural regressions (e.g. reintroducing a post-decide sweep over
+// the packet structs, which costs >50%).
+func TestInstrumentedDecideOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts the timing ratio")
+	}
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	fib, g, sys := engineFixture(t)
+	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(0))
+	work := benchWorkload(g, sys, 1)
+	pkts := make([]dataplane.Packet, len(work))
+
+	reg := telemetry.NewRegistry()
+	bank := telemetry.NewCounterBank(reg,
+		dataplane.MetricEventRoute, dataplane.MetricEventDetect,
+		dataplane.MetricEventCycle, dataplane.MetricEventContinue,
+		dataplane.MetricEventResume, dataplane.MetricDropNoRoute)
+	decided := reg.Counter(dataplane.MetricDecided).Handle()
+	batches := reg.Counter(dataplane.MetricBatches).Handle()
+	var tally telemetry.Tally
+
+	ingress := rotation.DartID(4)
+	node := g.Link(rotation.LinkOf(ingress)).B
+	dst := graph.NodeID(g.NumNodes() - 1)
+	hdr := core.Header{PR: true, DD: 3}
+
+	const singleReps = 51200
+	overhead, bestBare, bestInstr := pinOverhead(
+		func() float64 {
+			start := time.Now()
+			for i := 0; i < singleReps; i++ {
+				decisionSink = fib.Decide(node, dst, ingress, hdr, st)
+			}
+			return float64(time.Since(start)) / float64(singleReps)
+		},
+		func() float64 {
+			start := time.Now()
+			for i := 0; i < singleReps; i++ {
+				decisionSink = fib.Decide(node, dst, ingress, hdr, st)
+				tally[int(core.EventCycle)]++
+				if i&255 == 255 {
+					bank.Flush(&tally)
+					decided.Add(256)
+					batches.Inc()
+				}
+			}
+			return float64(time.Since(start)) / float64(singleReps)
+		},
+	)
+	t.Logf("decision: bare %.2f ns, instrumented %.2f ns — %.1f%% overhead",
+		bestBare, bestInstr, 100*overhead)
+	if overhead > 0.05 {
+		t.Fatalf("per-decision instrumentation overhead %.1f%% exceeds the 5%% budget (bare %.2f ns, instrumented %.2f ns)",
+			100*overhead, bestBare, bestInstr)
+	}
+
+	const reps = 200 // batches per sample
+	overhead, bestBare, bestInstr = pinOverhead(
+		func() float64 {
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				copy(pkts, work)
+				fib.DecideBatch(pkts, st)
+			}
+			return float64(time.Since(start)) / float64(reps*len(pkts))
+		},
+		func() float64 {
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				copy(pkts, work)
+				fib.DecideBatchTally(pkts, st, (*[telemetry.TallySize]uint64)(&tally))
+				bank.Flush(&tally)
+				decided.Add(uint64(len(pkts)))
+				batches.Inc()
+			}
+			return float64(time.Since(start)) / float64(reps*len(pkts))
+		},
+	)
+	t.Logf("batch: bare %.2f ns, instrumented %.2f ns per decision — %.1f%% overhead",
+		bestBare, bestInstr, 100*overhead)
+	if overhead > 0.20 {
+		t.Fatalf("batch instrumentation overhead %.1f%% exceeds the 20%% budget (bare %.2f ns, instrumented %.2f ns)",
+			100*overhead, bestBare, bestInstr)
+	}
+}
+
+// TestDecideBatchTallyMatchesDecideBatch proves the metered batch stage
+// is the bare one plus counting: identical per-packet decisions, and a
+// tally that recounts the decided batch exactly — including slow-path
+// packets forced by a failed link and refusals (dst == node packets on
+// an isolated node have no usable egress only when links fail; refusals
+// are counted under slot 5).
+func TestDecideBatchTallyMatchesDecideBatch(t *testing.T) {
+	fib, g, sys := engineFixture(t)
+	st := dataplane.FromFailureSet(g.NumLinks(), graph.NewFailureSet(0, 3))
+	for seed := int64(1); seed <= 4; seed++ {
+		work := benchWorkload(g, sys, seed)
+		want := append([]dataplane.Packet(nil), work...)
+		fib.DecideBatch(want, st)
+
+		got := append([]dataplane.Packet(nil), work...)
+		var tally [telemetry.TallySize]uint64
+		fib.DecideBatchTally(got, st, &tally)
+
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: packet %d decided differently: got %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+		var recount [telemetry.TallySize]uint64
+		for i := range want {
+			if want[i].OK {
+				recount[int(want[i].Event)&(telemetry.TallySize-1)]++
+			} else {
+				recount[5]++
+			}
+		}
+		if tally != recount {
+			t.Fatalf("seed %d: tally %v, recount from decisions %v", seed, tally, recount)
+		}
+	}
+}

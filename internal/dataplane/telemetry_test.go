@@ -1,0 +1,164 @@
+package dataplane_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"recycle/internal/dataplane"
+	"recycle/internal/graph"
+	"recycle/internal/telemetry"
+)
+
+// TestEngineMetricsAccountExactly runs a metered engine over a known
+// workload and checks the registry tells the same story the engine's own
+// accounting does: decided/batches totals, the per-event breakdown
+// summing back to the packet count, the batch-latency histogram seeing
+// every batch, and the queue-depth gauge reading 0 once drained.
+func TestEngineMetricsAccountExactly(t *testing.T) {
+	fib, g, sys := engineFixture(t)
+	reg := telemetry.NewRegistry()
+	free := make(chan *dataplane.Batch, 64)
+	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
+		Shards:  2,
+		OnDone:  func(b *dataplane.Batch) { free <- b },
+		Metrics: reg,
+	})
+	eng.SetLink(0, true) // exercise detect/cycle branches too
+
+	const batches = 40
+	const batchSize = 256
+	pool := make([]*dataplane.Batch, 8)
+	for i := range pool {
+		pool[i] = &dataplane.Batch{Pkts: benchWorkload(g, sys, int64(i+1))[:batchSize]}
+		free <- pool[i]
+	}
+	for i := 0; i < batches; i++ {
+		b := <-free
+		for !eng.Submit(b) {
+		}
+	}
+	decided := eng.Close()
+
+	s := reg.Snapshot()
+	if got := s.Counter(dataplane.MetricDecided); got != decided {
+		t.Fatalf("engine.decided = %d, engine accounted %d", got, decided)
+	}
+	if got := s.Counter(dataplane.MetricBatches); got != batches {
+		t.Fatalf("engine.batches = %d, want %d", got, batches)
+	}
+	evSum := s.Counter(dataplane.MetricEventRoute) +
+		s.Counter(dataplane.MetricEventDetect) +
+		s.Counter(dataplane.MetricEventCycle) +
+		s.Counter(dataplane.MetricEventContinue) +
+		s.Counter(dataplane.MetricEventResume) +
+		s.Counter(dataplane.MetricDropNoRoute)
+	if evSum != decided {
+		t.Fatalf("event breakdown sums to %d, decided %d", evSum, decided)
+	}
+	if s.Counter(dataplane.MetricEventRoute) == 0 {
+		t.Fatal("no routed packets counted — workload broken")
+	}
+	if s.Counter(dataplane.MetricEventCycle) == 0 {
+		t.Fatal("no cycle-following packets counted despite the failed link")
+	}
+	h := s.Histograms[dataplane.MetricBatchNs]
+	if h.Count != batches {
+		t.Fatalf("engine.batch_ns saw %d batches, want %d", h.Count, batches)
+	}
+	if got := s.Gauge(dataplane.MetricQueueDepth); got != 0 {
+		t.Fatalf("engine.queue.depth = %d after Close, want 0", got)
+	}
+}
+
+// TestEngineCloseFlushesPendingCounters is the submit-then-close race:
+// producers hammer Submit while Close runs concurrently. Close's leftover
+// sweep runs the same instrumented decide path as the workers, so every
+// packet the engine reports decided must also be visible in the registry
+// — no counter delta may be stranded in a worker's unflushed tally.
+func TestEngineCloseFlushesPendingCounters(t *testing.T) {
+	fib, g, sys := engineFixture(t)
+	for round := 0; round < 8; round++ {
+		reg := telemetry.NewRegistry()
+		eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
+			Shards:  4,
+			Metrics: reg,
+		})
+		eng.SetLink(0, true)
+
+		var submitted atomic.Uint64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 64; i++ {
+					b := &dataplane.Batch{Pkts: benchWorkload(g, sys, int64(p*64+i+1))[:32]}
+					if !eng.Submit(b) {
+						return // engine closed under us: expected
+					}
+					submitted.Add(uint64(len(b.Pkts)))
+				}
+			}(p)
+		}
+		close(start)
+		decided := eng.Close()
+		wg.Wait()
+
+		if decided != submitted.Load() {
+			t.Fatalf("round %d: engine decided %d, accepted submits %d", round, decided, submitted.Load())
+		}
+		s := reg.Snapshot()
+		if got := s.Counter(dataplane.MetricDecided); got != decided {
+			t.Fatalf("round %d: engine.decided = %d after Close, engine decided %d — tally stranded",
+				round, got, decided)
+		}
+		evSum := s.Counter(dataplane.MetricEventRoute) +
+			s.Counter(dataplane.MetricEventDetect) +
+			s.Counter(dataplane.MetricEventCycle) +
+			s.Counter(dataplane.MetricEventContinue) +
+			s.Counter(dataplane.MetricEventResume) +
+			s.Counter(dataplane.MetricDropNoRoute)
+		if evSum != decided {
+			t.Fatalf("round %d: event counters sum to %d, decided %d", round, evSum, decided)
+		}
+	}
+}
+
+// TestEngineWireMetrics checks the wire-path verdict counters.
+func TestEngineWireMetrics(t *testing.T) {
+	fib, g, _ := engineFixture(t)
+	reg := telemetry.NewRegistry()
+	free := make(chan *dataplane.Batch, 8)
+	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
+		Shards:  1,
+		OnDone:  func(b *dataplane.Batch) { free <- b },
+		Metrics: reg,
+	})
+	const frames = 64
+	b := &dataplane.Batch{Wire: make([]dataplane.WirePacket, frames)}
+	for i := range b.Wire {
+		src := graph.NodeID(i % g.NumNodes())
+		dst := graph.NodeID((i + 1) % g.NumNodes())
+		buf, err := fib.NewWireFrame(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Wire[i] = dataplane.WirePacket{Node: src, Buf: buf}
+	}
+	for !eng.Submit(b) {
+	}
+	if got := eng.Close(); got != frames {
+		t.Fatalf("decided %d frames, want %d", got, frames)
+	}
+	s := reg.Snapshot()
+	total := s.Counter(dataplane.MetricWireForwarded) + s.Counter(dataplane.MetricWireDropped)
+	if total != frames {
+		t.Fatalf("wire verdict counters sum to %d, want %d", total, frames)
+	}
+	if s.Counter(dataplane.MetricWireForwarded) == 0 {
+		t.Fatal("no wire frames forwarded")
+	}
+}

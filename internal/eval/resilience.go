@@ -11,6 +11,7 @@ import (
 	"recycle/internal/failure"
 	"recycle/internal/route"
 	"recycle/internal/sim"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
@@ -33,6 +34,11 @@ type ResilienceConfig struct {
 	Horizon time.Duration
 	// PPS is the per-flow probe rate (default 200 packets/second).
 	PPS float64
+	// Metrics optionally shares a live registry with TraceResilience's
+	// draws (e.g. one served over HTTP by `prsim -metrics`); nil gives
+	// each draw a private registry. Per-draw results subtract a base
+	// snapshot, so sharing never double-counts. RunResilience ignores it.
+	Metrics *telemetry.Registry
 }
 
 // DefaultResilienceSpec is the background failure process of the sweep:

@@ -73,6 +73,11 @@ type childCache struct {
 }
 
 // RepairStats counts repairer outcomes, for churn reports and tests.
+//
+// Deprecated: RepairStats is a compatibility view. A Recompiler
+// registered with a telemetry.Registry (dataplane.Recompiler.Register)
+// exposes the same totals as the repair.* snapshot names; prefer
+// reading them there.
 type RepairStats struct {
 	// Repaired counts trees rebuilt through the incremental path.
 	Repaired int

@@ -28,6 +28,16 @@ type Scheme interface {
 	Converge(s *Simulator)
 }
 
+// Explainer is optionally implemented by schemes that can attribute
+// their last Process decision to a core.Event — the flight recorder
+// uses it to label each recorded hop exactly (route, detect, cycle,
+// continue, resume) instead of inferring from the PR bit. LastEvent is
+// meaningful only immediately after a Process call, on the simulator's
+// single event loop.
+type Explainer interface {
+	LastEvent() core.Event
+}
+
 // ---------------------------------------------------------------------------
 // Packet Re-cycling
 // ---------------------------------------------------------------------------
@@ -44,6 +54,8 @@ type PRScheme struct {
 	// ordinary best-effort traffic before reconvergence. Nil protects
 	// everything.
 	Protect func(*Packet) bool
+
+	lastEvent core.Event
 }
 
 // Name implements Scheme.
@@ -56,6 +68,7 @@ func (p *PRScheme) Init(*Simulator) {}
 func (p *PRScheme) Process(s *Simulator, node graph.NodeID, pkt *Packet) (rotation.DartID, bool) {
 	if p.Protect != nil && !p.Protect(pkt) {
 		// Unprotected class: shortest path only, drop at known failures.
+		p.lastEvent = core.EventRoute
 		next := p.Protocol.Routes().NextLink(node, pkt.Dst)
 		if next == graph.NoLink || s.KnownFailures().Down(next) {
 			return rotation.NoDart, false
@@ -64,12 +77,16 @@ func (p *PRScheme) Process(s *Simulator, node graph.NodeID, pkt *Packet) (rotati
 	}
 	hdr, _ := pkt.State.(core.Header)
 	d := p.Protocol.Decide(node, pkt.Dst, pkt.Ingress, hdr, s.KnownFailures())
+	p.lastEvent = d.Event
 	if !d.OK {
 		return rotation.NoDart, false
 	}
 	pkt.State = d.Header
 	return d.Egress, true
 }
+
+// LastEvent implements Explainer.
+func (p *PRScheme) LastEvent() core.Event { return p.lastEvent }
 
 // TopologyChanged implements Scheme. PR precomputes everything offline;
 // detection alone flips the local interface state, which Process already
@@ -103,7 +120,8 @@ type CompiledPRScheme struct {
 	// state FIB was compiled from.
 	Recompiler *dataplane.Recompiler
 
-	state *dataplane.LinkState
+	state     *dataplane.LinkState
+	lastEvent core.Event
 }
 
 // Name implements Scheme.
@@ -120,12 +138,16 @@ func (c *CompiledPRScheme) Init(s *Simulator) {
 func (c *CompiledPRScheme) Process(s *Simulator, node graph.NodeID, pkt *Packet) (rotation.DartID, bool) {
 	hdr, _ := pkt.State.(core.Header)
 	d := c.FIB.Decide(node, pkt.Dst, pkt.Ingress, hdr, c.state)
+	c.lastEvent = d.Event
 	if !d.OK {
 		return rotation.NoDart, false
 	}
 	pkt.State = d.Header
 	return d.Egress, true
 }
+
+// LastEvent implements Explainer.
+func (c *CompiledPRScheme) LastEvent() core.Event { return c.lastEvent }
 
 // TopologyChanged implements Scheme: mirror the detection into the
 // compiled link-state bitset.

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"time"
 
+	"recycle/internal/core"
 	"recycle/internal/failure"
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
+	"recycle/internal/telemetry"
 	"recycle/internal/traffic"
 )
 
@@ -31,6 +33,13 @@ type Packet struct {
 	// State carries scheme-specific per-packet data (PR header, FCP
 	// carried-failure set). Owned by the scheme.
 	State any
+
+	// prHops counts hops spent off the shortest path (detect / cycle /
+	// continue decisions), for the recycle-hop histogram.
+	prHops int
+	// flight is the armed flight-recorder transcript (nil when the
+	// packet is not recorded).
+	flight *telemetry.Flight
 }
 
 // DropReason classifies packet losses.
@@ -99,7 +108,37 @@ type Config struct {
 	HoldDown time.Duration
 	// TTL is the hop budget per packet (default 4×nodes).
 	TTL int
+	// Metrics, when non-nil, is the registry the run meters into —
+	// share one registry with an Engine, TxQueue or Recompiler for a
+	// single coherent snapshot across the whole pipeline. When nil the
+	// simulator meters into a private registry; either way Stats is
+	// populated from the run's counter deltas, and Simulator.Metrics /
+	// Simulator.Timeline expose the registry and the per-epoch fold.
+	Metrics *telemetry.Registry
+	// Recorder, when non-nil, arms the per-packet flight recorder:
+	// sampled or matched packets record their full cycle walk (darts
+	// taken, DD codes stamped, recycle events, final verdict).
+	Recorder *telemetry.Recorder
 }
+
+// Simulator metric names. Counters fold per epoch in the Timeline;
+// sim.latency_max_ns is a high-watermark gauge.
+const (
+	MetricGenerated     = "sim.generated"
+	MetricDelivered     = "sim.delivered"
+	MetricDropBlackhole = "sim.drop.blackhole"
+	MetricDropNoRoute   = "sim.drop.no-route"
+	MetricDropTTL       = "sim.drop.ttl"
+	MetricLossViolation = "sim.loss.violation"
+	MetricLossTransient = "sim.loss.transient"
+	MetricLossExcused   = "sim.loss.excused"
+	MetricLatencyNs     = "sim.latency_ns"
+	MetricLatencyMaxNs  = "sim.latency_max_ns"
+	MetricHops          = "sim.hops"
+	MetricLatencyUs     = "sim.latency_us"
+	MetricRecycleHops   = "sim.recycle_hops"
+	MetricStretchPct    = "sim.stretch_pct"
+)
 
 // InstantDetection, as Config.DetectionDelay, makes link state changes
 // visible to adjacent routers in the very instant they happen (a literal
@@ -111,6 +150,13 @@ type Config struct {
 const InstantDetection = time.Duration(-1)
 
 // Stats aggregates a run's outcomes.
+//
+// Deprecated: Stats is a compatibility view, populated at the end of
+// Run from the run's telemetry counter deltas (the sim.* names). New
+// consumers should read the registry snapshot — Simulator.Metrics —
+// where the same totals sit next to the engine, transmit and
+// recompiler counters, with histograms and the per-epoch Timeline the
+// flat struct cannot express.
 type Stats struct {
 	Generated int
 	Delivered int
@@ -178,9 +224,52 @@ type Simulator struct {
 	streams   []traffic.Stream  // per-flow emission streams (nil = legacy fixed-interval)
 	oracle    *failure.Oracle   // loss referee installed by ApplyScenario (nil = don't classify)
 
+	reg      *telemetry.Registry
+	met      *simMetrics
+	timeline *telemetry.Timeline // created at Run start, rolled on link events
+	maxLat   time.Duration       // run-local latency high watermark
+	hopDist  map[graph.NodeID][]int
+	hopGen   *graph.Graph // graph hopDist was computed over (topology updates invalidate)
+
 	nextPacketID int64
 	// Stats is populated during Run.
+	//
+	// Deprecated: see the Stats type — prefer Metrics().Snapshot().
 	Stats Stats
+}
+
+// simMetrics is the referee's resolved instrument set: handles and
+// histograms looked up once in New, so the event loop never touches
+// the registry's lock.
+type simMetrics struct {
+	generated, delivered                      telemetry.CounterHandle
+	dropBlackhole, dropNoRoute, dropTTL       telemetry.CounterHandle
+	lossViolation, lossTransient, lossExcused telemetry.CounterHandle
+	latencyNs, hops                           telemetry.CounterHandle
+	latencyMax                                *telemetry.Gauge
+	latencyUs, recycleHops, stretchPct        telemetry.HistogramHandle
+}
+
+func newSimMetrics(r *telemetry.Registry) *simMetrics {
+	return &simMetrics{
+		generated:     r.Counter(MetricGenerated).Handle(),
+		delivered:     r.Counter(MetricDelivered).Handle(),
+		dropBlackhole: r.Counter(MetricDropBlackhole).Handle(),
+		dropNoRoute:   r.Counter(MetricDropNoRoute).Handle(),
+		dropTTL:       r.Counter(MetricDropTTL).Handle(),
+		lossViolation: r.Counter(MetricLossViolation).Handle(),
+		lossTransient: r.Counter(MetricLossTransient).Handle(),
+		lossExcused:   r.Counter(MetricLossExcused).Handle(),
+		latencyNs:     r.Counter(MetricLatencyNs).Handle(),
+		hops:          r.Counter(MetricHops).Handle(),
+		latencyMax:    r.Gauge(MetricLatencyMaxNs),
+		// 10 µs .. ~2.6 s delivery latency.
+		latencyUs: r.Histogram(MetricLatencyUs, telemetry.ExponentialBuckets(10, 4, 9)).Handle(),
+		// 0, 1, 2, ... 15 hops off the shortest path (16+ overflows).
+		recycleHops: r.Histogram(MetricRecycleHops, telemetry.LinearBuckets(0, 1, 16)).Handle(),
+		// Path stretch 100% (no stretch) .. 400%+, 25-point steps.
+		stretchPct: r.Histogram(MetricStretchPct, telemetry.LinearBuckets(100, 25, 13)).Handle(),
+	}
 }
 
 // New validates the configuration and prepares a simulator. Every flow
@@ -228,6 +317,10 @@ func New(cfg Config) (*Simulator, error) {
 			return d
 		}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	s := &Simulator{
 		cfg:       cfg,
 		g:         cfg.Graph,
@@ -236,6 +329,8 @@ func New(cfg Config) (*Simulator, error) {
 		knownDown: graph.NewFailureSet(),
 		linkFree:  make([]time.Duration, 2*cfg.Graph.NumLinks()),
 		streams:   make([]traffic.Stream, len(cfg.Flows)),
+		reg:       reg,
+		met:       newSimMetrics(reg),
 	}
 	for i, f := range cfg.Flows {
 		if err := validateFlow(cfg.Graph, i, f); err != nil {
@@ -357,6 +452,15 @@ func (s *Simulator) ApplyScenario(sc *failure.Scenario) error {
 // (nil before it).
 func (s *Simulator) Oracle() *failure.Oracle { return s.oracle }
 
+// Metrics returns the registry the run meters into — Config.Metrics
+// when one was supplied, the simulator's private registry otherwise.
+func (s *Simulator) Metrics() *telemetry.Registry { return s.reg }
+
+// Timeline returns the per-epoch fold of the run's counters: one epoch
+// per link-state transition instant, aligned with the oracle's epoch
+// numbering (same-instant events share a boundary). Nil before Run.
+func (s *Simulator) Timeline() *telemetry.Timeline { return s.timeline }
+
 // classifyLoss referees one drop against the scenario oracle.
 func (s *Simulator) classifyLoss(pkt *Packet) {
 	if s.oracle == nil {
@@ -364,12 +468,61 @@ func (s *Simulator) classifyLoss(pkt *Packet) {
 	}
 	switch {
 	case !s.oracle.ConnectedThroughout(pkt.Src, pkt.Dst, pkt.Created, s.now):
-		s.Stats.Excused++
+		s.met.lossExcused.Inc()
 	case !s.oracle.StableThroughout(pkt.Created, s.now):
-		s.Stats.Transient++
+		s.met.lossTransient.Inc()
 	default:
-		s.Stats.Violations++
+		s.met.lossViolation.Inc()
 	}
+}
+
+// drop retires a lost packet: count the reason, referee it, close its
+// flight transcript.
+func (s *Simulator) drop(pkt *Packet, reason DropReason, c telemetry.CounterHandle) {
+	c.Inc()
+	s.met.recycleHops.Observe(int64(pkt.prHops))
+	s.classifyLoss(pkt)
+	if pkt.flight != nil {
+		s.cfg.Recorder.Finish(pkt.flight, string(reason), s.now)
+	}
+}
+
+// headerOf reads the packet's PR header when the scheme keeps one.
+func headerOf(pkt *Packet) core.Header {
+	h, _ := pkt.State.(core.Header)
+	return h
+}
+
+// decisionEvent attributes the scheme's last Process decision: schemes
+// implementing Explainer report it exactly; otherwise it is inferred
+// from the PR bit (on the cycle vs. plain routing).
+func (s *Simulator) decisionEvent(pkt *Packet) core.Event {
+	if ex, ok := s.cfg.Scheme.(Explainer); ok {
+		return ex.LastEvent()
+	}
+	if h, ok := pkt.State.(core.Header); ok && h.PR {
+		return core.EventCycle
+	}
+	return core.EventRoute
+}
+
+// shortestHops returns the failure-free hop distance src→dst (−1 when
+// unreachable), BFS'd once per source and cached; a topology update
+// swapping the graph invalidates the cache.
+func (s *Simulator) shortestHops(src, dst graph.NodeID) int {
+	if s.hopGen != s.g {
+		s.hopDist = make(map[graph.NodeID][]int)
+		s.hopGen = s.g
+	}
+	d, ok := s.hopDist[src]
+	if !ok {
+		d = graph.HopDistances(s.g, src, nil)
+		s.hopDist[src] = d
+	}
+	if int(dst) < len(d) {
+		return d[dst]
+	}
+	return -1
 }
 
 // UpdateTopologyAt schedules a planned topology change — the maintenance
@@ -438,8 +591,15 @@ func (s *Simulator) schedule(e *event) {
 }
 
 // Run drains the event queue up to the horizon and returns the stats.
+// The returned Stats is a view of the run's telemetry counter deltas
+// (see Metrics / Timeline for the full surface).
 func (s *Simulator) Run() *Stats {
 	s.Stats.Drops = make(map[DropReason]int)
+	// The base snapshot scopes this run: with a shared registry
+	// (Config.Metrics reused across runs, or fed by an engine), Stats
+	// must reflect only what *this* run accumulated.
+	base := s.reg.Snapshot()
+	s.timeline = telemetry.NewTimeline(s.reg)
 	s.cfg.Scheme.Init(s)
 	for s.queue.Len() > 0 {
 		e := heap.Pop(&s.queue).(*event)
@@ -450,6 +610,9 @@ func (s *Simulator) Run() *Stats {
 		case evArrive:
 			s.handleArrive(e.pkt, e.node)
 		case evLinkDown:
+			// A physical transition opens the next oracle epoch; fold the
+			// counters accumulated so far into the closing one.
+			s.timeline.Roll(e.at, fmt.Sprintf("link %d down", e.link))
 			s.physDown[e.link] = true
 			s.linkGen[e.link]++
 			if s.cfg.DetectionDelay == 0 {
@@ -463,6 +626,7 @@ func (s *Simulator) Run() *Stats {
 			s.schedule(&event{at: s.now + s.cfg.DetectionDelay, kind: evDetect,
 				link: e.link, down: true, gen: s.linkGen[e.link]})
 		case evLinkUp:
+			s.timeline.Roll(e.at, fmt.Sprintf("link %d up", e.link))
 			s.physDown[e.link] = false
 			s.linkGen[e.link]++
 			if s.cfg.DetectionDelay == 0 && s.cfg.HoldDown == 0 {
@@ -490,7 +654,37 @@ func (s *Simulator) Run() *Stats {
 			s.applyTopoUpdate(e.edits)
 		}
 	}
+	end := s.now
+	if end < s.cfg.Horizon {
+		end = s.cfg.Horizon
+	}
+	s.timeline.Finish(end)
+	s.finalizeStats(base)
 	return &s.Stats
+}
+
+// finalizeStats populates the legacy Stats view from the run's counter
+// deltas — the single source of truth is the registry.
+func (s *Simulator) finalizeStats(base *telemetry.Snapshot) {
+	d := s.reg.Snapshot().Sub(base)
+	s.Stats.Generated = int(d.Counter(MetricGenerated))
+	s.Stats.Delivered = int(d.Counter(MetricDelivered))
+	// Legacy map semantics: only reasons that occurred get a key.
+	for reason, name := range map[DropReason]string{
+		DropBlackhole: MetricDropBlackhole,
+		DropNoRoute:   MetricDropNoRoute,
+		DropTTL:       MetricDropTTL,
+	} {
+		if n := int(d.Counter(name)); n > 0 {
+			s.Stats.Drops[reason] = n
+		}
+	}
+	s.Stats.Violations = int(d.Counter(MetricLossViolation))
+	s.Stats.Transient = int(d.Counter(MetricLossTransient))
+	s.Stats.Excused = int(d.Counter(MetricLossExcused))
+	s.Stats.TotalLatency = time.Duration(d.Counter(MetricLatencyNs))
+	s.Stats.TotalHops = int(d.Counter(MetricHops))
+	s.Stats.MaxLatency = s.maxLat
 }
 
 // ScheduleConvergeAt lets schemes request a convergence-complete callback.
@@ -518,7 +712,10 @@ func (s *Simulator) handleGenerate(flowIdx, bits int) {
 		Class:   f.Class,
 	}
 	s.nextPacketID++
-	s.Stats.Generated++
+	s.met.generated.Inc()
+	if s.cfg.Recorder != nil {
+		pkt.flight = s.cfg.Recorder.Begin(pkt.ID, pkt.Src, pkt.Dst, s.now)
+	}
 	// Schedule the flow's next emission, then process this packet.
 	if stream == nil {
 		s.schedule(&event{at: s.now + f.Interval, kind: evGenerate, flow: flowIdx})
@@ -531,31 +728,48 @@ func (s *Simulator) handleGenerate(flowIdx, bits int) {
 func (s *Simulator) handleArrive(pkt *Packet, node graph.NodeID) {
 	if node == pkt.Dst {
 		lat := s.now - pkt.Created
-		s.Stats.Delivered++
-		s.Stats.TotalLatency += lat
-		if lat > s.Stats.MaxLatency {
-			s.Stats.MaxLatency = lat
+		s.met.delivered.Inc()
+		s.met.latencyNs.Add(uint64(lat))
+		s.met.hops.Add(uint64(pkt.Hops))
+		s.met.latencyMax.SetMax(int64(lat))
+		if lat > s.maxLat {
+			s.maxLat = lat
 		}
-		s.Stats.TotalHops += pkt.Hops
+		s.met.latencyUs.Observe(int64(lat / time.Microsecond))
+		s.met.recycleHops.Observe(int64(pkt.prHops))
+		if base := s.shortestHops(pkt.Src, pkt.Dst); base > 0 {
+			s.met.stretchPct.Observe(int64(100 * pkt.Hops / base))
+		}
+		if pkt.flight != nil {
+			pkt.flight.Record(telemetry.Hop{At: s.now, Node: node, Ingress: pkt.Ingress,
+				Egress: rotation.NoDart, Event: core.EventDeliver, Header: headerOf(pkt)})
+			s.cfg.Recorder.Finish(pkt.flight, "delivered", s.now)
+		}
 		return
 	}
 	if pkt.Hops >= s.cfg.TTL {
-		s.Stats.Drops[DropTTL]++
-		s.classifyLoss(pkt)
+		s.drop(pkt, DropTTL, s.met.dropTTL)
 		return
 	}
 	egress, ok := s.cfg.Scheme.Process(s, node, pkt)
 	if !ok {
-		s.Stats.Drops[DropNoRoute]++
-		s.classifyLoss(pkt)
+		s.drop(pkt, DropNoRoute, s.met.dropNoRoute)
 		return
+	}
+	ev := s.decisionEvent(pkt)
+	switch ev {
+	case core.EventDetect, core.EventCycle, core.EventContinue:
+		pkt.prHops++
+	}
+	if pkt.flight != nil {
+		pkt.flight.Record(telemetry.Hop{At: s.now, Node: node, Ingress: pkt.Ingress,
+			Egress: egress, Event: ev, Header: headerOf(pkt)})
 	}
 	link := rotation.LinkOf(egress)
 	if s.physDown[link] {
 		// The scheme chose a dead link (failure not yet locally
 		// detected): the packet is lost in the outage.
-		s.Stats.Drops[DropBlackhole]++
-		s.classifyLoss(pkt)
+		s.drop(pkt, DropBlackhole, s.met.dropBlackhole)
 		return
 	}
 	// FIFO serialisation per link direction, then propagation.

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/graph"
+	"recycle/internal/rotation"
+)
+
+// Hop is one node's handling of a recorded packet: when it was
+// processed, where it arrived from, the decision taken (the core.Event
+// classification), which dart it left on, and the PR/DD header state
+// *after* the node's processing — together the complete cycle-walk
+// transcript the paper's §4 protocol produces.
+type Hop struct {
+	At      time.Duration
+	Node    graph.NodeID
+	Ingress rotation.DartID
+	Egress  rotation.DartID
+	Event   core.Event
+	Header  core.Header
+}
+
+// Flight is one packet's recorded walk from generation to its terminal
+// verdict. Flights are built by a Recorder; a finished flight is
+// immutable and safe to retain.
+type Flight struct {
+	PacketID int64
+	Src, Dst graph.NodeID
+	Created  time.Duration
+	Finished time.Duration
+	// Verdict is the terminal fate: "delivered", or a drop reason
+	// ("blackhole", "no-route", "ttl").
+	Verdict string
+	Hops    []Hop
+	// Truncated counts hops discarded beyond the recorder's per-flight
+	// cap (a looping packet would otherwise record unboundedly).
+	Truncated int
+}
+
+// Delivered reports whether the flight ended at its destination.
+func (f *Flight) Delivered() bool { return f.Verdict == "delivered" }
+
+// Recycled reports whether the packet ever engaged PR: any hop that
+// detected a failure, cycle-followed, or carried the PR bit.
+func (f *Flight) Recycled() bool {
+	for _, h := range f.Hops {
+		if h.Header.PR || (h.Event != core.EventRoute && h.Event != core.EventDeliver) {
+			return true
+		}
+	}
+	return false
+}
+
+// RecycleHops counts the hops spent off the shortest path: detections,
+// cycle-following steps and continuations (resume hops route normally
+// again and are not counted).
+func (f *Flight) RecycleHops() int {
+	n := 0
+	for _, h := range f.Hops {
+		switch h.Event {
+		case core.EventDetect, core.EventCycle, core.EventContinue:
+			n++
+		}
+	}
+	return n
+}
+
+// Explain renders the flight as a human-readable cycle-walk narrative:
+// one line per hop with the event taken and the header state stamped,
+// closed by the verdict. This is the replay format for auditing an
+// oracle violation or showing how a recycled packet got home.
+func (f *Flight) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight #%d: %d → %d, created %v", f.PacketID, f.Src, f.Dst, f.Created)
+	if f.Recycled() {
+		fmt.Fprintf(&b, " (recycled, %d hops off the shortest path)", f.RecycleHops())
+	}
+	b.WriteByte('\n')
+	for i, h := range f.Hops {
+		fmt.Fprintf(&b, "  [%2d] %-12v node %-4d %-8s", i, h.At, h.Node, h.Event)
+		if h.Egress == rotation.NoDart {
+			b.WriteString(" egress -")
+		} else {
+			fmt.Fprintf(&b, " egress dart %d (link %d)", h.Egress, rotation.LinkOf(h.Egress))
+		}
+		if h.Header.PR {
+			fmt.Fprintf(&b, "  PR dd=%g", h.Header.DD)
+		}
+		b.WriteByte('\n')
+	}
+	if f.Truncated > 0 {
+		fmt.Fprintf(&b, "  ... %d further hops not recorded (per-flight cap)\n", f.Truncated)
+	}
+	fmt.Fprintf(&b, "  verdict: %s at %v after %d hops", f.Verdict, f.Finished, len(f.Hops))
+	return b.String()
+}
+
+// Pair selects packets between a source and a destination for
+// match-based arming.
+type Pair struct {
+	Src, Dst graph.NodeID
+}
+
+// RecorderConfig arms and bounds a Recorder.
+type RecorderConfig struct {
+	// Capacity is the finished-flight ring size (default 64). When full,
+	// new flights evict the oldest.
+	Capacity int
+	// SampleEvery arms every Nth generated packet (1 = every packet);
+	// 0 disables sampling, leaving only Match-based arming.
+	SampleEvery int64
+	// Match additionally arms every packet on these (src, dst) pairs
+	// regardless of sampling.
+	Match []Pair
+	// MaxHops caps recorded hops per flight (default 512) so a looping
+	// packet cannot record unboundedly; excess hops are counted in
+	// Flight.Truncated.
+	MaxHops int
+	// KeepAll retains every finished armed flight. By default only
+	// *interesting* flights are kept: those that recycled or were lost —
+	// the ones worth a post-mortem.
+	KeepAll bool
+}
+
+// Recorder captures per-packet flights into a bounded ring. It is
+// mutex-protected — recording happens on the simulator's refereeing
+// path, not the engine's batch hot path — and all methods are safe for
+// concurrent use. Begin returns nil for unarmed packets, and Record/
+// Finish are nil-tolerant, so callers instrument unconditionally:
+//
+//	fl := rec.Begin(id, src, dst, now)   // nil when not armed
+//	fl.Record(telemetry.Hop{...})        // no-op on nil
+//	rec.Finish(fl, "delivered", now)     // no-op on nil
+type Recorder struct {
+	mu      sync.Mutex
+	cfg     RecorderConfig
+	match   map[Pair]bool
+	seen    int64
+	ring    []*Flight
+	next    int
+	total   int // flights pushed into the ring, ever (wraparound visible)
+	skipped int // finished but uninteresting, discarded
+}
+
+// NewRecorder builds a recorder; see RecorderConfig for arming rules.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 512
+	}
+	r := &Recorder{cfg: cfg, match: make(map[Pair]bool, len(cfg.Match))}
+	for _, p := range cfg.Match {
+		r.match[p] = true
+	}
+	return r
+}
+
+// Begin starts a flight for one generated packet, or returns nil when
+// the packet is not armed (neither sampled nor matched).
+func (r *Recorder) Begin(id int64, src, dst graph.NodeID, created time.Duration) *Flight {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.seen
+	r.seen++
+	armed := r.cfg.SampleEvery > 0 && n%r.cfg.SampleEvery == 0
+	if !armed && !r.match[Pair{Src: src, Dst: dst}] {
+		return nil
+	}
+	return &Flight{PacketID: id, Src: src, Dst: dst, Created: created}
+}
+
+// Record appends one hop to the flight. A nil receiver (unarmed packet)
+// is a no-op.
+func (f *Flight) Record(h Hop) {
+	if f == nil {
+		return
+	}
+	f.Hops = append(f.Hops, h)
+}
+
+// Finish seals the flight with its verdict and offers it to the ring.
+// Uninteresting flights (delivered without recycling) are discarded
+// unless KeepAll is set. A nil flight is a no-op.
+func (r *Recorder) Finish(f *Flight, verdict string, at time.Duration) {
+	if f == nil {
+		return
+	}
+	f.Verdict = verdict
+	f.Finished = at
+	if len(f.Hops) > r.cfg.MaxHops {
+		f.Truncated = len(f.Hops) - r.cfg.MaxHops
+		f.Hops = f.Hops[:r.cfg.MaxHops]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.cfg.KeepAll && f.Delivered() && !f.Recycled() {
+		r.skipped++
+		return
+	}
+	if len(r.ring) < r.cfg.Capacity {
+		r.ring = append(r.ring, f)
+	} else {
+		r.ring[r.next] = f
+	}
+	r.next = (r.next + 1) % r.cfg.Capacity
+	r.total++
+}
+
+// Flights returns the retained flights, oldest first.
+func (r *Recorder) Flights() []*Flight {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Flight, 0, len(r.ring))
+	if r.total > len(r.ring) {
+		// Ring has wrapped: oldest entry sits at next.
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+		return out
+	}
+	return append(out, r.ring...)
+}
+
+// Seen returns how many packets were offered to Begin.
+func (r *Recorder) Seen() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Kept returns how many flights were pushed into the ring, ever —
+// exceeding Capacity means the ring has wrapped.
+func (r *Recorder) Kept() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Skipped returns how many finished flights were discarded as
+// uninteresting (delivered, never recycled) under the default policy.
+func (r *Recorder) Skipped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.skipped
+}

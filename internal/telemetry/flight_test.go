@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"recycle/internal/core"
+	"recycle/internal/rotation"
+)
+
+func finishFlight(r *Recorder, f *Flight, verdict string, recycled bool) {
+	ev := core.EventRoute
+	hdr := core.Header{}
+	if recycled {
+		ev = core.EventCycle
+		hdr = core.Header{PR: true, DD: 2}
+	}
+	f.Record(Hop{Node: 1, Egress: 2, Event: ev, Header: hdr})
+	r.Finish(f, verdict, time.Millisecond)
+}
+
+func TestRecorderSamplingAndMatch(t *testing.T) {
+	r := NewRecorder(RecorderConfig{SampleEvery: 3, Match: []Pair{{Src: 7, Dst: 9}}})
+	armed := 0
+	for i := int64(0); i < 9; i++ {
+		if f := r.Begin(i, 0, 1, 0); f != nil {
+			armed++
+		}
+	}
+	if armed != 3 {
+		t.Fatalf("SampleEvery=3 armed %d of 9, want 3", armed)
+	}
+	// A matched pair arms regardless of the sampling phase.
+	if r.Begin(100, 7, 9, 0) == nil {
+		t.Fatal("matched pair not armed")
+	}
+	if r.Begin(101, 9, 7, 0) != nil {
+		t.Fatal("reverse of matched pair armed (pairs are directed)")
+	}
+	// SampleEvery=0 disables sampling entirely.
+	r2 := NewRecorder(RecorderConfig{})
+	if r2.Begin(0, 0, 1, 0) != nil {
+		t.Fatal("unarmed recorder returned a flight")
+	}
+	if r2.Seen() != 1 {
+		t.Fatalf("Seen() = %d, want 1", r2.Seen())
+	}
+}
+
+func TestRecorderNilTolerance(t *testing.T) {
+	r := NewRecorder(RecorderConfig{})
+	f := r.Begin(0, 0, 1, 0) // unarmed → nil
+	f.Record(Hop{})          // must not panic
+	r.Finish(f, "delivered", 0)
+	if got := len(r.Flights()); got != 0 {
+		t.Fatalf("nil flight was retained: %d", got)
+	}
+}
+
+func TestRecorderInterestingFilter(t *testing.T) {
+	r := NewRecorder(RecorderConfig{SampleEvery: 1})
+	finishFlight(r, r.Begin(0, 0, 1, 0), "delivered", false) // boring: dropped
+	finishFlight(r, r.Begin(1, 0, 1, 0), "delivered", true)  // recycled: kept
+	finishFlight(r, r.Begin(2, 0, 1, 0), "ttl", false)       // lost: kept
+	if r.Kept() != 2 || r.Skipped() != 1 {
+		t.Fatalf("kept/skipped = %d/%d, want 2/1", r.Kept(), r.Skipped())
+	}
+	all := NewRecorder(RecorderConfig{SampleEvery: 1, KeepAll: true})
+	finishFlight(all, all.Begin(0, 0, 1, 0), "delivered", false)
+	if all.Kept() != 1 {
+		t.Fatalf("KeepAll dropped a boring flight")
+	}
+}
+
+func TestRecorderRingWraparound(t *testing.T) {
+	const capacity = 4
+	r := NewRecorder(RecorderConfig{SampleEvery: 1, Capacity: capacity, KeepAll: true})
+	for i := int64(0); i < 10; i++ {
+		f := r.Begin(i, 0, 1, time.Duration(i))
+		r.Finish(f, "delivered", time.Duration(i))
+	}
+	got := r.Flights()
+	if len(got) != capacity {
+		t.Fatalf("ring holds %d flights, want %d", len(got), capacity)
+	}
+	// Oldest first: packets 6,7,8,9 survive.
+	for i, f := range got {
+		if want := int64(6 + i); f.PacketID != want {
+			t.Fatalf("flight %d is packet %d, want %d", i, f.PacketID, want)
+		}
+	}
+	if r.Kept() != 10 {
+		t.Fatalf("Kept() = %d, want 10", r.Kept())
+	}
+}
+
+func TestFlightMaxHopsTruncation(t *testing.T) {
+	r := NewRecorder(RecorderConfig{SampleEvery: 1, MaxHops: 3, KeepAll: true})
+	f := r.Begin(0, 0, 1, 0)
+	for i := 0; i < 10; i++ {
+		f.Record(Hop{Node: 0, Event: core.EventCycle})
+	}
+	r.Finish(f, "ttl", time.Second)
+	kept := r.Flights()[0]
+	if len(kept.Hops) != 3 || kept.Truncated != 7 {
+		t.Fatalf("hops/truncated = %d/%d, want 3/7", len(kept.Hops), kept.Truncated)
+	}
+	if !strings.Contains(kept.Explain(), "7 further hops") {
+		t.Fatalf("Explain() missing truncation note:\n%s", kept.Explain())
+	}
+}
+
+func TestFlightClassifiersAndExplain(t *testing.T) {
+	f := &Flight{PacketID: 5, Src: 2, Dst: 8, Verdict: "delivered"}
+	f.Record(Hop{At: 0, Node: 2, Egress: 4, Event: core.EventRoute})
+	f.Record(Hop{At: time.Millisecond, Node: 3, Egress: 6, Event: core.EventDetect, Header: core.Header{PR: true, DD: 3}})
+	f.Record(Hop{At: 2 * time.Millisecond, Node: 4, Egress: 8, Event: core.EventCycle, Header: core.Header{PR: true, DD: 3}})
+	f.Record(Hop{At: 3 * time.Millisecond, Node: 8, Egress: rotation.NoDart, Event: core.EventDeliver, Header: core.Header{PR: true, DD: 3}})
+
+	if !f.Delivered() || !f.Recycled() {
+		t.Fatalf("delivered/recycled = %v/%v, want true/true", f.Delivered(), f.Recycled())
+	}
+	if n := f.RecycleHops(); n != 2 {
+		t.Fatalf("RecycleHops() = %d, want 2 (detect+cycle)", n)
+	}
+	out := f.Explain()
+	for _, want := range []string{"flight #5", "2 → 8", "recycled, 2 hops", "detect", "cycle", "PR dd=3", "egress -", "verdict: delivered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain() missing %q:\n%s", want, out)
+		}
+	}
+
+	boring := &Flight{Verdict: "delivered"}
+	boring.Record(Hop{Event: core.EventRoute})
+	if boring.Recycled() {
+		t.Fatal("pure shortest-path flight classified as recycled")
+	}
+}

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry as an expvar-style JSON endpoint: every
+// GET takes a fresh Snapshot and writes it, so scraping the URL during
+// a run watches the counters move.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Serve exposes the registry on addr (e.g. "localhost:6060") at
+// /metrics and / in a background goroutine, returning the server for
+// shutdown. Errors after startup (including normal shutdown) are
+// discarded — the metrics endpoint is best-effort observability, never
+// a reason to fail a run.
+func Serve(addr string, r *Registry) *http.Server {
+	mux := http.NewServeMux()
+	h := Handler(r)
+	mux.Handle("/", h)
+	mux.Handle("/metrics", h)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() { _ = srv.ListenAndServe() }()
+	return srv
+}

@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterHandlesSumAcrossShards(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	// More handles than shards: round-robin must wrap and keep counting.
+	for i := 0; i < 2*shardCount; i++ {
+		h := c.Handle()
+		h.Add(uint64(i + 1))
+	}
+	want := uint64(2 * shardCount * (2*shardCount + 1) / 2)
+	if got := c.Value(); got != want {
+		t.Fatalf("Value() = %d, want %d", got, want)
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != want+5 {
+		t.Fatalf("after Inc+Add(4): Value() = %d, want %d", got, want+5)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name returned distinct counters")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same name returned distinct gauges")
+	}
+	h1 := r.Histogram("h", []int64{1, 2})
+	h2 := r.Histogram("h", []int64{99}) // bounds ignored after creation
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+	if got := h2.Bounds(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Bounds() = %v, want the creating call's [1 2]", got)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	g.Set(10)
+	g.SetMax(5) // lower: no-op
+	if g.Value() != 10 {
+		t.Fatalf("SetMax(5) lowered gauge to %d", g.Value())
+	}
+	g.SetMax(25)
+	if g.Value() != 25 {
+		t.Fatalf("SetMax(25) left gauge at %d", g.Value())
+	}
+	g.Add(-30)
+	if g.Value() != -5 {
+		t.Fatalf("Add(-30) = %d, want -5", g.Value())
+	}
+}
+
+func TestCounterBankFlush(t *testing.T) {
+	r := NewRegistry()
+	b := NewCounterBank(r, "one", "two", "three")
+	var tl Tally
+	tl[0] = 7
+	tl[2] = 3
+	b.Flush(&tl)
+	b.Flush(&tl) // second flush of a zeroed tally must be a no-op
+	if v := r.Counter("one").Value(); v != 7 {
+		t.Fatalf("one = %d, want 7", v)
+	}
+	if v := r.Counter("two").Value(); v != 0 {
+		t.Fatalf("two = %d, want 0", v)
+	}
+	if v := r.Counter("three").Value(); v != 3 {
+		t.Fatalf("three = %d, want 3", v)
+	}
+	for i, v := range tl {
+		if v != 0 {
+			t.Fatalf("tally slot %d not zeroed: %d", i, v)
+		}
+	}
+}
+
+func TestCounterBankTooManyNamesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bank of TallySize+1 names did not panic")
+		}
+	}()
+	names := make([]string, TallySize+1)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	NewCounterBank(NewRegistry(), names...)
+}
+
+func TestSnapshotSubMergeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []int64{10, 100})
+
+	c.Add(5)
+	g.Set(3)
+	h.Observe(7)
+	s1 := r.Snapshot()
+
+	c.Add(9)
+	g.Set(-2)
+	h.Observe(50)
+	h.Observe(1000) // overflow bucket
+	s2 := r.Snapshot()
+
+	d := s2.Sub(s1)
+	if d.Counter("c") != 9 {
+		t.Fatalf("delta counter = %d, want 9", d.Counter("c"))
+	}
+	if d.Gauge("g") != -2 {
+		t.Fatalf("delta gauge = %d, want the level -2", d.Gauge("g"))
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 2 || hd.Sum != 1050 {
+		t.Fatalf("delta histogram count/sum = %d/%d, want 2/1050", hd.Count, hd.Sum)
+	}
+	if hd.Counts[0] != 0 || hd.Counts[1] != 1 || hd.Counts[2] != 1 {
+		t.Fatalf("delta buckets = %v, want [0 1 1]", hd.Counts)
+	}
+
+	// base + delta must reproduce the aggregate exactly.
+	sum := NewSnapshot()
+	sum.Merge(s1)
+	sum.Merge(d)
+	for name, v := range s2.Counters {
+		if sum.Counters[name] != v {
+			t.Fatalf("merge: counter %s = %d, want %d", name, sum.Counters[name], v)
+		}
+	}
+	hs := sum.Histograms["h"]
+	if hs.Count != 3 || hs.Sum != 1057 {
+		t.Fatalf("merged histogram count/sum = %d/%d, want 3/1057", hs.Count, hs.Sum)
+	}
+
+	if names := s2.Names(); len(names) != 3 || names[0] != "c" || names[1] != "g" || names[2] != "h" {
+		t.Fatalf("Names() = %v, want [c g h]", names)
+	}
+}
+
+func TestCollectorRunsAtSnapshotTime(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.RegisterCollector(CollectorFunc(func(s *Snapshot) {
+		s.SetCounter("ext.count", n)
+		s.SetGauge("ext.level", int64(n)*2)
+	}))
+	n = 41
+	s := r.Snapshot()
+	if s.Counter("ext.count") != 41 || s.Gauge("ext.level") != 82 {
+		t.Fatalf("collector values = %d/%d, want 41/82", s.Counter("ext.count"), s.Gauge("ext.level"))
+	}
+}
+
+// TestSnapshotConsistencyUnderConcurrentWriters hammers a counter and a
+// histogram from many goroutines through private handles while snapshots
+// are taken concurrently, then verifies (a) successive snapshots of a
+// monotone counter never go backwards, (b) snapshots never exceed the
+// true total, and (c) once the writers are quiescent the snapshot is
+// exact — counter value, histogram count, sum and bucket sum all agree.
+func TestSnapshotConsistencyUnderConcurrentWriters(t *testing.T) {
+	const writers = 8
+	const perWriter = 10000
+	r := NewRegistry()
+	c := r.Counter("hot")
+	h := r.Histogram("lat", ExponentialBuckets(1, 2, 10))
+
+	stop := make(chan struct{})
+	snapDone := make(chan error, 1)
+	go func() {
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				snapDone <- nil
+				return
+			default:
+			}
+			v := r.Snapshot().Counter("hot")
+			if v < last {
+				snapDone <- fmt.Errorf("snapshot went backwards: %d after %d", v, last)
+				return
+			}
+			if v > writers*perWriter {
+				snapDone <- fmt.Errorf("snapshot overshot: %d > %d", v, writers*perWriter)
+				return
+			}
+			last = v
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch := c.Handle()
+			hh := h.Handle()
+			for i := 0; i < perWriter; i++ {
+				ch.Inc()
+				hh.Observe(int64(i & 1023))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-snapDone; err != nil {
+		t.Fatal(err)
+	}
+
+	s := r.Snapshot()
+	if got := s.Counter("hot"); got != writers*perWriter {
+		t.Fatalf("final counter %d, want %d", got, writers*perWriter)
+	}
+	hs := s.Histograms["lat"]
+	if hs.Count != writers*perWriter {
+		t.Fatalf("histogram count %d, want %d", hs.Count, writers*perWriter)
+	}
+	var bucketSum uint64
+	for _, b := range hs.Counts {
+		bucketSum += b
+	}
+	if bucketSum != hs.Count {
+		t.Fatalf("quiescent bucket sum %d != count %d", bucketSum, hs.Count)
+	}
+}

@@ -1,0 +1,122 @@
+package telemetry
+
+import "time"
+
+// Epoch is one interval of a Timeline: the half-open window
+// [Start, End) between two link-state transitions, its label (what
+// changed at Start), and the metric deltas accumulated within it.
+type Epoch struct {
+	Index int           `json:"index"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	Label string        `json:"label"`
+	Delta *Snapshot     `json:"delta"`
+}
+
+// Timeline folds a Registry's counters into per-epoch deltas keyed to
+// failure-scenario events. Create one at run start (it takes the base
+// snapshot, so runs sharing a registry don't bleed into each other),
+// Roll at every link-state transition instant, Finish at the horizon:
+//
+//	tl := telemetry.NewTimeline(reg)
+//	...
+//	tl.Roll(at, "link 5 down")   // closes the running epoch at `at`
+//	tl.Annotate("link 7 down")   // same-instant event: one boundary
+//	...
+//	epochs := tl.Finish(horizon)
+//
+// Same-instant events must share one boundary (Annotate, not Roll) to
+// match the failure.Oracle's epoch folding — then epoch i of the
+// timeline is exactly epoch i of the oracle, and a violation's epoch
+// index addresses the delta window it happened in. Sum proves the
+// exposition lossless: the merged deltas equal the aggregate exactly.
+type Timeline struct {
+	reg    *Registry
+	start  time.Duration
+	label  string
+	prev   *Snapshot
+	epochs []Epoch
+	done   bool
+}
+
+// NewTimeline opens a timeline over r: epoch 0 starts at 0, labelled
+// "start", with the registry's current values as the base — only deltas
+// accumulated after this instant are attributed.
+func NewTimeline(r *Registry) *Timeline {
+	return &Timeline{reg: r, label: "start", prev: r.Snapshot()}
+}
+
+// Roll closes the running epoch at instant `at` and opens the next one,
+// labelled with what changed. Calls with at equal to the running
+// epoch's start (a same-instant event) fold into an annotation instead
+// of producing an empty epoch — mirroring the oracle's event folding.
+func (t *Timeline) Roll(at time.Duration, label string) {
+	if t.done {
+		return
+	}
+	if at <= t.start {
+		t.Annotate(label)
+		return
+	}
+	cur := t.reg.Snapshot()
+	t.epochs = append(t.epochs, Epoch{
+		Index: len(t.epochs),
+		Start: t.start,
+		End:   at,
+		Label: t.label,
+		Delta: cur.Sub(t.prev),
+	})
+	t.prev = cur
+	t.start = at
+	t.label = label
+}
+
+// Annotate appends to the running epoch's label — for events that share
+// an instant with the one that opened it.
+func (t *Timeline) Annotate(label string) {
+	if t.done || label == "" {
+		return
+	}
+	if t.label == "" || t.label == "start" {
+		t.label = label
+		return
+	}
+	t.label += "; " + label
+}
+
+// Finish closes the running epoch at the horizon and returns all
+// epochs. Further Roll/Annotate calls are ignored; Finish is
+// idempotent.
+func (t *Timeline) Finish(at time.Duration) []Epoch {
+	if t.done {
+		return t.epochs
+	}
+	if at < t.start {
+		at = t.start
+	}
+	cur := t.reg.Snapshot()
+	t.epochs = append(t.epochs, Epoch{
+		Index: len(t.epochs),
+		Start: t.start,
+		End:   at,
+		Label: t.label,
+		Delta: cur.Sub(t.prev),
+	})
+	t.prev = cur
+	t.done = true
+	return t.epochs
+}
+
+// Epochs returns the epochs closed so far.
+func (t *Timeline) Epochs() []Epoch { return t.epochs }
+
+// Sum merges every closed epoch's delta — by construction exactly the
+// registry's aggregate accumulated since NewTimeline, which is the
+// exposition-is-lossless invariant the eval writers assert.
+func (t *Timeline) Sum() *Snapshot {
+	s := NewSnapshot()
+	for _, e := range t.epochs {
+		s.Merge(e.Delta)
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTimelineEpochsAndSumExactness(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pkts")
+	h := r.Histogram("lat", []int64{10, 100})
+
+	c.Add(5) // pre-timeline traffic: must not be attributed
+	tl := NewTimeline(r)
+	base := r.Snapshot()
+
+	c.Add(3)
+	h.Observe(7)
+	tl.Roll(time.Second, "link 0 down")
+	c.Add(9)
+	h.Observe(50)
+	tl.Roll(2*time.Second, "link 0 up")
+	c.Add(1)
+	epochs := tl.Finish(4 * time.Second)
+
+	if len(epochs) != 3 {
+		t.Fatalf("epochs = %d, want 3", len(epochs))
+	}
+	wants := []struct {
+		start, end time.Duration
+		label      string
+		pkts       uint64
+	}{
+		{0, time.Second, "start", 3},
+		{time.Second, 2 * time.Second, "link 0 down", 9},
+		{2 * time.Second, 4 * time.Second, "link 0 up", 1},
+	}
+	for i, w := range wants {
+		e := epochs[i]
+		if e.Index != i || e.Start != w.start || e.End != w.end || e.Label != w.label {
+			t.Fatalf("epoch %d = {%d %v %v %q}, want {%d %v %v %q}",
+				i, e.Index, e.Start, e.End, e.Label, i, w.start, w.end, w.label)
+		}
+		if got := e.Delta.Counter("pkts"); got != w.pkts {
+			t.Fatalf("epoch %d pkts delta = %d, want %d", i, got, w.pkts)
+		}
+	}
+
+	// The lossless-exposition invariant: summed deltas == aggregate since
+	// NewTimeline, exactly — counters and histogram count/sum/buckets.
+	sum := tl.Sum()
+	agg := r.Snapshot().Sub(base)
+	if sum.Counter("pkts") != agg.Counter("pkts") {
+		t.Fatalf("sum pkts %d != aggregate %d", sum.Counter("pkts"), agg.Counter("pkts"))
+	}
+	sh, ah := sum.Histograms["lat"], agg.Histograms["lat"]
+	if sh.Count != ah.Count || sh.Sum != ah.Sum {
+		t.Fatalf("sum histogram %d/%d != aggregate %d/%d", sh.Count, sh.Sum, ah.Count, ah.Sum)
+	}
+	for i := range ah.Counts {
+		if sh.Counts[i] != ah.Counts[i] {
+			t.Fatalf("bucket %d: sum %d != aggregate %d", i, sh.Counts[i], ah.Counts[i])
+		}
+	}
+	// The pre-timeline Add(5) stayed out.
+	if sum.Counter("pkts") != 13 {
+		t.Fatalf("sum pkts = %d, want 13 (pre-timeline traffic leaked in)", sum.Counter("pkts"))
+	}
+}
+
+func TestTimelineSameInstantFoldsToAnnotation(t *testing.T) {
+	r := NewRegistry()
+	tl := NewTimeline(r)
+	tl.Roll(time.Second, "link 0 down")
+	tl.Roll(time.Second, "link 1 down") // same instant: no empty epoch
+	tl.Annotate("")                     // empty labels ignored
+	epochs := tl.Finish(2 * time.Second)
+	if len(epochs) != 2 {
+		t.Fatalf("epochs = %d, want 2 (same-instant Roll must fold)", len(epochs))
+	}
+	if epochs[1].Label != "link 0 down; link 1 down" {
+		t.Fatalf("folded label = %q", epochs[1].Label)
+	}
+}
+
+func TestTimelineFinishIdempotentAndDone(t *testing.T) {
+	r := NewRegistry()
+	tl := NewTimeline(r)
+	first := tl.Finish(time.Second)
+	tl.Roll(2*time.Second, "late")   // ignored after Finish
+	tl.Annotate("late note")         // ignored
+	second := tl.Finish(time.Second) // idempotent
+	if len(first) != 1 || len(second) != 1 {
+		t.Fatalf("epochs = %d/%d, want 1/1", len(first), len(second))
+	}
+	// Finish at an instant before the running epoch's start clamps.
+	tl2 := NewTimeline(r)
+	tl2.Roll(3*time.Second, "x")
+	if e := tl2.Finish(time.Second); e[1].End != 3*time.Second {
+		t.Fatalf("clamped end = %v, want 3s", e[1].End)
+	}
+}
+
+func TestHTTPHandlerServesSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served").Add(11)
+	r.Gauge("depth").Set(-4)
+	r.Histogram("lat", []int64{5}).Observe(3)
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("response not a snapshot: %v", err)
+	}
+	if s.Counter("served") != 11 || s.Gauge("depth") != -4 {
+		t.Fatalf("served snapshot = %d/%d, want 11/-4", s.Counter("served"), s.Gauge("depth"))
+	}
+	if h := s.Histograms["lat"]; h.Count != 1 || h.Sum != 3 {
+		t.Fatalf("served histogram = %d/%d, want 1/3", h.Count, h.Sum)
+	}
+}

@@ -34,6 +34,8 @@
 //   - internal/header     — DSCP pool-2 wire encoding
 //   - internal/dataplane  — compiled FIB, wire fast path, sharded engine
 //     with per-dart egress transmit queues
+//   - internal/telemetry  — zero-alloc metrics registry, per-packet
+//     flight recorder, per-epoch counter timelines
 package recycle
 
 import (

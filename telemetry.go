@@ -1,0 +1,87 @@
+package recycle
+
+import (
+	"io"
+	"net/http"
+
+	"recycle/internal/eval"
+	"recycle/internal/telemetry"
+	"recycle/internal/topo"
+)
+
+// MetricsRegistry is the unified telemetry registry: named zero-alloc
+// counters, gauges and fixed-bucket histograms plus snapshot-time
+// collectors, read consistently via Snapshot(). Hand one to
+// EngineConfig.Metrics / TxConfig.Metrics to meter the dataplane.
+type MetricsRegistry = telemetry.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// MetricsSnapshot is a point-in-time copy of every registered metric,
+// with Sub/Merge delta algebra for interval analysis.
+type MetricsSnapshot = telemetry.Snapshot
+
+// HistogramSnapshot is one histogram's frozen bucket counts, with
+// Mean and Quantile estimators.
+type HistogramSnapshot = telemetry.HistogramSnapshot
+
+// FlightRecorder captures per-packet cycle walks in a bounded ring;
+// arm it via sim.Config.Recorder.
+type FlightRecorder = telemetry.Recorder
+
+// FlightRecorderConfig parameterises NewFlightRecorder: ring capacity,
+// sampling rate, (src,dst) match filters, per-flight hop cap.
+type FlightRecorderConfig = telemetry.RecorderConfig
+
+// Flight is one recorded packet walk — every hop with its event,
+// egress dart and header state — with an Explain() narrative.
+type Flight = telemetry.Flight
+
+// FlightHop is one hop of a recorded Flight.
+type FlightHop = telemetry.Hop
+
+// NewFlightRecorder builds a flight recorder.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	return telemetry.NewRecorder(cfg)
+}
+
+// MetricsTimeline folds a registry's counters into per-epoch deltas
+// keyed to link-state events; the simulator maintains one per run
+// (Simulator.Timeline).
+type MetricsTimeline = telemetry.Timeline
+
+// MetricsEpoch is one epoch of a MetricsTimeline: its interval, label
+// and delta snapshot.
+type MetricsEpoch = telemetry.Epoch
+
+// MetricsHandler returns an http.Handler serving JSON snapshots of a
+// registry (an expvar-style endpoint).
+func MetricsHandler(r *MetricsRegistry) http.Handler { return telemetry.Handler(r) }
+
+// ServeMetrics serves JSON registry snapshots on addr ("/" and
+// "/metrics") in a background goroutine.
+func ServeMetrics(addr string, r *MetricsRegistry) { telemetry.Serve(addr, r) }
+
+// TraceResult is one flight-recorded resilience draw: the retained
+// per-packet cycle walks, the per-epoch counter timeline and the
+// aggregate deltas, with the timeline's lossless-exposition invariant
+// (summed epoch deltas == aggregate) already verified.
+type TraceResult = eval.TraceResult
+
+// TraceResilience replays Monte-Carlo resilience draws on one named
+// topology with the full telemetry surface armed — every packet
+// flight-recorded, counters folded per link-state epoch — and returns
+// the first draw on which PR actually recycled a packet. It is
+// RunResilience's explainability counterpart.
+func TraceResilience(topology string, cfg ResilienceConfig) (*TraceResult, error) {
+	tp, err := topo.ByName(topology)
+	if err != nil {
+		return nil, err
+	}
+	return eval.TraceResilience(tp, cfg)
+}
+
+// WriteMetricsTimeline renders a per-epoch counter fold as a readable
+// table: one row per link-state epoch with the headline deltas.
+func WriteMetricsTimeline(w io.Writer, epochs []MetricsEpoch) { eval.WriteTimeline(w, epochs) }
