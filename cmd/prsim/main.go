@@ -47,6 +47,18 @@
 //	prsim -resilience -trace -topo ring:24      # explain one cycle walk
 //	prsim -throughput -metrics localhost:6060   # then: curl :6060/metrics
 //
+// The soak harness runs the whole stack at once for a sustained period:
+// hundreds of thousands of concurrent -traffic flows through the live
+// sharded engine and its egress queues, under a continuous -scenario
+// failure process and a stream of control-plane hot-swaps, with every
+// loss refereed and the per-epoch telemetry timeline verified exact.
+// The report ends in a greppable "verdict: PASS|FAIL" line and a
+// failing verdict exits non-zero:
+//
+//	prsim -soak                                 # 100k flows, 30s, geant
+//	prsim -soak -topo grid:8x8 -flows 200000 -duration 2m
+//	prsim -soak -duration 45s -swap-every 3s -metrics localhost:6060
+//
 // One global -seed flag makes every panel reproducible: it seeds the
 // figure scenario sampling, -traffic sources (unless the spec pins its
 // own seed=), the -churn edit draw and the -resilience Monte-Carlo
@@ -112,6 +124,10 @@ func main() {
 		draws      = flag.Int("draws", 0, "scenario draws per topology for -resilience (default 50)")
 		metrics    = flag.String("metrics", "", "serve the telemetry registry as JSON on this address while the run executes (e.g. localhost:6060)")
 		trace      = flag.Bool("trace", false, "with -resilience: arm the flight recorder on one traced draw and print a recycled packet's explained cycle walk plus the per-epoch counter timeline")
+		soak       = flag.Bool("soak", false, "whole-stack soak: sustained concurrent flows through the live engine under continuous failure churn and hot-swaps, every loss refereed")
+		soakDur    = flag.Duration("duration", 0, "emission window for -soak (default 30s)")
+		soakFlows  = flag.Int("flows", 0, "concurrent flow count for -soak (default 100000)")
+		swapEvery  = flag.Duration("swap-every", 0, "hot-swap interval for -soak (default duration/12)")
 	)
 	flag.Parse()
 	topoSet := false
@@ -151,8 +167,11 @@ func main() {
 	var mreg *telemetry.Registry
 	if *metrics != "" {
 		mreg = telemetry.NewRegistry()
-		telemetry.Serve(*metrics, mreg)
-		fmt.Printf("# telemetry: serving JSON snapshots on http://%s/metrics\n", *metrics)
+		srv, err := telemetry.Serve(*metrics, mreg)
+		if err != nil {
+			fatal(fmt.Errorf("-metrics %s: %w", *metrics, err))
+		}
+		fmt.Printf("# telemetry: serving JSON snapshots on http://%s/metrics\n", srv.Addr)
 	}
 
 	switch {
@@ -205,6 +224,20 @@ func main() {
 			break
 		}
 		if err := runResilience(*topoName, topoSet, *scenario, *draws, seedOr(1)); err != nil {
+			fatal(err)
+		}
+	case *soak:
+		if err := runSoak(*topoName, *scenario, eval.SoakConfig{
+			Flows:        *soakFlows,
+			Duration:     *soakDur,
+			Traffic:      *trafficArg,
+			SwapEvery:    *swapEvery,
+			Seed:         seedOr(1),
+			Shards:       *shards,
+			BatchSize:    *batchSize,
+			BandwidthBps: *egressBw,
+			Metrics:      mreg,
+		}); err != nil {
 			fatal(err)
 		}
 	case *ablation != "":
@@ -589,6 +622,41 @@ func runTrace(topoName string, topoSet bool, spec string, draws int, seed int64,
 
 	fmt.Println("\n## per-epoch counter timeline (summed deltas == aggregate, verified)")
 	eval.WriteTimeline(os.Stdout, res.Epochs)
+	return nil
+}
+
+// runSoak is the whole-stack endurance run: RunSoak sustains the
+// configured concurrent flows through a live sharded engine with
+// TxQueue egress while the failure scenario and a hot-swap stream
+// (weight tweaks plus a structural chord add/remove) land on it, then
+// prints the refereed account, the per-epoch timeline and the verdict
+// line. A failing verdict is also a non-zero exit, so CI can gate on
+// either. A -scenario starting with '@' loads a scripted scenario file.
+func runSoak(topoName, spec string, cfg eval.SoakConfig) error {
+	tp, err := topo.ByName(topoName)
+	if err != nil {
+		return err
+	}
+	if strings.HasPrefix(spec, "@") {
+		f, err := os.Open(spec[1:])
+		if err != nil {
+			return fmt.Errorf("-scenario script: %w", err)
+		}
+		defer f.Close()
+		if cfg.Process, err = failure.ParseScript(f); err != nil {
+			return err
+		}
+	} else {
+		cfg.Spec = spec
+	}
+	res, err := eval.RunSoak(tp, cfg)
+	if err != nil {
+		return err
+	}
+	eval.WriteSoakReport(os.Stdout, res)
+	if !res.Pass {
+		return fmt.Errorf("soak verdict FAIL: %s", strings.Join(res.FailReasons, "; "))
+	}
 	return nil
 }
 

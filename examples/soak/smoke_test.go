@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the soak example end to end: the example itself
+// log.Fatal-s on any violation or a missing structural swap, so this
+// smoke test doubles as a sustained-guarantee check.
+func TestSmoke(t *testing.T) {
+	main()
+}

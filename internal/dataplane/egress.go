@@ -3,8 +3,10 @@ package dataplane
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"recycle/internal/graph"
 	"recycle/internal/rotation"
 	"recycle/internal/telemetry"
 )
@@ -20,6 +22,18 @@ type Egress interface {
 	Transmit(b *Batch, st *LinkState)
 }
 
+// DartRebinder is implemented by Egress stages whose per-dart state
+// must follow structural hot-swaps. Engine.SwapFIB calls RebindDarts —
+// under its swap lock, before the new (FIB, LinkState) pair publishes —
+// with the new dart-space size and the old→new link map
+// (graph.NoLink marks removed links; nil means the IDs are unchanged).
+// Implementations must tolerate concurrent Transmit/Send calls against
+// the old dart space. An Egress that does not implement this interface
+// makes structural swaps an error, as before.
+type DartRebinder interface {
+	RebindDarts(numDarts int, linkMap []graph.LinkID)
+}
+
 // TxVerdict classifies the outcome of one transmit attempt.
 type TxVerdict uint8
 
@@ -33,6 +47,10 @@ const (
 	// batch was decided under (a failure detected between decision and
 	// transmit, or a caller replaying stale decisions).
 	TxDropLinkDown
+	// TxDropStaleDart: the dart ID does not exist in the queue's current
+	// dart space — a decision made under a FIB whose link set a
+	// structural hot-swap has since replaced. Counted, never a panic.
+	TxDropStaleDart
 )
 
 // String names the verdict.
@@ -44,6 +62,8 @@ func (v TxVerdict) String() string {
 		return "drop-queue-full"
 	case TxDropLinkDown:
 		return "drop-link-down"
+	case TxDropStaleDart:
+		return "drop-stale-dart"
 	}
 	return fmt.Sprintf("TxVerdict(%d)", uint8(v))
 }
@@ -80,6 +100,7 @@ const (
 	MetricTxSentBits      = "tx.sent_bits"
 	MetricTxDropQueueFull = "tx.drop.queue-full"
 	MetricTxDropLinkDown  = "tx.drop.link-down"
+	MetricTxDropStaleDart = "tx.drop.stale-dart"
 	MetricTxQueueWaitNs   = "tx.queue_wait_ns"
 )
 
@@ -94,10 +115,13 @@ type TxStats struct {
 	Sent, SentBits uint64
 	// DropQueueFull and DropLinkDown count the two drop verdicts.
 	DropQueueFull, DropLinkDown uint64
+	// DropStaleDart counts sends onto darts outside the current dart
+	// space (decisions outliving a structural hot-swap).
+	DropStaleDart uint64
 }
 
 // Dropped sums the drop counters.
-func (s TxStats) Dropped() uint64 { return s.DropQueueFull + s.DropLinkDown }
+func (s TxStats) Dropped() uint64 { return s.DropQueueFull + s.DropLinkDown + s.DropStaleDart }
 
 // TxQueue is the engine's built-in Egress: one bounded, link-rate-paced
 // transmit queue per dart (link direction), mirroring the simulator's
@@ -113,13 +137,29 @@ func (s TxStats) Dropped() uint64 { return s.DropQueueFull + s.DropLinkDown }
 // and allocates nothing; contention is per link direction, not global,
 // so shards transmitting onto different links never serialise against
 // each other.
+//
+// The dart slice lives behind an atomically swapped generation pointer
+// so RebindDarts (structural hot-swaps) can replace the dart space
+// while shards are mid-Transmit: a send that loads the old generation
+// finishes against it, retired generations are retained for Stats, and
+// a dart outside the current space is a counted TxDropStaleDart, never
+// an index panic.
 type TxQueue struct {
 	bandwidth   float64
 	maxBacklog  time.Duration
 	defaultBits int64
 	now         func() time.Duration
 	wait        *telemetry.Histogram // nil when uninstrumented
-	darts       []txDart
+	cur         atomic.Pointer[txGen]
+	rebindMu    sync.Mutex // serialises RebindDarts; guards retired
+	retired     []*txGen
+	dropStale   atomic.Uint64
+}
+
+// txGen is one generation of the dart space: the per-dart transmit
+// state alive between two structural rebinds.
+type txGen struct {
+	darts []txDart
 }
 
 // txDart is one link direction's transmit state, padded so neighbouring
@@ -153,8 +193,8 @@ func NewTxQueueDarts(numDarts int, cfg TxConfig) *TxQueue {
 		maxBacklog:  cfg.MaxBacklog,
 		defaultBits: int64(cfg.DefaultBits),
 		now:         cfg.Now,
-		darts:       make([]txDart, numDarts),
 	}
+	q.cur.Store(&txGen{darts: make([]txDart, numDarts)})
 	if q.now == nil {
 		start := time.Now()
 		q.now = func() time.Duration { return time.Since(start) }
@@ -163,12 +203,16 @@ func NewTxQueueDarts(numDarts int, cfg TxConfig) *TxQueue {
 		// 1 µs .. ~1 s queue-wait buckets; a zero wait (idle link) lands
 		// in the first.
 		q.wait = cfg.Metrics.Histogram(MetricTxQueueWaitNs, telemetry.ExponentialBuckets(1000, 4, 10))
+		// Accumulate, don't set: several TxQueues can share a registry
+		// (an engine rebuild, a soak restart), and each must contribute
+		// its totals instead of overwriting the previous collector's.
 		cfg.Metrics.RegisterCollector(telemetry.CollectorFunc(func(s *telemetry.Snapshot) {
 			st := q.Stats()
-			s.SetCounter(MetricTxSent, st.Sent)
-			s.SetCounter(MetricTxSentBits, st.SentBits)
-			s.SetCounter(MetricTxDropQueueFull, st.DropQueueFull)
-			s.SetCounter(MetricTxDropLinkDown, st.DropLinkDown)
+			s.AddCounter(MetricTxSent, st.Sent)
+			s.AddCounter(MetricTxSentBits, st.SentBits)
+			s.AddCounter(MetricTxDropQueueFull, st.DropQueueFull)
+			s.AddCounter(MetricTxDropLinkDown, st.DropLinkDown)
+			s.AddCounter(MetricTxDropStaleDart, st.DropStaleDart)
 		}))
 	}
 	return q
@@ -204,7 +248,12 @@ func (q *TxQueue) Transmit(b *Batch, st *LinkState) {
 // for callers that pace individual packets (the simulator bridge,
 // tests).
 func (q *TxQueue) Send(d rotation.DartID, bits int64, st *LinkState) TxVerdict {
-	dq := &q.darts[d]
+	gen := q.cur.Load()
+	if d < 0 || int(d) >= len(gen.darts) {
+		q.dropStale.Add(1)
+		return TxDropStaleDart
+	}
+	dq := &gen.darts[d]
 	tx := time.Duration(float64(bits) / q.bandwidth * float64(time.Second))
 	now := q.now()
 	dq.mu.Lock()
@@ -233,9 +282,14 @@ func (q *TxQueue) Send(d rotation.DartID, bits int64, st *LinkState) TxVerdict {
 }
 
 // Backlog returns dart d's current queueing delay: how long a packet
-// handed in now would wait before its first bit serialises.
+// handed in now would wait before its first bit serialises. A dart
+// outside the current dart space has no queue and reports zero.
 func (q *TxQueue) Backlog(d rotation.DartID) time.Duration {
-	dq := &q.darts[d]
+	gen := q.cur.Load()
+	if d < 0 || int(d) >= len(gen.darts) {
+		return 0
+	}
+	dq := &gen.darts[d]
 	now := q.now()
 	dq.mu.Lock()
 	free := dq.free
@@ -246,30 +300,122 @@ func (q *TxQueue) Backlog(d rotation.DartID) time.Duration {
 	return free - now
 }
 
-// Stats sums transmit outcomes across all darts.
-func (q *TxQueue) Stats() TxStats {
-	var s TxStats
-	for i := range q.darts {
-		dq := &q.darts[i]
+// NumDarts returns the size of the current dart space.
+func (q *TxQueue) NumDarts() int { return len(q.cur.Load().darts) }
+
+// MaxBacklog returns the largest per-dart queueing delay across the
+// current dart space — the queue-depth headline a soak run watches.
+func (q *TxQueue) MaxBacklog() time.Duration {
+	gen := q.cur.Load()
+	now := q.now()
+	var max time.Duration
+	for i := range gen.darts {
+		dq := &gen.darts[i]
 		dq.mu.Lock()
-		s.Sent += dq.sent
-		s.SentBits += dq.sentBits
-		s.DropQueueFull += dq.dropFull
-		s.DropLinkDown += dq.dropDown
+		free := dq.free
 		dq.mu.Unlock()
+		if b := free - now; b > max {
+			max = b
+		}
 	}
+	return max
+}
+
+// RebindDarts implements DartRebinder: it replaces the dart space for a
+// structural hot-swap. linkMap maps old link IDs to new ones
+// (graph.NoLink for removed links; nil means identity), exactly the map
+// Engine.SwapFIB validates — surviving links carry their pacing clocks
+// (free instants) into the new generation, so an in-flight queue keeps
+// draining at the link rate instead of resetting to idle. The old
+// generation is retired, not discarded: its counters stay in Stats, and
+// a shard still transmitting against it finishes harmlessly (its counts
+// land in the retired generation).
+func (q *TxQueue) RebindDarts(numDarts int, linkMap []graph.LinkID) {
+	q.rebindMu.Lock()
+	defer q.rebindMu.Unlock()
+	old := q.cur.Load()
+	next := &txGen{darts: make([]txDart, numDarts)}
+	carry := func(oldDart, newDart int) {
+		if oldDart >= len(old.darts) || newDart >= numDarts {
+			return
+		}
+		od := &old.darts[oldDart]
+		od.mu.Lock()
+		free := od.free
+		od.mu.Unlock()
+		next.darts[newDart].free = free
+	}
+	if linkMap == nil {
+		n := len(old.darts)
+		if numDarts < n {
+			n = numDarts
+		}
+		for d := 0; d < n; d++ {
+			carry(d, d)
+		}
+	} else {
+		for l, nl := range linkMap {
+			if nl == graph.NoLink {
+				continue
+			}
+			carry(2*l, 2*int(nl))
+			carry(2*l+1, 2*int(nl)+1)
+		}
+	}
+	q.cur.Store(next)
+	q.retired = append(q.retired, old)
+}
+
+// Stats sums transmit outcomes across all darts, including retired
+// generations (dart spaces replaced by RebindDarts): nothing a send
+// ever counted is lost to a structural swap.
+func (q *TxQueue) Stats() TxStats {
+	q.rebindMu.Lock()
+	gens := make([]*txGen, 0, 1+len(q.retired))
+	gens = append(gens, q.cur.Load())
+	gens = append(gens, q.retired...)
+	q.rebindMu.Unlock()
+	var s TxStats
+	for _, g := range gens {
+		for i := range g.darts {
+			dq := &g.darts[i]
+			dq.mu.Lock()
+			s.Sent += dq.sent
+			s.SentBits += dq.sentBits
+			s.DropQueueFull += dq.dropFull
+			s.DropLinkDown += dq.dropDown
+			dq.mu.Unlock()
+		}
+	}
+	s.DropStaleDart = q.dropStale.Load()
 	return s
 }
 
 // wireFrameBits sizes a raw frame from its IP total-length field (IPv4
 // bytes 2–3; IPv6 fixed header plus payload length), falling back to the
-// buffer length for anything unparseable.
+// buffer length for anything unparseable. The length field is
+// attacker/corruption-controlled, so it is clamped to
+// [8×header-min, 8×len(buf)]: an inflated claim cannot pace the link as
+// if megabytes were serialised, and a zero or runt claim cannot
+// serialise for free.
 func wireFrameBits(buf []byte) int64 {
+	max := 8 * int64(len(buf))
 	if len(buf) >= 20 && buf[0]>>4 == 4 {
-		return 8 * int64(uint16(buf[2])<<8|uint16(buf[3]))
+		return clampBits(8*int64(uint16(buf[2])<<8|uint16(buf[3])), 8*20, max)
 	}
 	if len(buf) >= 40 && buf[0]>>4 == 6 {
-		return 8 * (40 + int64(uint16(buf[4])<<8|uint16(buf[5])))
+		return clampBits(8*(40+int64(uint16(buf[4])<<8|uint16(buf[5]))), 8*40, max)
 	}
-	return 8 * int64(len(buf))
+	return max
+}
+
+// clampBits bounds a claimed frame size to [min, max].
+func clampBits(bits, min, max int64) int64 {
+	if bits < min {
+		return min
+	}
+	if bits > max {
+		return max
+	}
+	return bits
 }

@@ -1,0 +1,43 @@
+package dataplane
+
+import "testing"
+
+// TestWireFrameBitsClamped is the regression test for the unclamped
+// total-length bug: the IP length field is corruption-controlled, so a
+// zero claim must not serialise for free and an inflated claim must not
+// pace the link as if megabytes left the box. Claims are clamped to
+// [8×header-min, 8×len(buf)].
+func TestWireFrameBitsClamped(t *testing.T) {
+	v4 := func(totalLen int, bufLen int) []byte {
+		buf := make([]byte, bufLen)
+		buf[0] = 0x45
+		buf[2], buf[3] = byte(totalLen>>8), byte(totalLen)
+		return buf
+	}
+	v6 := func(payloadLen int, bufLen int) []byte {
+		buf := make([]byte, bufLen)
+		buf[0] = 0x60
+		buf[4], buf[5] = byte(payloadLen>>8), byte(payloadLen)
+		return buf
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want int64
+	}{
+		{"v4 honest", v4(100, 100), 800},
+		{"v4 zero claim", v4(0, 100), 8 * 20},          // free ride pre-fix
+		{"v4 runt claim", v4(7, 100), 8 * 20},          // below header min
+		{"v4 inflated claim", v4(65535, 100), 8 * 100}, // 524280 bits pre-fix
+		{"v6 honest", v6(60, 100), 800},
+		{"v6 inflated claim", v6(65535, 100), 8 * 100},
+		{"v6 zero payload", v6(0, 100), 8 * 40}, // header-only is its own floor
+		{"unparseable", make([]byte, 64), 8 * 64},
+		{"short", make([]byte, 10), 8 * 10},
+	}
+	for _, c := range cases {
+		if got := wireFrameBits(c.buf); got != c.want {
+			t.Errorf("%s: wireFrameBits = %d; want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"recycle/internal/dataplane"
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
+	"recycle/internal/telemetry"
 )
 
 // virtualClock is a deterministic TxConfig.Now for pacing tests.
@@ -232,4 +233,72 @@ func engineWorkload(g *graph.Graph, sys *rotation.System, seed int64) []dataplan
 		}
 	}
 	return pkts
+}
+
+// TestTxCollectorsAccumulate is the regression test for the tx.*
+// collector collision: two TxQueues sharing one registry (an engine
+// rebuild, a soak restart) must *sum* into the tx.* counters. The
+// pre-fix collectors SetCounter'd the same names, so the snapshot
+// reported only whichever queue's collector ran last.
+func TestTxCollectorsAccumulate(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	now := func() time.Duration { return 0 }
+	q1 := dataplane.NewTxQueueDarts(2, dataplane.TxConfig{Metrics: reg, Now: now, BandwidthBps: 1e12})
+	q2 := dataplane.NewTxQueueDarts(2, dataplane.TxConfig{Metrics: reg, Now: now, BandwidthBps: 1e12})
+
+	for i := 0; i < 3; i++ {
+		if v := q1.Send(0, 8192, nil); v != dataplane.TxSent {
+			t.Fatalf("q1 send: %v", v)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if v := q2.Send(1, 8192, nil); v != dataplane.TxSent {
+			t.Fatalf("q2 send: %v", v)
+		}
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counter(dataplane.MetricTxSent); got != 8 {
+		t.Fatalf("tx.sent = %d; want 8 (3 from q1 + 5 from q2, not last-writer-wins)", got)
+	}
+	if got := s.Counter(dataplane.MetricTxSentBits); got != 8*8192 {
+		t.Fatalf("tx.sent_bits = %d; want %d", got, 8*8192)
+	}
+}
+
+// TestTxQueueRebindCarriesPacing: RebindDarts carries surviving links'
+// pacing clocks into the new generation (a busy queue keeps draining at
+// the link rate, it does not reset to idle), drops removed links'
+// state, and keeps retired-generation counts visible in Stats.
+func TestTxQueueRebindCarriesPacing(t *testing.T) {
+	now := func() time.Duration { return 0 }
+	q := dataplane.NewTxQueueDarts(4, dataplane.TxConfig{
+		BandwidthBps: 8192, // 1 packet of 8192 bits per second
+		MaxBacklog:   time.Hour,
+		Now:          now,
+	})
+	// Two packets on link 0's forward dart: backlog = 2 s after.
+	q.Send(0, 8192, nil)
+	q.Send(0, 8192, nil)
+	if b := q.Backlog(0); b != 2*time.Second {
+		t.Fatalf("pre-rebind backlog %v; want 2s", b)
+	}
+
+	// Rebind: link 0 → link 1, link 1 removed; dart space grows to 6.
+	q.RebindDarts(6, []graph.LinkID{1, graph.NoLink})
+	if q.NumDarts() != 6 {
+		t.Fatalf("NumDarts = %d; want 6", q.NumDarts())
+	}
+	if b := q.Backlog(2); b != 2*time.Second {
+		t.Fatalf("carried backlog on remapped dart %v; want 2s", b)
+	}
+	if b := q.Backlog(0); b != 0 {
+		t.Fatalf("new link 0 inherits stale backlog %v", b)
+	}
+	if st := q.Stats(); st.Sent != 2 {
+		t.Fatalf("retired generation's sends lost: %+v", st)
+	}
+	if b := q.MaxBacklog(); b != 2*time.Second {
+		t.Fatalf("MaxBacklog = %v; want 2s", b)
+	}
 }

@@ -68,6 +68,14 @@ type EngineConfig struct {
 	// The engine keeps no reference afterwards, so OnDone may recycle
 	// the batch.
 	OnDone func(*Batch)
+	// OnDoneState, when non-nil, is called instead of OnDone with the
+	// exact (FIB, LinkState) pair the batch was decided under. Callers
+	// that walk packets hop-by-hop across hot-swaps (the soak harness)
+	// need the deciding FIB: after a structural swap the engine's
+	// current FIB has a different dart space, and mapping egress darts
+	// through the wrong one is silently wrong. The arguments are the
+	// engine's immutable RCU snapshots — read-only, safe to retain.
+	OnDoneState func(*Batch, *FIB, *LinkState)
 	// Metrics, when non-nil, publishes the engine's decision telemetry
 	// into the registry: engine.decided / engine.batches, a per-event
 	// breakdown (engine.event.*), drop and wire counters, and an
@@ -288,10 +296,14 @@ func (e *Engine) SetLink(l graph.LinkID, down bool) {
 // being decided — including everything submitted afterwards — is decided
 // on the new FIB: that is the swap barrier the churn tests pin.
 //
-// A configured Egress is keyed by the old FIB's dart space, so a
-// structural swap (non-nil linkMap, or a changed link count) is refused
-// when an Egress is attached; rebuild the engine for structural
-// maintenance in that configuration.
+// A configured Egress is keyed by the old FIB's dart space. An Egress
+// implementing DartRebinder (TxQueue does) is rebound to the new dart
+// space before the new state publishes — pacing clocks of surviving
+// links carry over, and batches in flight against the old pair drain
+// into the retired dart space. A structural swap (non-nil linkMap, or a
+// changed link count) is refused only when the attached Egress cannot
+// rebind; rebuild the engine for structural maintenance in that
+// configuration.
 func (e *Engine) SwapFIB(f *FIB, linkMap []graph.LinkID) error {
 	if f == nil {
 		return fmt.Errorf("dataplane: nil FIB")
@@ -309,8 +321,17 @@ func (e *Engine) SwapFIB(f *FIB, linkMap []graph.LinkID) error {
 	if e.cfg.Egress != nil && (linkMap != nil || f.NumLinks() != cur.fib.NumLinks()) {
 		// A non-nil map means the link set changed even if the count did
 		// not (add+remove in one delta): the per-dart egress queues'
-		// backlog and pacing clocks would throttle the wrong links.
-		return fmt.Errorf("dataplane: egress queues are keyed by dart; rebuild the engine for structural edits")
+		// backlog and pacing clocks would throttle the wrong links
+		// unless the egress can rebind its dart space.
+		rb, ok := e.cfg.Egress.(DartRebinder)
+		if !ok {
+			return fmt.Errorf("dataplane: egress %T is keyed by dart and cannot rebind; rebuild the engine for structural edits", e.cfg.Egress)
+		}
+		// Rebind before publishing: every batch decided on the new FIB
+		// transmits into the new dart space. Batches still in flight on
+		// the old pair land in the retired generation (or count a stale-
+		// dart drop), never an index panic.
+		rb.RebindDarts(2*f.NumLinks(), linkMap)
 	}
 	links := NewLinkState(f.NumLinks())
 	for l := 0; l < cur.fib.NumLinks(); l++ {
@@ -439,7 +460,9 @@ func (e *Engine) decideBatch(sh *shard, b *Batch, st *engineState) {
 		e.cfg.Egress.Transmit(b, st.links)
 	}
 	sh.decided.Add(b.size())
-	if e.cfg.OnDone != nil {
+	if e.cfg.OnDoneState != nil {
+		e.cfg.OnDoneState(b, st.fib, st.links)
+	} else if e.cfg.OnDone != nil {
 		e.cfg.OnDone(b)
 	}
 }

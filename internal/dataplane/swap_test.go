@@ -167,12 +167,19 @@ func TestEngineSwapCarriesLinkState(t *testing.T) {
 	}
 }
 
-// TestEngineSwapRefusals covers the guarded error paths.
+// rigidEgress is an Egress without RebindDarts: structural swaps must
+// still be refused for it.
+type rigidEgress struct{}
+
+func (rigidEgress) Transmit(*dataplane.Batch, *dataplane.LinkState) {}
+
+// TestEngineSwapRefusals covers the guarded error paths. A TxQueue
+// egress rebinds across structural swaps (TestStructuralSwapRebindsEgress),
+// so the egress refusal now applies only to egresses that cannot.
 func TestEngineSwapRefusals(t *testing.T) {
 	rec, _ := swapFixture(t, "ring:8")
 	fib := rec.FIB()
-	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: 1e12})
-	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{Shards: 1, Egress: tx})
+	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{Shards: 1, Egress: rigidEgress{}})
 	defer eng.Close()
 
 	if err := eng.SwapFIB(nil, nil); err == nil {
@@ -183,7 +190,7 @@ func TestEngineSwapRefusals(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := eng.ApplyDelta(d); err == nil {
-		t.Fatal("structural swap accepted with an egress attached")
+		t.Fatal("structural swap accepted with a non-rebindable egress attached")
 	}
 	if err := eng.SwapFIB(d.FIB, nil); err == nil {
 		t.Fatal("shrunk link space accepted without a map")
@@ -201,6 +208,88 @@ func TestEngineSwapRefusals(t *testing.T) {
 		t.Fatal("add+remove delta not flagged structural")
 	}
 	if err := eng.ApplyDelta(d2); err == nil {
-		t.Fatal("same-count structural swap accepted with an egress attached")
+		t.Fatal("same-count structural swap accepted with a non-rebindable egress attached")
+	}
+}
+
+// TestStructuralSwapRebindsEgress is the regression test for the dart-
+// sizing bug: before TxQueue implemented DartRebinder, a structural
+// ApplyDelta with an egress attached was refused outright, and a Send
+// onto a dart added by the new FIB would have panicked on the
+// construction-sized dart slice. Now the add-link delta swaps cleanly
+// into a live engine, traffic decided on the new FIB transmits onto the
+// new link's darts, and the pre-swap counters survive in Stats.
+func TestStructuralSwapRebindsEgress(t *testing.T) {
+	rec, g := swapFixture(t, "ring:8")
+	fib := rec.FIB()
+	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: 1e12})
+	done := make(chan struct{}, 8)
+	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
+		Shards: 1,
+		Egress: tx,
+		OnDone: func(*dataplane.Batch) { done <- struct{}{} },
+	})
+	defer eng.Close()
+
+	oldDarts := tx.NumDarts()
+	submit := func() {
+		b := &dataplane.Batch{Pkts: make([]dataplane.Packet, 0, g.NumNodes())}
+		for n := 0; n < g.NumNodes(); n++ {
+			b.Pkts = append(b.Pkts, dataplane.Packet{
+				Node: graph.NodeID(n), Dst: graph.NodeID((n + 3) % g.NumNodes()),
+				Ingress: rotation.NoDart,
+			})
+		}
+		for !eng.Submit(b) {
+		}
+		<-done // decided and transmitted before we move on
+	}
+	submit()
+
+	// Structural edit against the live engine: a chord 0–4 appears.
+	d, err := rec.Apply(graph.AddLinkEdit(0, 4, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ApplyDelta(d); err != nil {
+		t.Fatalf("structural swap with a TxQueue egress refused: %v", err)
+	}
+	if got, want := tx.NumDarts(), 2*d.FIB.NumLinks(); got != want {
+		t.Fatalf("egress rebound to %d darts; want %d", got, want)
+	}
+	if tx.NumDarts() <= oldDarts {
+		t.Fatalf("dart space did not grow: %d → %d", oldDarts, tx.NumDarts())
+	}
+	before := tx.Stats()
+
+	// Send directly onto the new link's darts — the pre-fix code would
+	// have panicked indexing the construction-sized slice.
+	newLink := graph.LinkID(d.Graph.NumLinks() - 1)
+	ab, ba := rotation.DartsOf(newLink)
+	st := eng.Snapshot()
+	if v := tx.Send(ab, 8192, st); v != dataplane.TxSent {
+		t.Fatalf("send onto new dart %d: %v", ab, v)
+	}
+	if v := tx.Send(ba, 8192, st); v != dataplane.TxSent {
+		t.Fatalf("send onto new dart %d: %v", ba, v)
+	}
+	// And drive whole batches through the swapped engine.
+	submit()
+	eng.Close()
+
+	after := tx.Stats()
+	if after.Sent <= before.Sent {
+		t.Fatal("no packets transmitted after the structural swap")
+	}
+	if before.Sent == 0 {
+		t.Fatal("pre-swap transmits lost from Stats after the rebind")
+	}
+
+	// A dart beyond every generation is a counted drop, never a panic.
+	if v := tx.Send(rotation.DartID(10_000), 8192, nil); v != dataplane.TxDropStaleDart {
+		t.Fatalf("out-of-range dart: %v; want drop-stale-dart", v)
+	}
+	if tx.Stats().DropStaleDart != 1 {
+		t.Fatalf("stale-dart drop not counted: %+v", tx.Stats())
 	}
 }

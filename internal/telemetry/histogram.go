@@ -20,7 +20,7 @@ type Histogram struct {
 	// sum, pad...]; stride is a multiple of 8 words so each row starts
 	// on its own cache line and writers on different rows never share.
 	rows []atomic.Uint64
-	next uint32 // handle cursor; races only share a row, which is safe
+	next atomic.Uint32 // handle cursor
 }
 
 // row slot offsets past the bucket counts.
@@ -87,10 +87,10 @@ type HistogramHandle struct {
 	shard int
 }
 
-// Handle assigns the next shard row round-robin.
+// Handle assigns the next shard row round-robin. Safe for concurrent
+// callers (the cursor is atomic, matching Counter.Handle).
 func (h *Histogram) Handle() HistogramHandle {
-	s := int(h.next) & (shardCount - 1)
-	h.next++
+	s := int(h.next.Add(1)-1) & (shardCount - 1)
 	return HistogramHandle{h: h, shard: s}
 }
 
@@ -134,8 +134,12 @@ func (s HistogramSnapshot) Mean() float64 {
 }
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
-// bucket edge at or below which a q fraction of observations fell. The
-// overflow bucket reports the last finite bound.
+// bucket edge at or below which a q fraction of observations fell —
+// except when the quantile lands in the overflow bucket, where the last
+// finite bound is returned and is a *lower* bound (the true value
+// exceeded every configured bucket edge). Callers sizing buckets should
+// treat Quantile == Bounds[len-1] as "off the scale", not as a
+// measurement.
 func (s HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 || len(s.Bounds) == 0 {
 		return 0

@@ -142,3 +142,36 @@ func TestLinearBuckets(t *testing.T) {
 	}()
 	LinearBuckets(0, 0, 3)
 }
+
+// TestQuantileOverflowIsLowerBound pins the overflow-bucket contract:
+// observations above the last configured bound land in the overflow
+// bucket, and any quantile that resolves there reports the last finite
+// bound — a *lower* bound on the true value, the "off the scale"
+// sentinel the doc comment promises, never a fabricated larger number.
+func TestQuantileOverflowIsLowerBound(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("overflow", []int64{10, 20})
+	h.Observe(5)       // bucket ≤10
+	h.Observe(1 << 40) // overflow
+	h.Observe(1 << 41) // overflow
+
+	s := r.Snapshot().Histograms["overflow"]
+	if s.Count != 3 {
+		t.Fatalf("count = %d; want 3", s.Count)
+	}
+	// The median and everything above it live in the overflow bucket.
+	for _, q := range []float64{0.5, 0.9, 1.0} {
+		if got := s.Quantile(q); got != 20 {
+			t.Fatalf("Quantile(%g) = %d; want the last finite bound 20", q, got)
+		}
+	}
+	// Below the overflow mass the usual upper-bound contract holds.
+	if got := s.Quantile(0.0); got != 10 {
+		t.Fatalf("Quantile(0) = %d; want 10", got)
+	}
+	// The overflow count itself stays visible for callers that want to
+	// detect saturated buckets.
+	if s.Counts[len(s.Counts)-1] != 2 {
+		t.Fatalf("overflow bucket holds %d; want 2", s.Counts[len(s.Counts)-1])
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 )
 
@@ -21,15 +22,22 @@ func Handler(r *Registry) http.Handler {
 
 // Serve exposes the registry on addr (e.g. "localhost:6060") at
 // /metrics and / in a background goroutine, returning the server for
-// shutdown. Errors after startup (including normal shutdown) are
-// discarded — the metrics endpoint is best-effort observability, never
-// a reason to fail a run.
-func Serve(addr string, r *Registry) *http.Server {
+// shutdown. The listen happens synchronously so a bad or occupied
+// address is an error here, not a phantom endpoint; the returned
+// server's Addr carries the bound address (useful with a ":0" addr).
+// Errors after the listener is up (including normal shutdown) are
+// discarded — once serving, the metrics endpoint is best-effort
+// observability, never a reason to fail a run.
+func Serve(addr string, r *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
 	mux := http.NewServeMux()
 	h := Handler(r)
 	mux.Handle("/", h)
 	mux.Handle("/metrics", h)
-	srv := &http.Server{Addr: addr, Handler: mux}
-	go func() { _ = srv.ListenAndServe() }()
-	return srv
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
 }

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+)
+
+// TestServeReportsListenErrors: an occupied address must surface as an
+// error from Serve itself, not a phantom endpoint that silently serves
+// nothing (the pre-fix behaviour discarded ListenAndServe's error in a
+// goroutine).
+func TestServeReportsListenErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	if _, err := Serve(ln.Addr().String(), NewRegistry()); err == nil {
+		t.Fatal("Serve on an occupied address returned no error")
+	}
+	if _, err := Serve("127.0.0.1:-1", NewRegistry()); err == nil {
+		t.Fatal("Serve on an invalid address returned no error")
+	}
+}
+
+// TestServeServesSnapshots: a successful Serve is live by the time it
+// returns (the listen is synchronous), and /metrics yields a JSON
+// snapshot with the registry's counters.
+func TestServeServesSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("soak.test").Add(7)
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counter("soak.test"); got != 7 {
+		t.Fatalf("served snapshot soak.test = %d; want 7", got)
+	}
+}

@@ -321,6 +321,12 @@ func (s *Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
 // SetCounter records a counter value — the emit hook for Collectors.
 func (s *Snapshot) SetCounter(name string, v uint64) { s.Counters[name] = v }
 
+// AddCounter accumulates v into the named counter — the emit hook for
+// Collectors whose instances may share a registry (several TxQueues
+// across an engine rebuild, say): each contributes its total instead of
+// overwriting the last writer's.
+func (s *Snapshot) AddCounter(name string, v uint64) { s.Counters[name] += v }
+
 // SetGauge records a gauge value — the emit hook for Collectors.
 func (s *Snapshot) SetGauge(name string, v int64) { s.Gauges[name] = v }
 

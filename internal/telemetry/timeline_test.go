@@ -125,3 +125,40 @@ func TestHTTPHandlerServesSnapshot(t *testing.T) {
 		t.Fatalf("served histogram = %d/%d, want 1/3", h.Count, h.Sum)
 	}
 }
+
+// TestTimelineRollOutOfOrder pins Roll's behaviour for instants at or
+// before the running epoch's start: they fold into an annotation on the
+// running epoch instead of producing an empty or negative-width epoch,
+// and the sum-equals-aggregate invariant survives.
+func TestTimelineRollOutOfOrder(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	base := r.Snapshot()
+	tl := NewTimeline(r)
+
+	c.Add(1)
+	tl.Roll(5, "a")
+	c.Add(2)
+	tl.Roll(3, "late") // at < start: must fold, not roll backwards
+	c.Add(4)
+	epochs := tl.Finish(10)
+
+	if len(epochs) != 2 {
+		t.Fatalf("got %d epochs; want 2 (the out-of-order Roll must not open one)", len(epochs))
+	}
+	for _, e := range epochs {
+		if e.End < e.Start {
+			t.Fatalf("epoch %d runs backwards: [%v, %v)", e.Index, e.Start, e.End)
+		}
+	}
+	if epochs[1].Label != "a; late" {
+		t.Fatalf("late event not annotated onto the running epoch: label %q", epochs[1].Label)
+	}
+	if got := epochs[1].Delta.Counter("n"); got != 6 {
+		t.Fatalf("running epoch delta = %d; want 6 (2 before + 4 after the folded event)", got)
+	}
+	agg := r.Snapshot().Sub(base)
+	if sum := tl.Sum(); sum.Counter("n") != agg.Counter("n") {
+		t.Fatalf("summed deltas %d ≠ aggregate %d", sum.Counter("n"), agg.Counter("n"))
+	}
+}

@@ -60,8 +60,12 @@ type MetricsEpoch = telemetry.Epoch
 func MetricsHandler(r *MetricsRegistry) http.Handler { return telemetry.Handler(r) }
 
 // ServeMetrics serves JSON registry snapshots on addr ("/" and
-// "/metrics") in a background goroutine.
-func ServeMetrics(addr string, r *MetricsRegistry) { telemetry.Serve(addr, r) }
+// "/metrics") in a background goroutine. The listen is synchronous: a
+// bad or occupied address is an error here, not a phantom endpoint. The
+// returned server's Addr carries the bound address (useful with ":0").
+func ServeMetrics(addr string, r *MetricsRegistry) (*http.Server, error) {
+	return telemetry.Serve(addr, r)
+}
 
 // TraceResult is one flight-recorded resilience draw: the retained
 // per-packet cycle walks, the per-epoch counter timeline and the
