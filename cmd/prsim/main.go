@@ -77,6 +77,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -124,6 +125,7 @@ func main() {
 		draws      = flag.Int("draws", 0, "scenario draws per topology for -resilience (default 50)")
 		metrics    = flag.String("metrics", "", "serve the telemetry registry as JSON on this address while the run executes (e.g. localhost:6060)")
 		trace      = flag.Bool("trace", false, "with -resilience: arm the flight recorder on one traced draw and print a recycled packet's explained cycle walk plus the per-epoch counter timeline")
+		compileRpt = flag.Bool("compile", false, "compile-scaling report for -topo: sequential vs parallel pipeline time per phase, dense vs shared-column FIB memory, delta and coalesced-batch apply latency")
 		soak       = flag.Bool("soak", false, "whole-stack soak: sustained concurrent flows through the live engine under continuous failure churn and hot-swaps, every loss refereed")
 		soakDur    = flag.Duration("duration", 0, "emission window for -soak (default 30s)")
 		soakFlows  = flag.Int("flows", 0, "concurrent flow count for -soak (default 100000)")
@@ -214,6 +216,10 @@ func main() {
 		}
 	case *churn:
 		if err := runChurn(*topoName, *churnEdits, seedOr(1), mreg); err != nil {
+			fatal(err)
+		}
+	case *compileRpt:
+		if err := runCompile(*topoName, seedOr(1)); err != nil {
 			fatal(err)
 		}
 	case *resilience:
@@ -774,6 +780,134 @@ func runChurn(topoName string, edits int, seed int64, reg *telemetry.Registry) e
 	if lost != 0 {
 		return fmt.Errorf("engine dropped %d packets across hot-swaps", lost)
 	}
+	return nil
+}
+
+// runCompile is the scaling report behind the "scale past 1000 nodes"
+// work: per-phase compile time (destination trees, quantiser ranking,
+// FIB fill) sequential versus at GOMAXPROCS workers, resident FIB bytes
+// dense versus shared-column, and delta-apply latency single-edit versus
+// a coalesced duplicate-target batch.
+func runCompile(topoName string, seed int64) error {
+	tp, err := topo.ByName(topoName)
+	if err != nil {
+		return err
+	}
+	g := tp.Graph
+	fmt.Printf("# compile scaling on %s: %d nodes, %d links\n", tp.Name, g.NumNodes(), g.NumLinks())
+	sys := tp.Embedding
+	if sys == nil {
+		start := time.Now()
+		if sys, err = (embedding.Auto{Seed: 1}).Embed(g); err != nil {
+			return err
+		}
+		fmt.Printf("embed            %12v (genus %d)\n", time.Since(start).Round(time.Microsecond), sys.Genus())
+	}
+
+	procs := runtime.GOMAXPROCS(0)
+	type phases struct {
+		trees, quant, dense, shared time.Duration
+		denseB, sharedB             int64
+	}
+	run := func(workers int) (phases, error) {
+		var ph phases
+		start := time.Now()
+		tbl := route.BuildWorkers(g, route.HopCount, workers)
+		ph.trees = time.Since(start)
+		prot, err := core.New(g, sys, tbl, core.Config{Variant: core.Full, Quantise: true})
+		if err != nil {
+			return ph, err
+		}
+		start = time.Now()
+		quant := core.BuildQuantiserWorkers(tbl, workers)
+		ph.quant = time.Since(start)
+		start = time.Now()
+		dense, err := dataplane.CompileWithOptions(prot, quant,
+			dataplane.CompileOptions{Workers: workers, Columns: dataplane.ColumnsDense})
+		if err != nil {
+			return ph, err
+		}
+		ph.dense = time.Since(start)
+		start = time.Now()
+		shared, err := dataplane.CompileWithOptions(prot, quant,
+			dataplane.CompileOptions{Workers: workers, Columns: dataplane.ColumnsShared})
+		if err != nil {
+			return ph, err
+		}
+		ph.shared = time.Since(start)
+		ph.denseB, ph.sharedB = dense.MemBytes(), shared.MemBytes()
+		return ph, nil
+	}
+	seq, err := run(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %12s", "phase", "workers=1")
+	if procs > 1 {
+		fmt.Printf(" %11s=%d %9s", "workers", procs, "speedup")
+	}
+	fmt.Println()
+	row := func(name string, s, p time.Duration) {
+		fmt.Printf("%-16s %12v", name, s.Round(time.Microsecond))
+		if procs > 1 {
+			fmt.Printf(" %13v %8.1f×", p.Round(time.Microsecond), s.Seconds()/p.Seconds())
+		}
+		fmt.Println()
+	}
+	par := seq
+	if procs > 1 {
+		if par, err = run(procs); err != nil {
+			return err
+		}
+	}
+	row("trees", seq.trees, par.trees)
+	row("quantiser", seq.quant, par.quant)
+	row("fib dense", seq.dense, par.dense)
+	row("fib shared", seq.shared, par.shared)
+	row("total", seq.trees+seq.quant+seq.shared, par.trees+par.quant+par.shared)
+	fmt.Printf("fib bytes        dense %d, shared %d (%.1f× smaller)\n",
+		seq.denseB, seq.sharedB, float64(seq.denseB)/float64(seq.sharedB))
+
+	// Delta curve: single weight edits versus a duplicate-target batch
+	// the coalescer reduces before recompiling.
+	tbl := route.BuildWorkers(g, route.HopCount, procs)
+	prot, err := core.New(g, sys, tbl, core.Config{Variant: core.Full, Quantise: true})
+	if err != nil {
+		return err
+	}
+	rec, err := dataplane.NewRecompiler(prot, nil, nil)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const rounds = 8
+	var single, batch time.Duration
+	for i := 0; i < rounds; i++ {
+		l := graph.LinkID(rng.Intn(rec.Graph().NumLinks()))
+		w := rec.Graph().Weight(l) * (0.4 + 1.2*rng.Float64())
+		start := time.Now()
+		if _, err := rec.Apply(graph.SetWeight(l, w)); err != nil {
+			return err
+		}
+		single += time.Since(start)
+	}
+	for i := 0; i < rounds; i++ {
+		l := graph.LinkID(rng.Intn(rec.Graph().NumLinks()))
+		edits := []graph.Edit{
+			graph.SetWeight(l, 2), graph.SetWeight(l, 5),
+			graph.SetWeight(l, rec.Graph().Weight(l)*(0.4+1.2*rng.Float64())),
+		}
+		start := time.Now()
+		if _, err := rec.Apply(edits...); err != nil {
+			return err
+		}
+		batch += time.Since(start)
+	}
+	st := rec.Stats()
+	fmt.Printf("delta apply      %12v mean (single weight edit)\n", (single / rounds).Round(time.Microsecond))
+	fmt.Printf("coalesced apply  %12v mean (3-edit duplicate-target batch)\n", (batch / rounds).Round(time.Microsecond))
+	fmt.Printf("recompiler       %d applies, %d edits (%d coalesced away), %d trees repaired, %d untouched\n",
+		st.Applies, st.Edits, st.CoalescedEdits, st.Repair.Repaired, st.Repair.Unchanged)
 	return nil
 }
 

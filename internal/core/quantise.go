@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"recycle/internal/graph"
+	"recycle/internal/par"
 	"recycle/internal/route"
 )
 
@@ -44,14 +45,26 @@ type Quantiser struct {
 
 // BuildQuantiser computes the per-destination rank tables of a routing
 // table. Cost is O(n² log n) — offline work for the paper's designated
-// server, never paid at failure time.
+// server, never paid at failure time. Rank assignment is independent per
+// destination (each column writes a disjoint stride of rank plus its own
+// dstMax slot), so columns fan out across GOMAXPROCS workers with
+// per-worker sort scratch; the output is bit-identical to a sequential
+// build at any worker count.
 func BuildQuantiser(tbl *route.Table) *Quantiser {
+	return BuildQuantiserWorkers(tbl, 0)
+}
+
+// BuildQuantiserWorkers is BuildQuantiser with an explicit worker count:
+// 0 picks the automatic fan-out, 1 forces the sequential build.
+func BuildQuantiserWorkers(tbl *route.Table, workers int) *Quantiser {
 	n := tbl.Graph().NumNodes()
 	q := &Quantiser{n: n, rank: make([]uint32, n*n), dstMax: make([]uint32, n)}
-	vals := make([]float64, 0, n)
-	for dst := 0; dst < n; dst++ {
-		vals = q.rankColumn(tbl, graph.NodeID(dst), vals)
-	}
+	par.For(n, workers, func(_, lo, hi int) {
+		vals := make([]float64, 0, n)
+		for dst := lo; dst < hi; dst++ {
+			vals = q.rankColumn(tbl, graph.NodeID(dst), vals)
+		}
+	})
 	q.refreshMax()
 	return q
 }
@@ -140,10 +153,15 @@ func (q *Quantiser) Rebuild(tbl *route.Table, dirty []graph.NodeID) *Quantiser {
 		rank:   append([]uint32(nil), q.rank...),
 		dstMax: append([]uint32(nil), q.dstMax...),
 	}
-	vals := make([]float64, 0, q.n)
-	for _, dst := range dirty {
-		vals = nq.rankColumn(tbl, dst, vals)
-	}
+	// Dirty columns are disjoint strides, so re-rank them in parallel
+	// like BuildQuantiser does (small dirty sets stay sequential under
+	// the fan-out floor).
+	par.For(len(dirty), 0, func(_, lo, hi int) {
+		vals := make([]float64, 0, q.n)
+		for i := lo; i < hi; i++ {
+			vals = nq.rankColumn(tbl, dirty[i], vals)
+		}
+	})
 	nq.refreshMax()
 	return nq
 }

@@ -381,3 +381,65 @@ func BenchmarkRecompileFull(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCompile is the CI-gated compile-path number: one full FIB
+// compile of a generated scale topology through the parallel pipeline
+// with the worker count pinned at 4, so ns/op and allocs/op are stable
+// across differently-sized CI boxes. rand:512 and rand:2000 compile into
+// the shared-column layout (ColumnsAuto engages at 512 nodes); the
+// routing tables and quantiser are prebuilt outside the timer — this
+// measures column fill plus page interning, the piece the shared layout
+// changed.
+func BenchmarkCompile(b *testing.B) {
+	for _, spec := range []string{"rand:512", "rand:2000"} {
+		b.Run(spec, func(b *testing.B) {
+			tp, err := topo.Generated(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := (embedding.Auto{Seed: 1}).Embed(tp.Graph)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tbl := route.BuildWorkers(tp.Graph, route.HopCount, 4)
+			p, err := core.New(tp.Graph, sys, tbl, core.Config{Variant: core.Full, Quantise: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			quant := core.BuildQuantiserWorkers(tbl, 4)
+			opts := dataplane.CompileOptions{Workers: 4}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fib, err := dataplane.CompileWithOptions(p, quant, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(fib.MemBytes()), "fib-bytes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecompileCoalesced measures a duplicate-target maintenance
+// batch — three weight writes to the same ring:64 link — through Apply:
+// the coalescer nets it to the last write before the delta machinery
+// runs, so this should track BenchmarkRecompileDelta, not 3× it.
+func BenchmarkRecompileCoalesced(b *testing.B) {
+	rec, _ := churnBench(b)
+	rec.SetWorkers(4)
+	weights := [2]float64{2, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.Apply(
+			graph.SetWeight(7, 9),
+			graph.SetWeight(7, 5),
+			graph.SetWeight(7, weights[i%2]),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

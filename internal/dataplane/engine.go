@@ -102,6 +102,7 @@ const (
 	MetricWireDropped   = "engine.wire.dropped"
 	MetricQueueDepth    = "engine.queue.depth"
 	MetricBatchNs       = "engine.batch_ns"
+	MetricFIBMemBytes   = "fib.mem.bytes"
 )
 
 // shardMetrics is one worker's private instrumentation: a local tally
@@ -161,6 +162,11 @@ type Engine struct {
 	closed atomic.Bool
 	stop   chan struct{} // closed by Close to wake parked workers
 	wg     sync.WaitGroup
+
+	// memGauge tracks the resident bytes of the FIB currently forwarded
+	// on (fib.mem.bytes), re-published at every swap. Nil when the
+	// engine is uninstrumented.
+	memGauge *telemetry.Gauge
 }
 
 // engineState is the RCU unit: a FIB and an interface-state snapshot
@@ -252,6 +258,8 @@ func NewEngine(fib *FIB, cfg EngineConfig) *Engine {
 		go e.worker(e.shards[i])
 	}
 	if cfg.Metrics != nil {
+		e.memGauge = cfg.Metrics.Gauge(MetricFIBMemBytes)
+		e.memGauge.Set(fib.MemBytes())
 		depthGauge := cfg.Metrics.Gauge(MetricQueueDepth)
 		cfg.Metrics.RegisterCollector(telemetry.CollectorFunc(func(*telemetry.Snapshot) {
 			var n int64
@@ -347,6 +355,9 @@ func (e *Engine) SwapFIB(f *FIB, linkMap []graph.LinkID) error {
 		}
 	}
 	e.cur.Store(&engineState{fib: f, links: links})
+	if e.memGauge != nil {
+		e.memGauge.Set(f.MemBytes())
+	}
 	return nil
 }
 

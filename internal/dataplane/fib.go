@@ -7,6 +7,7 @@ import (
 	"recycle/internal/core"
 	"recycle/internal/graph"
 	"recycle/internal/header"
+	"recycle/internal/par"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
 )
@@ -73,6 +74,13 @@ type FIB struct {
 	// exactly equivalent to raw comparison, so the wire path's decisions
 	// match Decide's (and therefore core's) on every input.
 	ddQ []uint32
+	// pages is the shared-column page store when the FIB was compiled
+	// with ColumnsShared (dense planes above are nil then): identical
+	// page-sized runs of column content interned once and shared across
+	// destinations, with uint16 ranks and the dd plane dropped when
+	// derivable. See fibpages.go. Every read goes through the
+	// ndAt/ddAt/ddqAt accessors, which keep the dense fast path inlined.
+	pages *fibPages
 	// ddBits is the bit budget of the largest rank; codec is the wire
 	// encoding Compile selected from it.
 	ddBits int
@@ -83,6 +91,36 @@ type FIB struct {
 	sigma []int32
 	// head[d] is the node dart d points at.
 	head []int32
+}
+
+// ColumnMode selects the FIB's column representation.
+type ColumnMode uint8
+
+const (
+	// ColumnsAuto picks shared pages at sharedAutoMinNodes nodes and up,
+	// dense planes below.
+	ColumnsAuto ColumnMode = iota
+	// ColumnsDense forces the dense n×n planes.
+	ColumnsDense
+	// ColumnsShared forces the shared-column page representation.
+	ColumnsShared
+)
+
+// CompileOptions tune how Compile lays out and builds the FIB. The zero
+// value is the default: automatic worker fan-out, automatic column mode,
+// default page size. Every combination produces a FIB whose decisions —
+// and whose per-entry table contents, as read through the accessors —
+// are bit-identical; the options trade compile latency and resident
+// bytes only.
+type CompileOptions struct {
+	// Workers caps the per-destination compile fan-out: 0 uses the
+	// automatic GOMAXPROCS-based count, 1 forces a sequential build.
+	Workers int
+	// Columns selects dense planes or shared pages.
+	Columns ColumnMode
+	// PageSize is the shared-page size in rows (rounded down to a power
+	// of two; 0 means the default).
+	PageSize int
 }
 
 // Compile flattens a core.Protocol into a FIB and selects the wire codec:
@@ -96,6 +134,15 @@ func Compile(p *core.Protocol) (*FIB, error) { return CompileWith(p, nil) }
 // (nil builds one), sparing callers that already hold one — like the
 // recycle façade — a second O(n² log n) pass and a second n² table.
 func CompileWith(p *core.Protocol, quant *core.Quantiser) (*FIB, error) {
+	return CompileWithOptions(p, quant, CompileOptions{})
+}
+
+// CompileWithOptions is CompileWith with explicit layout and parallelism
+// choices. Destination columns are independent — each is a pure function
+// of (routing table, rotation system, rank column) — so the fill fans
+// out across workers over a static partition; output is bit-identical at
+// any worker count.
+func CompileWithOptions(p *core.Protocol, quant *core.Quantiser, opts CompileOptions) (*FIB, error) {
 	if p == nil {
 		return nil, fmt.Errorf("dataplane: nil protocol")
 	}
@@ -119,9 +166,6 @@ func CompileWith(p *core.Protocol, quant *core.Quantiser) (*FIB, error) {
 		variant:  p.Variant(),
 		numNodes: n,
 		numLinks: m,
-		nextDart: make([]int32, n*n),
-		dd:       make([]float64, n*n),
-		ddQ:      make([]uint32, n*n),
 		ddBits:   quant.Bits(),
 		faceNext: make([]int32, 2*m),
 		sigma:    make([]int32, 2*m),
@@ -134,8 +178,40 @@ func CompileWith(p *core.Protocol, quant *core.Quantiser) (*FIB, error) {
 			f.ddBits, header.FlowLabelDDBits)
 	}
 	f.codec = CodecFor(f.ddBits)
-	for dst := 0; dst < n; dst++ {
-		f.fillDest(graph.NodeID(dst), tbl, sys, quant, quantised)
+	shared := opts.Columns == ColumnsShared ||
+		(opts.Columns == ColumnsAuto && n >= sharedAutoMinNodes)
+	if n >= 1<<16 {
+		// The uint16 rank pages need ranks (< numNodes) below the
+		// rank16Unreachable sentinel; beyond the address plan's 65536
+		// nodes fall back to dense planes.
+		shared = false
+	}
+	if shared {
+		// Raw dd pages are only needed when the stamp space is neither
+		// ranks nor hop counts; otherwise ddAt derives dd from the rank.
+		rawDD := !quantised && tbl.DiscriminatorKind() == route.WeightSum
+		ps := opts.PageSize
+		if ps <= 0 {
+			ps = defaultPageSize
+		}
+		f.pages = newFIBPages(n, ps, rawDD)
+		st := newPageStores()
+		par.For(n, opts.Workers, func(_, lo, hi int) {
+			sc := newColScratch(n, rawDD)
+			for dst := lo; dst < hi; dst++ {
+				f.computeColumn(graph.NodeID(dst), tbl, sys, quant, quantised, sc)
+				f.pages.setColumn(dst, n, sc, st)
+			}
+		})
+	} else {
+		f.nextDart = make([]int32, n*n)
+		f.dd = make([]float64, n*n)
+		f.ddQ = make([]uint32, n*n)
+		par.For(n, opts.Workers, func(_, lo, hi int) {
+			for dst := lo; dst < hi; dst++ {
+				f.fillDest(graph.NodeID(dst), tbl, sys, quant, quantised)
+			}
+		})
 	}
 	f.fillDarts(sys)
 	return f, nil
@@ -145,7 +221,14 @@ func CompileWith(p *core.Protocol, quant *core.Quantiser) (*FIB, error) {
 // the per-destination unit the full compile and the delta recompiler
 // share. The column is a pure function of dst's shortest-path tree and
 // rank column, which is what makes per-destination delta patching exact.
+// In shared-column mode the column is rebuilt as fresh private pages.
 func (f *FIB) fillDest(dst graph.NodeID, tbl *route.Table, sys *rotation.System, quant *core.Quantiser, quantised bool) {
+	if f.pages != nil {
+		sc := newColScratch(f.numNodes, f.pages.dd != nil)
+		f.computeColumn(dst, tbl, sys, quant, quantised, sc)
+		f.pages.adoptColumn(int(dst), f.numNodes, sc.nd, sc.ddq, sc.dd)
+		return
+	}
 	n := f.numNodes
 	for node := 0; node < n; node++ {
 		idx := node*n + int(dst)
@@ -165,6 +248,30 @@ func (f *FIB) fillDest(dst graph.NodeID, tbl *route.Table, sys *rotation.System,
 			f.dd[idx] = float64(rank)
 		} else {
 			f.dd[idx] = tbl.DD(graph.NodeID(node), dst)
+		}
+	}
+}
+
+// computeColumn writes destination dst's column into contiguous scratch
+// buffers — the shared-column analogue of fillDest's strided writes,
+// entry for entry the same values (sc.dd is only kept when the raw
+// plane cannot be derived, i.e. non-quantised weight sums).
+func (f *FIB) computeColumn(dst graph.NodeID, tbl *route.Table, sys *rotation.System, quant *core.Quantiser, _ bool, sc *colScratch) {
+	n := f.numNodes
+	for node := 0; node < n; node++ {
+		link := tbl.NextLink(graph.NodeID(node), dst)
+		if link == graph.NoLink {
+			sc.nd[node] = -1
+		} else {
+			sc.nd[node] = int32(sys.OutgoingDart(graph.NodeID(node), link))
+		}
+		sc.ddq[node] = rank16(quant.Rank(graph.NodeID(node), dst))
+		if sc.dd != nil {
+			if !tbl.Reachable(graph.NodeID(node), dst) {
+				sc.dd[node] = math.Inf(1)
+			} else {
+				sc.dd[node] = tbl.DD(graph.NodeID(node), dst)
+			}
 		}
 	}
 }
@@ -194,15 +301,22 @@ func (f *FIB) cloneFor(numLinks int, structural, shareDD bool) *FIB {
 		variant:  f.variant,
 		numNodes: f.numNodes,
 		numLinks: numLinks,
-		nextDart: append([]int32(nil), f.nextDart...),
 		ddBits:   f.ddBits,
 		codec:    f.codec,
 	}
-	if shareDD {
-		c.dd, c.ddQ = f.dd, f.ddQ
+	if f.pages != nil {
+		// Shared columns: copy only the page pointer tables; the patch
+		// paths give pages private copies on first write (CoW), so every
+		// untouched page stays shared with f.
+		c.pages = f.pages.clone(shareDD)
 	} else {
-		c.dd = append([]float64(nil), f.dd...)
-		c.ddQ = append([]uint32(nil), f.ddQ...)
+		c.nextDart = append([]int32(nil), f.nextDart...)
+		if shareDD {
+			c.dd, c.ddQ = f.dd, f.ddQ
+		} else {
+			c.dd = append([]float64(nil), f.dd...)
+			c.ddQ = append([]uint32(nil), f.ddQ...)
+		}
 	}
 	if !structural && numLinks == f.numLinks {
 		c.faceNext, c.sigma, c.head = f.faceNext, f.sigma, f.head
@@ -212,6 +326,38 @@ func (f *FIB) cloneFor(numLinks int, structural, shareDD bool) *FIB {
 		c.head = make([]int32, 2*numLinks)
 	}
 	return c
+}
+
+// ndAt, ddAt and ddqAt are the only reads of the column planes: the
+// dense indexing stays on the inlined fast path (the gated decide
+// benchmarks run dense FIBs), the shared-column page walk lives in
+// out-of-line fibPages methods. Neither path allocates.
+
+// ndAt returns the shortest-path egress dart entry for (node, dst): -1
+// at the destination or when unreachable.
+func (f *FIB) ndAt(node, dst int) int32 {
+	if f.nextDart != nil {
+		return f.nextDart[node*f.numNodes+dst]
+	}
+	return f.pages.ndAt(node, dst)
+}
+
+// ddAt returns the abstract discriminator for (node, dst) in the units
+// the source protocol stamps; +Inf when unreachable.
+func (f *FIB) ddAt(node, dst int) float64 {
+	if f.dd != nil {
+		return f.dd[node*f.numNodes+dst]
+	}
+	return f.pages.ddAt(node, dst)
+}
+
+// ddqAt returns the rank-quantised discriminator for (node, dst);
+// core.RankUnreachable when unreachable.
+func (f *FIB) ddqAt(node, dst int) uint32 {
+	if f.ddQ != nil {
+		return f.ddQ[node*f.numNodes+dst]
+	}
+	return f.pages.ddqAt(node, dst)
 }
 
 // Variant returns the compiled termination variant.
@@ -236,7 +382,7 @@ func (f *FIB) DDBits() int { return f.ddBits }
 // (node, dst), or ok=false for unreachable pairs. Unlike the raw
 // discriminator it always fits the compiled codec.
 func (f *FIB) WireDD(node, dst graph.NodeID) (uint32, bool) {
-	q := f.ddQ[int(node)*f.numNodes+int(dst)]
+	q := f.ddqAt(int(node), int(dst))
 	return q, q != core.RankUnreachable
 }
 
@@ -260,7 +406,7 @@ func (f *FIB) Decide(node, dst graph.NodeID, ingress rotation.DartID, hdr core.H
 			return core.Decision{Egress: rotation.DartID(eg), Event: core.EventCycle, Header: hdr, OK: true}
 		}
 		// Failure while cycle following: termination test.
-		if f.variant == core.Basic || f.dd[int(node)*f.numNodes+int(dst)] < hdr.DD {
+		if f.variant == core.Basic || f.ddAt(int(node), int(dst)) < hdr.DD {
 			hdr.PR = false
 			d := f.decideSP(node, dst, hdr, st, true)
 			if !d.OK {
@@ -279,8 +425,7 @@ func (f *FIB) Decide(node, dst graph.NodeID, ingress rotation.DartID, hdr core.H
 // decideSP is the shortest-path half of the forwarding rule, shared by the
 // fresh and resumed (PR bit just cleared) entry points.
 func (f *FIB) decideSP(node, dst graph.NodeID, hdr core.Header, st *LinkState, resumed bool) core.Decision {
-	idx := int(node)*f.numNodes + int(dst)
-	nd := f.nextDart[idx]
+	nd := f.ndAt(int(node), int(dst))
 	if nd < 0 {
 		return core.Decision{Egress: rotation.NoDart, Header: hdr}
 	}
@@ -295,7 +440,7 @@ func (f *FIB) decideSP(node, dst graph.NodeID, hdr core.Header, st *LinkState, r
 	// the discriminator, take the complementary cycle.
 	hdr.PR = true
 	if f.variant == core.Full {
-		hdr.DD = f.dd[idx]
+		hdr.DD = f.ddAt(int(node), int(dst))
 	}
 	if eg, ok := f.firstUp(nd, st); ok {
 		return core.Decision{Egress: rotation.DartID(eg), Event: core.EventDetect, Header: hdr, OK: true}
@@ -318,7 +463,7 @@ func (f *FIB) decideWire(node, dst graph.NodeID, ingress rotation.DartID, pr boo
 		if !st.Down(graph.LinkID(eg >> 1)) {
 			return rotation.DartID(eg), core.EventCycle, pr, dd, true
 		}
-		if f.variant == core.Basic || f.ddQ[int(node)*f.numNodes+int(dst)] < dd {
+		if f.variant == core.Basic || f.ddqAt(int(node), int(dst)) < dd {
 			eg, ev, prOut, ddOut, ok := f.decideWireSP(node, dst, false, dd, st, true)
 			if !ok {
 				return rotation.NoDart, 0, pr, dd, false
@@ -335,8 +480,7 @@ func (f *FIB) decideWire(node, dst graph.NodeID, ingress rotation.DartID, pr boo
 
 // decideWireSP is decideSP in rank space.
 func (f *FIB) decideWireSP(node, dst graph.NodeID, pr bool, dd uint32, st *LinkState, resumed bool) (rotation.DartID, core.Event, bool, uint32, bool) {
-	idx := int(node)*f.numNodes + int(dst)
-	nd := f.nextDart[idx]
+	nd := f.ndAt(int(node), int(dst))
 	if nd < 0 {
 		return rotation.NoDart, 0, pr, dd, false
 	}
@@ -349,7 +493,7 @@ func (f *FIB) decideWireSP(node, dst graph.NodeID, pr bool, dd uint32, st *LinkS
 	}
 	pr = true
 	if f.variant == core.Full {
-		dd = f.ddQ[idx]
+		dd = f.ddqAt(int(node), int(dst))
 	}
 	if eg, ok := f.firstUp(nd, st); ok {
 		return rotation.DartID(eg), core.EventDetect, pr, dd, true
@@ -376,7 +520,7 @@ func (f *FIB) DecideBatch(pkts []Packet, st *LinkState) {
 				}
 			}
 		} else {
-			nd := f.nextDart[int(p.Node)*f.numNodes+int(p.Dst)]
+			nd := f.ndAt(int(p.Node), int(p.Dst))
 			if nd >= 0 && !st.Down(graph.LinkID(nd>>1)) {
 				p.Egress, p.Event, p.OK = rotation.DartID(nd), core.EventRoute, true
 				continue
@@ -444,7 +588,7 @@ func (f *FIB) fastPass(pkts []Packet, st *LinkState, miss *[64]int32) (nMiss int
 				}
 			}
 		} else {
-			nd := f.nextDart[int(p.Node)*f.numNodes+int(p.Dst)]
+			nd := f.ndAt(int(p.Node), int(p.Dst))
 			if nd >= 0 && !st.Down(graph.LinkID(nd>>1)) {
 				p.Egress, p.Event, p.OK = rotation.DartID(nd), core.EventRoute, true
 				continue

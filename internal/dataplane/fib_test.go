@@ -266,12 +266,24 @@ func TestDecideZeroAllocs(t *testing.T) {
 		{PR: true, DD: 3},   // cycle following
 		{PR: true, DD: 0.5}, // termination test → resume
 	}
-	for _, hdr := range cases {
-		hdr := hdr
-		if allocs := testing.AllocsPerRun(200, func() {
-			decisionSink = fib.Decide(node, dst, ingress, hdr, st)
-		}); allocs != 0 {
-			t.Errorf("Decide(hdr=%+v) allocates %.1f per op, want 0", hdr, allocs)
+	// The shared-column layout must stay on the allocation-free decide
+	// path too: its accessors index page tables instead of dense planes,
+	// but never allocate.
+	shared, err := dataplane.CompileWithOptions(p, nil,
+		dataplane.CompileOptions{Columns: dataplane.ColumnsShared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*dataplane.FIB{fib, shared} {
+		f := f
+		for _, hdr := range cases {
+			hdr := hdr
+			if allocs := testing.AllocsPerRun(200, func() {
+				decisionSink = f.Decide(node, dst, ingress, hdr, st)
+			}); allocs != 0 {
+				t.Errorf("Decide(hdr=%+v, shared=%v) allocates %.1f per op, want 0",
+					hdr, f.SharedColumns(), allocs)
+			}
 		}
 	}
 }

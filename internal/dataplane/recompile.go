@@ -7,6 +7,7 @@ import (
 	"recycle/internal/core"
 	"recycle/internal/graph"
 	"recycle/internal/header"
+	"recycle/internal/par"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
 	"recycle/internal/telemetry"
@@ -40,8 +41,31 @@ type Recompiler struct {
 	quant *core.Quantiser
 	fib   *FIB
 
-	rep   graph.SPTRepairer
-	stats RecompileStats
+	// reps is the per-worker repairer pool: SPTRepairer keeps scratch
+	// state and is not safe for concurrent use, but each repair's result
+	// is a canonical function of (graph, tree, edit), so any worker may
+	// serve any destination; the static partition in Apply keeps the
+	// dst→worker assignment deterministic anyway. Grown on demand, the
+	// pool persists across applies so the scratch amortises like the old
+	// single repairer did.
+	reps []graph.SPTRepairer
+	// workers pins the Apply fan-out; 0 = automatic (see SetWorkers).
+	workers int
+	stats   RecompileStats
+}
+
+// SetWorkers pins the per-destination fan-out of subsequent Applies: 0
+// restores the automatic GOMAXPROCS-based count, 1 forces sequential
+// repairs. The differential harnesses use explicit counts to drive the
+// parallel paths on graphs below the automatic fan-out floor.
+func (r *Recompiler) SetWorkers(w int) { r.workers = w }
+
+// pool returns at least `workers` repairers.
+func (r *Recompiler) pool(workers int) []graph.SPTRepairer {
+	for len(r.reps) < workers {
+		r.reps = append(r.reps, graph.SPTRepairer{})
+	}
+	return r.reps
 }
 
 // RecompileStats counts recompiler work, for churn reports.
@@ -57,7 +81,10 @@ type RecompileStats struct {
 	// counts how many of those needed a from-scratch per-destination
 	// Dijkstra (structural edits) rather than an incremental repair.
 	DirtyDests, FullDests int64
-	// Repair mirrors the shortest-path repairer's counters.
+	// CoalescedEdits counts edits batch coalescing eliminated before
+	// replay (net weight last-write-wins, add+remove cancellation).
+	CoalescedEdits int64
+	// Repair mirrors the shortest-path repairers' summed counters.
 	Repair graph.RepairStats
 }
 
@@ -138,10 +165,18 @@ func (r *Recompiler) System() *rotation.System { return r.sys }
 // Quantiser returns the current rank quantiser.
 func (r *Recompiler) Quantiser() *core.Quantiser { return r.quant }
 
-// Stats returns cumulative recompiler counters.
+// Stats returns cumulative recompiler counters. Repair counters are the
+// sum over the worker pool — per-destination contributions are the same
+// whatever the partition, so the totals are deterministic.
 func (r *Recompiler) Stats() RecompileStats {
 	st := r.stats
-	st.Repair = r.rep.Stats()
+	for i := range r.reps {
+		rs := r.reps[i].Stats()
+		st.Repair.Repaired += rs.Repaired
+		st.Repair.Unchanged += rs.Unchanged
+		st.Repair.FullFallback += rs.FullFallback
+		st.Repair.NodesTouched += rs.NodesTouched
+	}
 	return st
 }
 
@@ -151,6 +186,7 @@ const (
 	MetricRecompileEdits      = "recompile.edits"
 	MetricRecompileDirtyDests = "recompile.dirty_dests"
 	MetricRecompileFullDests  = "recompile.full_dests"
+	MetricRecompileCoalesced  = "recompile.coalesced_edits"
 	MetricRepairRepaired      = "repair.repaired"
 	MetricRepairUnchanged     = "repair.unchanged"
 	MetricRepairFullFallback  = "repair.full_fallback"
@@ -169,6 +205,7 @@ func (r *Recompiler) Register(reg *telemetry.Registry) {
 		s.SetCounter(MetricRecompileEdits, uint64(st.Edits))
 		s.SetCounter(MetricRecompileDirtyDests, uint64(st.DirtyDests))
 		s.SetCounter(MetricRecompileFullDests, uint64(st.FullDests))
+		s.SetCounter(MetricRecompileCoalesced, uint64(st.CoalescedEdits))
 		s.SetCounter(MetricRepairRepaired, uint64(st.Repair.Repaired))
 		s.SetCounter(MetricRepairUnchanged, uint64(st.Repair.Unchanged))
 		s.SetCounter(MetricRepairFullFallback, uint64(st.Repair.FullFallback))
@@ -181,9 +218,32 @@ func (r *Recompiler) Register(reg *telemetry.Registry) {
 // follow graph.ApplyEdits semantics). On success the recompiler advances
 // to the new state, so successive Applies chain; on error it is
 // unchanged.
+//
+// An empty edit set — or a batch whose net effect is nothing, like an
+// add immediately removed — is a no-op: Apply returns a nil Delta and
+// nil error without cloning anything, and the recompiler state is
+// unchanged. Callers must treat a nil Delta as "nothing to swap".
+//
+// Batches of two or more edits are first coalesced to their net effect
+// (weight last-write-wins, add+remove cancellation) when the reduction
+// is provably replay-equivalent — see coalesceEdits; otherwise the
+// batch replays edit by edit. Per-destination work (tree repair, full
+// Dijkstra, column patching) fans out across workers either way.
 func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 	if len(edits) == 0 {
-		return nil, fmt.Errorf("dataplane: empty edit set")
+		return nil, nil
+	}
+	origEdits := len(edits)
+	coalesced := 0
+	if net, ok := coalesceEdits(r.g, edits); ok {
+		coalesced = origEdits - len(net)
+		if len(net) == 0 {
+			r.stats.Applies++
+			r.stats.Edits += origEdits
+			r.stats.CoalescedEdits += int64(coalesced)
+			return nil, nil
+		}
+		edits = net
 	}
 	n := r.g.NumNodes()
 	curG := r.g
@@ -212,6 +272,16 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 	dirty := make([]bool, n)
 	fullDest := make([]bool, n) // dirty via a structural edit (full Dijkstra already run)
 	structural, renumbered := false, false
+	// Per-destination work inside each edit writes only that
+	// destination's slots (trees[d], dirty[d], fullDest[d]) and each
+	// repair/Dijkstra result is canonical in (graph, tree, edit), so the
+	// loops fan out over a static partition with bit-identical results
+	// at any worker count.
+	workers := r.workers
+	if workers <= 0 {
+		workers = par.Workers(n)
+	}
+	reps := r.pool(workers)
 
 	for _, e := range edits {
 		nextG, m, err := graph.ApplyEdit(curG, e)
@@ -221,49 +291,56 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 		switch e.Kind {
 		case graph.EditWeight:
 			oldW := curG.Weight(e.Link)
-			for d := 0; d < n; d++ {
-				nt, changed := r.rep.WeightChange(nextG, trees[d], e.Link, oldW)
-				if changed {
-					dirty[d] = true
-					trees[d] = nt
+			par.For(n, workers, func(w, lo, hi int) {
+				rep := &reps[w]
+				for d := lo; d < hi; d++ {
+					nt, changed := rep.WeightChange(nextG, trees[d], e.Link, oldW)
+					if changed {
+						dirty[d] = true
+						trees[d] = nt
+					}
 				}
-			}
+			})
 		case graph.EditAddLink:
 			structural = true
 			ensureOrders()
 			w := e.Weight
-			for d := 0; d < n; d++ {
-				tr := trees[d]
-				da, db := tr.Dist[e.A], tr.Dist[e.B]
-				// The new link can only matter where it improves — or
-				// ties, flipping a deterministic tie-break — an
-				// endpoint's distance; nothing else gains a candidate.
-				improves := (!math.IsInf(db, 1) && db+w <= da) ||
-					(!math.IsInf(da, 1) && da+w <= db)
-				if improves {
-					dirty[d], fullDest[d] = true, true
-					trees[d] = graph.ShortestPathTree(nextG, graph.NodeID(d), nil)
+			par.For(n, workers, func(_, lo, hi int) {
+				for d := lo; d < hi; d++ {
+					tr := trees[d]
+					da, db := tr.Dist[e.A], tr.Dist[e.B]
+					// The new link can only matter where it improves — or
+					// ties, flipping a deterministic tie-break — an
+					// endpoint's distance; nothing else gains a candidate.
+					improves := (!math.IsInf(db, 1) && db+w <= da) ||
+						(!math.IsInf(da, 1) && da+w <= db)
+					if improves {
+						dirty[d], fullDest[d] = true, true
+						trees[d] = graph.ShortestPathTree(nextG, graph.NodeID(d), nil)
+					}
 				}
-			}
+			})
 			orders[e.A] = append(orders[e.A], graph.LinkID(nextG.NumLinks()-1))
 			orders[e.B] = append(orders[e.B], graph.LinkID(nextG.NumLinks()-1))
 		case graph.EditRemoveLink:
 			structural, renumbered = true, true
 			ensureOrders()
 			link := curG.Link(e.Link)
-			for d := 0; d < n; d++ {
-				tr := trees[d]
-				// Only an endpoint can have the removed link as its next
-				// hop; every path over the link goes through one that
-				// does. Unaffected trees survive with their link IDs
-				// shifted.
-				if tr.NextLink[link.A] == e.Link || tr.NextLink[link.B] == e.Link {
-					dirty[d], fullDest[d] = true, true
-					trees[d] = graph.ShortestPathTree(nextG, graph.NodeID(d), nil)
-				} else {
-					trees[d] = graph.RemapTreeLinks(tr, m)
+			par.For(n, workers, func(_, lo, hi int) {
+				for d := lo; d < hi; d++ {
+					tr := trees[d]
+					// Only an endpoint can have the removed link as its next
+					// hop; every path over the link goes through one that
+					// does. Unaffected trees survive with their link IDs
+					// shifted.
+					if tr.NextLink[link.A] == e.Link || tr.NextLink[link.B] == e.Link {
+						dirty[d], fullDest[d] = true, true
+						trees[d] = graph.ShortestPathTree(nextG, graph.NodeID(d), nil)
+					} else {
+						trees[d] = graph.RemapTreeLinks(tr, m)
+					}
 				}
-			}
+			})
 			for v := 0; v < n; v++ {
 				kept := orders[v][:0]
 				for _, l := range orders[v] {
@@ -331,20 +408,25 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 	}
 	fib.ddBits = quant.Bits()
 	fib.codec = CodecFor(fib.ddBits)
-	for _, dst := range dirtyList {
-		switch {
-		case structural:
-			fib.fillDest(dst, tbl, sys, quant, r.quantised)
-		case reranked[dst]:
-			fib.patchNextDarts(dst, r.tbl.Tree(dst), trees[dst], sys)
-			fib.fillDDColumn(dst, trees[dst], quant, r.quantised, r.disc == route.HopCount)
-		default:
-			// Unchanged discriminator column ⇒ the dd and ddQ entries are
-			// bit-identical already; only the moved next hops need
-			// rewriting.
-			fib.patchNextDarts(dst, r.tbl.Tree(dst), trees[dst], sys)
+	// Dirty columns are disjoint (one pointer-table stripe or dense
+	// stride per destination), so the patch pass fans out too.
+	par.For(len(dirtyList), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst := dirtyList[i]
+			switch {
+			case structural:
+				fib.fillDest(dst, tbl, sys, quant, r.quantised)
+			case reranked[dst]:
+				fib.patchNextDarts(dst, r.tbl.Tree(dst), trees[dst], sys)
+				fib.fillDDColumn(dst, trees[dst], quant, r.quantised, r.disc == route.HopCount)
+			default:
+				// Unchanged discriminator column ⇒ the dd and ddQ entries are
+				// bit-identical already; only the moved next hops need
+				// rewriting.
+				fib.patchNextDarts(dst, r.tbl.Tree(dst), trees[dst], sys)
+			}
 		}
-	}
+	})
 
 	var pq *core.Quantiser
 	if r.quantised {
@@ -356,7 +438,8 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 	}
 
 	r.stats.Applies++
-	r.stats.Edits += len(edits)
+	r.stats.Edits += origEdits
+	r.stats.CoalescedEdits += int64(coalesced)
 	r.stats.DirtyDests += int64(len(dirtyList))
 	r.g, r.sys, r.tbl, r.quant, r.fib = curG, sys, tbl, quant, fib
 	return &Delta{
@@ -404,12 +487,35 @@ func (r *Recompiler) ddColumnChanged(old, nt *graph.SPTree) bool {
 // patchNextDarts rewrites only the nextDart entries a repaired tree
 // actually moved. It is only sound when the destination's discriminator
 // column is proven unchanged (ddColumnChanged false) and the dart space
-// is intact: then dd and ddQ are bit-identical by construction.
+// is intact: then dd and ddQ are bit-identical by construction. In
+// shared-column mode this is the copy-on-write seam: only the pages
+// containing moved entries get private copies; every other page of the
+// column stays shared with the pre-edit FIB.
 func (f *FIB) patchNextDarts(dst graph.NodeID, old, nt *graph.SPTree, sys *rotation.System) {
 	if graph.SharedNextLink(old, nt) {
 		return
 	}
 	n := f.numNodes
+	if pg := f.pages; pg != nil {
+		private := make([]bool, pg.perCol)
+		for node := 0; node < n; node++ {
+			if old.NextLink[node] == nt.NextLink[node] {
+				continue
+			}
+			pi := node >> pg.pageBits
+			slot := int(dst)*pg.perCol + pi
+			if !private[pi] {
+				pg.nd[slot] = append([]int32(nil), pg.nd[slot]...)
+				private[pi] = true
+			}
+			if link := nt.NextLink[node]; link == graph.NoLink {
+				pg.nd[slot][node&pg.pageMask] = -1
+			} else {
+				pg.nd[slot][node&pg.pageMask] = int32(sys.OutgoingDart(graph.NodeID(node), link))
+			}
+		}
+		return
+	}
 	for node := 0; node < n; node++ {
 		if old.NextLink[node] == nt.NextLink[node] {
 			continue
@@ -430,6 +536,28 @@ func (f *FIB) patchNextDarts(dst graph.NodeID, old, nt *graph.SPTree, sys *rotat
 // route.Table.Reachable.
 func (f *FIB) fillDDColumn(dst graph.NodeID, tree *graph.SPTree, quant *core.Quantiser, quantised, hopDisc bool) {
 	n := f.numNodes
+	if pg := f.pages; pg != nil {
+		// Re-ranked column: rewrite it as fresh private pages. The raw
+		// dd pages only exist for non-quantised weight sums (every other
+		// mode derives dd from the rank), so their value is tree.Dist.
+		ddq := make([]uint16, n)
+		var dd []float64
+		if pg.dd != nil {
+			dd = make([]float64, n)
+		}
+		for node := 0; node < n; node++ {
+			ddq[node] = rank16(quant.Rank(graph.NodeID(node), dst))
+			if dd != nil {
+				if tree.Hops[node] < 0 {
+					dd[node] = math.Inf(1)
+				} else {
+					dd[node] = tree.Dist[node]
+				}
+			}
+		}
+		pg.adoptColumn(int(dst), n, nil, ddq, dd)
+		return
+	}
 	for node := 0; node < n; node++ {
 		idx := node*n + int(dst)
 		rank := quant.Rank(graph.NodeID(node), dst)
@@ -449,9 +577,35 @@ func (f *FIB) fillDDColumn(dst graph.NodeID, tree *graph.SPTree, quant *core.Qua
 
 // remapDarts rewrites the clean destinations' nextDart entries through a
 // link-ID mapping after a structural edit renumbered the dart space.
-// Dirty columns are skipped — fillDest rewrites them from scratch.
+// Dirty columns are skipped — fillDest rewrites them from scratch. In
+// shared-column mode each distinct page is remapped once and the result
+// re-shared across every slot that pointed at it, so the renumbered FIB
+// keeps the original's dedup factor; pages the map leaves untouched
+// keep aliasing the pre-edit FIB's pages.
 func (f *FIB) remapDarts(linkMap []graph.LinkID, dirty []bool) {
 	n := f.numNodes
+	if pg := f.pages; pg != nil {
+		seen := make(map[*int32][]int32)
+		for dst := 0; dst < n; dst++ {
+			if dirty[dst] {
+				continue
+			}
+			base := dst * pg.perCol
+			for pi := 0; pi < pg.perCol; pi++ {
+				old := pg.nd[base+pi]
+				if len(old) == 0 {
+					continue
+				}
+				np, ok := seen[&old[0]]
+				if !ok {
+					np = remapDartPage(old, linkMap)
+					seen[&old[0]] = np
+				}
+				pg.nd[base+pi] = np
+			}
+		}
+		return
+	}
 	for dst := 0; dst < n; dst++ {
 		if dirty[dst] {
 			continue
@@ -472,4 +626,29 @@ func (f *FIB) remapDarts(linkMap []graph.LinkID, dirty []bool) {
 			f.nextDart[idx] = int32(nl)<<1 | d&1
 		}
 	}
+}
+
+// remapDartPage maps one next-dart page through a link renumbering,
+// returning the original page untouched (preserving sharing with the
+// pre-edit FIB) when no entry changes.
+func remapDartPage(page []int32, linkMap []graph.LinkID) []int32 {
+	np := page
+	copied := false
+	for i, d := range page {
+		if d < 0 {
+			continue
+		}
+		v := int32(-1)
+		if nl := linkMap[d>>1]; nl != graph.NoLink {
+			v = int32(nl)<<1 | d&1
+		}
+		if v != d {
+			if !copied {
+				np = append([]int32(nil), page...)
+				copied = true
+			}
+			np[i] = v
+		}
+	}
+	return np
 }

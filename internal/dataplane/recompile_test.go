@@ -25,7 +25,10 @@ import (
 	"recycle/internal/route"
 )
 
-// fibsEqual compares every compiled table bit for bit.
+// fibsEqual compares every compiled table bit for bit. Entries are read
+// through the ndAt/ddAt/ddqAt accessors, so the comparison is
+// representation-independent: dense and shared-column FIBs compare equal
+// exactly when every (node, dst) entry matches.
 func fibsEqual(t *testing.T, ctx string, got, want *FIB) {
 	t.Helper()
 	if got.numNodes != want.numNodes || got.numLinks != want.numLinks {
@@ -35,15 +38,18 @@ func fibsEqual(t *testing.T, ctx string, got, want *FIB) {
 		t.Fatalf("%s: meta (%v,%d,%v) ≠ (%v,%d,%v)", ctx,
 			got.variant, got.ddBits, got.codec, want.variant, want.ddBits, want.codec)
 	}
-	for i := range want.nextDart {
-		if got.nextDart[i] != want.nextDart[i] {
-			t.Fatalf("%s: nextDart[%d] %d ≠ %d", ctx, i, got.nextDart[i], want.nextDart[i])
-		}
-		if math.Float64bits(got.dd[i]) != math.Float64bits(want.dd[i]) {
-			t.Fatalf("%s: dd[%d] %v ≠ %v", ctx, i, got.dd[i], want.dd[i])
-		}
-		if got.ddQ[i] != want.ddQ[i] {
-			t.Fatalf("%s: ddQ[%d] %d ≠ %d", ctx, i, got.ddQ[i], want.ddQ[i])
+	n := want.numNodes
+	for node := 0; node < n; node++ {
+		for dst := 0; dst < n; dst++ {
+			if got.ndAt(node, dst) != want.ndAt(node, dst) {
+				t.Fatalf("%s: nextDart[%d,%d] %d ≠ %d", ctx, node, dst, got.ndAt(node, dst), want.ndAt(node, dst))
+			}
+			if math.Float64bits(got.ddAt(node, dst)) != math.Float64bits(want.ddAt(node, dst)) {
+				t.Fatalf("%s: dd[%d,%d] %v ≠ %v", ctx, node, dst, got.ddAt(node, dst), want.ddAt(node, dst))
+			}
+			if got.ddqAt(node, dst) != want.ddqAt(node, dst) {
+				t.Fatalf("%s: ddQ[%d,%d] %d ≠ %d", ctx, node, dst, got.ddqAt(node, dst), want.ddqAt(node, dst))
+			}
 		}
 	}
 	for d := range want.faceNext {
@@ -147,6 +153,9 @@ func TestRecompilerDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// Force fan-out: these graphs sit below the automatic parallel
+		// floor, and the differential must cover the concurrent paths.
+		rec.SetWorkers(4)
 		for step := 0; step < 6; step++ {
 			// Batches of 1–3 edits exercise sequential in-batch composition.
 			var edits []graph.Edit
@@ -171,6 +180,26 @@ func TestRecompilerDifferential(t *testing.T) {
 			d, err := rec.Apply(edits...)
 			if err != nil {
 				t.Fatalf("seed %d step %d edits %v: %v", seed, step, edits, err)
+			}
+			if d == nil {
+				// The batch coalesced to a net no-op (e.g. a link added
+				// and removed again). Verify the claim: replaying the
+				// batch must land exactly back on the current graph.
+				after, _, aerr := graph.ApplyEdits(rec.Graph(), edits)
+				if aerr != nil {
+					t.Fatalf("%s: no-op delta but replay errors: %v", testCtx(seed, step, edits), aerr)
+				}
+				if after.NumLinks() != rec.Graph().NumLinks() {
+					t.Fatalf("%s: no-op delta but link count changed", testCtx(seed, step, edits))
+				}
+				for l := 0; l < after.NumLinks(); l++ {
+					if after.Link(graph.LinkID(l)) != rec.Graph().Link(graph.LinkID(l)) {
+						t.Fatalf("%s: no-op delta but link %d differs", testCtx(seed, step, edits), l)
+					}
+				}
+				applies++
+				editsTotal += len(edits)
+				continue
 			}
 			applies++
 			editsTotal += len(edits)

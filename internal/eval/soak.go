@@ -1141,10 +1141,11 @@ func WriteSoakReport(w io.Writer, r *SoakResult) {
 	fmt.Fprintf(w, "alloc       %12d B (%.1f B/decision), %d mallocs, %d GCs\n",
 		r.AllocBytes, perDecision, r.Mallocs, r.NumGC)
 	if r.Aggregate != nil {
-		fmt.Fprintf(w, "gauges      calendar-lag %v, peak tx backlog %v, heap %d B\n",
+		fmt.Fprintf(w, "gauges      calendar-lag %v, peak tx backlog %v, heap %d B, fib %d B\n",
 			time.Duration(r.Aggregate.Gauge(MetricSoakLagNs)),
 			time.Duration(r.Aggregate.Gauge(MetricSoakTxBacklogNs)),
-			r.Aggregate.Gauge(MetricSoakHeapBytes))
+			r.Aggregate.Gauge(MetricSoakHeapBytes),
+			r.Aggregate.Gauge(dataplane.MetricFIBMemBytes))
 	}
 
 	fmt.Fprintf(w, "\n%-5s %-12s %-12s %-40s %9s %9s %8s %6s %5s %6s %7s\n",

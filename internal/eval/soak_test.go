@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"recycle/internal/dataplane"
 	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
@@ -45,6 +46,10 @@ func soakIdentities(t *testing.T, r *SoakResult) {
 	}
 	if agg := r.Aggregate.Counter(MetricSoakViolation); agg != r.Violations {
 		t.Fatalf("aggregate counter %s = %d; result says %d", MetricSoakViolation, agg, r.Violations)
+	}
+	if mem := r.Aggregate.Gauge(dataplane.MetricFIBMemBytes); mem <= 0 {
+		t.Fatalf("%s gauge = %d; the engine publishes resident FIB bytes at start and every swap",
+			dataplane.MetricFIBMemBytes, mem)
 	}
 }
 

@@ -1,0 +1,91 @@
+// Package par provides the deterministic fan-out primitive used by the
+// compile path: a static block partition of an index range across worker
+// goroutines.
+//
+// The partition is contiguous and depends only on (n, workers), never on
+// scheduling, so any computation whose per-index work writes disjoint
+// state produces bit-identical results at every worker count — the
+// property the parallel FIB compiler's differential harnesses prove.
+// This is the same sharding idiom the dataplane engine uses for its
+// worker rings, lifted out so the compiler, quantiser and recompiler can
+// share it.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minFanOut is the index-range size below which Workers refuses to fan
+// out: under ~64 items the goroutine handoff costs more than the work.
+const minFanOut = 64
+
+// Workers returns the worker count Auto mode uses for n independent
+// items: GOMAXPROCS capped so every worker gets a meaningful span, and 1
+// (sequential) when n is below the fan-out floor.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if n < minFanOut || w < 2 {
+		return 1
+	}
+	if max := n / (minFanOut / 2); w > max {
+		w = max
+	}
+	return w
+}
+
+// For runs fn over the contiguous spans of a static partition of [0, n)
+// into `workers` blocks, one goroutine per block, and waits for all of
+// them. fn(worker, lo, hi) processes indices [lo, hi) and must only
+// write state that is disjoint per index (or per worker, for scratch
+// keyed by the worker number). workers <= 0 selects Workers(n); an
+// explicit workers == 1 — or n too small to split — runs fn inline with
+// no goroutines. A panic in any worker is re-raised on the caller after
+// the remaining workers finish, so partial fan-outs never leak.
+func For(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers(n)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	span := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked any
+	for w := 0; w < workers; w++ {
+		lo := w * span
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

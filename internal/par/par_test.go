@@ -1,0 +1,102 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce fans out at several worker counts and
+// checks the static partition covers [0, n) exactly once.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, w := range []int{0, 1, 2, 3, 8, 200} {
+			hits := make([]int32, n)
+			For(n, w, func(_, lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("n=%d w=%d: bad span [%d,%d)", n, w, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestForWorkerNumbersAreDistinct checks each span sees a distinct
+// worker number inside [0, workers) — per-worker scratch relies on it.
+func TestForWorkerNumbersAreDistinct(t *testing.T) {
+	const n, workers = 100, 7
+	seen := make([]int32, workers)
+	For(n, workers, func(w, lo, hi int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker %d out of range", w)
+			return
+		}
+		atomic.AddInt32(&seen[w], 1)
+	})
+	for w, c := range seen {
+		if c > 1 {
+			t.Fatalf("worker %d ran %d spans; spans must not share numbers", w, c)
+		}
+	}
+}
+
+// TestForPartitionIsDeterministic pins that the span boundaries depend
+// only on (n, workers) — the basis for bit-identical parallel output
+// whenever downstream state is keyed by worker number.
+func TestForPartitionIsDeterministic(t *testing.T) {
+	want := map[int][2]int{}
+	span := (1000 + 7) / 8
+	for w := 0; w < 8; w++ {
+		lo, hi := w*span, (w+1)*span
+		if hi > 1000 {
+			hi = 1000
+		}
+		want[w] = [2]int{lo, hi}
+	}
+	got := map[int][2]int{}
+	ch := make(chan [3]int, 8)
+	For(1000, 8, func(w, lo, hi int) { ch <- [3]int{w, lo, hi} })
+	close(ch)
+	for s := range ch {
+		got[s[0]] = [2]int{s[1], s[2]}
+	}
+	for w, sp := range want {
+		if got[w] != sp {
+			t.Fatalf("worker %d span %v, want %v", w, got[w], sp)
+		}
+	}
+}
+
+// TestForPanicPropagates checks a worker panic surfaces on the caller
+// after the fan-out drains.
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(200, 4, func(_, lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For returned despite worker panic")
+}
+
+// TestWorkersFloor pins the sequential floor: small ranges never fan out.
+func TestWorkersFloor(t *testing.T) {
+	if w := Workers(minFanOut - 1); w != 1 {
+		t.Fatalf("Workers(%d) = %d, want 1", minFanOut-1, w)
+	}
+	if w := Workers(1 << 20); w > runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers huge = %d exceeds GOMAXPROCS", w)
+	}
+}

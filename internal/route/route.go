@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"recycle/internal/graph"
+	"recycle/internal/par"
 )
 
 // Discriminator selects the distance-discriminator function stored beside
@@ -47,12 +48,24 @@ type Table struct {
 }
 
 // Build computes routing tables for every destination of g using Dijkstra
-// with deterministic tie-breaking.
+// with deterministic tie-breaking. Destinations are independent, so the
+// builds fan out across GOMAXPROCS workers; each tree is a canonical
+// function of (g, destination) alone, so the result is bit-identical to
+// a sequential build at any worker count.
 func Build(g *graph.Graph, disc Discriminator) *Table {
+	return BuildWorkers(g, disc, 0)
+}
+
+// BuildWorkers is Build with an explicit worker count: 0 picks the
+// automatic fan-out, 1 forces the sequential build (the differential
+// harnesses compare the two).
+func BuildWorkers(g *graph.Graph, disc Discriminator, workers int) *Table {
 	t := &Table{g: g, disc: disc, trees: make([]*graph.SPTree, g.NumNodes())}
-	for d := 0; d < g.NumNodes(); d++ {
-		t.trees[d] = graph.ShortestPathTree(g, graph.NodeID(d), nil)
-	}
+	par.For(g.NumNodes(), workers, func(_, lo, hi int) {
+		for d := lo; d < hi; d++ {
+			t.trees[d] = graph.ShortestPathTree(g, graph.NodeID(d), nil)
+		}
+	})
 	return t
 }
 

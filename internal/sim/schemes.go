@@ -167,6 +167,9 @@ func (c *CompiledPRScheme) TopologyUpdated(s *Simulator, edits []graph.Edit) {
 	if err != nil {
 		panic(fmt.Sprintf("sim: delta recompile failed: %v", err))
 	}
+	if d == nil {
+		return // the batch netted out to nothing; current FIB stands
+	}
 	c.FIB = d.FIB
 	c.state = dataplane.FromFailureSet(d.Graph.NumLinks(), s.KnownFailures())
 }

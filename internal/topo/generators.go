@@ -275,6 +275,8 @@ func Generated(spec string) (Topology, error) {
 			}
 		}
 		return Rand(n, seed), nil
+	case "isp":
+		return LoadMeasured(arg)
 	}
-	return Topology{}, fmt.Errorf("topo: unknown generator %q (want ring, wring, grid, chain or rand)", kind)
+	return Topology{}, fmt.Errorf("topo: unknown generator %q (want ring, wring, grid, chain, rand or isp:<path>)", kind)
 }

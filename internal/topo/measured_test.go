@@ -1,0 +1,111 @@
+package topo
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"recycle/internal/graph"
+)
+
+const sampleMeasured = `# three-PoP toy export
+node NYC 40.71 -74.01
+node LON 51.51 -0.13
+node PAR 48.86 2.35
+
+link NYC LON
+link LON PAR 7.5
+link PAR NYC
+`
+
+func TestParseMeasured(t *testing.T) {
+	tp, err := ParseMeasured("toy", strings.NewReader(sampleMeasured))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tp.Graph
+	if g.NumNodes() != 3 || g.NumLinks() != 3 {
+		t.Fatalf("got %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	// IDs follow declaration order.
+	for i, want := range []string{"NYC", "LON", "PAR"} {
+		if got := g.Name(graph.NodeID(i)); got != want {
+			t.Fatalf("node %d = %q, want %q", i, got, want)
+		}
+	}
+	// Unweighted links with placed endpoints get great-circle km.
+	nycLon := g.FindLink(0, 1)
+	if w := g.Weight(nycLon); w < 5000 || w > 6000 {
+		t.Fatalf("NYC–LON weight %v, want ~5570 km", w)
+	}
+	// Explicit weights pass through.
+	if w := g.Weight(g.FindLink(1, 2)); w != 7.5 {
+		t.Fatalf("LON–PAR weight %v, want 7.5", w)
+	}
+}
+
+func TestParseMeasuredErrors(t *testing.T) {
+	for _, tc := range []struct{ name, in, wantErr string }{
+		{"unknown-directive", "edge a b", "unknown directive"},
+		{"dup-node", "node a\nnode a", "duplicate node"},
+		{"undeclared", "node a\nlink a b", "undeclared node"},
+		{"bad-weight", "node a\nnode b\nlink a b nope", "bad weight"},
+		{"bad-coords", "node a 1 x", "bad coordinates"},
+		{"empty", "# nothing\n", "no nodes"},
+	} {
+		_, err := ParseMeasured(tc.name, strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestLoadMeasuredSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "toy.topo")
+	if err := os.WriteFile(path, []byte(sampleMeasured), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := ByName("isp:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Name != "toy" {
+		t.Fatalf("name %q, want toy (base name, suffix stripped)", tp.Name)
+	}
+	if tp.Graph.NumLinks() != 3 {
+		t.Fatalf("links %d", tp.Graph.NumLinks())
+	}
+	if _, err := ByName("isp:/no/such/file.topo"); err == nil {
+		t.Fatal("missing file: want error")
+	}
+}
+
+// TestBigGenerators pins the scale workloads the compile benchmarks rely
+// on: rand:2000 and grid:40x50 must build (and stay 2-edge-connected for
+// rand, which the resilience guarantee needs).
+func TestBigGenerators(t *testing.T) {
+	tp, err := Generated("rand:2000@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Graph.NumNodes() != 2000 {
+		t.Fatalf("rand nodes %d", tp.Graph.NumNodes())
+	}
+	if tp.Graph.NumLinks() <= 2000 {
+		t.Fatalf("rand links %d, want cycle + chords", tp.Graph.NumLinks())
+	}
+	if len(graph.Bridges(tp.Graph)) != 0 {
+		t.Fatal("rand:2000 has bridges")
+	}
+	tp, err = Generated("grid:40x50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Graph.NumNodes() != 2000 {
+		t.Fatalf("grid nodes %d", tp.Graph.NumNodes())
+	}
+	if tp.Embedding == nil {
+		t.Fatal("grid ships its canonical embedding")
+	}
+}

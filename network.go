@@ -172,6 +172,10 @@ func (n *Network) Compile() (*FIB, error) {
 // edited graph (differential-tested in internal/dataplane).
 //
 // n itself is unchanged and remains fully usable.
+//
+// An edit set with no net effect — empty, or one that cancels out, like
+// a link added and removed in the same batch — returns (n, nil, nil):
+// the network is its own result and there is nothing to swap.
 func (n *Network) Update(edits ...Edit) (*Network, *TopologyDelta, error) {
 	fib, err := n.Compile()
 	if err != nil {
@@ -184,6 +188,9 @@ func (n *Network) Update(edits ...Edit) (*Network, *TopologyDelta, error) {
 	d, err := rec.Apply(edits...)
 	if err != nil {
 		return nil, nil, err
+	}
+	if d == nil {
+		return n, nil, nil
 	}
 	basic, err := core.New(d.Graph, d.System, d.Table, core.Config{Variant: Basic})
 	if err != nil {

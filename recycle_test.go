@@ -313,6 +313,19 @@ func TestUpdateFacade(t *testing.T) {
 	if res := n3.RouteIDs(den, kc, nil); !res.Delivered() || res.Hops() != 1 {
 		t.Fatalf("bypass link unused: %+v", res.Path())
 	}
+
+	// The documented no-op contract: an empty edit set — or one that
+	// cancels out — returns the network itself with a nil delta.
+	n4, d4, err := n3.Update()
+	if err != nil || n4 != n3 || d4 != nil {
+		t.Fatalf("empty Update = (%p, %v, %v); want (%p, nil, nil)", n4, d4, err, n3)
+	}
+	bypass := n3.Graph().FindLink(den, kc)
+	added := LinkID(n3.Graph().NumLinks()) // adds append at the end
+	n5, d5, err := n3.Update(AddLink(den, NodeID(0), 10), RemoveLink(added), SetWeight(bypass, n3.Graph().Weight(bypass)))
+	if err != nil || n5 != n3 || d5 != nil {
+		t.Fatalf("cancelling Update = (%p, %v, %v); want the original network back", n5, d5, err)
+	}
 }
 
 func TestEngineFacade(t *testing.T) {
