@@ -48,9 +48,9 @@ func benchFigure(b *testing.B, id string, scenarios int) {
 		}
 	}
 	xs := []float64{5}
-	for _, scheme := range []eval.Scheme{eval.Reconvergence, eval.FCP, eval.PR} {
+	for _, scheme := range []eval.SchemeID{eval.Reconvergence, eval.FCP, eval.PR} {
 		sr := exp.SeriesFor(scheme)
-		tag := map[eval.Scheme]string{
+		tag := map[eval.SchemeID]string{
 			eval.Reconvergence: "reconv", eval.FCP: "fcp", eval.PR: "pr",
 		}[scheme]
 		b.ReportMetric(sr.MeanStretch(), tag+"-mean-stretch")
@@ -284,7 +284,7 @@ func BenchmarkEmbedderAblation(b *testing.B) {
 				var err error
 				exp, err = eval.Run(eval.Spec{
 					Topology: tp,
-					Schemes:  []eval.Scheme{eval.PR},
+					Schemes:  []eval.SchemeID{eval.PR},
 					Failures: graph.SingleFailureScenarios(tp.Graph),
 					Embedder: tc.e,
 				})
@@ -316,7 +316,7 @@ func BenchmarkDiscriminatorAblation(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				exp, err = eval.Run(eval.Spec{
 					Topology:      tp,
-					Schemes:       []eval.Scheme{eval.PR},
+					Schemes:       []eval.SchemeID{eval.PR},
 					Failures:      failures,
 					Discriminator: tc.d,
 				})

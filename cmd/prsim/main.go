@@ -1,73 +1,49 @@
-// Command prsim regenerates the paper's evaluation artefacts from the
-// command line:
+// Command prsim regenerates the paper's evaluation artefacts and drives
+// the compiled dataplane from the command line. The primary interface is
+// subcommands sharing the global flags -topo, -seed and -metrics:
+//
+//	prsim certify                       # k-failure certificates, default panel
+//	prsim certify -topo ring:24 -k 3    # one topology, deeper adversary
+//	prsim certify -baseline             # the reconvergence control arm
+//	prsim resilience -draws 100         # Monte-Carlo sweep, losses refereed
+//	prsim resilience -topo ring:24 -certify-pins 2
+//	prsim resilience -trace -topo ring:24
+//	prsim soak -flows 200000 -duration 2m
+//	prsim compile -topo rand:2000       # compile-scaling report
+//	prsim churn -edits 10               # full-vs-delta recompile + live hot-swap
+//	prsim throughput -topo geant -shards 4
+//	prsim throughput -topo ring:24 -wire
+//
+// `prsim certify` runs the adversarial failure search of internal/certify
+// over the topology panel and prints one resilience certificate per
+// topology: either "provably zero violations for every failure set of ≤k
+// elements" or the minimal counterexamples with their refereed violating
+// walks. A non-baseline run exits non-zero unless every topology
+// certifies, so CI can gate directly on the command. `prsim resilience
+// -certify-pins k` closes the loop: it first certifies the reconvergence
+// baseline on -topo, then replays every counterexample as a pinned extra
+// draw of the Monte-Carlo sweep — PR must survive the sets that break
+// reconvergence.
+//
+// One global -seed makes every mode reproducible; -metrics serves live
+// JSON registry snapshots over HTTP while any metered mode runs. -topo
+// accepts built-in names and generator specs (ring:24, wring:16@7,
+// grid:4x8, chain:12, rand:24@7).
+//
+// The paper's figure panels keep their flag form:
 //
 //	prsim -fig 2a              # one Figure 2 panel (CCDF data table)
 //	prsim -all                 # all six panels
 //	prsim -overheads           # the §6 overhead comparison table
 //	prsim -losswindow          # the §1 loss-window experiment
-//	prsim -fig 2e -scenarios 500 -seed 7
-//
-// and exercises the compiled dataplane:
-//
-//	prsim -losswindow -dataplane compiled       # PR on the compiled FIB
-//	prsim -throughput -topo geant -shards 4     # engine decide + egress rates
-//	prsim -throughput -topo ring:24 -wire       # wire frames/sec (codec auto)
-//
-// Traffic is pluggable (package traffic): -traffic drives the
-// loss-window flow with a Poisson, MMPP-burst or replayed process, and
-// -trafficloss compares the schemes over a whole panel of mixes:
-//
 //	prsim -losswindow -traffic poisson:rate=2430
-//	prsim -losswindow -traffic mmpp:on=12150,off=0,dwell=20ms/80ms
-//	prsim -losswindow -traffic replay:trace.txt
-//	prsim -trafficloss -topo abilene            # fixed/poisson/mmpp/pareto panel
+//	prsim -trafficloss -topo abilene
+//	prsim -embedding-ablation geant
 //
-// -throughput always reports both the decide-only rate and the
-// end-to-end rate through the egress stage (per-dart paced transmit
-// queues, -egress-bw per-link bandwidth), with queue drops counted.
-//
-// The Monte-Carlo resilience harness quantifies the paper's headline
-// claim — zero loss under any failure combination that leaves the pair
-// connected — by sweeping seeded failure-scenario draws over a topology
-// panel, PR against the reconvergence baseline, with every loss refereed
-// by a connectivity oracle:
-//
-//	prsim -resilience                           # default panel, 50 draws each
-//	prsim -resilience -topo ring:24 -draws 100
-//	prsim -resilience -scenario mtbf:up=2s,down=300ms+srlg:links=0;1,at=1s
-//	prsim -resilience -scenario @storms.txt     # scripted scenario file
-//
-// The telemetry surface (package telemetry) is reachable from the same
-// binary: -trace replays one resilience draw with the per-packet flight
-// recorder armed and prints a recycled packet's explained cycle walk
-// plus the per-epoch counter timeline (whose summed deltas are verified
-// to equal the aggregate exactly), and -metrics serves live JSON
-// registry snapshots over HTTP while any metered mode runs:
-//
-//	prsim -resilience -trace -topo ring:24      # explain one cycle walk
-//	prsim -throughput -metrics localhost:6060   # then: curl :6060/metrics
-//
-// The soak harness runs the whole stack at once for a sustained period:
-// hundreds of thousands of concurrent -traffic flows through the live
-// sharded engine and its egress queues, under a continuous -scenario
-// failure process and a stream of control-plane hot-swaps, with every
-// loss refereed and the per-epoch telemetry timeline verified exact.
-// The report ends in a greppable "verdict: PASS|FAIL" line and a
-// failing verdict exits non-zero:
-//
-//	prsim -soak                                 # 100k flows, 30s, geant
-//	prsim -soak -topo grid:8x8 -flows 200000 -duration 2m
-//	prsim -soak -duration 45s -swap-every 3s -metrics localhost:6060
-//
-// One global -seed flag makes every panel reproducible: it seeds the
-// figure scenario sampling, -traffic sources (unless the spec pins its
-// own seed=), the -churn edit draw and the -resilience Monte-Carlo
-// draws. 0 keeps each panel's documented default.
-//
-// -topo accepts the built-in names and generator specs (ring:24,
-// wring:16@7, grid:4x8, chain:12, rand:24@7) for large-diameter
-// workloads, where Compile selects the IPv6 flow-label codec
-// automatically.
+// The previous release's flat mode flags (-resilience, -soak, -churn,
+// -compile, -throughput, -trafficloss) still work for one more release;
+// each prints the equivalent subcommand invocation on stderr before
+// running.
 //
 // Output is plain text suitable for gnuplot or column(1).
 package main
@@ -98,7 +74,251 @@ import (
 	"recycle/internal/traffic"
 )
 
+// defaultPanel is the three-family genus-0 panel certify and resilience
+// sweep when -topo does not narrow them: ring, grid and random — three
+// structurally different regimes.
+var defaultPanel = []string{"ring:24", "grid:4x8", "rand:24@7"}
+
+// subcommands maps each verb to its runner. The flat legacy flags map
+// onto the same runners via legacyMain.
+var subcommands = map[string]func(args []string) error{
+	"certify":    cmdCertify,
+	"resilience": cmdResilience,
+	"soak":       cmdSoak,
+	"compile":    cmdCompile,
+	"churn":      cmdChurn,
+	"throughput": cmdThroughput,
+}
+
 func main() {
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		run, ok := subcommands[os.Args[1]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "prsim: unknown command %q (have: certify, resilience, soak, compile, churn, throughput)\n", os.Args[1])
+			os.Exit(2)
+		}
+		if err := run(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	legacyMain()
+}
+
+// globals binds the flags every subcommand shares — the topology, the
+// master seed and the optional live metrics address — to one FlagSet.
+type globals struct {
+	fs      *flag.FlagSet
+	topo    *string
+	seed    *int64
+	metrics *string
+	// reg is non-nil after parse when -metrics named an address.
+	reg *telemetry.Registry
+}
+
+func newGlobals(verb, defTopo string) *globals {
+	fs := flag.NewFlagSet("prsim "+verb, flag.ExitOnError)
+	g := &globals{fs: fs}
+	g.topo = fs.String("topo", defTopo, "topology: built-in name or generator spec (ring:24, grid:4x8, rand:24@7)")
+	g.seed = fs.Int64("seed", 0, "master seed (0 = the mode's documented default); every derived stream sub-seeds from it")
+	g.metrics = fs.String("metrics", "", "serve telemetry JSON snapshots on this address while the run executes (e.g. localhost:6060)")
+	return g
+}
+
+func (g *globals) parse(args []string) error {
+	if err := g.fs.Parse(args); err != nil {
+		return err
+	}
+	if *g.metrics != "" {
+		g.reg = telemetry.NewRegistry()
+		srv, err := telemetry.Serve(*g.metrics, g.reg)
+		if err != nil {
+			return fmt.Errorf("-metrics %s: %w", *g.metrics, err)
+		}
+		fmt.Printf("# telemetry: serving JSON snapshots on http://%s/metrics\n", srv.Addr)
+	}
+	return nil
+}
+
+// topoSet reports whether -topo was given explicitly (its default is a
+// fallback, not a panel narrowing).
+func (g *globals) topoSet() bool {
+	set := false
+	g.fs.Visit(func(f *flag.Flag) { set = set || f.Name == "topo" })
+	return set
+}
+
+func (g *globals) seedOr(def int64) int64 {
+	if *g.seed != 0 {
+		return *g.seed
+	}
+	return def
+}
+
+func parseElementMode(s string) (failure.ElementMode, error) {
+	switch s {
+	case "links":
+		return failure.LinkFailures, nil
+	case "nodes":
+		return failure.NodeFailures, nil
+	case "both", "links+nodes":
+		return failure.LinkAndNodeFailures, nil
+	}
+	return 0, fmt.Errorf("unknown -mode %q (want links, nodes or both)", s)
+}
+
+// cmdCertify is the adversarial search: one resilience certificate per
+// panel topology. Without -baseline the command exits non-zero unless
+// every topology certifies clean, so CI gates on the command itself as
+// well as the greppable headline.
+func cmdCertify(args []string) error {
+	g := newGlobals("certify", "")
+	k := g.fs.Int("k", 2, "maximum simultaneous element failures to certify against")
+	mode := g.fs.String("mode", "links", "element universe: links, nodes or both")
+	baseline := g.fs.Bool("baseline", false, "certify the reconvergence baseline instead of compiled PR — the control arm that is expected to yield counterexamples")
+	workers := g.fs.Int("workers", 0, "per-destination search fan-out (0 = auto)")
+	restarts := g.fs.Int("restarts", 0, "annealing restarts for the guided search (0 = default)")
+	iters := g.fs.Int("iters", 0, "annealing iterations per restart (0 = default)")
+	if err := g.parse(args); err != nil {
+		return err
+	}
+	names := defaultPanel
+	if g.topoSet() {
+		names = []string{*g.topo}
+	}
+	m, err := parseElementMode(*mode)
+	if err != nil {
+		return err
+	}
+	cfg := eval.CertifyConfig{
+		Panel:    eval.Panel{Topologies: names, Seed: g.seedOr(1), Metrics: g.reg},
+		K:        *k,
+		Mode:     m,
+		Baseline: *baseline,
+		Workers:  *workers,
+		Restarts: *restarts,
+		Iters:    *iters,
+	}
+	certs, err := eval.WriteCertifyReport(os.Stdout, cfg)
+	if err != nil {
+		return err
+	}
+	if !*baseline {
+		for _, c := range certs {
+			if !c.Certified {
+				return fmt.Errorf("certification failed: %s", c.Headline())
+			}
+		}
+	}
+	return nil
+}
+
+func cmdResilience(args []string) error {
+	g := newGlobals("resilience", "ring:24")
+	draws := g.fs.Int("draws", 0, "scenario draws per topology (default 50)")
+	scenario := g.fs.String("scenario", "", "failure process spec (failure.ParseScenario grammar; @path loads a scripted scenario file)")
+	trace := g.fs.Bool("trace", false, "replay one draw with the flight recorder armed and print a recycled packet's explained cycle walk plus the per-epoch counter timeline")
+	pins := g.fs.Int("certify-pins", 0, "certify the reconvergence baseline at this k on -topo first and replay its counterexamples as pinned extra draws (requires -topo)")
+	if err := g.parse(args); err != nil {
+		return err
+	}
+	if *trace {
+		return runTrace(*g.topo, g.topoSet(), *scenario, *draws, g.seedOr(1), g.reg)
+	}
+	return runResilience(*g.topo, g.topoSet(), *scenario, *draws, g.seedOr(1), *pins)
+}
+
+func cmdSoak(args []string) error {
+	g := newGlobals("soak", "geant")
+	flows := g.fs.Int("flows", 0, "concurrent flow count (default 100000)")
+	duration := g.fs.Duration("duration", 0, "emission window (default 30s)")
+	swapEvery := g.fs.Duration("swap-every", 0, "hot-swap interval (default duration/12)")
+	trafficArg := g.fs.String("traffic", "", "traffic source spec for the flows (poisson:…, mmpp:…, replay:path, fixed:…)")
+	scenario := g.fs.String("scenario", "", "failure process spec (@path loads a scripted scenario file)")
+	shards := g.fs.Int("shards", 0, "engine shard count (0 = auto)")
+	batch := g.fs.Int("batch", 0, "packets per batch (0 = default)")
+	egressBw := g.fs.Float64("egress-bw", 0, "per-link egress bandwidth in bps (0 = default)")
+	if err := g.parse(args); err != nil {
+		return err
+	}
+	return runSoak(*g.topo, *scenario, eval.SoakConfig{
+		Panel:        eval.Panel{Seed: g.seedOr(1), Metrics: g.reg},
+		Flows:        *flows,
+		Duration:     *duration,
+		Traffic:      *trafficArg,
+		SwapEvery:    *swapEvery,
+		Shards:       *shards,
+		BatchSize:    *batch,
+		BandwidthBps: *egressBw,
+	})
+}
+
+func cmdCompile(args []string) error {
+	g := newGlobals("compile", "geant")
+	if err := g.parse(args); err != nil {
+		return err
+	}
+	return runCompile(*g.topo, g.seedOr(1))
+}
+
+func cmdChurn(args []string) error {
+	g := newGlobals("churn", "geant")
+	edits := g.fs.Int("edits", 10, "random weight edits per topology")
+	if err := g.parse(args); err != nil {
+		return err
+	}
+	return runChurn(*g.topo, *edits, g.seedOr(1), g.reg)
+}
+
+func cmdThroughput(args []string) error {
+	g := newGlobals("throughput", "geant")
+	shards := g.fs.Int("shards", 0, "engine shard count (0 = auto)")
+	packets := g.fs.Int("packets", 2_000_000, "decision count")
+	batch := g.fs.Int("batch", 256, "packets per batch")
+	wire := g.fs.Bool("wire", false, "run raw packet bytes through ForwardWire (codec per topology)")
+	egressBw := g.fs.Float64("egress-bw", 100e9, "per-link egress bandwidth in bps for the end-to-end phase")
+	trafficArg := g.fs.String("traffic", "", "traffic source spec; its size distribution shapes abstract packets")
+	if err := g.parse(args); err != nil {
+		return err
+	}
+	var src traffic.Source
+	if *trafficArg != "" {
+		var err error
+		if src, err = traffic.ParseSpecSeeded(*trafficArg, g.seedOr(1)); err != nil {
+			return err
+		}
+	}
+	return runThroughput(*g.topo, *shards, *packets, *batch, *wire, *egressBw, src, g.seedOr(1), g.reg)
+}
+
+// legacyShim prints the subcommand invocation equivalent to the flat
+// mode flags just parsed — the one-release migration breadcrumb.
+func legacyShim(verb string, drop ...string) {
+	skip := map[string]bool{verb: true}
+	for _, f := range drop {
+		skip[f] = true
+	}
+	parts := []string{"prsim", verb}
+	flag.Visit(func(f *flag.Flag) {
+		if skip[f.Name] {
+			return
+		}
+		if f.Value.String() == "true" {
+			if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok && b.IsBoolFlag() {
+				parts = append(parts, "-"+f.Name)
+				return
+			}
+		}
+		parts = append(parts, "-"+f.Name, f.Value.String())
+	})
+	fmt.Fprintf(os.Stderr, "prsim: flat mode flags are deprecated and will be removed next release; use: %s\n", strings.Join(parts, " "))
+}
+
+// legacyMain is the previous release's flat-flag interface, kept for one
+// release. Modes with a subcommand equivalent print it via legacyShim
+// before running; the figure/overhead/loss-window panels remain
+// flag-only.
+func legacyMain() {
 	var (
 		figID      = flag.String("fig", "", "figure panel to regenerate (2a..2f)")
 		all        = flag.Bool("all", false, "regenerate every Figure 2 panel")
@@ -109,24 +329,24 @@ func main() {
 		seed       = flag.Int64("seed", 0, "global seed: figures, -traffic sources, -churn edits and -resilience draws all honour it (0 = each panel's default)")
 		unit       = flag.Bool("unit-weights", false, "use hop-count link weights instead of distances")
 		plane      = flag.String("dataplane", "interpreted", "PR forwarding engine: interpreted (core.Protocol) or compiled (dataplane FIB)")
-		throughput = flag.Bool("throughput", false, "measure compiled-dataplane decisions/sec")
-		topoName   = flag.String("topo", "geant", "topology for -throughput (built-in name or generator spec like ring:24)")
-		shards     = flag.Int("shards", 0, "engine shard count for -throughput (0 = auto)")
+		throughput = flag.Bool("throughput", false, "deprecated: use `prsim throughput`")
+		topoName   = flag.String("topo", "geant", "topology (built-in name or generator spec like ring:24)")
+		shards     = flag.Int("shards", 0, "engine shard count (0 = auto)")
 		packets    = flag.Int("packets", 2_000_000, "decision count for -throughput")
 		batchSize  = flag.Int("batch", 256, "packets per batch for -throughput")
 		wire       = flag.Bool("wire", false, "-throughput on raw packet bytes through ForwardWire (codec per topology)")
 		trafficArg = flag.String("traffic", "", "traffic source spec (poisson:rate=2430, mmpp:on=…,dwell=…, replay:path, fixed:rate=…) for -losswindow; sizes abstract -throughput packets")
 		trafficMix = flag.Bool("trafficloss", false, "run the loss-window experiment over a panel of traffic mixes")
 		egressBw   = flag.Float64("egress-bw", 100e9, "per-link egress bandwidth in bps for -throughput's end-to-end phase")
-		churn      = flag.Bool("churn", false, "topology-churn report: full vs delta recompile latency, plus a live engine hot-swap loss check")
+		churn      = flag.Bool("churn", false, "deprecated: use `prsim churn`")
 		churnEdits = flag.Int("edits", 10, "random weight edits per topology for -churn")
-		resilience = flag.Bool("resilience", false, "Monte-Carlo resilience sweep: seeded failure-scenario draws, PR vs reconvergence, losses refereed by the connectivity oracle")
+		resilience = flag.Bool("resilience", false, "deprecated: use `prsim resilience`")
 		scenario   = flag.String("scenario", "", "failure process spec for -resilience (failure.ParseScenario grammar; @path loads a scripted scenario file)")
 		draws      = flag.Int("draws", 0, "scenario draws per topology for -resilience (default 50)")
 		metrics    = flag.String("metrics", "", "serve the telemetry registry as JSON on this address while the run executes (e.g. localhost:6060)")
 		trace      = flag.Bool("trace", false, "with -resilience: arm the flight recorder on one traced draw and print a recycled packet's explained cycle walk plus the per-epoch counter timeline")
-		compileRpt = flag.Bool("compile", false, "compile-scaling report for -topo: sequential vs parallel pipeline time per phase, dense vs shared-column FIB memory, delta and coalesced-batch apply latency")
-		soak       = flag.Bool("soak", false, "whole-stack soak: sustained concurrent flows through the live engine under continuous failure churn and hot-swaps, every loss refereed")
+		compileRpt = flag.Bool("compile", false, "deprecated: use `prsim compile`")
+		soak       = flag.Bool("soak", false, "deprecated: use `prsim soak`")
 		soakDur    = flag.Duration("duration", 0, "emission window for -soak (default 30s)")
 		soakFlows  = flag.Int("flows", 0, "concurrent flow count for -soak (default 100000)")
 		swapEvery  = flag.Duration("swap-every", 0, "hot-swap interval for -soak (default duration/12)")
@@ -207,42 +427,50 @@ func main() {
 		if trafficSrc != nil {
 			panel = []traffic.Source{trafficSrc}
 		}
-		if err := eval.WriteTrafficLossReport(os.Stdout, *topoName, panel); err != nil {
+		cfg := eval.TrafficLossConfig{
+			Panel:   eval.Panel{Topologies: []string{*topoName}},
+			Sources: panel,
+		}
+		if err := eval.WriteTrafficLossReport(os.Stdout, cfg); err != nil {
 			fatal(err)
 		}
 	case *throughput:
+		legacyShim("throughput", "traffic")
 		if err := runThroughput(*topoName, *shards, *packets, *batchSize, *wire, *egressBw, trafficSrc, seedOr(1), mreg); err != nil {
 			fatal(err)
 		}
 	case *churn:
+		legacyShim("churn")
 		if err := runChurn(*topoName, *churnEdits, seedOr(1), mreg); err != nil {
 			fatal(err)
 		}
 	case *compileRpt:
+		legacyShim("compile")
 		if err := runCompile(*topoName, seedOr(1)); err != nil {
 			fatal(err)
 		}
 	case *resilience:
+		legacyShim("resilience")
 		if *trace {
 			if err := runTrace(*topoName, topoSet, *scenario, *draws, seedOr(1), mreg); err != nil {
 				fatal(err)
 			}
 			break
 		}
-		if err := runResilience(*topoName, topoSet, *scenario, *draws, seedOr(1)); err != nil {
+		if err := runResilience(*topoName, topoSet, *scenario, *draws, seedOr(1), 0); err != nil {
 			fatal(err)
 		}
 	case *soak:
+		legacyShim("soak")
 		if err := runSoak(*topoName, *scenario, eval.SoakConfig{
+			Panel:        eval.Panel{Seed: seedOr(1), Metrics: mreg},
 			Flows:        *soakFlows,
 			Duration:     *soakDur,
 			Traffic:      *trafficArg,
 			SwapEvery:    *swapEvery,
-			Seed:         seedOr(1),
 			Shards:       *shards,
 			BatchSize:    *batchSize,
 			BandwidthBps: *egressBw,
-			Metrics:      mreg,
 		}); err != nil {
 			fatal(err)
 		}
@@ -251,6 +479,7 @@ func main() {
 			fatal(err)
 		}
 	default:
+		fmt.Fprintln(os.Stderr, "usage: prsim <certify|resilience|soak|compile|churn|throughput> [flags], or legacy figure flags (-fig, -all, -overheads, -losswindow, -trafficloss, -embedding-ablation)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -504,16 +733,24 @@ func runThroughput(topoName string, shards, packets, batchSize int, wire bool, e
 	fmt.Printf("decide-only   %d %s in %v — %.1f M %s/sec\n",
 		decided, unit, elapsed.Round(time.Millisecond), float64(decided)/elapsed.Seconds()/1e6, unit)
 
-	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: egressBw, Metrics: reg})
+	// The egress report reads tx.* counters, so the transmit phase always
+	// gets a registry — the shared -metrics one when serving, a private
+	// one otherwise (the decide phase stays uninstrumented either way).
+	txReg := reg
+	if txReg == nil {
+		txReg = telemetry.NewRegistry()
+	}
+	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: egressBw, Metrics: txReg})
 	decided, elapsed, err = runPhase(tx)
 	if err != nil {
 		return err
 	}
-	st := tx.Stats()
+	st := txReg.Snapshot()
 	fmt.Printf("end-to-end    %d %s in %v — %.1f M %s/sec (egress %.0f Gb/s links)\n",
 		decided, unit, elapsed.Round(time.Millisecond), float64(decided)/elapsed.Seconds()/1e6, unit, egressBw/1e9)
 	fmt.Printf("egress        sent %d (%.1f Gb) | queue-full drops %d | link-down drops %d\n",
-		st.Sent, float64(st.SentBits)/1e9, st.DropQueueFull, st.DropLinkDown)
+		st.Counter(dataplane.MetricTxSent), float64(st.Counter(dataplane.MetricTxSentBits))/1e9,
+		st.Counter(dataplane.MetricTxDropQueueFull), st.Counter(dataplane.MetricTxDropLinkDown))
 	return nil
 }
 
@@ -549,8 +786,8 @@ func markWireFrame(fib *dataplane.FIB, buf []byte, dd uint32) error {
 // ring, grid and random generator families — three structurally
 // different genus-0 regimes. A -scenario starting with '@' loads a
 // scripted scenario file (one spec per line, '#' comments).
-func runResilience(topoName string, topoSet bool, spec string, draws int, seed int64) error {
-	names := []string{"ring:24", "grid:4x8", "rand:24@7"}
+func runResilience(topoName string, topoSet bool, spec string, draws int, seed int64, pinK int) error {
+	names := defaultPanel
 	if topoSet {
 		names = []string{topoName}
 	}
@@ -566,12 +803,34 @@ func runResilience(topoName string, topoSet bool, spec string, draws int, seed i
 		}
 		spec = fmt.Sprintf("%s (script %s)", proc.Name(), spec[1:])
 	}
-	return eval.WriteResilienceReport(os.Stdout, names, eval.ResilienceConfig{
-		Spec:    spec,
-		Process: proc,
-		Draws:   draws,
-		Seed:    seed,
-	})
+	cfg := eval.ResilienceConfig{
+		Panel: eval.Panel{Topologies: names, Spec: spec, Process: proc, Seed: seed},
+		Draws: draws,
+	}
+	// -certify-pins: certify the reconvergence baseline first and replay
+	// its counterexamples as pinned draws. Pins reference one graph's
+	// element IDs, so the sweep must be narrowed to a single -topo.
+	if pinK > 0 {
+		if !topoSet {
+			return fmt.Errorf("-certify-pins needs an explicit -topo (pins are per-topology failure sets)")
+		}
+		tp, err := topo.ByName(topoName)
+		if err != nil {
+			return err
+		}
+		cert, err := eval.RunCertify(tp, eval.CertifyConfig{
+			Panel:    eval.Panel{Seed: seed},
+			K:        pinK,
+			Baseline: true,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Pins = cert.PinScenarios()
+		fmt.Printf("# certify-pins: baseline %s yields %d counterexample(s) at k=%d; replaying as pinned draws\n",
+			cert.Walker, len(cfg.Pins), pinK)
+	}
+	return eval.WriteResilienceReport(os.Stdout, cfg)
 }
 
 // runTrace is -resilience -trace: instead of the aggregate sweep it
@@ -604,11 +863,8 @@ func runTrace(topoName string, topoSet bool, spec string, draws int, seed int64,
 		spec = ""
 	}
 	res, err := eval.TraceResilience(tp, eval.ResilienceConfig{
-		Spec:    spec,
-		Process: proc,
-		Draws:   draws,
-		Seed:    seed,
-		Metrics: reg,
+		Panel: eval.Panel{Spec: spec, Process: proc, Seed: seed, Metrics: reg},
+		Draws: draws,
 	})
 	if err != nil {
 		return err
@@ -617,7 +873,8 @@ func runTrace(topoName string, topoSet bool, spec string, draws int, seed int64,
 	fmt.Printf("# flight-recorded resilience trace: %s, scheme %s, scenario %s (draw %d)\n",
 		tp.Name, res.Scheme, res.Scenario, res.Draw)
 	fmt.Printf("flights kept %d | generated %d delivered %d violations %d\n\n",
-		len(res.Flights), res.Stats.Generated, res.Stats.Delivered, res.Stats.Violations)
+		len(res.Flights), res.Aggregate.Counter(sim.MetricGenerated),
+		res.Aggregate.Counter(sim.MetricDelivered), res.Aggregate.Counter(sim.MetricLossViolation))
 
 	if f := res.Recycled(); f != nil {
 		fmt.Println("## recycled packet (cycle walk)")
@@ -683,7 +940,10 @@ func runChurn(topoName string, edits int, seed int64, reg *telemetry.Registry) e
 		}
 	}
 	fmt.Printf("# topology churn: full vs delta recompile, %d random single-link weight edits per topology (seed %d)\n", edits, seed)
-	if err := eval.WriteChurnReport(os.Stdout, names, edits, seed); err != nil {
+	if err := eval.WriteChurnReport(os.Stdout, eval.ChurnConfig{
+		Panel: eval.Panel{Topologies: names, Seed: seed},
+		Edits: edits,
+	}); err != nil {
 		return err
 	}
 
@@ -879,6 +1139,8 @@ func runCompile(topoName string, seed int64) error {
 	if err != nil {
 		return err
 	}
+	recReg := telemetry.NewRegistry()
+	rec.Register(recReg)
 	rng := rand.New(rand.NewSource(seed))
 	const rounds = 8
 	var single, batch time.Duration
@@ -903,11 +1165,13 @@ func runCompile(topoName string, seed int64) error {
 		}
 		batch += time.Since(start)
 	}
-	st := rec.Stats()
+	st := recReg.Snapshot()
 	fmt.Printf("delta apply      %12v mean (single weight edit)\n", (single / rounds).Round(time.Microsecond))
 	fmt.Printf("coalesced apply  %12v mean (3-edit duplicate-target batch)\n", (batch / rounds).Round(time.Microsecond))
 	fmt.Printf("recompiler       %d applies, %d edits (%d coalesced away), %d trees repaired, %d untouched\n",
-		st.Applies, st.Edits, st.CoalescedEdits, st.Repair.Repaired, st.Repair.Unchanged)
+		st.Counter(dataplane.MetricRecompileApplies), st.Counter(dataplane.MetricRecompileEdits),
+		st.Counter(dataplane.MetricRecompileCoalesced), st.Counter(dataplane.MetricRepairRepaired),
+		st.Counter(dataplane.MetricRepairUnchanged))
 	return nil
 }
 

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the certification example end to end: the example
+// log.Fatal-s unless PR certifies clean at k=2, the baseline yields
+// counterexamples, and PR survives every pinned counterexample — so
+// this smoke test doubles as a facade-level guarantee check.
+func TestSmoke(t *testing.T) {
+	main()
+}

@@ -22,7 +22,7 @@ func main() {
 	// links at t=1s, repaired 500ms later. On a ring every bypass is the
 	// long way around, so a recycled packet's cycle walk is unmistakable.
 	cfg := recycle.ResilienceConfig{
-		Spec:  "srlg:links=0;1,at=1s,down=500ms",
+		Panel: recycle.Panel{Spec: "srlg:links=0;1,at=1s,down=500ms"},
 		Draws: 5,
 	}
 	res, err := recycle.TraceResilience("ring:16", cfg)

@@ -49,8 +49,11 @@ func main() {
 	// compiled dataplane vs the reconvergence baseline, identical probe
 	// traffic, instantaneous local detection (isolating routing resilience
 	// from loss-of-light latency, which hits every scheme the same).
-	cfg := recycle.ResilienceConfig{Spec: spec, Draws: 25}
-	if err := recycle.WriteResilience(os.Stdout, []string{"ring:24", "grid:4x8"}, cfg); err != nil {
+	cfg := recycle.ResilienceConfig{
+		Panel: recycle.Panel{Spec: spec, Topologies: []string{"ring:24", "grid:4x8"}},
+		Draws: 25,
+	}
+	if err := recycle.WriteResilience(os.Stdout, cfg); err != nil {
 		log.Fatal(err)
 	}
 

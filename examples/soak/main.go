@@ -20,9 +20,9 @@ import (
 
 func main() {
 	res, err := recycle.RunSoak("grid:6x6", recycle.SoakConfig{
+		Panel:     recycle.Panel{Spec: "mtbf:up=4s,down=150ms"},
 		Flows:     5_000,
 		Duration:  2 * time.Second,
-		Spec:      "mtbf:up=4s,down=150ms",
 		SwapEvery: 250 * time.Millisecond,
 	})
 	if err != nil {

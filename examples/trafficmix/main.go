@@ -14,6 +14,7 @@ import (
 
 	"recycle"
 	"recycle/internal/sim"
+	"recycle/internal/telemetry"
 	"recycle/internal/traffic"
 )
 
@@ -57,7 +58,7 @@ func main() {
 
 	fmt.Println("Poisson + MMPP/Pareto mix over the failed Seattle–Sunnyvale link")
 	fmt.Printf("%-30s %-10s %-10s %-7s\n", "scheme", "generated", "delivered", "lost")
-	run := func(scheme sim.Scheme) *sim.Stats {
+	run := func(scheme sim.Scheme) *telemetry.Snapshot {
 		s, err := sim.New(sim.Config{
 			Graph:          g,
 			Scheme:         scheme,
@@ -70,8 +71,8 @@ func main() {
 		}
 		s.FailLinkAt(failed, 0)
 		st := s.Run()
-		fmt.Printf("%-30s %-10d %-10d %-7d\n",
-			scheme.Name(), st.Generated, st.Delivered, st.Generated-st.Delivered)
+		gen, del := st.Counter(sim.MetricGenerated), st.Counter(sim.MetricDelivered)
+		fmt.Printf("%-30s %-10d %-10d %-7d\n", scheme.Name(), gen, del, gen-del)
 		return st
 	}
 
@@ -79,8 +80,8 @@ func main() {
 	run(&sim.FCPScheme{})
 	run(&sim.ReconvScheme{})
 
-	if pr.Dropped() != 0 {
-		log.Fatalf("PR dropped %d packets; the zero-drop demonstration failed", pr.Dropped())
+	if sim.Dropped(pr) != 0 {
+		log.Fatalf("PR dropped %d packets; the zero-drop demonstration failed", sim.Dropped(pr))
 	}
 	fmt.Println()
 	fmt.Println("PR re-cycles every packet around the known-failed link: zero drops,")

@@ -11,7 +11,7 @@ import (
 type Experiment = eval.Experiment
 
 // Scheme identifies a recovery scheme in experiments.
-type Scheme = eval.Scheme
+type Scheme = eval.SchemeID
 
 // Schemes compared by the paper's evaluation.
 const (
@@ -62,7 +62,10 @@ func WriteOverheads(w io.Writer, names []string) error {
 // for a built-in topology: every scheme replays the identical offered
 // load, so the loss columns compare recovery, not luck.
 func WriteTrafficLoss(w io.Writer, topology string, sources []TrafficSource) error {
-	return eval.WriteTrafficLossReport(w, topology, sources)
+	return eval.WriteTrafficLossReport(w, eval.TrafficLossConfig{
+		Panel:   eval.Panel{Topologies: []string{topology}},
+		Sources: sources,
+	})
 }
 
 // SingleFailures enumerates every connectivity-preserving single-link

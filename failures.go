@@ -73,9 +73,16 @@ func NewConnectivityOracle(g *Graph, sc *FailureScenario) (*ConnectivityOracle, 
 // master seed (decorrelated via splitmix64 sequencing).
 func FailureDrawSeed(seed int64, draw int) int64 { return failure.DrawSeed(seed, draw) }
 
+// Panel is the configuration surface every eval harness shares: the
+// topology panel, failure process, master seed and optional shared
+// metrics registry, embedded by ResilienceConfig, SoakConfig,
+// CertifyConfig and the rest.
+type Panel = eval.Panel
+
 // ResilienceConfig parameterises a Monte-Carlo resilience sweep: the
-// failure spec, the number of seeded draws, the master seed, the run
-// horizon and the probe rate.
+// shared Panel (failure spec, seed, topologies) plus the number of
+// seeded draws, the run horizon, the probe rate and any certified
+// counterexample pins replayed as extra draws.
 type ResilienceConfig = eval.ResilienceConfig
 
 // ResilienceRow is one (topology, scheme) cell of a resilience sweep:
@@ -97,11 +104,11 @@ func RunResilience(topology string, cfg ResilienceConfig) ([]ResilienceRow, erro
 	return eval.RunResilience(tp, cfg)
 }
 
-// WriteResilience runs the sweep over a panel of named topologies (nil =
-// the default ring/grid/random panel) and renders the report table.
-func WriteResilience(w io.Writer, names []string, cfg ResilienceConfig) error {
-	if names == nil {
-		names = []string{"ring:24", "grid:4x8", "rand:24@7"}
+// WriteResilience runs the sweep over cfg.Topologies (nil = the default
+// ring/grid/random panel) and renders the report table.
+func WriteResilience(w io.Writer, cfg ResilienceConfig) error {
+	if cfg.Topologies == nil {
+		cfg.Topologies = []string{"ring:24", "grid:4x8", "rand:24@7"}
 	}
-	return eval.WriteResilienceReport(w, names, cfg)
+	return eval.WriteResilienceReport(w, cfg)
 }

@@ -72,7 +72,7 @@ func TestFacadeRunResilience(t *testing.T) {
 		t.Fatalf("PR violations = %d; want 0", rows[0].Violations)
 	}
 	var b strings.Builder
-	if err := WriteResilience(&b, []string{"ring:12"}, ResilienceConfig{Draws: 2, Horizon: time.Second}); err != nil {
+	if err := WriteResilience(&b, ResilienceConfig{Panel: Panel{Topologies: []string{"ring:12"}}, Draws: 2, Horizon: time.Second}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "reconvergence") {

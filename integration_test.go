@@ -55,15 +55,15 @@ func TestWalkMatchesSimulator(t *testing.T) {
 				}
 				st := s.Run()
 				if walk.Delivered() {
-					if st.Delivered != 1 {
+					if st.Counter(sim.MetricDelivered) != 1 {
 						t.Fatalf("failures %v %d→%d: walk delivered but sim did not (%+v)",
-							fs, srcI, dstI, st)
+							fs, srcI, dstI, st.Counters)
 					}
-					if st.TotalHops != walk.Hops() {
+					if hops := int(st.Counter(sim.MetricHops)); hops != walk.Hops() {
 						t.Fatalf("failures %v %d→%d: sim hops %d != walk hops %d",
-							fs, srcI, dstI, st.TotalHops, walk.Hops())
+							fs, srcI, dstI, hops, walk.Hops())
 					}
-				} else if st.Delivered != 0 {
+				} else if st.Counter(sim.MetricDelivered) != 0 {
 					t.Fatalf("failures %v %d→%d: walk dropped but sim delivered", fs, srcI, dstI)
 				}
 			}

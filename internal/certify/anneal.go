@@ -1,0 +1,145 @@
+package certify
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"recycle/internal/failure"
+	"recycle/internal/graph"
+	"recycle/internal/par"
+)
+
+// Annealing schedule, in the style of internal/embedding/anneal.go:
+// geometric cooling from tStart to tEnd over the iteration budget.
+const (
+	annealTStart = 2.0
+	annealTEnd   = 0.01
+)
+
+// annealSearch is the stochastic prong of the guided search: seeded
+// simulated annealing over ≤K-element sets, attacking the hardest pairs
+// (longest failure-free walks — the most failure surface). The objective
+// rewards walks that are long and heavily recycled — the adversary's
+// gradient toward trouble — with violations as the jackpot; moves are
+// failure.NeighbourMove perturbations biased toward the elements the
+// current walk consulted, the same cut-targeting signal the DFS branches
+// on. Everything is driven by sub-seeds of cfg.Seed, so a certificate is
+// reproducible run-to-run.
+func annealSearch(g *graph.Graph, w Walker, sp *space, cfg Config, dsts []graph.NodeID, srcs [][]graph.NodeID) ([]Violation, SearchStats) {
+	if sp.size() == 0 {
+		return nil, SearchStats{}
+	}
+	pairs := hardestPairs(w, cfg, dsts, srcs)
+	stats := make([]SearchStats, len(pairs))
+	viols := make([][]Violation, len(pairs))
+	par.For(len(pairs), cfg.Workers, func(_, lo, hi int) {
+		for pi := lo; pi < hi; pi++ {
+			viols[pi] = annealPair(g, w, sp, cfg, pairs[pi], pi, &stats[pi])
+		}
+	})
+	var all []Violation
+	var total SearchStats
+	for i := range viols {
+		all = append(all, viols[i]...)
+		total.merge(stats[i])
+	}
+	return all, total
+}
+
+// hardestPairs ranks the configured pairs by failure-free walk length and
+// keeps the top cfg.AnnealPairs — deterministically.
+func hardestPairs(w Walker, cfg Config, dsts []graph.NodeID, srcs [][]graph.NodeID) []Pair {
+	type ranked struct {
+		p    Pair
+		cost int
+	}
+	var all []ranked
+	for di, dst := range dsts {
+		for _, src := range srcs[di] {
+			base := w.Walk(src, dst, nil, false)
+			if !base.Delivered {
+				continue
+			}
+			all = append(all, ranked{p: Pair{Src: src, Dst: dst}, cost: len(base.Decided)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cost != all[j].cost {
+			return all[i].cost > all[j].cost
+		}
+		if all[i].p.Src != all[j].p.Src {
+			return all[i].p.Src < all[j].p.Src
+		}
+		return all[i].p.Dst < all[j].p.Dst
+	})
+	n := cfg.AnnealPairs
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].p
+	}
+	return out
+}
+
+// annealPair runs cfg.Restarts seeded annealing chains against one pair.
+func annealPair(g *graph.Graph, w Walker, sp *space, cfg Config, p Pair, ordinal int, st *SearchStats) []Violation {
+	var out []Violation
+	minimal := &found{}
+	n := sp.size()
+	startSize := cfg.K
+	if startSize > n {
+		startSize = n
+	}
+	for r := 0; r < cfg.Restarts; r++ {
+		rng := rand.New(rand.NewSource(failure.DrawSeed(cfg.Seed, ordinal*cfg.Restarts+r)))
+		cur := failure.RandomSubset(rng, n, startSize)
+		curScore, curWalk := annealScore(g, w, sp, p, cur, st)
+		cool := math.Pow(annealTEnd/annealTStart, 1/float64(cfg.Iters))
+		t := annealTStart
+		for it := 0; it < cfg.Iters; it++ {
+			prefer := sp.consulted(curWalk.Decided)
+			cand := failure.NeighbourMove(rng, cur, n, cfg.K, prefer)
+			st.AnnealMoves++
+			candScore, candWalk := annealScore(g, w, sp, p, cand, st)
+			if candScore >= jackpotScore && !minimal.dominated(cand) {
+				st.ViolationsFound++
+				minimal.add(cand)
+				out = append(out, newViolation(sp, p.Src, p.Dst, cand, w))
+			}
+			if candScore >= curScore || rng.Float64() < math.Exp((candScore-curScore)/t) {
+				cur, curScore, curWalk = cand, candScore, candWalk
+				st.AnnealAccepts++
+			}
+			t *= cool
+		}
+	}
+	return out
+}
+
+// jackpotScore marks a violating set; excusedScore repels the chain from
+// partitions, which are dead ends for the adversary.
+const (
+	jackpotScore = 1e6
+	excusedScore = -100
+)
+
+// annealScore walks the pair under the candidate set and scores the
+// adversary's progress: violation ≫ long, heavily-recycled delivery >
+// short delivery > excused partition.
+func annealScore(g *graph.Graph, w Walker, sp *space, p Pair, idx []int, st *SearchStats) (float64, Walk) {
+	fs := sp.fsOf(idx)
+	walk := w.Walk(p.Src, p.Dst, fs, false)
+	st.Walks++
+	st.Sets++
+	if walk.Delivered {
+		return float64(len(walk.Decided)) + 5*float64(walk.Recycled), walk
+	}
+	if !graph.ReachableUnder(g, p.Dst, fs)[p.Src] {
+		st.Excused++
+		return excusedScore, walk
+	}
+	return jackpotScore, walk
+}

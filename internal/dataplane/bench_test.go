@@ -11,6 +11,7 @@ import (
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
@@ -213,10 +214,12 @@ func BenchmarkEngineEgress(b *testing.B) {
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("geant/shards-%d", shards), func(b *testing.B) {
 			fib, g, sys := benchFixture(b, "geant")
+			reg := telemetry.NewRegistry()
 			tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{
 				// Links fast enough that pacing, not dropping, dominates:
 				// the benchmark measures transmit cost, not drop cost.
 				BandwidthBps: 1e13,
+				Metrics:      reg,
 			})
 			free := make(chan *dataplane.Batch, 64)
 			eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
@@ -238,8 +241,8 @@ func BenchmarkEngineEgress(b *testing.B) {
 			decided := eng.Close()
 			b.StopTimer()
 			b.ReportMetric(float64(decided)/b.Elapsed().Seconds(), "decisions/s")
-			st := tx.Stats()
-			b.ReportMetric(float64(st.Sent)/b.Elapsed().Seconds(), "tx/s")
+			sent := reg.Snapshot().Counter(dataplane.MetricTxSent)
+			b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "tx/s")
 		})
 	}
 }

@@ -104,24 +104,18 @@ const (
 	MetricTxQueueWaitNs   = "tx.queue_wait_ns"
 )
 
-// TxStats aggregates transmit outcomes across all darts.
-//
-// Deprecated: TxStats is a compatibility view. With TxConfig.Metrics
-// set the same totals appear as the tx.* names in a
-// telemetry.Registry snapshot, coherent with the engine and simulator
-// counters; prefer reading them there.
-type TxStats struct {
-	// Sent counts packets serialised; SentBits their total size.
-	Sent, SentBits uint64
-	// DropQueueFull and DropLinkDown count the two drop verdicts.
-	DropQueueFull, DropLinkDown uint64
-	// DropStaleDart counts sends onto darts outside the current dart
-	// space (decisions outliving a structural hot-swap).
-	DropStaleDart uint64
+// TxDropped sums the three tx.drop.* counters of a registry snapshot —
+// the egress account lives under the tx.* names (TxConfig.Metrics),
+// coherent with the engine and simulator counters.
+func TxDropped(s *telemetry.Snapshot) uint64 {
+	return s.Counter(MetricTxDropQueueFull) + s.Counter(MetricTxDropLinkDown) + s.Counter(MetricTxDropStaleDart)
 }
 
-// Dropped sums the drop counters.
-func (s TxStats) Dropped() uint64 { return s.DropQueueFull + s.DropLinkDown + s.DropStaleDart }
+// txTotals is the summed per-dart transmit account, collected into the
+// registry at snapshot time.
+type txTotals struct {
+	sent, sentBits, dropFull, dropDown, dropStale uint64
+}
 
 // TxQueue is the engine's built-in Egress: one bounded, link-rate-paced
 // transmit queue per dart (link direction), mirroring the simulator's
@@ -141,7 +135,7 @@ func (s TxStats) Dropped() uint64 { return s.DropQueueFull + s.DropLinkDown + s.
 // The dart slice lives behind an atomically swapped generation pointer
 // so RebindDarts (structural hot-swaps) can replace the dart space
 // while shards are mid-Transmit: a send that loads the old generation
-// finishes against it, retired generations are retained for Stats, and
+// finishes against it, retired generations are retained for the totals, and
 // a dart outside the current space is a counted TxDropStaleDart, never
 // an index panic.
 type TxQueue struct {
@@ -207,12 +201,12 @@ func NewTxQueueDarts(numDarts int, cfg TxConfig) *TxQueue {
 		// (an engine rebuild, a soak restart), and each must contribute
 		// its totals instead of overwriting the previous collector's.
 		cfg.Metrics.RegisterCollector(telemetry.CollectorFunc(func(s *telemetry.Snapshot) {
-			st := q.Stats()
-			s.AddCounter(MetricTxSent, st.Sent)
-			s.AddCounter(MetricTxSentBits, st.SentBits)
-			s.AddCounter(MetricTxDropQueueFull, st.DropQueueFull)
-			s.AddCounter(MetricTxDropLinkDown, st.DropLinkDown)
-			s.AddCounter(MetricTxDropStaleDart, st.DropStaleDart)
+			st := q.totals()
+			s.AddCounter(MetricTxSent, st.sent)
+			s.AddCounter(MetricTxSentBits, st.sentBits)
+			s.AddCounter(MetricTxDropQueueFull, st.dropFull)
+			s.AddCounter(MetricTxDropLinkDown, st.dropDown)
+			s.AddCounter(MetricTxDropStaleDart, st.dropStale)
 		}))
 	}
 	return q
@@ -366,28 +360,28 @@ func (q *TxQueue) RebindDarts(numDarts int, linkMap []graph.LinkID) {
 	q.retired = append(q.retired, old)
 }
 
-// Stats sums transmit outcomes across all darts, including retired
+// totals sums transmit outcomes across all darts, including retired
 // generations (dart spaces replaced by RebindDarts): nothing a send
 // ever counted is lost to a structural swap.
-func (q *TxQueue) Stats() TxStats {
+func (q *TxQueue) totals() txTotals {
 	q.rebindMu.Lock()
 	gens := make([]*txGen, 0, 1+len(q.retired))
 	gens = append(gens, q.cur.Load())
 	gens = append(gens, q.retired...)
 	q.rebindMu.Unlock()
-	var s TxStats
+	var s txTotals
 	for _, g := range gens {
 		for i := range g.darts {
 			dq := &g.darts[i]
 			dq.mu.Lock()
-			s.Sent += dq.sent
-			s.SentBits += dq.sentBits
-			s.DropQueueFull += dq.dropFull
-			s.DropLinkDown += dq.dropDown
+			s.sent += dq.sent
+			s.sentBits += dq.sentBits
+			s.dropFull += dq.dropFull
+			s.dropDown += dq.dropDown
 			dq.mu.Unlock()
 		}
 	}
-	s.DropStaleDart = q.dropStale.Load()
+	s.dropStale = q.dropStale.Load()
 	return s
 }
 

@@ -36,10 +36,12 @@ func (c *virtualClock) Advance(d time.Duration) {
 // and drains as the clock advances.
 func TestTxQueuePacing(t *testing.T) {
 	clk := &virtualClock{}
+	reg := telemetry.NewRegistry()
 	q := dataplane.NewTxQueueDarts(4, dataplane.TxConfig{
 		BandwidthBps: 8_192_000, // 8192-bit packets: 1 ms each
 		MaxBacklog:   10 * time.Millisecond,
 		Now:          clk.Now,
+		Metrics:      reg,
 	})
 	for i := 1; i <= 5; i++ {
 		if v := q.Send(2, 8192, nil); v != dataplane.TxSent {
@@ -58,9 +60,9 @@ func TestTxQueuePacing(t *testing.T) {
 	if got := q.Backlog(2); got != 2*time.Millisecond {
 		t.Fatalf("backlog after drain = %v; want 2ms", got)
 	}
-	st := q.Stats()
-	if st.Sent != 5 || st.SentBits != 5*8192 || st.Dropped() != 0 {
-		t.Fatalf("stats = %+v; want 5 sent, none dropped", st)
+	st := reg.Snapshot()
+	if st.Counter(dataplane.MetricTxSent) != 5 || st.Counter(dataplane.MetricTxSentBits) != 5*8192 || dataplane.TxDropped(st) != 0 {
+		t.Fatalf("stats = %+v; want 5 sent, none dropped", st.Counters)
 	}
 }
 
@@ -69,10 +71,12 @@ func TestTxQueuePacing(t *testing.T) {
 // drains.
 func TestTxQueueBoundedDrop(t *testing.T) {
 	clk := &virtualClock{}
+	reg := telemetry.NewRegistry()
 	q := dataplane.NewTxQueueDarts(2, dataplane.TxConfig{
 		BandwidthBps: 8_192_000, // 1 ms per 8192-bit packet
 		MaxBacklog:   3 * time.Millisecond,
 		Now:          clk.Now,
+		Metrics:      reg,
 	})
 	sent, dropped := 0, 0
 	for i := 0; i < 10; i++ {
@@ -87,9 +91,8 @@ func TestTxQueueBoundedDrop(t *testing.T) {
 	if sent != 4 || dropped != 6 {
 		t.Fatalf("sent/dropped = %d/%d; want 4/6", sent, dropped)
 	}
-	st := q.Stats()
-	if st.DropQueueFull != 6 {
-		t.Fatalf("DropQueueFull = %d; want 6", st.DropQueueFull)
+	if got := reg.Snapshot().Counter(dataplane.MetricTxDropQueueFull); got != 6 {
+		t.Fatalf("queue-full drops = %d; want 6", got)
 	}
 	// After the queue drains, transmission resumes.
 	clk.Advance(4 * time.Millisecond)
@@ -101,7 +104,8 @@ func TestTxQueueBoundedDrop(t *testing.T) {
 // TestTxQueueLinkDownDrop: transmitting onto a down link is refused and
 // counted, and does not advance the dart's clock.
 func TestTxQueueLinkDownDrop(t *testing.T) {
-	q := dataplane.NewTxQueueDarts(4, dataplane.TxConfig{Now: func() time.Duration { return 0 }})
+	reg := telemetry.NewRegistry()
+	q := dataplane.NewTxQueueDarts(4, dataplane.TxConfig{Now: func() time.Duration { return 0 }, Metrics: reg})
 	st := dataplane.NewLinkState(2)
 	st.Set(1, true)
 	if v := q.Send(2, 8192, st); v != dataplane.TxDropLinkDown { // dart 2 = link 1
@@ -113,9 +117,9 @@ func TestTxQueueLinkDownDrop(t *testing.T) {
 	if v := q.Send(0, 8192, st); v != dataplane.TxSent { // link 0 is up
 		t.Fatalf("up-link verdict %v; want sent", v)
 	}
-	s := q.Stats()
-	if s.DropLinkDown != 2 || s.Sent != 1 {
-		t.Fatalf("stats = %+v; want 2 link-down drops, 1 sent", s)
+	s := reg.Snapshot()
+	if s.Counter(dataplane.MetricTxDropLinkDown) != 2 || s.Counter(dataplane.MetricTxSent) != 1 {
+		t.Fatalf("stats = %+v; want 2 link-down drops, 1 sent", s.Counters)
 	}
 	if q.Backlog(2) != 0 {
 		t.Fatal("dropped packets must not occupy the queue")
@@ -145,9 +149,11 @@ func TestTxQueueZeroAllocs(t *testing.T) {
 // accounted, and per-dart virtual time stays consistent. Run with -race
 // in CI.
 func TestTxQueueConcurrentCounts(t *testing.T) {
+	reg := telemetry.NewRegistry()
 	q := dataplane.NewTxQueueDarts(8, dataplane.TxConfig{
 		BandwidthBps: 1e12, // fast links: nothing drops
 		MaxBacklog:   time.Second,
+		Metrics:      reg,
 	})
 	const goroutines = 8
 	const perG = 5000
@@ -162,12 +168,13 @@ func TestTxQueueConcurrentCounts(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	st := q.Stats()
-	if total := st.Sent + st.Dropped(); total != goroutines*perG {
+	st := reg.Snapshot()
+	sent := st.Counter(dataplane.MetricTxSent)
+	if total := sent + dataplane.TxDropped(st); total != goroutines*perG {
 		t.Fatalf("accounted %d sends; want %d", total, goroutines*perG)
 	}
-	if st.SentBits != st.Sent*8192 {
-		t.Fatalf("sent bits %d inconsistent with %d sends", st.SentBits, st.Sent)
+	if st.Counter(dataplane.MetricTxSentBits) != sent*8192 {
+		t.Fatalf("sent bits %d inconsistent with %d sends", st.Counter(dataplane.MetricTxSentBits), sent)
 	}
 }
 
@@ -177,9 +184,11 @@ func TestTxQueueConcurrentCounts(t *testing.T) {
 // none vanish between the stages.
 func TestEngineEgressIntegration(t *testing.T) {
 	fib, g, sys := engineFixture(t)
+	reg := telemetry.NewRegistry()
 	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{
 		BandwidthBps: 1e12, // ample: queue drops would confuse the count
 		MaxBacklog:   time.Second,
+		Metrics:      reg,
 	})
 	results := make(chan *dataplane.Batch, 64)
 	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
@@ -206,12 +215,12 @@ func TestEngineEgressIntegration(t *testing.T) {
 		}
 	}
 	eng.Close()
-	st := tx.Stats()
-	if int(st.Sent) != decidedOK {
-		t.Fatalf("egress sent %d; engine decided %d OK", st.Sent, decidedOK)
+	st := reg.Snapshot()
+	if sent := st.Counter(dataplane.MetricTxSent); int(sent) != decidedOK {
+		t.Fatalf("egress sent %d; engine decided %d OK", sent, decidedOK)
 	}
-	if st.Dropped() != 0 {
-		t.Fatalf("unexpected egress drops: %+v", st)
+	if dataplane.TxDropped(st) != 0 {
+		t.Fatalf("unexpected egress drops: %+v", st.Counters)
 	}
 }
 
@@ -272,10 +281,12 @@ func TestTxCollectorsAccumulate(t *testing.T) {
 // state, and keeps retired-generation counts visible in Stats.
 func TestTxQueueRebindCarriesPacing(t *testing.T) {
 	now := func() time.Duration { return 0 }
+	reg := telemetry.NewRegistry()
 	q := dataplane.NewTxQueueDarts(4, dataplane.TxConfig{
 		BandwidthBps: 8192, // 1 packet of 8192 bits per second
 		MaxBacklog:   time.Hour,
 		Now:          now,
+		Metrics:      reg,
 	})
 	// Two packets on link 0's forward dart: backlog = 2 s after.
 	q.Send(0, 8192, nil)
@@ -295,8 +306,8 @@ func TestTxQueueRebindCarriesPacing(t *testing.T) {
 	if b := q.Backlog(0); b != 0 {
 		t.Fatalf("new link 0 inherits stale backlog %v", b)
 	}
-	if st := q.Stats(); st.Sent != 2 {
-		t.Fatalf("retired generation's sends lost: %+v", st)
+	if got := reg.Snapshot().Counter(dataplane.MetricTxSent); got != 2 {
+		t.Fatalf("retired generation's sends lost: %d", got)
 	}
 	if b := q.MaxBacklog(); b != 2*time.Second {
 		t.Fatalf("MaxBacklog = %v; want 2s", b)

@@ -51,7 +51,21 @@ type Recompiler struct {
 	reps []graph.SPTRepairer
 	// workers pins the Apply fan-out; 0 = automatic (see SetWorkers).
 	workers int
-	stats   RecompileStats
+	stats   recompileCounters
+}
+
+// recompileCounters accumulates recompiler work; Register publishes the
+// totals as the recompile.* snapshot names alongside the repairer pool's
+// repair.* counters.
+type recompileCounters struct {
+	applies, edits int
+	// dirtyDests sums affected destinations across applies; fullDests
+	// counts how many of those needed a from-scratch per-destination
+	// Dijkstra (structural edits) rather than an incremental repair.
+	dirtyDests, fullDests int64
+	// coalescedEdits counts edits batch coalescing eliminated before
+	// replay (net weight last-write-wins, add+remove cancellation).
+	coalescedEdits int64
 }
 
 // SetWorkers pins the per-destination fan-out of subsequent Applies: 0
@@ -66,26 +80,6 @@ func (r *Recompiler) pool(workers int) []graph.SPTRepairer {
 		r.reps = append(r.reps, graph.SPTRepairer{})
 	}
 	return r.reps
-}
-
-// RecompileStats counts recompiler work, for churn reports.
-//
-// Deprecated: RecompileStats is a compatibility view. With
-// Recompiler.Register the same totals appear as the recompile.* and
-// repair.* names in a telemetry.Registry snapshot, coherent with the
-// engine and simulator counters; prefer reading them there.
-type RecompileStats struct {
-	// Applies counts Apply calls, Edits the edits they carried.
-	Applies, Edits int
-	// DirtyDests sums affected destinations across applies; FullDests
-	// counts how many of those needed a from-scratch per-destination
-	// Dijkstra (structural edits) rather than an incremental repair.
-	DirtyDests, FullDests int64
-	// CoalescedEdits counts edits batch coalescing eliminated before
-	// replay (net weight last-write-wins, add+remove cancellation).
-	CoalescedEdits int64
-	// Repair mirrors the shortest-path repairers' summed counters.
-	Repair graph.RepairStats
 }
 
 // Delta is the product of one Apply: the edited network's complete
@@ -165,21 +159,6 @@ func (r *Recompiler) System() *rotation.System { return r.sys }
 // Quantiser returns the current rank quantiser.
 func (r *Recompiler) Quantiser() *core.Quantiser { return r.quant }
 
-// Stats returns cumulative recompiler counters. Repair counters are the
-// sum over the worker pool — per-destination contributions are the same
-// whatever the partition, so the totals are deterministic.
-func (r *Recompiler) Stats() RecompileStats {
-	st := r.stats
-	for i := range r.reps {
-		rs := r.reps[i].Stats()
-		st.Repair.Repaired += rs.Repaired
-		st.Repair.Unchanged += rs.Unchanged
-		st.Repair.FullFallback += rs.FullFallback
-		st.Repair.NodesTouched += rs.NodesTouched
-	}
-	return st
-}
-
 // Recompiler and shortest-path-repair metric names.
 const (
 	MetricRecompileApplies    = "recompile.applies"
@@ -194,22 +173,28 @@ const (
 )
 
 // Register publishes the recompiler's counters into reg as the
-// recompile.* and repair.* names, sampled from Stats at snapshot time —
-// the control plane's contribution to the unified telemetry surface.
-// Apply is single-writer, so snapshot-time collection reads a settled
-// state between applies.
+// recompile.* and repair.* names, sampled at snapshot time — the
+// control plane's contribution to the unified telemetry surface. Apply
+// is single-writer, so snapshot-time collection reads a settled state
+// between applies. Repair counters are the sum over the worker pool —
+// per-destination contributions are the same whatever the partition, so
+// the totals are deterministic.
 func (r *Recompiler) Register(reg *telemetry.Registry) {
 	reg.RegisterCollector(telemetry.CollectorFunc(func(s *telemetry.Snapshot) {
-		st := r.Stats()
-		s.SetCounter(MetricRecompileApplies, uint64(st.Applies))
-		s.SetCounter(MetricRecompileEdits, uint64(st.Edits))
-		s.SetCounter(MetricRecompileDirtyDests, uint64(st.DirtyDests))
-		s.SetCounter(MetricRecompileFullDests, uint64(st.FullDests))
-		s.SetCounter(MetricRecompileCoalesced, uint64(st.CoalescedEdits))
-		s.SetCounter(MetricRepairRepaired, uint64(st.Repair.Repaired))
-		s.SetCounter(MetricRepairUnchanged, uint64(st.Repair.Unchanged))
-		s.SetCounter(MetricRepairFullFallback, uint64(st.Repair.FullFallback))
-		s.SetCounter(MetricRepairNodesTouched, uint64(st.Repair.NodesTouched))
+		s.AddCounter(MetricRecompileApplies, uint64(r.stats.applies))
+		s.AddCounter(MetricRecompileEdits, uint64(r.stats.edits))
+		s.AddCounter(MetricRecompileDirtyDests, uint64(r.stats.dirtyDests))
+		s.AddCounter(MetricRecompileFullDests, uint64(r.stats.fullDests))
+		s.AddCounter(MetricRecompileCoalesced, uint64(r.stats.coalescedEdits))
+		var repaired, unchanged, fullFallback, nodesTouched int64
+		for i := range r.reps {
+			a, b, c, d := r.reps[i].Counters()
+			repaired, unchanged, fullFallback, nodesTouched = repaired+a, unchanged+b, fullFallback+c, nodesTouched+d
+		}
+		s.AddCounter(MetricRepairRepaired, uint64(repaired))
+		s.AddCounter(MetricRepairUnchanged, uint64(unchanged))
+		s.AddCounter(MetricRepairFullFallback, uint64(fullFallback))
+		s.AddCounter(MetricRepairNodesTouched, uint64(nodesTouched))
 	}))
 }
 
@@ -238,9 +223,9 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 	if net, ok := coalesceEdits(r.g, edits); ok {
 		coalesced = origEdits - len(net)
 		if len(net) == 0 {
-			r.stats.Applies++
-			r.stats.Edits += origEdits
-			r.stats.CoalescedEdits += int64(coalesced)
+			r.stats.applies++
+			r.stats.edits += origEdits
+			r.stats.coalescedEdits += int64(coalesced)
 			return nil, nil
 		}
 		edits = net
@@ -386,7 +371,7 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 		dst := graph.NodeID(d)
 		dirtyList = append(dirtyList, dst)
 		if fullDest[d] {
-			r.stats.FullDests++
+			r.stats.fullDests++
 		}
 		if r.ddColumnChanged(r.tbl.Tree(dst), trees[d]) {
 			rerank = append(rerank, dst)
@@ -437,10 +422,10 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 		return nil, err
 	}
 
-	r.stats.Applies++
-	r.stats.Edits += origEdits
-	r.stats.CoalescedEdits += int64(coalesced)
-	r.stats.DirtyDests += int64(len(dirtyList))
+	r.stats.applies++
+	r.stats.edits += origEdits
+	r.stats.coalescedEdits += int64(coalesced)
+	r.stats.dirtyDests += int64(len(dirtyList))
 	r.g, r.sys, r.tbl, r.quant, r.fib = curG, sys, tbl, quant, fib
 	return &Delta{
 		Graph:      curG,

@@ -174,7 +174,7 @@ func TestCoalescePinned(t *testing.T) {
 		if rec.Graph() != g0 {
 			t.Fatal("cancelling batch mutated the graph")
 		}
-		if got := rec.Stats().CoalescedEdits; got != 2 {
+		if got := rec.stats.coalescedEdits; got != 2 {
 			t.Fatalf("CoalescedEdits = %d, want 2", got)
 		}
 	})
@@ -190,7 +190,7 @@ func TestCoalescePinned(t *testing.T) {
 		if d != nil {
 			t.Fatal("reverting batch returned a delta")
 		}
-		if got := rec.Stats().CoalescedEdits; got != 2 {
+		if got := rec.stats.coalescedEdits; got != 2 {
 			t.Fatalf("CoalescedEdits = %d, want 2", got)
 		}
 	})
@@ -205,7 +205,7 @@ func TestCoalescePinned(t *testing.T) {
 		if d == nil {
 			t.Fatal("net weight change coalesced to nothing")
 		}
-		if got := recA.Stats().CoalescedEdits; got != 1 {
+		if got := recA.stats.coalescedEdits; got != 1 {
 			t.Fatalf("CoalescedEdits = %d, want 1", got)
 		}
 		// Same state as applying only the final write…
@@ -283,7 +283,7 @@ func TestCoalescePinned(t *testing.T) {
 		if d == nil {
 			t.Fatal("remove+re-add is not a no-op (the weight changed)")
 		}
-		if got := rec.Stats().CoalescedEdits; got != 0 {
+		if got := rec.stats.coalescedEdits; got != 0 {
 			t.Fatalf("CoalescedEdits = %d, want 0 (replayed)", got)
 		}
 		want, _ := fullRecompile(t, d, route.HopCount, core.Full, false)
@@ -308,7 +308,7 @@ func TestCoalescePinned(t *testing.T) {
 		if d == nil {
 			t.Fatal("net weight change coalesced to nothing")
 		}
-		if got := recA.Stats().CoalescedEdits; got != 3 {
+		if got := recA.stats.coalescedEdits; got != 3 {
 			t.Fatalf("CoalescedEdits = %d, want 3", got)
 		}
 		dB, err := recB.Apply(graph.SetWeight(l, 3))
@@ -389,7 +389,7 @@ func TestCoalescedDifferential(t *testing.T) {
 			want, _ := fullRecompile(t, dA, disc, core.Full, quantised)
 			fibsEqual(t, ctx+" vs scratch", dA.FIB, want)
 		}
-		coalesced += recA.Stats().CoalescedEdits
+		coalesced += recA.stats.coalescedEdits
 	}
 	if coalesced == 0 {
 		t.Fatal("differential never exercised the coalescer")

@@ -10,6 +10,7 @@ import (
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
@@ -222,7 +223,8 @@ func TestEngineSwapRefusals(t *testing.T) {
 func TestStructuralSwapRebindsEgress(t *testing.T) {
 	rec, g := swapFixture(t, "ring:8")
 	fib := rec.FIB()
-	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: 1e12})
+	reg := telemetry.NewRegistry()
+	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: 1e12, Metrics: reg})
 	done := make(chan struct{}, 8)
 	eng := dataplane.NewEngine(fib, dataplane.EngineConfig{
 		Shards: 1,
@@ -260,7 +262,7 @@ func TestStructuralSwapRebindsEgress(t *testing.T) {
 	if tx.NumDarts() <= oldDarts {
 		t.Fatalf("dart space did not grow: %d → %d", oldDarts, tx.NumDarts())
 	}
-	before := tx.Stats()
+	before := reg.Snapshot().Counter(dataplane.MetricTxSent)
 
 	// Send directly onto the new link's darts — the pre-fix code would
 	// have panicked indexing the construction-sized slice.
@@ -277,19 +279,19 @@ func TestStructuralSwapRebindsEgress(t *testing.T) {
 	submit()
 	eng.Close()
 
-	after := tx.Stats()
-	if after.Sent <= before.Sent {
+	after := reg.Snapshot().Counter(dataplane.MetricTxSent)
+	if after <= before {
 		t.Fatal("no packets transmitted after the structural swap")
 	}
-	if before.Sent == 0 {
-		t.Fatal("pre-swap transmits lost from Stats after the rebind")
+	if before == 0 {
+		t.Fatal("pre-swap transmits lost from the tx counters after the rebind")
 	}
 
 	// A dart beyond every generation is a counted drop, never a panic.
 	if v := tx.Send(rotation.DartID(10_000), 8192, nil); v != dataplane.TxDropStaleDart {
 		t.Fatalf("out-of-range dart: %v; want drop-stale-dart", v)
 	}
-	if tx.Stats().DropStaleDart != 1 {
-		t.Fatalf("stale-dart drop not counted: %+v", tx.Stats())
+	if got := reg.Snapshot().Counter(dataplane.MetricTxDropStaleDart); got != 1 {
+		t.Fatalf("stale-dart drop not counted: %d", got)
 	}
 }

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunCertifyPR: compiled PR on a genus-0 ring must certify clean at
+// k=2 — the eval-level restatement of the §5 guarantee, proved by
+// exhaustion rather than sampled.
+func TestRunCertifyPR(t *testing.T) {
+	cert, err := RunCertify(mustTopo(t, "ring:12"), CertifyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Certified {
+		t.Fatalf("PR on ring:12 not certified at k=2:\n%s", cert.Headline())
+	}
+	if cert.Genus != 0 {
+		t.Fatalf("ring embedded at genus %d; the guarantee needs 0", cert.Genus)
+	}
+	if cert.K != 2 {
+		t.Fatalf("default K = %d; want 2", cert.K)
+	}
+}
+
+// TestRunCertifyBaselinePinsResilience: the reconvergence control arm
+// must yield counterexamples, and feeding their PinScenarios back into
+// RunResilience must replay them as extra refereed draws — the
+// search-to-regression loop the API redesign exists for.
+func TestRunCertifyBaselinePinsResilience(t *testing.T) {
+	tp := mustTopo(t, "ring:12")
+	cert, err := RunCertify(tp, CertifyConfig{K: 1, Baseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Certified || len(cert.Counterexamples) == 0 {
+		t.Fatalf("reconvergence certified clean — the adversary found nothing:\n%s", cert.Headline())
+	}
+	pins := cert.PinScenarios()
+	base := ResilienceConfig{Draws: 2, Horizon: time.Second}
+	rows, err := RunResilience(tp, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := base
+	pinned.Pins = pins
+	prows, err := RunResilience(tp, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if want := rows[i].Draws + len(pins); prows[i].Draws != want {
+			t.Fatalf("scheme %s ran %d draws with %d pins; want %d",
+				prows[i].Scheme, prows[i].Draws, len(pins), want)
+		}
+	}
+	// The PR row must stay violation-free even under the baseline's
+	// certified counterexamples — the pins are adversarial for
+	// reconvergence, not for PR on a genus-0 embedding.
+	if prows[0].Violations != 0 {
+		t.Fatalf("PR violated under pinned scenarios: %d", prows[0].Violations)
+	}
+}
+
+// TestWriteCertifyReport: the panel writer renders one full certificate
+// per topology and returns them for pin extraction.
+func TestWriteCertifyReport(t *testing.T) {
+	var sb strings.Builder
+	cfg := CertifyConfig{Panel: Panel{Topologies: []string{"ring:8", "ring:10"}}, K: 1}
+	certs, err := WriteCertifyReport(&sb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(certs) != 2 {
+		t.Fatalf("%d certificates; want 2", len(certs))
+	}
+	out := sb.String()
+	if strings.Count(out, "certificate: CERTIFIED k=1") != 2 {
+		t.Fatalf("report lacks two CERTIFIED headlines:\n%s", out)
+	}
+	for _, want := range []string{"ring:8", "ring:10", "search:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := WriteCertifyReport(&sb, CertifyConfig{Panel: Panel{Topologies: []string{"nosuch"}}}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

@@ -37,11 +37,32 @@ type Churn struct {
 	DirtyMean float64
 }
 
+// ChurnConfig parameterises the churn comparison. The embedded Panel's
+// Topologies and Seed are consumed; its failure-process and metrics
+// fields are ignored (churn has no failure dimension).
+type ChurnConfig struct {
+	Panel
+	// Edits is how many random single-link weight edits to time per
+	// topology (default 24).
+	Edits int
+}
+
+func (c *ChurnConfig) withDefaults() ChurnConfig {
+	out := *c
+	out.Panel = out.Panel.withDefaults("")
+	if out.Edits == 0 {
+		out.Edits = 24
+	}
+	return out
+}
+
 // MeasureChurn times full-vs-delta recompilation over a sequence of
-// random single-link weight edits (deterministic per seed). Every delta
-// result is the bit-identical FIB the differential harness pins, so the
-// two columns are directly comparable.
-func MeasureChurn(tp topo.Topology, edits int, seed int64) (Churn, error) {
+// random single-link weight edits (deterministic per cfg.Seed). Every
+// delta result is the bit-identical FIB the differential harness pins,
+// so the two columns are directly comparable.
+func MeasureChurn(tp topo.Topology, cfg ChurnConfig) (Churn, error) {
+	eff := cfg.withDefaults()
+	edits, seed := eff.Edits, eff.Seed
 	g := tp.Graph
 	c := Churn{Topology: tp.Name, Nodes: g.NumNodes(), Links: g.NumLinks(), Edits: edits}
 	sys := tp.Embedding
@@ -125,18 +146,18 @@ func median(ds []time.Duration) time.Duration {
 	return s[len(s)/2]
 }
 
-// WriteChurnReport renders the full-vs-delta recompile comparison for
-// the given topologies — the "Topology churn" table in README.md and the
-// panel behind prsim -churn.
-func WriteChurnReport(w io.Writer, names []string, edits int, seed int64) error {
+// WriteChurnReport renders the full-vs-delta recompile comparison over
+// the config's topology panel — the "Topology churn" table in README.md
+// and the panel behind prsim churn.
+func WriteChurnReport(w io.Writer, cfg ChurnConfig) error {
 	fmt.Fprintf(w, "%-10s %-5s %-5s | %-10s %-10s %-8s | %-9s\n",
 		"topology", "nodes", "links", "full", "delta", "speedup", "dirty/dst")
-	for _, name := range names {
-		tp, err := topo.ByName(name)
-		if err != nil {
-			return err
-		}
-		c, err := MeasureChurn(tp, edits, seed)
+	panel, err := cfg.Panel.topologies()
+	if err != nil {
+		return err
+	}
+	for _, tp := range panel {
+		c, err := MeasureChurn(tp, cfg)
 		if err != nil {
 			return err
 		}

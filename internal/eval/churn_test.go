@@ -13,7 +13,7 @@ func TestMeasureChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := MeasureChurn(tp, 6, 1)
+	c, err := MeasureChurn(tp, ChurnConfig{Panel: Panel{Seed: 1}, Edits: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,8 @@ func TestMeasureChurn(t *testing.T) {
 
 func TestWriteChurnReport(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteChurnReport(&buf, []string{"abilene", "ring:24"}, 4, 2); err != nil {
+	cfg := ChurnConfig{Panel: Panel{Topologies: []string{"abilene", "ring:24"}, Seed: 2}, Edits: 4}
+	if err := WriteChurnReport(&buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -45,7 +46,7 @@ func TestWriteChurnReport(t *testing.T) {
 			t.Fatalf("report missing %q:\n%s", want, out)
 		}
 	}
-	if err := WriteChurnReport(&buf, []string{"nosuch"}, 2, 1); err == nil {
+	if err := WriteChurnReport(&buf, ChurnConfig{Panel: Panel{Topologies: []string{"nosuch"}}}); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }

@@ -105,7 +105,7 @@ func StretchAxis() []float64 {
 // x value, one column per scheme, in the paper's legend order.
 func WriteCCDF(w io.Writer, exp *Experiment, title string) error {
 	xs := StretchAxis()
-	schemes := append([]Scheme(nil), schemesOf(exp)...)
+	schemes := append([]SchemeID(nil), schemesOf(exp)...)
 	sort.Slice(schemes, func(i, j int) bool { return schemes[i] < schemes[j] })
 
 	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
@@ -117,7 +117,7 @@ func WriteCCDF(w io.Writer, exp *Experiment, title string) error {
 		fmt.Fprintf(w, " %-26s", s)
 	}
 	fmt.Fprintln(w)
-	curves := make(map[Scheme][]float64, len(schemes))
+	curves := make(map[SchemeID][]float64, len(schemes))
 	for _, s := range schemes {
 		curves[s] = exp.SeriesFor(s).CCDF(xs)
 	}
@@ -136,8 +136,8 @@ func WriteCCDF(w io.Writer, exp *Experiment, title string) error {
 	return nil
 }
 
-func schemesOf(exp *Experiment) []Scheme {
-	out := make([]Scheme, 0, len(exp.Series))
+func schemesOf(exp *Experiment) []SchemeID {
+	out := make([]SchemeID, 0, len(exp.Series))
 	for _, s := range exp.Series {
 		out = append(out, s.Scheme)
 	}

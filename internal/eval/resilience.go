@@ -11,34 +11,29 @@ import (
 	"recycle/internal/failure"
 	"recycle/internal/route"
 	"recycle/internal/sim"
-	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
-// ResilienceConfig parameterises a Monte-Carlo resilience sweep.
+// ResilienceConfig parameterises a Monte-Carlo resilience sweep. The
+// embedded Panel carries the topology panel, failure process, seed and
+// metrics registry shared with every other harness; Metrics is consumed
+// by TraceResilience only (RunResilience ignores it).
 type ResilienceConfig struct {
-	// Spec is the failure-process specification every draw samples from
-	// (failure.ParseScenario grammar). Empty runs DefaultResilienceSpec.
-	Spec string
-	// Process optionally supplies a pre-built failure process (e.g. a
-	// scripted scenario file via failure.ParseScript); when non-nil it is
-	// used verbatim and Spec only labels the report.
-	Process failure.Process
+	Panel
 	// Draws is the number of seeded scenario draws per topology (default
 	// 50). Draw i uses failure.DrawSeed(Seed, i), so every scheme under
 	// comparison replays the identical i-th scenario.
 	Draws int
-	// Seed is the sweep's master seed (default 1).
-	Seed int64
 	// Horizon is the simulated run length per draw (default 4s).
 	Horizon time.Duration
 	// PPS is the per-flow probe rate (default 200 packets/second).
 	PPS float64
-	// Metrics optionally shares a live registry with TraceResilience's
-	// draws (e.g. one served over HTTP by `prsim -metrics`); nil gives
-	// each draw a private registry. Per-draw results subtract a base
-	// snapshot, so sharing never double-counts. RunResilience ignores it.
-	Metrics *telemetry.Registry
+	// Pins are certified counterexample scenarios (typically
+	// certify.Certificate.PinScenarios) replayed as extra draws after
+	// the Monte-Carlo ones — the regression seam between the adversarial
+	// search and the sampling harness: a once-found violating failure
+	// set is re-checked on every sweep, so it can never silently return.
+	Pins []*failure.Scenario
 }
 
 // DefaultResilienceSpec is the background failure process of the sweep:
@@ -51,18 +46,9 @@ const DefaultResilienceSpec = "mtbf:up=2s,down=300ms"
 
 func (c *ResilienceConfig) withDefaults() ResilienceConfig {
 	out := *c
-	if out.Spec == "" {
-		if out.Process != nil {
-			out.Spec = out.Process.Name()
-		} else {
-			out.Spec = DefaultResilienceSpec
-		}
-	}
+	out.Panel = out.Panel.withDefaults(DefaultResilienceSpec)
 	if out.Draws == 0 {
 		out.Draws = 50
-	}
-	if out.Seed == 0 {
-		out.Seed = 1
 	}
 	if out.Horizon == 0 {
 		out.Horizon = 4 * time.Second
@@ -134,13 +120,8 @@ func frac(num, den int) float64 {
 // from. Every loss is refereed by the scenario's connectivity oracle.
 func RunResilience(tp topo.Topology, cfg ResilienceConfig) ([]ResilienceRow, error) {
 	cfg = cfg.withDefaults()
-	proc := cfg.Process
-	var err error
-	if proc == nil {
-		if proc, err = failure.ParseScenario(cfg.Spec); err != nil {
-			return nil, err
-		}
-	} else if err = proc.Validate(); err != nil {
+	proc, err := cfg.process()
+	if err != nil {
 		return nil, err
 	}
 	g := tp.Graph
@@ -169,11 +150,19 @@ func RunResilience(tp topo.Topology, cfg ResilienceConfig) ([]ResilienceRow, err
 		func() sim.Scheme { return &sim.ReconvScheme{} },
 	}
 	rows := make([]ResilienceRow, len(schemes))
+	// The draw list is the Monte-Carlo draws followed by the certified
+	// counterexample pins: each pin replays as one extra draw against
+	// every scheme, refereed by its own oracle like any sampled scenario.
+	scenarios := make([]*failure.Scenario, 0, cfg.Draws+len(cfg.Pins))
 	for draw := 0; draw < cfg.Draws; draw++ {
 		sc, err := proc.Generate(g, cfg.Horizon, failure.DrawSeed(cfg.Seed, draw))
 		if err != nil {
 			return nil, err
 		}
+		scenarios = append(scenarios, sc)
+	}
+	scenarios = append(scenarios, cfg.Pins...)
+	for draw, sc := range scenarios {
 		for i, mk := range schemes {
 			scheme := mk()
 			s, err := sim.New(sim.Config{
@@ -197,12 +186,12 @@ func RunResilience(tp topo.Topology, cfg ResilienceConfig) ([]ResilienceRow, err
 				row.Scheme = scheme.Name()
 			}
 			row.Draws++
-			row.Generated += st.Generated
-			row.Delivered += st.Delivered
-			row.Violations += st.Violations
-			row.Transient += st.Transient
-			row.Excused += st.Excused
-			if st.Violations > 0 {
+			row.Generated += int(st.Counter(sim.MetricGenerated))
+			row.Delivered += int(st.Counter(sim.MetricDelivered))
+			row.Violations += int(st.Counter(sim.MetricLossViolation))
+			row.Transient += int(st.Counter(sim.MetricLossTransient))
+			row.Excused += int(st.Counter(sim.MetricLossExcused))
+			if st.Counter(sim.MetricLossViolation) > 0 {
 				row.ViolationDraws++
 			}
 		}
@@ -210,25 +199,28 @@ func RunResilience(tp topo.Topology, cfg ResilienceConfig) ([]ResilienceRow, err
 	return rows, nil
 }
 
-// WriteResilienceReport runs the sweep over a panel of named topologies
+// WriteResilienceReport runs the sweep over the config's topology panel
 // and renders the table: per (topology, scheme) the delivered, violation
 // and excused fractions plus availability. It is the quantification of
 // the paper's headline claim — PR rows on genus-0 embeddings must show
 // zero violations; the reconvergence baseline's violation column is the
 // loss PR exists to eliminate.
-func WriteResilienceReport(w io.Writer, names []string, cfg ResilienceConfig) error {
+func WriteResilienceReport(w io.Writer, cfg ResilienceConfig) error {
 	eff := cfg.withDefaults()
 	fmt.Fprintf(w, "# Monte-Carlo resilience: %d draws of %q per topology, %v horizon, seed %d\n",
 		eff.Draws, eff.Spec, eff.Horizon, eff.Seed)
+	if len(eff.Pins) > 0 {
+		fmt.Fprintf(w, "# plus %d certified counterexample pin(s) replayed as extra draws\n", len(eff.Pins))
+	}
 	fmt.Fprintf(w, "# violation = lost while the pair stayed connected and the link state held still;\n")
 	fmt.Fprintf(w, "# transient = a failure/repair landed mid-flight (§7); excused = the pair was partitioned\n")
 	fmt.Fprintf(w, "%-12s %-5s %-34s %-9s %-9s %-10s %-9s %-8s %-10s %-12s\n",
 		"topology", "genus", "scheme", "generated", "delivered", "violations", "transient", "excused", "avail", "violation-f")
-	for _, name := range names {
-		tp, err := topo.ByName(name)
-		if err != nil {
-			return err
-		}
+	panel, err := eff.Panel.topologies()
+	if err != nil {
+		return err
+	}
+	for _, tp := range panel {
 		rows, err := RunResilience(tp, cfg)
 		if err != nil {
 			return err

@@ -80,7 +80,7 @@ func TestResilienceGuarantee(t *testing.T) {
 // reproducible by anyone with the seed.
 func TestResilienceDeterministic(t *testing.T) {
 	tp := mustTopo(t, "ring:16")
-	cfg := ResilienceConfig{Draws: 5, Seed: 3}
+	cfg := ResilienceConfig{Panel: Panel{Seed: 3}, Draws: 5}
 	a, err := RunResilience(tp, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestResilienceDeterministic(t *testing.T) {
 			t.Fatalf("same seed, different rows:\n%+v\n%+v", a[i], b[i])
 		}
 	}
-	c, err := RunResilience(tp, ResilienceConfig{Draws: 5, Seed: 4})
+	c, err := RunResilience(tp, ResilienceConfig{Panel: Panel{Seed: 4}, Draws: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestResilienceDeterministic(t *testing.T) {
 func TestResilienceCorrelatedSpec(t *testing.T) {
 	tp := mustTopo(t, "grid:4x6")
 	rows, err := RunResilience(tp, ResilienceConfig{
-		Spec:  "mtbf:up=3s,down=200ms+srlg:links=0;1;2,at=1s,down=500ms",
+		Panel: Panel{Spec: "mtbf:up=3s,down=200ms+srlg:links=0;1;2,at=1s,down=500ms"},
 		Draws: 10,
 	})
 	if err != nil {
@@ -122,14 +122,14 @@ func TestResilienceCorrelatedSpec(t *testing.T) {
 
 func TestResilienceBadSpec(t *testing.T) {
 	tp := mustTopo(t, "ring:8")
-	if _, err := RunResilience(tp, ResilienceConfig{Spec: "quake:mag=9", Draws: 1}); err == nil {
+	if _, err := RunResilience(tp, ResilienceConfig{Panel: Panel{Spec: "quake:mag=9"}, Draws: 1}); err == nil {
 		t.Fatal("unknown spec accepted")
 	}
 }
 
 func TestWriteResilienceReport(t *testing.T) {
 	var b strings.Builder
-	err := WriteResilienceReport(&b, []string{"ring:12"}, ResilienceConfig{Draws: 3, Horizon: time.Second})
+	err := WriteResilienceReport(&b, ResilienceConfig{Panel: Panel{Topologies: []string{"ring:12"}}, Draws: 3, Horizon: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestWriteResilienceReport(t *testing.T) {
 			t.Fatalf("report lacks %q:\n%s", want, out)
 		}
 	}
-	if err := WriteResilienceReport(&strings.Builder{}, []string{"no-such-topo"}, ResilienceConfig{Draws: 1}); err == nil {
+	if err := WriteResilienceReport(&strings.Builder{}, ResilienceConfig{Panel: Panel{Topologies: []string{"no-such-topo"}}, Draws: 1}); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }
@@ -165,11 +165,11 @@ func TestResilienceProcessField(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bySpec, err := RunResilience(tp, ResilienceConfig{Spec: spec, Draws: 3, Horizon: time.Second})
+	bySpec, err := RunResilience(tp, ResilienceConfig{Panel: Panel{Spec: spec}, Draws: 3, Horizon: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
-	byProc, err := RunResilience(tp, ResilienceConfig{Process: proc, Draws: 3, Horizon: time.Second})
+	byProc, err := RunResilience(tp, ResilienceConfig{Panel: Panel{Process: proc}, Draws: 3, Horizon: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestResilienceProcessField(t *testing.T) {
 			t.Fatalf("Process field draws differently from the equivalent Spec:\n%+v\n%+v", bySpec[i], byProc[i])
 		}
 	}
-	if _, err := RunResilience(tp, ResilienceConfig{Process: failure.Multi{}, Draws: 1}); err == nil {
+	if _, err := RunResilience(tp, ResilienceConfig{Panel: Panel{Process: failure.Multi{}}, Draws: 1}); err == nil {
 		t.Fatal("invalid pre-built process accepted")
 	}
 }

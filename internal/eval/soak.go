@@ -67,8 +67,12 @@ const (
 // concurrent failures and partitions.
 const DefaultSoakSpec = "mtbf:up=20s,down=200ms"
 
-// SoakConfig parameterises RunSoak.
+// SoakConfig parameterises RunSoak. The embedded Panel carries the
+// failure process (default DefaultSoakSpec), the master seed — which
+// drives everything: flow endpoints, traffic, the scenario draw and the
+// swap edit stream — and the optional shared metrics registry.
 type SoakConfig struct {
+	Panel
 	// Flows is the concurrent flow count (default 100_000). Each flow is
 	// a persistent (src,dst) pair emitting per the Traffic process; the
 	// per-flow state is ~48 bytes, so hundreds of thousands of flows fit
@@ -78,12 +82,6 @@ type SoakConfig struct {
 	// Duration is how long emissions run (default 30s). In-flight
 	// packets drain to a verdict after the horizon.
 	Duration time.Duration
-	// Spec is the continuous failure process played against the engine
-	// (failure.ParseScenario grammar; default DefaultSoakSpec).
-	Spec string
-	// Process optionally supplies a pre-built failure process; when
-	// non-nil it is used verbatim and Spec only labels the report.
-	Process failure.Process
 	// Traffic is the per-flow arrival process (traffic.ParseSpec
 	// grammar: fixed, poisson or mmpp; default "poisson:rate=2"). The
 	// spec's rate is per flow: aggregate offered load is Flows × the
@@ -94,9 +92,6 @@ type SoakConfig struct {
 	// tweaks; one adds a structural chord and a later one removes it
 	// (when a genus-preserving chord exists).
 	SwapEvery time.Duration
-	// Seed drives everything: flow endpoints, traffic, the scenario
-	// draw, and the swap edit stream (default 1).
-	Seed int64
 	// Shards is the engine worker count (0 = engine default).
 	Shards int
 	// BatchSize is packets per engine batch (default 256).
@@ -111,35 +106,22 @@ type SoakConfig struct {
 	// (no-route + ttl + tx drops) / generated (default 0.02). Violations
 	// are never tolerated, whatever this bound.
 	MaxDropFrac float64
-	// Metrics optionally supplies a live registry (e.g. one served over
-	// HTTP by `prsim -metrics`); nil builds a private one. The run
-	// subtracts a base snapshot, so sharing never double-counts.
-	Metrics *telemetry.Registry
 }
 
 func (c *SoakConfig) withDefaults() SoakConfig {
 	out := *c
+	out.Panel = out.Panel.withDefaults(DefaultSoakSpec)
 	if out.Flows == 0 {
 		out.Flows = 100_000
 	}
 	if out.Duration == 0 {
 		out.Duration = 30 * time.Second
 	}
-	if out.Spec == "" {
-		if out.Process != nil {
-			out.Spec = out.Process.Name()
-		} else {
-			out.Spec = DefaultSoakSpec
-		}
-	}
 	if out.Traffic == "" {
 		out.Traffic = "poisson:rate=2"
 	}
 	if out.SwapEvery == 0 {
 		out.SwapEvery = out.Duration / 12
-	}
-	if out.Seed == 0 {
-		out.Seed = 1
 	}
 	if out.BatchSize == 0 {
 		out.BatchSize = 256
@@ -195,10 +177,6 @@ type SoakResult struct {
 	SkippedSwaps    int
 	ScenarioEvents  int
 
-	// Tx is the egress account, including retired dart-space
-	// generations across structural swaps.
-	Tx dataplane.TxStats
-
 	// AllocBytes/Mallocs/NumGC are runtime.MemStats deltas over the run
 	// — the steady-state allocation telemetry a microbenchmark cannot
 	// see.
@@ -218,12 +196,18 @@ type SoakResult struct {
 	FailReasons []string
 }
 
-// DropFrac is (walk drops + tx drops) / generated.
+// DropFrac is (walk drops + tx drops) / generated. The egress account
+// lives under the tx.* names of the run's Aggregate snapshot, retired
+// dart-space generations across structural swaps included.
 func (r *SoakResult) DropFrac() float64 {
 	if r.Generated == 0 {
 		return 0
 	}
-	return float64(r.DropNoRoute+r.DropTTL+r.Tx.Dropped()) / float64(r.Generated)
+	var txDropped uint64
+	if r.Aggregate != nil {
+		txDropped = dataplane.TxDropped(r.Aggregate)
+	}
+	return float64(r.DropNoRoute+r.DropTTL+txDropped) / float64(r.Generated)
 }
 
 // ---------------------------------------------------------------------------
@@ -509,12 +493,8 @@ func RunSoak(tp topo.Topology, cfg SoakConfig) (*SoakResult, error) {
 		return nil, err
 	}
 
-	proc := cfg.Process
-	if proc == nil {
-		if proc, err = failure.ParseScenario(cfg.Spec); err != nil {
-			return nil, err
-		}
-	} else if err = proc.Validate(); err != nil {
+	proc, err := cfg.process()
+	if err != nil {
 		return nil, err
 	}
 	sc, err := proc.Generate(g, cfg.Duration, failure.DrawSeed(cfg.Seed, 0))
@@ -693,7 +673,6 @@ func RunSoak(tp topo.Topology, cfg SoakConfig) (*SoakResult, error) {
 		StructuralSwaps: ctl.structural,
 		SkippedSwaps:    ctl.skipped,
 		ScenarioEvents:  ctl.eventsApplied,
-		Tx:              tx.Stats(),
 		AllocBytes:      msEnd.TotalAlloc - msStart.TotalAlloc,
 		Mallocs:         msEnd.Mallocs - msStart.Mallocs,
 		NumGC:           msEnd.NumGC - msStart.NumGC,
@@ -1132,8 +1111,12 @@ func WriteSoakReport(w io.Writer, r *SoakResult) {
 	fmt.Fprintf(w, "decisions   %12d  (%.0f decisions/s sustained)\n", r.Decisions, r.DecisionsPerSec)
 	fmt.Fprintf(w, "swaps       %12d  (%d structural, %d skipped)\n", r.Swaps, r.StructuralSwaps, r.SkippedSwaps)
 	fmt.Fprintf(w, "link events %12d\n", r.ScenarioEvents)
-	fmt.Fprintf(w, "tx          %12d sent, %d dropped (%d queue-full, %d link-down, %d stale-dart)\n",
-		r.Tx.Sent, r.Tx.Dropped(), r.Tx.DropQueueFull, r.Tx.DropLinkDown, r.Tx.DropStaleDart)
+	if a := r.Aggregate; a != nil {
+		fmt.Fprintf(w, "tx          %12d sent, %d dropped (%d queue-full, %d link-down, %d stale-dart)\n",
+			a.Counter(dataplane.MetricTxSent), dataplane.TxDropped(a),
+			a.Counter(dataplane.MetricTxDropQueueFull), a.Counter(dataplane.MetricTxDropLinkDown),
+			a.Counter(dataplane.MetricTxDropStaleDart))
+	}
 	perDecision := 0.0
 	if r.Decisions > 0 {
 		perDecision = float64(r.AllocBytes) / float64(r.Decisions)

@@ -59,9 +59,9 @@ func soakIdentities(t *testing.T, r *SoakResult) {
 // and show zero violations.
 func TestRunSoakSmoke(t *testing.T) {
 	res, err := RunSoak(mustTopo(t, "grid:4x4"), SoakConfig{
+		Panel:     Panel{Spec: "mtbf:up=2s,down=100ms"},
 		Flows:     3_000,
 		Duration:  1200 * time.Millisecond,
-		Spec:      "mtbf:up=2s,down=100ms",
 		SwapEvery: 100 * time.Millisecond,
 	})
 	if err != nil {
@@ -93,7 +93,7 @@ func TestRunSoakSmoke(t *testing.T) {
 	if res.ScenarioEvents > 0 && linkEpochs == 0 {
 		t.Fatal("scenario events applied but no link-labelled epoch rolled")
 	}
-	if res.Tx.Sent == 0 {
+	if res.Aggregate.Counter(dataplane.MetricTxSent) == 0 {
 		t.Fatal("TxQueue egress saw no frames")
 	}
 }
@@ -107,9 +107,9 @@ func TestSoakAcceptance(t *testing.T) {
 	cfg := SoakConfig{Flows: 100_000, Duration: 30 * time.Second}
 	if testing.Short() {
 		cfg = SoakConfig{
+			Panel:     Panel{Spec: "mtbf:up=6s,down=150ms"},
 			Flows:     20_000,
 			Duration:  6 * time.Second,
-			Spec:      "mtbf:up=6s,down=150ms",
 			SwapEvery: 500 * time.Millisecond,
 		}
 	}
@@ -148,9 +148,9 @@ func TestSoakSharedRegistry(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	reg.Counter(MetricSoakGenerated).Add(1_000_000) // pre-existing noise
 	res, err := RunSoak(mustTopo(t, "ring:12"), SoakConfig{
+		Panel:    Panel{Metrics: reg},
 		Flows:    500,
 		Duration: 400 * time.Millisecond,
-		Metrics:  reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +163,7 @@ func TestSoakSharedRegistry(t *testing.T) {
 
 func TestSoakBadConfig(t *testing.T) {
 	tp := mustTopo(t, "ring:8")
-	if _, err := RunSoak(tp, SoakConfig{Spec: "quake:mag=9", Duration: time.Second}); err == nil {
+	if _, err := RunSoak(tp, SoakConfig{Panel: Panel{Spec: "quake:mag=9"}, Duration: time.Second}); err == nil {
 		t.Fatal("unknown failure spec accepted")
 	}
 	if _, err := RunSoak(tp, SoakConfig{Traffic: "carrier-pigeon", Duration: time.Second}); err == nil {

@@ -20,12 +20,14 @@ import (
 	"recycle/internal/topo"
 )
 
-// Scheme identifies a recovery mechanism under comparison.
-type Scheme int
+// SchemeID identifies a recovery mechanism under comparison — the
+// experiment-panel enum, distinct from the sim.Scheme execution
+// interface.
+type SchemeID int
 
 const (
 	// Reconvergence: optimal post-convergence shortest paths.
-	Reconvergence Scheme = iota
+	Reconvergence SchemeID = iota
 	// FCP: failure-carrying packets.
 	FCP
 	// PR: packet re-cycling, Full variant (§4.3).
@@ -36,7 +38,7 @@ const (
 )
 
 // String names the scheme as in the paper's legend.
-func (s Scheme) String() string {
+func (s SchemeID) String() string {
 	switch s {
 	case Reconvergence:
 		return "Re-convergence"
@@ -47,7 +49,7 @@ func (s Scheme) String() string {
 	case PRBasic:
 		return "Packet Re-cycling (basic)"
 	}
-	return fmt.Sprintf("Scheme(%d)", int(s))
+	return fmt.Sprintf("SchemeID(%d)", int(s))
 }
 
 // Spec describes one stretch experiment (one Figure 2 panel).
@@ -55,7 +57,7 @@ type Spec struct {
 	// Topology under test.
 	Topology topo.Topology
 	// Schemes to compare; nil means the paper's three.
-	Schemes []Scheme
+	Schemes []SchemeID
 	// Failures is the scenario list (one failure set per scenario).
 	Failures []*graph.FailureSet
 	// Discriminator for PR routing tables (default HopCount).
@@ -67,7 +69,7 @@ type Spec struct {
 
 // Series is one scheme's outcome over every scenario and affected pair.
 type Series struct {
-	Scheme Scheme
+	Scheme SchemeID
 	// Stretches holds one stretch value per delivered affected walk.
 	Stretches []float64
 	// Affected counts (scenario, src, dst) walks attempted.
@@ -132,7 +134,7 @@ type Experiment struct {
 }
 
 // SeriesFor returns the series of a scheme, or nil.
-func (e *Experiment) SeriesFor(s Scheme) *Series {
+func (e *Experiment) SeriesFor(s SchemeID) *Series {
 	for _, sr := range e.Series {
 		if sr.Scheme == s {
 			return sr
@@ -147,7 +149,7 @@ func (e *Experiment) SeriesFor(s Scheme) *Series {
 func Run(spec Spec) (*Experiment, error) {
 	g := spec.Topology.Graph
 	if len(spec.Schemes) == 0 {
-		spec.Schemes = []Scheme{Reconvergence, FCP, PR}
+		spec.Schemes = []SchemeID{Reconvergence, FCP, PR}
 	}
 	if spec.Embedder == nil {
 		spec.Embedder = embedding.Auto{Seed: 1}
@@ -175,7 +177,7 @@ func Run(spec Spec) (*Experiment, error) {
 	reconvRouter := reconv.New(g)
 
 	exp := &Experiment{Spec: spec}
-	series := make(map[Scheme]*Series)
+	series := make(map[SchemeID]*Series)
 	for _, s := range spec.Schemes {
 		sr := &Series{Scheme: s}
 		series[s] = sr
@@ -233,7 +235,7 @@ func affected(tree *graph.SPTree, src graph.NodeID, fs *graph.FailureSet) bool {
 	return false
 }
 
-func walkScheme(s Scheme, prFull, prBasic *core.Protocol, f *fcp.Router, rc *reconv.Router, src, dst graph.NodeID, fs *graph.FailureSet) (stretch float64, delivered bool) {
+func walkScheme(s SchemeID, prFull, prBasic *core.Protocol, f *fcp.Router, rc *reconv.Router, src, dst graph.NodeID, fs *graph.FailureSet) (stretch float64, delivered bool) {
 	switch s {
 	case PR:
 		r := prFull.Walk(src, dst, fs)

@@ -32,7 +32,7 @@ func TestRunAbileneSingleFailures(t *testing.T) {
 	if exp.Scenarios != 14 {
 		t.Fatalf("scenarios = %d; want 14 (every Abilene link)", exp.Scenarios)
 	}
-	for _, scheme := range []Scheme{Reconvergence, FCP, PR} {
+	for _, scheme := range []SchemeID{Reconvergence, FCP, PR} {
 		sr := exp.SeriesFor(scheme)
 		if sr == nil {
 			t.Fatalf("missing series for %v", scheme)
@@ -190,7 +190,7 @@ func TestPRBasicAblationSeries(t *testing.T) {
 	exp, err := Run(Spec{
 		Topology: tp,
 		Failures: graph.SingleFailureScenarios(tp.Graph),
-		Schemes:  []Scheme{PR, PRBasic},
+		Schemes:  []SchemeID{PR, PRBasic},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -263,12 +263,12 @@ func TestWriteOverheadReport(t *testing.T) {
 }
 
 func TestSchemeString(t *testing.T) {
-	for _, s := range []Scheme{Reconvergence, FCP, PR, PRBasic} {
+	for _, s := range []SchemeID{Reconvergence, FCP, PR, PRBasic} {
 		if s.String() == "" {
 			t.Fatal("scheme must render")
 		}
 	}
-	if Scheme(42).String() == "" {
+	if SchemeID(42).String() == "" {
 		t.Fatal("unknown scheme must render")
 	}
 }

@@ -92,7 +92,6 @@ type TraceResult struct {
 	// Draw is the scenario draw index that produced a recycled flight
 	// (the first one that did, or the last draw tried).
 	Draw      int
-	Stats     *sim.Stats
 	Flights   []*telemetry.Flight
 	Epochs    []telemetry.Epoch
 	Aggregate *telemetry.Snapshot
@@ -120,13 +119,8 @@ func (t *TraceResult) Recycled() *telemetry.Flight {
 // aggregate counters exactly before returning.
 func TraceResilience(tp topo.Topology, cfg ResilienceConfig) (*TraceResult, error) {
 	cfg = cfg.withDefaults()
-	proc := cfg.Process
-	var err error
-	if proc == nil {
-		if proc, err = failure.ParseScenario(cfg.Spec); err != nil {
-			return nil, err
-		}
-	} else if err = proc.Validate(); err != nil {
+	proc, err := cfg.process()
+	if err != nil {
 		return nil, err
 	}
 	g := tp.Graph
@@ -179,7 +173,7 @@ func TraceResilience(tp topo.Topology, cfg ResilienceConfig) (*TraceResult, erro
 		if err := s.ApplyScenario(sc); err != nil {
 			return nil, err
 		}
-		st := s.Run()
+		s.Run()
 		agg := reg.Snapshot().Sub(base)
 		epochs := s.Timeline().Epochs()
 		if err := checkTimelineExact(s.Timeline().Sum(), agg); err != nil {
@@ -189,7 +183,6 @@ func TraceResilience(tp topo.Topology, cfg ResilienceConfig) (*TraceResult, erro
 			Scheme:    scheme.Name(),
 			Scenario:  sc.Name,
 			Draw:      draw,
-			Stats:     st,
 			Flights:   rec.Flights(),
 			Epochs:    epochs,
 			Aggregate: agg,

@@ -95,32 +95,48 @@ func RunTrafficLoss(tp topo.Topology, sources []traffic.Source) (*TrafficLossRep
 	return report, nil
 }
 
+// TrafficLossConfig parameterises the loss-window-over-traffic-mixes
+// report. The embedded Panel's Topologies is consumed; its
+// failure-process, seed and metrics fields are ignored (the experiment
+// scripts its own single failure and the sources carry their own
+// seeds).
+type TrafficLossConfig struct {
+	Panel
+	// Sources is the traffic-source panel (nil runs DefaultTrafficMix).
+	Sources []traffic.Source
+}
+
 // WriteTrafficLossReport renders the loss-window-over-traffic-mixes
-// figure for a named topology. A nil sources slice runs
-// DefaultTrafficMix.
-func WriteTrafficLossReport(w io.Writer, topoName string, sources []traffic.Source) error {
-	tp, err := topo.ByName(topoName)
-	if err != nil {
-		return err
-	}
+// figure over the config's topology panel.
+func WriteTrafficLossReport(w io.Writer, cfg TrafficLossConfig) error {
+	sources := cfg.Sources
 	if sources == nil {
 		sources = DefaultTrafficMix()
 	}
-	report, err := RunTrafficLoss(tp, sources)
+	panel, err := cfg.Panel.topologies()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "# §1 loss window over traffic mixes on %s: %s→%s flow, first-hop link fails at t=1s\n",
-		tp.Name, tp.Graph.Name(report.Src), tp.Graph.Name(report.Dst))
-	fmt.Fprintf(w, "%-22s %-30s %-10s %-10s %-10s %-8s %-5s %-9s\n",
-		"traffic", "scheme", "generated", "delivered", "blackhole", "noroute", "ttl", "delivery")
-	for _, r := range report.Rows {
-		rate := 1.0
-		if r.Generated > 0 {
-			rate = float64(r.Delivered) / float64(r.Generated)
+	for i, tp := range panel {
+		if i > 0 {
+			fmt.Fprintln(w)
 		}
-		fmt.Fprintf(w, "%-22s %-30s %-10d %-10d %-10d %-8d %-5d %-9.4f\n",
-			r.Traffic, r.Scheme, r.Generated, r.Delivered, r.Blackhole, r.NoRoute, r.TTL, rate)
+		report, err := RunTrafficLoss(tp, sources)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# §1 loss window over traffic mixes on %s: %s→%s flow, first-hop link fails at t=1s\n",
+			tp.Name, tp.Graph.Name(report.Src), tp.Graph.Name(report.Dst))
+		fmt.Fprintf(w, "%-22s %-30s %-10s %-10s %-10s %-8s %-5s %-9s\n",
+			"traffic", "scheme", "generated", "delivered", "blackhole", "noroute", "ttl", "delivery")
+		for _, r := range report.Rows {
+			rate := 1.0
+			if r.Generated > 0 {
+				rate = float64(r.Delivered) / float64(r.Generated)
+			}
+			fmt.Fprintf(w, "%-22s %-30s %-10d %-10d %-10d %-8d %-5d %-9.4f\n",
+				r.Traffic, r.Scheme, r.Generated, r.Delivered, r.Blackhole, r.NoRoute, r.TTL, rate)
+		}
 	}
 	return nil
 }

@@ -57,7 +57,8 @@ func TestWriteTrafficLossReport(t *testing.T) {
 	sources := []traffic.Source{
 		traffic.Poisson{Rate: 200, Sizes: traffic.BoundedPareto{Alpha: 1.3, MinBits: 512, MaxBits: 96_000}, Seed: 1},
 	}
-	if err := WriteTrafficLossReport(&sb, "abilene", sources); err != nil {
+	cfg := TrafficLossConfig{Panel: Panel{Topologies: []string{"abilene"}}, Sources: sources}
+	if err := WriteTrafficLossReport(&sb, cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

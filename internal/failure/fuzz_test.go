@@ -1,6 +1,7 @@
 package failure
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 	"time"
@@ -84,4 +85,116 @@ func FuzzParseScript(f *testing.F) {
 			t.Fatalf("ParseScript(%q) returned nil process and nil error", script)
 		}
 	})
+}
+
+// FuzzNeighbourMove asserts the annealing move kernel preserves its
+// invariants for arbitrary (universe, cap, set, prefer) shapes: the
+// result is non-empty, capped, strictly sorted (so dup-free), in-range,
+// and at most one element away from the input — a real neighbour.
+func FuzzNeighbourMove(f *testing.F) {
+	f.Add(int64(1), 12, 4, uint16(0b10100100), uint16(0b0110))
+	f.Add(int64(7), 3, 3, uint16(0b111), uint16(0))
+	f.Add(int64(9), 1, 1, uint16(1), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, n, maxSize int, setBits, preferBits uint16) {
+		if n < 1 || n > 16 || maxSize < 1 || maxSize > n {
+			t.Skip()
+		}
+		var set, prefer []int
+		for i := 0; i < n; i++ {
+			if setBits&(1<<i) != 0 && len(set) < maxSize {
+				set = append(set, i)
+			}
+			if preferBits&(1<<i) != 0 {
+				prefer = append(prefer, i)
+			}
+		}
+		if len(set) == 0 {
+			set = []int{0}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for step := 0; step < 32; step++ {
+			next := NeighbourMove(rng, set, n, maxSize, prefer)
+			if len(next) < 1 || len(next) > maxSize {
+				t.Fatalf("size %d outside [1,%d]: %v", len(next), maxSize, next)
+			}
+			inNext := map[int]bool{}
+			for i, m := range next {
+				if m < 0 || m >= n {
+					t.Fatalf("member %d outside universe [0,%d): %v", m, n, next)
+				}
+				if i > 0 && next[i] <= next[i-1] {
+					t.Fatalf("not strictly sorted: %v", next)
+				}
+				inNext[m] = true
+			}
+			inSet := map[int]bool{}
+			added, removed := 0, 0
+			for _, m := range set {
+				inSet[m] = true
+				if !inNext[m] {
+					removed++
+				}
+			}
+			for _, m := range next {
+				if !inSet[m] {
+					added++
+				}
+			}
+			if added > 1 || removed > 1 {
+				t.Fatalf("move %v -> %v changes %d+%d elements; a neighbour changes at most one each way", set, next, added, removed)
+			}
+			set = next
+		}
+	})
+}
+
+// FuzzSubsets cross-checks the lexicographic enumerator against the
+// closed-form count and the per-set invariants the sweeps rely on.
+func FuzzSubsets(f *testing.F) {
+	f.Add(5, 2)
+	f.Add(16, 0)
+	f.Add(16, 16)
+	f.Add(3, 5)
+	f.Fuzz(func(t *testing.T, n, k int) {
+		if n < 0 || n > 18 || k < 0 || k > 6 {
+			t.Skip()
+		}
+		var count int64
+		var prev []int
+		complete := Subsets(n, k, func(idx []int) bool {
+			count++
+			if len(idx) != k {
+				t.Fatalf("set %v has size %d, want %d", idx, len(idx), k)
+			}
+			for i, v := range idx {
+				if v < 0 || v >= n {
+					t.Fatalf("set %v outside [0,%d)", idx, n)
+				}
+				if i > 0 && idx[i] <= idx[i-1] {
+					t.Fatalf("set %v not strictly increasing", idx)
+				}
+			}
+			if prev != nil && !lexLess(prev, idx) {
+				t.Fatalf("enumeration not lexicographic: %v before %v", prev, idx)
+			}
+			prev = append(prev[:0], idx...)
+			return true
+		})
+		if !complete {
+			t.Fatal("unconditional yield must complete")
+		}
+		if want := CountSubsets(n, k); count != want {
+			t.Fatalf("Subsets(%d,%d) yielded %d sets, CountSubsets says %d", n, k, count, want)
+		}
+	})
+}
+
+// lexLess reports a < b in lexicographic order (equal lengths).
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
 }

@@ -189,14 +189,14 @@ func TestSPTRepairDifferential(t *testing.T) {
 			g = g2
 		}
 	}
-	st := rep.Stats()
-	if st.Repaired == 0 {
+	repaired, unchanged, fullFallback, touched := rep.Counters()
+	if repaired == 0 {
 		t.Fatal("no incremental repairs exercised")
 	}
-	if st.FullFallback > 0 {
-		t.Fatalf("%d defensive fallbacks — incremental invariants violated", st.FullFallback)
+	if fullFallback > 0 {
+		t.Fatalf("%d defensive fallbacks — incremental invariants violated", fullFallback)
 	}
-	t.Logf("repairs=%d unchanged=%d touched=%d", st.Repaired, st.Unchanged, st.NodesTouched)
+	t.Logf("repairs=%d unchanged=%d touched=%d", repaired, unchanged, touched)
 }
 
 // TestRemapTreeLinks checks the removal remap shares untouched arrays and

@@ -52,7 +52,17 @@ type SPTRepairer struct {
 	// the cache on every edit.
 	kids map[NodeID]*childCache
 
-	stats RepairStats
+	stats repairCounters
+}
+
+// repairCounters accumulates repairer outcomes; Counters exposes them
+// for telemetry collectors (dataplane.Recompiler.Register publishes
+// them as the repair.* snapshot names).
+type repairCounters struct {
+	repaired     int64
+	unchanged    int64
+	fullFallback int64
+	nodesTouched int64
 }
 
 // reparent records one canonical-parent change found by the recheck
@@ -72,25 +82,13 @@ type childCache struct {
 	next []int32
 }
 
-// RepairStats counts repairer outcomes, for churn reports and tests.
-//
-// Deprecated: RepairStats is a compatibility view. A Recompiler
-// registered with a telemetry.Registry (dataplane.Recompiler.Register)
-// exposes the same totals as the repair.* snapshot names; prefer
-// reading them there.
-type RepairStats struct {
-	// Repaired counts trees rebuilt through the incremental path.
-	Repaired int
-	// Unchanged counts calls that proved the tree unaffected.
-	Unchanged int
-	// FullFallback counts defensive full-Dijkstra rebuilds.
-	FullFallback int
-	// NodesTouched sums affected-region sizes across repairs.
-	NodesTouched int64
+// Counters returns the repairer's cumulative outcome counts: trees
+// rebuilt through the incremental path, calls that proved the tree
+// unaffected, defensive full-Dijkstra rebuilds, and the summed
+// affected-region sizes across repairs.
+func (r *SPTRepairer) Counters() (repaired, unchanged, fullFallback, nodesTouched int64) {
+	return r.stats.repaired, r.stats.unchanged, r.stats.fullFallback, r.stats.nodesTouched
 }
-
-// Stats returns the repairer's cumulative counters.
-func (r *SPTRepairer) Stats() RepairStats { return r.stats }
 
 // repairItem is one heap entry of the region Dijkstra.
 type repairItem struct {
@@ -210,7 +208,7 @@ func (r *SPTRepairer) setDist(v NodeID, d float64) {
 func (r *SPTRepairer) WeightChange(g *Graph, old *SPTree, l LinkID, oldW float64) (t *SPTree, changed bool) {
 	wNew := g.Weight(l)
 	if wNew == oldW {
-		r.stats.Unchanged++
+		r.stats.unchanged++
 		return old, false
 	}
 	link := g.Link(l)
@@ -218,13 +216,13 @@ func (r *SPTRepairer) WeightChange(g *Graph, old *SPTree, l LinkID, oldW float64
 	if !old.Reachable(a) && !old.Reachable(b) {
 		// Both endpoints in an unreachable component: every candidate
 		// through l stays infinite.
-		r.stats.Unchanged++
+		r.stats.unchanged++
 		return old, false
 	}
 	r.grow(g.NumNodes())
 	if wNew > oldW {
 		if !r.raiseDists(g, old, l) {
-			r.stats.Unchanged++
+			r.stats.unchanged++
 			return old, false
 		}
 	} else {
@@ -316,7 +314,7 @@ func (r *SPTRepairer) WeightChange(g *Graph, old *SPTree, l LinkID, oldW float64
 			// A repaired distance no candidate achieves (or vice versa):
 			// the incremental invariants were violated. Never deliver a
 			// wrong tree — recompute this destination from scratch.
-			r.stats.FullFallback++
+			r.stats.fullFallback++
 			return ShortestPathTree(g, old.Dest, nil), true
 		}
 		if bestP != old.NextNode[v] || bestL != old.NextLink[v] {
@@ -324,7 +322,7 @@ func (r *SPTRepairer) WeightChange(g *Graph, old *SPTree, l LinkID, oldW float64
 		}
 	}
 	if !distChanged && len(changes) == 0 {
-		r.stats.Unchanged++
+		r.stats.unchanged++
 		return old, false
 	}
 
@@ -380,8 +378,8 @@ func (r *SPTRepairer) WeightChange(g *Graph, old *SPTree, l LinkID, oldW float64
 	}
 	cc.tree = nt
 	r.changes = changes[:0]
-	r.stats.Repaired++
-	r.stats.NodesTouched += int64(len(r.region))
+	r.stats.repaired++
+	r.stats.nodesTouched += int64(len(r.region))
 	return nt, true
 }
 

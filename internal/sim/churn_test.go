@@ -7,6 +7,7 @@ import (
 	"recycle/internal/core"
 	"recycle/internal/dataplane"
 	"recycle/internal/graph"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
@@ -84,7 +85,7 @@ func TestTopologyUpdateAddLink(t *testing.T) {
 	g := graph.Ring(12)
 	interpreted := prScheme(t, g, core.Full)
 
-	run := func(scheme Scheme) *Stats {
+	run := func(scheme Scheme) *telemetry.Snapshot {
 		s, err := New(Config{
 			Graph:   g,
 			Scheme:  scheme,
@@ -102,14 +103,14 @@ func TestTopologyUpdateAddLink(t *testing.T) {
 
 	withDelta := run(churnScheme(t, interpreted))
 	stale := run(&CompiledPRScheme{FIB: churnScheme(t, interpreted).FIB})
-	if withDelta.Delivered != withDelta.Generated {
+	if withDelta.Counter(MetricDelivered) != withDelta.Counter(MetricGenerated) {
 		t.Fatalf("delta scheme dropped: %+v", withDelta)
 	}
-	if stale.Delivered != stale.Generated {
+	if stale.Counter(MetricDelivered) != stale.Counter(MetricGenerated) {
 		t.Fatalf("stale scheme dropped: %+v", stale)
 	}
-	if withDelta.TotalHops >= stale.TotalHops {
-		t.Fatalf("new link unused: delta %d hops, stale %d", withDelta.TotalHops, stale.TotalHops)
+	if withDelta.Counter(MetricHops) >= stale.Counter(MetricHops) {
+		t.Fatalf("new link unused: delta %d hops, stale %d", withDelta.Counter(MetricHops), stale.Counter(MetricHops))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"recycle/internal/core"
 	"recycle/internal/dataplane"
 	"recycle/internal/graph"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
@@ -28,7 +29,7 @@ func TestCompiledSchemeMatchesInterpreted(t *testing.T) {
 	interpreted := prScheme(t, g, core.Full)
 	compiled := compiledScheme(t, interpreted)
 
-	run := func(scheme Scheme) *Stats {
+	run := func(scheme Scheme) *telemetry.Snapshot {
 		s, err := New(Config{
 			Graph:          g,
 			Scheme:         scheme,
@@ -49,14 +50,14 @@ func TestCompiledSchemeMatchesInterpreted(t *testing.T) {
 
 	a := run(interpreted)
 	b := run(compiled)
-	if a.Generated != b.Generated || a.Delivered != b.Delivered ||
-		a.TotalLatency != b.TotalLatency || a.MaxLatency != b.MaxLatency ||
-		a.TotalHops != b.TotalHops {
-		t.Fatalf("compiled scheme diverged:\ninterpreted %+v\ncompiled    %+v", a, b)
-	}
-	for reason, n := range a.Drops {
-		if b.Drops[reason] != n {
-			t.Fatalf("drop %q: interpreted %d, compiled %d", reason, n, b.Drops[reason])
+	for _, name := range []string{MetricGenerated, MetricDelivered, MetricLatencyNs,
+		MetricHops, MetricDropBlackhole, MetricDropNoRoute, MetricDropTTL} {
+		if a.Counter(name) != b.Counter(name) {
+			t.Fatalf("compiled scheme diverged on %s: interpreted %d, compiled %d",
+				name, a.Counter(name), b.Counter(name))
 		}
+	}
+	if MaxLatency(a) != MaxLatency(b) {
+		t.Fatalf("compiled scheme diverged on max latency: %v vs %v", MaxLatency(a), MaxLatency(b))
 	}
 }

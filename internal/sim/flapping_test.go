@@ -36,11 +36,11 @@ func TestFlapDampingSuppressesBouncingLink(t *testing.T) {
 	// Without damping, every brief up-phase would pull traffic back onto
 	// the flapping link and blackhole it at the next down. With damping,
 	// losses are limited to the initial detection window.
-	if st.Drops[DropBlackhole] > 5 {
-		t.Fatalf("blackholed = %d with hold-down; want only the initial detection window", st.Drops[DropBlackhole])
+	if st.Counter(MetricDropBlackhole) > 5 {
+		t.Fatalf("blackholed = %d with hold-down; want only the initial detection window", st.Counter(MetricDropBlackhole))
 	}
-	if st.DeliveryRate() < 0.97 {
-		t.Fatalf("delivery rate = %v; want ≈1", st.DeliveryRate())
+	if DeliveryRate(st) < 0.97 {
+		t.Fatalf("delivery rate = %v; want ≈1", DeliveryRate(st))
 	}
 }
 
@@ -64,8 +64,8 @@ func TestNoHoldDownSuffersFromFlapping(t *testing.T) {
 		s.FailLinkAt(0, ts+50*time.Millisecond)
 	}
 	st := s.Run()
-	if st.Drops[DropBlackhole] <= 5 {
-		t.Fatalf("blackholed = %d without hold-down; expected repeated losses from flapping", st.Drops[DropBlackhole])
+	if st.Counter(MetricDropBlackhole) <= 5 {
+		t.Fatalf("blackholed = %d without hold-down; expected repeated losses from flapping", st.Counter(MetricDropBlackhole))
 	}
 }
 
@@ -89,11 +89,11 @@ func TestHoldDownEventuallyRestoresLink(t *testing.T) {
 	s.FailLinkAt(0, 100*time.Millisecond)
 	s.RepairLinkAt(0, 200*time.Millisecond)
 	st := s.Run()
-	if st.DeliveryRate() != 1 {
-		t.Fatalf("delivery rate = %v; want 1", st.DeliveryRate())
+	if DeliveryRate(st) != 1 {
+		t.Fatalf("delivery rate = %v; want 1", DeliveryRate(st))
 	}
-	if st.TotalHops != st.Delivered {
+	if st.Counter(MetricHops) != st.Counter(MetricDelivered) {
 		t.Fatalf("hops = %d for %d packets; want direct single-hop paths after recovery",
-			st.TotalHops, st.Delivered)
+			st.Counter(MetricHops), st.Counter(MetricDelivered))
 	}
 }

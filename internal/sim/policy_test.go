@@ -35,14 +35,14 @@ func TestPerClassProtectionPolicy(t *testing.T) {
 	// Critical traffic is fully protected after detection, so drops must
 	// stay far below the best-effort class, which loses every packet for
 	// the remaining 800 ms (≈160 packets).
-	if st.Drops[DropNoRoute] < 140 {
-		t.Fatalf("no-route drops = %d; expected the unprotected class to keep dropping", st.Drops[DropNoRoute])
+	if st.Counter(MetricDropNoRoute) < 140 {
+		t.Fatalf("no-route drops = %d; expected the unprotected class to keep dropping", st.Counter(MetricDropNoRoute))
 	}
-	if st.Drops[DropBlackhole] > 5 {
-		t.Fatalf("blackhole drops = %d; want only the detection window", st.Drops[DropBlackhole])
+	if st.Counter(MetricDropBlackhole) > 5 {
+		t.Fatalf("blackhole drops = %d; want only the detection window", st.Counter(MetricDropBlackhole))
 	}
 	// Roughly half the generated packets (critical class) deliver.
-	if rate := st.DeliveryRate(); rate < 0.45 || rate > 0.65 {
+	if rate := DeliveryRate(st); rate < 0.45 || rate > 0.65 {
 		t.Fatalf("delivery rate = %v; want ≈0.5 (critical only)", rate)
 	}
 }
@@ -65,10 +65,10 @@ func TestProtectNilProtectsEverything(t *testing.T) {
 	}
 	s.FailLinkAt(0, 200*time.Millisecond)
 	st := s.Run()
-	if st.Drops[DropNoRoute] != 0 {
-		t.Fatalf("no-route drops = %d; want 0 with universal protection", st.Drops[DropNoRoute])
+	if st.Counter(MetricDropNoRoute) != 0 {
+		t.Fatalf("no-route drops = %d; want 0 with universal protection", st.Counter(MetricDropNoRoute))
 	}
-	if st.DeliveryRate() < 0.98 {
-		t.Fatalf("delivery rate = %v; want ≈1", st.DeliveryRate())
+	if DeliveryRate(st) < 0.98 {
+		t.Fatalf("delivery rate = %v; want ≈1", DeliveryRate(st))
 	}
 }

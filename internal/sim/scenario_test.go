@@ -28,12 +28,12 @@ func TestFailNodeAt(t *testing.T) {
 	// packets the long way round. It never comes back.
 	s.FailNodeAt(1, 200*time.Millisecond)
 	st := s.Run()
-	if st.Generated == 0 || st.Delivered == 0 {
+	if st.Counter(MetricGenerated) == 0 || st.Counter(MetricDelivered) == 0 {
 		t.Fatalf("no traffic flowed: %+v", st)
 	}
 	// The pair stays connected (counter-clockwise path survives): only the
 	// detection-window losses may occur, everything after must deliver.
-	lost := st.Generated - st.Delivered
+	lost := st.Counter(MetricGenerated) - st.Counter(MetricDelivered)
 	if lost == 0 {
 		t.Fatal("node failure on the shortest path lost nothing; detection window should bite")
 	}
@@ -63,7 +63,7 @@ func TestRepairNodeAt(t *testing.T) {
 	s.FailNodeAt(1, 100*time.Millisecond)
 	s.RepairNodeAt(1, 300*time.Millisecond)
 	st := s.Run()
-	if st.Generated == 0 {
+	if st.Counter(MetricGenerated) == 0 {
 		t.Fatal("no packets generated")
 	}
 	if s.KnownFailures().Len() != 0 {
@@ -100,11 +100,11 @@ func TestApplyScenarioSchedulesMergedEvents(t *testing.T) {
 	// ring link down at a time), PR must deliver everything: a violation
 	// here would mean the merge resurrected link 0 at 400ms and a packet
 	// died on the phantom repair.
-	if st.Violations != 0 {
-		t.Fatalf("violations = %d; want 0 (overlap merge must hold the link down until 600ms)", st.Violations)
+	if st.Counter(MetricLossViolation) != 0 {
+		t.Fatalf("violations = %d; want 0 (overlap merge must hold the link down until 600ms)", st.Counter(MetricLossViolation))
 	}
-	if st.Delivered != st.Generated {
-		t.Fatalf("delivered %d of %d with instant detection and a connected pair", st.Delivered, st.Generated)
+	if st.Counter(MetricDelivered) != st.Counter(MetricGenerated) {
+		t.Fatalf("delivered %d of %d with instant detection and a connected pair", st.Counter(MetricDelivered), st.Counter(MetricGenerated))
 	}
 }
 
@@ -153,13 +153,13 @@ func TestLossClassification(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.Run()
-	if st.Excused == 0 {
+	if st.Counter(MetricLossExcused) == 0 {
 		t.Fatalf("no excused losses across a 400ms partition: %+v", st)
 	}
-	if st.Violations != 0 {
-		t.Fatalf("PR shows %d violations with instant detection; want 0", st.Violations)
+	if st.Counter(MetricLossViolation) != 0 {
+		t.Fatalf("PR shows %d violations with instant detection; want 0", st.Counter(MetricLossViolation))
 	}
-	if st.Excused+st.Transient+st.Violations != st.Generated-st.Delivered {
+	if st.Counter(MetricLossExcused)+st.Counter(MetricLossTransient)+st.Counter(MetricLossViolation) != st.Counter(MetricGenerated)-st.Counter(MetricDelivered) {
 		t.Fatalf("classification does not partition the losses: %+v", st)
 	}
 }
@@ -194,15 +194,15 @@ func TestTransientClassification(t *testing.T) {
 	// is stated for detected failures; the sim therefore only reaches zero
 	// violations under InstantDetection. Here we assert the split is
 	// consistent and that losses exist at all.
-	lost := st.Generated - st.Delivered
+	lost := st.Counter(MetricGenerated) - st.Counter(MetricDelivered)
 	if lost == 0 {
 		t.Fatal("no detection-window losses on an undetected cut")
 	}
-	if st.Excused != 0 {
-		t.Fatalf("excused = %d on a connected pair; want 0", st.Excused)
+	if st.Counter(MetricLossExcused) != 0 {
+		t.Fatalf("excused = %d on a connected pair; want 0", st.Counter(MetricLossExcused))
 	}
-	if st.Violations+st.Transient != lost {
-		t.Fatalf("violations %d + transient %d ≠ lost %d", st.Violations, st.Transient, lost)
+	if st.Counter(MetricLossViolation)+st.Counter(MetricLossTransient) != lost {
+		t.Fatalf("violations %d + transient %d ≠ lost %d", st.Counter(MetricLossViolation), st.Counter(MetricLossTransient), lost)
 	}
 }
 
@@ -224,9 +224,9 @@ func TestInstantDetectionZeroLoss(t *testing.T) {
 	s.FailLinkAt(0, 100*time.Millisecond)
 	s.RepairLinkAt(0, 600*time.Millisecond)
 	st := s.Run()
-	if st.Delivered != st.Generated {
+	if st.Counter(MetricDelivered) != st.Counter(MetricGenerated) {
 		t.Fatalf("lost %d packets under instant detection on a connected pair: %+v",
-			st.Generated-st.Delivered, st)
+			st.Counter(MetricGenerated)-st.Counter(MetricDelivered), st)
 	}
 }
 

@@ -473,10 +473,10 @@ func runOutageFlow(cfg Config, flow Flow, failAt, drainAt time.Duration) (LossWi
 	return LossWindowResult{
 		Scheme:    cfg.Scheme.Name(),
 		Traffic:   trafficName,
-		Generated: st.Generated,
-		Delivered: st.Delivered,
-		Blackhole: st.Drops[DropBlackhole],
-		NoRoute:   st.Drops[DropNoRoute],
-		TTL:       st.Drops[DropTTL],
+		Generated: int(st.Counter(MetricGenerated)),
+		Delivered: int(st.Counter(MetricDelivered)),
+		Blackhole: int(st.Counter(MetricDropBlackhole)),
+		NoRoute:   int(st.Counter(MetricDropNoRoute)),
+		TTL:       int(st.Counter(MetricDropTTL)),
 	}, nil
 }

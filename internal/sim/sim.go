@@ -45,7 +45,8 @@ type Packet struct {
 // DropReason classifies packet losses.
 type DropReason string
 
-// Drop reasons reported in Stats.Drops.
+// Drop reasons — each is metered under its sim.drop.* counter and
+// stamped as the flight transcript's terminal verdict.
 const (
 	// DropBlackhole: sent onto a physically dead link before local
 	// detection fired — the loss window every FRR scheme races against.
@@ -111,9 +112,9 @@ type Config struct {
 	// Metrics, when non-nil, is the registry the run meters into —
 	// share one registry with an Engine, TxQueue or Recompiler for a
 	// single coherent snapshot across the whole pipeline. When nil the
-	// simulator meters into a private registry; either way Stats is
-	// populated from the run's counter deltas, and Simulator.Metrics /
-	// Simulator.Timeline expose the registry and the per-epoch fold.
+	// simulator meters into a private registry; either way Run returns
+	// the run's counter delta, and Simulator.Metrics / Simulator.Timeline
+	// expose the registry and the per-epoch fold.
 	Metrics *telemetry.Registry
 	// Recorder, when non-nil, arms the per-packet flight recorder:
 	// sampled or matched packets record their full cycle walk (darts
@@ -149,63 +150,44 @@ const (
 // after routers see a failure, does the scheme still deliver?
 const InstantDetection = time.Duration(-1)
 
-// Stats aggregates a run's outcomes.
-//
-// Deprecated: Stats is a compatibility view, populated at the end of
-// Run from the run's telemetry counter deltas (the sim.* names). New
-// consumers should read the registry snapshot — Simulator.Metrics —
-// where the same totals sit next to the engine, transmit and
-// recompiler counters, with histograms and the per-epoch Timeline the
-// flat struct cannot express.
-type Stats struct {
-	Generated int
-	Delivered int
-	Drops     map[DropReason]int
-	// Violations, Transient and Excused partition the drops when a
-	// scenario oracle is installed (ApplyScenario). A loss is a
-	// *violation* when the src–dst pair was physically connected AND the
-	// link state held constant throughout the packet's lifetime — the
-	// scheme had a live path, nothing changed underneath it, and it lost
-	// the packet anyway: exactly the regime of the paper's §1 guarantee.
-	// It is *transient* when the pair stayed connected but a failure or
-	// repair took effect mid-flight — the §7 in-flight-across-a-change
-	// regime no scheme guarantees and damping mitigates. It is *excused*
-	// when the pair was physically partitioned at some instant of the
-	// packet's lifetime: no scheme can deliver across a partition.
-	// Without an oracle all three stay zero.
-	Violations int
-	Transient  int
-	Excused    int
-	// TotalLatency accumulates delivery latencies; divide by Delivered
-	// for the mean.
-	TotalLatency time.Duration
-	MaxLatency   time.Duration
-	TotalHops    int
+// Run-delta accessors. A run's outcome IS its telemetry counter delta
+// (the sim.* names, see Run); these helpers read the derived quantities
+// callers ask for most. The three loss classes partition the drops when
+// a scenario oracle is installed (ApplyScenario): a *violation*
+// (MetricLossViolation) lost a packet while its pair was physically
+// connected and the link state held still — the regime of the paper's
+// §1 guarantee; a *transient* (MetricLossTransient) had a failure or
+// repair land mid-flight, §7's damped regime; an *excused* loss
+// (MetricLossExcused) crossed a partition no scheme can.
+
+// Dropped sums the three sim.drop.* counters of a run delta.
+func Dropped(d *telemetry.Snapshot) uint64 {
+	return d.Counter(MetricDropBlackhole) + d.Counter(MetricDropNoRoute) + d.Counter(MetricDropTTL)
 }
 
-// Dropped sums all drop reasons.
-func (s *Stats) Dropped() int {
-	n := 0
-	for _, c := range s.Drops {
-		n += c
-	}
-	return n
-}
-
-// DeliveryRate is Delivered / Generated (1 when nothing was generated).
-func (s *Stats) DeliveryRate() float64 {
-	if s.Generated == 0 {
+// DeliveryRate is delivered / generated (1 when nothing was generated).
+func DeliveryRate(d *telemetry.Snapshot) float64 {
+	g := d.Counter(MetricGenerated)
+	if g == 0 {
 		return 1
 	}
-	return float64(s.Delivered) / float64(s.Generated)
+	return float64(d.Counter(MetricDelivered)) / float64(g)
 }
 
-// MeanLatency is the average delivery latency (0 when none delivered).
-func (s *Stats) MeanLatency() time.Duration {
-	if s.Delivered == 0 {
+// MeanLatency is the average delivery latency of a run delta (0 when
+// none delivered).
+func MeanLatency(d *telemetry.Snapshot) time.Duration {
+	n := d.Counter(MetricDelivered)
+	if n == 0 {
 		return 0
 	}
-	return s.TotalLatency / time.Duration(s.Delivered)
+	return time.Duration(d.Counter(MetricLatencyNs) / n)
+}
+
+// MaxLatency is the run's latency high watermark (the
+// sim.latency_max_ns gauge).
+func MaxLatency(d *telemetry.Snapshot) time.Duration {
+	return time.Duration(d.Gauge(MetricLatencyMaxNs))
 }
 
 // Simulator executes one configuration. Create with New, inject failures
@@ -227,15 +209,10 @@ type Simulator struct {
 	reg      *telemetry.Registry
 	met      *simMetrics
 	timeline *telemetry.Timeline // created at Run start, rolled on link events
-	maxLat   time.Duration       // run-local latency high watermark
 	hopDist  map[graph.NodeID][]int
 	hopGen   *graph.Graph // graph hopDist was computed over (topology updates invalidate)
 
 	nextPacketID int64
-	// Stats is populated during Run.
-	//
-	// Deprecated: see the Stats type — prefer Metrics().Snapshot().
-	Stats Stats
 }
 
 // simMetrics is the referee's resolved instrument set: handles and
@@ -590,14 +567,12 @@ func (s *Simulator) schedule(e *event) {
 	heap.Push(&s.queue, e)
 }
 
-// Run drains the event queue up to the horizon and returns the stats.
-// The returned Stats is a view of the run's telemetry counter deltas
-// (see Metrics / Timeline for the full surface).
-func (s *Simulator) Run() *Stats {
-	s.Stats.Drops = make(map[DropReason]int)
-	// The base snapshot scopes this run: with a shared registry
-	// (Config.Metrics reused across runs, or fed by an engine), Stats
-	// must reflect only what *this* run accumulated.
+// Run drains the event queue up to the horizon and returns the run's
+// telemetry counter delta — what *this* run accumulated under the
+// sim.* names, scoped by a base snapshot so a shared registry
+// (Config.Metrics reused across runs, or fed by an engine) never
+// double-counts. See Metrics / Timeline for the live surface.
+func (s *Simulator) Run() *telemetry.Snapshot {
 	base := s.reg.Snapshot()
 	s.timeline = telemetry.NewTimeline(s.reg)
 	s.cfg.Scheme.Init(s)
@@ -659,32 +634,7 @@ func (s *Simulator) Run() *Stats {
 		end = s.cfg.Horizon
 	}
 	s.timeline.Finish(end)
-	s.finalizeStats(base)
-	return &s.Stats
-}
-
-// finalizeStats populates the legacy Stats view from the run's counter
-// deltas — the single source of truth is the registry.
-func (s *Simulator) finalizeStats(base *telemetry.Snapshot) {
-	d := s.reg.Snapshot().Sub(base)
-	s.Stats.Generated = int(d.Counter(MetricGenerated))
-	s.Stats.Delivered = int(d.Counter(MetricDelivered))
-	// Legacy map semantics: only reasons that occurred get a key.
-	for reason, name := range map[DropReason]string{
-		DropBlackhole: MetricDropBlackhole,
-		DropNoRoute:   MetricDropNoRoute,
-		DropTTL:       MetricDropTTL,
-	} {
-		if n := int(d.Counter(name)); n > 0 {
-			s.Stats.Drops[reason] = n
-		}
-	}
-	s.Stats.Violations = int(d.Counter(MetricLossViolation))
-	s.Stats.Transient = int(d.Counter(MetricLossTransient))
-	s.Stats.Excused = int(d.Counter(MetricLossExcused))
-	s.Stats.TotalLatency = time.Duration(d.Counter(MetricLatencyNs))
-	s.Stats.TotalHops = int(d.Counter(MetricHops))
-	s.Stats.MaxLatency = s.maxLat
+	return s.reg.Snapshot().Sub(base)
 }
 
 // ScheduleConvergeAt lets schemes request a convergence-complete callback.
@@ -732,9 +682,6 @@ func (s *Simulator) handleArrive(pkt *Packet, node graph.NodeID) {
 		s.met.latencyNs.Add(uint64(lat))
 		s.met.hops.Add(uint64(pkt.Hops))
 		s.met.latencyMax.SetMax(int64(lat))
-		if lat > s.maxLat {
-			s.maxLat = lat
-		}
 		s.met.latencyUs.Observe(int64(lat / time.Microsecond))
 		s.met.recycleHops.Observe(int64(pkt.prHops))
 		if base := s.shortestHops(pkt.Src, pkt.Dst); base > 0 {

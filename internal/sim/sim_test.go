@@ -8,6 +8,7 @@ import (
 	"recycle/internal/embedding"
 	"recycle/internal/graph"
 	"recycle/internal/route"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
@@ -53,24 +54,24 @@ func TestFailureFreeDeliveryAndLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.Run()
-	if st.Generated == 0 {
+	if st.Counter(MetricGenerated) == 0 {
 		t.Fatal("no packets generated")
 	}
-	if st.DeliveryRate() != 1 {
-		t.Fatalf("delivery rate = %v; want 1 without failures", st.DeliveryRate())
+	if DeliveryRate(st) != 1 {
+		t.Fatalf("delivery rate = %v; want 1 without failures", DeliveryRate(st))
 	}
 	// Two hops of ≥10 µs plus two ≈0.8 µs serialisations each way.
-	if st.MeanLatency() < 20*time.Microsecond {
-		t.Fatalf("mean latency = %v; want ≥ 20 µs", st.MeanLatency())
+	if MeanLatency(st) < 20*time.Microsecond {
+		t.Fatalf("mean latency = %v; want ≥ 20 µs", MeanLatency(st))
 	}
-	if st.TotalHops != 2*st.Delivered {
-		t.Fatalf("hops = %d; want 2 per packet", st.TotalHops)
+	if st.Counter(MetricHops) != 2*st.Counter(MetricDelivered) {
+		t.Fatalf("hops = %d; want 2 per packet", st.Counter(MetricHops))
 	}
 }
 
 func TestDeterministicRuns(t *testing.T) {
 	g := graph.Ring(6)
-	run := func() *Stats {
+	run := func() *telemetry.Snapshot {
 		s, err := New(Config{
 			Graph:   g,
 			Scheme:  prScheme(t, g, core.Full),
@@ -87,7 +88,7 @@ func TestDeterministicRuns(t *testing.T) {
 		return s.Run()
 	}
 	a, b := run(), run()
-	if a.Generated != b.Generated || a.Delivered != b.Delivered || a.TotalLatency != b.TotalLatency {
+	if a.Counter(MetricGenerated) != b.Counter(MetricGenerated) || a.Counter(MetricDelivered) != b.Counter(MetricDelivered) || a.Counter(MetricLatencyNs) != b.Counter(MetricLatencyNs) {
 		t.Fatalf("runs differ: %+v vs %+v", a, b)
 	}
 }
@@ -185,11 +186,11 @@ func TestLinkRepair(t *testing.T) {
 	st := s.Run()
 	// Roughly (10ms detection + in-flight) / 5ms ≈ 2-4 blackholes; all the
 	// rest delivered.
-	if st.Drops[DropBlackhole] > 5 {
-		t.Fatalf("blackholed = %d; want a handful", st.Drops[DropBlackhole])
+	if st.Counter(MetricDropBlackhole) > 5 {
+		t.Fatalf("blackholed = %d; want a handful", st.Counter(MetricDropBlackhole))
 	}
-	if st.DeliveryRate() < 0.97 {
-		t.Fatalf("delivery rate = %v; want ≈1 with recovery", st.DeliveryRate())
+	if DeliveryRate(st) < 0.97 {
+		t.Fatalf("delivery rate = %v; want ≈1 with recovery", DeliveryRate(st))
 	}
 }
 
@@ -207,14 +208,14 @@ func TestSerialisationBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.Run()
-	if st.Delivered == 0 {
+	if st.Counter(MetricDelivered) == 0 {
 		t.Fatal("nothing delivered")
 	}
 	// Queue builds: mean latency must exceed one serialisation time.
-	if st.MeanLatency() < 8*time.Millisecond {
-		t.Fatalf("mean latency = %v; want ≥ 8 ms under backpressure", st.MeanLatency())
+	if MeanLatency(st) < 8*time.Millisecond {
+		t.Fatalf("mean latency = %v; want ≥ 8 ms under backpressure", MeanLatency(st))
 	}
-	if st.MaxLatency <= st.MeanLatency() {
+	if MaxLatency(st) <= MeanLatency(st) {
 		t.Fatal("max latency should exceed mean under growing queue")
 	}
 }
@@ -242,21 +243,21 @@ func TestTTLDropsOnLoop(t *testing.T) {
 	s.FailLinkAt(g.FindLink(g.NodeByName("D"), g.NodeByName("E")), 20*time.Millisecond)
 	s.FailLinkAt(g.FindLink(g.NodeByName("B"), g.NodeByName("C")), 20*time.Millisecond)
 	st := s.Run()
-	if st.Drops[DropTTL] == 0 {
+	if st.Counter(MetricDropTTL) == 0 {
 		t.Fatal("expected TTL drops from the basic-variant loop")
 	}
 }
 
 func TestStatsHelpers(t *testing.T) {
-	st := &Stats{}
-	if st.DeliveryRate() != 1 || st.MeanLatency() != 0 || st.Dropped() != 0 {
-		t.Fatal("zero-value stats helpers wrong")
+	st := &telemetry.Snapshot{Counters: map[string]uint64{}}
+	if DeliveryRate(st) != 1 || MeanLatency(st) != 0 || Dropped(st) != 0 {
+		t.Fatal("zero-value delta helpers wrong")
 	}
-	st.Generated = 4
-	st.Delivered = 2
-	st.Drops = map[DropReason]int{DropTTL: 2}
-	st.TotalLatency = 10 * time.Millisecond
-	if st.DeliveryRate() != 0.5 || st.Dropped() != 2 || st.MeanLatency() != 5*time.Millisecond {
-		t.Fatalf("stats helpers wrong: %+v", st)
+	st.SetCounter(MetricGenerated, 4)
+	st.SetCounter(MetricDelivered, 2)
+	st.SetCounter(MetricDropTTL, 2)
+	st.SetCounter(MetricLatencyNs, uint64(10*time.Millisecond))
+	if DeliveryRate(st) != 0.5 || Dropped(st) != 2 || MeanLatency(st) != 5*time.Millisecond {
+		t.Fatalf("delta helpers wrong: %+v", st)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"recycle/internal/dataplane"
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 	"recycle/internal/traffic"
 )
@@ -44,7 +45,7 @@ func TestFixedSourceDifferential(t *testing.T) {
 	tp := topo.Abilene(topo.UnitWeights)
 	g := tp.Graph
 
-	run := func(source traffic.Source) (*Stats, []emission) {
+	run := func(source traffic.Source) (*telemetry.Snapshot, []emission) {
 		rec := &recordingScheme{Scheme: prScheme(t, g, core.Full)}
 		flows := []Flow{
 			{Src: 0, Dst: 5, Interval: 3 * time.Millisecond, Start: time.Millisecond, Source: source},
@@ -107,12 +108,12 @@ func TestPoissonSourceDrivesSimulator(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.Run()
-	if st.DeliveryRate() != 1 {
-		t.Fatalf("delivery rate = %v; want 1 without failures", st.DeliveryRate())
+	if DeliveryRate(st) != 1 {
+		t.Fatalf("delivery rate = %v; want 1 without failures", DeliveryRate(st))
 	}
 	// ~2000 packets in 1 s; ±10% covers Poisson variation at this seed.
-	if st.Generated < 1800 || st.Generated > 2200 {
-		t.Fatalf("generated = %d; want ≈2000", st.Generated)
+	if st.Counter(MetricGenerated) < 1800 || st.Counter(MetricGenerated) > 2200 {
+		t.Fatalf("generated = %d; want ≈2000", st.Counter(MetricGenerated))
 	}
 }
 
@@ -183,8 +184,8 @@ func TestReplaySourceEndsFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.Run()
-	if st.Generated != 2 || st.Delivered != 2 {
-		t.Fatalf("generated/delivered = %d/%d; want 2/2", st.Generated, st.Delivered)
+	if st.Counter(MetricGenerated) != 2 || st.Counter(MetricDelivered) != 2 {
+		t.Fatalf("generated/delivered = %d/%d; want 2/2", st.Counter(MetricGenerated), st.Counter(MetricDelivered))
 	}
 }
 

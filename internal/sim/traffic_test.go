@@ -92,10 +92,10 @@ func TestAllPairsTrafficUnderFailure(t *testing.T) {
 	}
 	s.FailLinkAt(5, 300*time.Millisecond)
 	st := s.Run()
-	if st.Generated < 1000 {
-		t.Fatalf("generated = %d; traffic model too sparse", st.Generated)
+	if st.Counter(MetricGenerated) < 1000 {
+		t.Fatalf("generated = %d; traffic model too sparse", st.Counter(MetricGenerated))
 	}
-	if st.DeliveryRate() < 0.99 {
-		t.Fatalf("delivery rate = %v; PR should hold ≈1 under one failure", st.DeliveryRate())
+	if DeliveryRate(st) < 0.99 {
+		t.Fatalf("delivery rate = %v; PR should hold ≈1 under one failure", DeliveryRate(st))
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"recycle/internal/header"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
@@ -102,7 +103,7 @@ func TestWireSchemeLargeDiameterZeroDrops(t *testing.T) {
 				t.Fatalf("link %d is a bridge", failLink)
 			}
 
-			run := func(scheme Scheme) *Stats {
+			run := func(scheme Scheme) *telemetry.Snapshot {
 				s, err := New(Config{
 					Graph:          g,
 					Scheme:         scheme,
@@ -121,7 +122,7 @@ func TestWireSchemeLargeDiameterZeroDrops(t *testing.T) {
 			wireStats := run(wire)
 			compiledStats := run(&CompiledPRScheme{FIB: fib})
 
-			if wireStats.Generated == 0 {
+			if wireStats.Counter(MetricGenerated) == 0 {
 				t.Fatal("no traffic generated")
 			}
 			// The wire path never refuses a packet: all losses are
@@ -129,21 +130,21 @@ func TestWireSchemeLargeDiameterZeroDrops(t *testing.T) {
 			if drops := wire.WireDrops(); drops != 0 {
 				t.Fatalf("wire path dropped %d packets (%v); want 0", drops, wire.Verdicts)
 			}
-			if nr := wireStats.Drops[DropNoRoute]; nr != 0 {
+			if nr := wireStats.Counter(MetricDropNoRoute); nr != 0 {
 				t.Fatalf("%d no-route drops; want 0", nr)
 			}
-			if ttl := wireStats.Drops[DropTTL]; ttl != 0 {
+			if ttl := wireStats.Counter(MetricDropTTL); ttl != 0 {
 				t.Fatalf("%d TTL drops; want 0", ttl)
 			}
-			if wireStats.Delivered+wireStats.Drops[DropBlackhole] != wireStats.Generated {
+			if wireStats.Counter(MetricDelivered)+wireStats.Counter(MetricDropBlackhole) != wireStats.Counter(MetricGenerated) {
 				t.Fatalf("accounting broken: %d delivered + %d blackholed != %d generated",
-					wireStats.Delivered, wireStats.Drops[DropBlackhole], wireStats.Generated)
+					wireStats.Counter(MetricDelivered), wireStats.Counter(MetricDropBlackhole), wireStats.Counter(MetricGenerated))
 			}
 			// Differential oracle at the traffic level: byte-level
 			// forwarding delivers exactly what the compiled abstract
 			// protocol does.
-			if wireStats.Delivered != compiledStats.Delivered {
-				t.Fatalf("wire delivered %d, compiled protocol %d", wireStats.Delivered, compiledStats.Delivered)
+			if wireStats.Counter(MetricDelivered) != compiledStats.Counter(MetricDelivered) {
+				t.Fatalf("wire delivered %d, compiled protocol %d", wireStats.Counter(MetricDelivered), compiledStats.Counter(MetricDelivered))
 			}
 			if wire.Verdicts[dataplane.WireForward] == 0 {
 				t.Fatal("wire path never forwarded — scheme not engaged")
@@ -163,7 +164,7 @@ func TestWireSchemeDSCPParity(t *testing.T) {
 	src := graph.NodeID(0)
 	dst := graph.NodeID(g.NumNodes() - 1)
 	failLink := p.Routes().NextLink(src, dst)
-	run := func(scheme Scheme) *Stats {
+	run := func(scheme Scheme) *telemetry.Snapshot {
 		s, err := New(Config{
 			Graph:          g,
 			Scheme:         scheme,
@@ -183,8 +184,8 @@ func TestWireSchemeDSCPParity(t *testing.T) {
 	if wire.WireDrops() != 0 {
 		t.Fatalf("wire drops on abilene: %v", wire.Verdicts)
 	}
-	if ws.Delivered != cs.Delivered {
-		t.Fatalf("wire delivered %d, compiled %d", ws.Delivered, cs.Delivered)
+	if ws.Counter(MetricDelivered) != cs.Counter(MetricDelivered) {
+		t.Fatalf("wire delivered %d, compiled %d", ws.Counter(MetricDelivered), cs.Counter(MetricDelivered))
 	}
 }
 

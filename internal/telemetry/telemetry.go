@@ -8,10 +8,9 @@
 //
 // The engine workers, the egress transmit queues, the delta recompiler
 // and the simulator's loss referee all record into the same Registry, so
-// one Snapshot is the coherent state of the whole pipeline — replacing
-// the four stats structs (sim.Stats, dataplane.TxStats, RecompileStats,
-// graph.RepairStats) that previously each told a disconnected part of
-// the story. The old structs remain as thin views for API compatibility.
+// one Snapshot is the coherent state of the whole pipeline — the single
+// metrics surface; per-subsystem stats structs that once each told a
+// disconnected part of the story have been retired in its favour.
 //
 // # Hot-path discipline
 //
@@ -176,9 +175,10 @@ func (b *CounterBank) Flush(t *Tally) {
 }
 
 // Collector contributes derived or externally-owned values to a
-// Snapshot at read time — the adapter that unifies pre-telemetry stats
-// structs (TxStats, RecompileStats, RepairStats) into the registry
-// without forcing their owners onto telemetry primitives.
+// Snapshot at read time — the adapter that lets subsystems with private
+// accounting (egress queues, the recompiler and its repairer pool)
+// publish into the registry without moving their hot paths onto
+// telemetry primitives.
 type Collector interface {
 	Collect(s *Snapshot)
 }

@@ -262,9 +262,6 @@ type TxQueue = dataplane.TxQueue
 // TxConfig parameterises NewTxQueue.
 type TxConfig = dataplane.TxConfig
 
-// TxStats aggregates transmit outcomes across all darts.
-type TxStats = dataplane.TxStats
-
 // TxVerdict classifies one transmit attempt; see TxQueue.Send.
 type TxVerdict = dataplane.TxVerdict
 
@@ -350,9 +347,6 @@ type TopologyDelta = dataplane.Delta
 // Recompiler performs incremental FIB recompilation across chained edit
 // sets; see Network.Recompiler and Network.Update.
 type Recompiler = dataplane.Recompiler
-
-// RecompileStats counts recompiler work across Applies.
-type RecompileStats = dataplane.RecompileStats
 
 // Topology bundles a named graph with optional embedding metadata.
 type Topology = topo.Topology

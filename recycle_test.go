@@ -7,6 +7,7 @@ import (
 
 	"recycle/internal/dataplane"
 	"recycle/internal/rotation"
+	"recycle/internal/telemetry"
 )
 
 func TestFromTopologyQuickstart(t *testing.T) {
@@ -492,7 +493,8 @@ func TestEgressFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx := NewTxQueue(fib, TxConfig{BandwidthBps: 1e12})
+	reg := telemetry.NewRegistry()
+	tx := NewTxQueue(fib, TxConfig{BandwidthBps: 1e12, Metrics: reg})
 	done := make(chan *dataplane.Batch, 1)
 	eng := NewEngine(fib, EngineConfig{
 		Shards: 1,
@@ -508,12 +510,12 @@ func TestEgressFacade(t *testing.T) {
 	}
 	<-done
 	eng.Close()
-	st := tx.Stats()
-	if st.Sent != 2 || st.SentBits != 8192+4096 {
-		t.Fatalf("egress stats = %+v; want 2 sent, 12288 bits", st)
+	st := reg.Snapshot()
+	if st.Counter(dataplane.MetricTxSent) != 2 || st.Counter(dataplane.MetricTxSentBits) != 8192+4096 {
+		t.Fatalf("egress stats = %+v; want 2 sent, 12288 bits", st.Counters)
 	}
-	if st.Dropped() != 0 {
-		t.Fatalf("unexpected drops: %+v", st)
+	if dataplane.TxDropped(st) != 0 {
+		t.Fatalf("unexpected drops: %+v", st.Counters)
 	}
 	if TxSent.String() != "sent" || TxDropQueueFull.String() != "drop-queue-full" {
 		t.Fatal("verdict names changed")
