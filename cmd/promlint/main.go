@@ -1,0 +1,384 @@
+// Command promlint validates a Prometheus text-format (0.0.4) exposition
+// without any client library — the CI smoke check behind `prsim …
+// -metrics`: start a run, scrape /metrics, and hold the output to the
+// format's actual rules rather than "the HTTP request succeeded".
+//
+// Usage:
+//
+//	promlint http://localhost:6060/metrics   scrape a live endpoint
+//	promlint snapshot.prom                   lint a file
+//	promlint -                               lint stdin
+//
+// Checks, per line and per family:
+//
+//   - comment lines are well-formed HELP/TYPE with a valid metric name,
+//     TYPE naming one of counter|gauge|histogram|summary|untyped
+//   - at most one TYPE per family, emitted before the family's samples,
+//     and families are contiguous (no interleaving)
+//   - samples parse as name[{labels}] value [timestamp] with valid
+//     label syntax and a float-parseable value
+//   - histogram families have monotonically non-decreasing cumulative
+//     buckets, an le="+Inf" bucket, and _count equal to the +Inf bucket
+//
+// Exit status 0 with a one-line summary when clean; 1 with one
+// "line N: …" diagnostic per violation otherwise.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: promlint <url|file|->")
+		os.Exit(2)
+	}
+	r, closer, err := open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	defer closer()
+	res, err := lint(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	for _, issue := range res.Issues {
+		fmt.Fprintln(os.Stderr, "promlint:", issue)
+	}
+	if len(res.Issues) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: OK — %d families (%d histograms), %d samples\n",
+		res.Families, res.Histograms, res.Samples)
+}
+
+func open(arg string) (io.Reader, func(), error) {
+	switch {
+	case arg == "-":
+		return os.Stdin, func() {}, nil
+	case strings.HasPrefix(arg, "http://"), strings.HasPrefix(arg, "https://"):
+		c := &http.Client{Timeout: 10 * time.Second}
+		resp, err := c.Get(arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, nil, fmt.Errorf("%s: HTTP %s", arg, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			resp.Body.Close()
+			return nil, nil, fmt.Errorf("%s: Content-Type %q is not the text exposition format", arg, ct)
+		}
+		return resp.Body, func() { resp.Body.Close() }, nil
+	default:
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, func() { f.Close() }, nil
+	}
+}
+
+// result is what lint reports back: diagnostics plus the counts the
+// summary line (and the tests) assert on.
+type result struct {
+	Issues     []string
+	Families   int
+	Histograms int
+	Samples    int
+}
+
+// family accumulates everything seen for one metric family so the
+// cross-line invariants (TYPE-before-samples, histogram bucket algebra)
+// can be checked once the input is consumed.
+type family struct {
+	typ        string // "" until a TYPE line names it
+	samples    int
+	bucketCum  []uint64 // cumulative bucket values in file order
+	infBucket  *uint64
+	count      *uint64
+	hasSum     bool
+	doneAtLine int // last line of a contiguous run, to catch interleaving
+}
+
+func lint(r io.Reader) (*result, error) {
+	res := &result{}
+	fams := map[string]*family{}
+	var order []string
+	var last string // family of the previous non-comment, non-blank line
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	bad := func(format string, args ...any) {
+		res.Issues = append(res.Issues, fmt.Sprintf("line %d: %s", lineNo, fmt.Sprintf(format, args...)))
+	}
+	fam := func(name string) *family {
+		base := familyName(name)
+		f, ok := fams[base]
+		if !ok {
+			f = &family{}
+			fams[base] = f
+			order = append(order, base)
+		}
+		return f
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // arbitrary comments are legal
+			}
+			if !validName(name) {
+				bad("%s for invalid metric name %q", kind, name)
+				continue
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					bad("TYPE %s: unknown type %q", name, rest)
+					continue
+				}
+				f := fam(name)
+				if f.typ != "" {
+					bad("duplicate TYPE for %s", name)
+				}
+				if f.samples > 0 {
+					bad("TYPE %s appears after its samples", name)
+				}
+				f.typ = rest
+			}
+			continue
+		}
+
+		name, labels, value, ok := parseSample(line, bad)
+		if !ok {
+			continue
+		}
+		res.Samples++
+		base := familyName(name)
+		f := fam(name)
+		if f.samples > 0 && last != base {
+			bad("family %s is interleaved with %s", base, last)
+		}
+		last = base
+		f.samples++
+		f.doneAtLine = lineNo
+
+		if f.typ == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					bad("%s has no le label", name)
+					break
+				}
+				v := uint64(value)
+				if le == "+Inf" {
+					f.infBucket = &v
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					bad("%s: le=%q is not a number", name, le)
+				}
+				f.bucketCum = append(f.bucketCum, v)
+			case strings.HasSuffix(name, "_sum"):
+				f.hasSum = true
+			case strings.HasSuffix(name, "_count"):
+				v := uint64(value)
+				f.count = &v
+			default:
+				bad("%s: histogram family has plain sample %s", base, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Cross-line family invariants, in first-appearance order so the
+	// diagnostics are stable.
+	sort.SliceStable(order, func(i, j int) bool { return fams[order[i]].doneAtLine < fams[order[j]].doneAtLine })
+	for _, base := range order {
+		f := fams[base]
+		lineNo = f.doneAtLine
+		if f.typ == "" && f.samples > 0 {
+			bad("family %s has samples but no TYPE", base)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		for i := 1; i < len(f.bucketCum); i++ {
+			if f.bucketCum[i] < f.bucketCum[i-1] {
+				bad("family %s: bucket counts decrease (%d after %d)", base, f.bucketCum[i], f.bucketCum[i-1])
+				break
+			}
+		}
+		switch {
+		case f.infBucket == nil:
+			bad("family %s has no le=\"+Inf\" bucket", base)
+		case f.count == nil:
+			bad("family %s has no _count sample", base)
+		case *f.infBucket != *f.count:
+			bad("family %s: le=\"+Inf\" bucket %d != _count %d", base, *f.infBucket, *f.count)
+		}
+		if !f.hasSum {
+			bad("family %s has no _sum sample", base)
+		}
+		res.Histograms++
+	}
+	res.Families = len(fams)
+	return res, nil
+}
+
+// familyName strips the histogram/summary sample suffixes so _bucket,
+// _sum and _count group under one family.
+func familyName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseComment splits "# TYPE name rest" / "# HELP name rest"; other
+// comments return ok=false and are ignored by the caller.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+		return "", "", "", false
+	}
+	rest = strings.Join(fields[3:], " ")
+	return fields[1], fields[2], rest, true
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`, reporting each
+// syntax problem through bad and returning ok=false on failure.
+func parseSample(line string, bad func(string, ...any)) (name string, labels map[string]string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		bad("sample %q has no value", line)
+		return
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !validName(name) {
+		bad("invalid metric name %q", name)
+		return
+	}
+	labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			bad("%s: unterminated label set", name)
+			return
+		}
+		if !parseLabels(rest[1:end], labels, name, bad) {
+			return
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		bad("%s: want `value [timestamp]` after name, got %q", name, strings.TrimSpace(rest))
+		return
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		bad("%s: value %q is not a float", name, fields[0])
+		return
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			bad("%s: timestamp %q is not an integer", name, fields[1])
+			return
+		}
+	}
+	return name, labels, v, true
+}
+
+// parseLabels parses the inside of a {…} label set. Escapes inside
+// quoted values (\\, \", \n) are accepted; a quote or comma inside a
+// value must be escaped, which keeps the split-on-comma approach exact
+// for the format this tool targets.
+func parseLabels(s string, out map[string]string, metric string, bad func(string, ...any)) bool {
+	for _, kv := range splitLabels(s) {
+		if kv == "" {
+			continue
+		}
+		eq := strings.Index(kv, "=")
+		if eq < 0 {
+			bad("%s: label %q has no '='", metric, kv)
+			return false
+		}
+		k, v := kv[:eq], kv[eq+1:]
+		if !validName(k) || strings.Contains(k, ":") {
+			bad("%s: invalid label name %q", metric, k)
+			return false
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			bad("%s: label %s value %q is not quoted", metric, k, v)
+			return false
+		}
+		out[k] = unescapeLabel(v[1 : len(v)-1])
+	}
+	return true
+}
+
+// splitLabels splits on commas that are not inside a quoted value.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func unescapeLabel(s string) string {
+	r := strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n")
+	return r.Replace(s)
+}

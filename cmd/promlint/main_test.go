@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"recycle/internal/telemetry"
+)
+
+// TestLintRoundTrip holds the linter and the exporter to each other: a
+// populated registry rendered by WritePrometheus must lint clean, with
+// the family and histogram counts the registry implies.
+func TestLintRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("engine.decided").Add(41)
+	reg.Gauge("soak.inflight").Set(7)
+	h := reg.Histogram("engine.batch_ns", telemetry.ExponentialBuckets(100, 4, 6))
+	for i := int64(0); i < 100; i++ {
+		h.Observe(i * 37)
+	}
+	tr := telemetry.NewTracer(16)
+	sp := tr.Start("x", 0)
+	sp.End()
+	reg.RegisterCollector(tr)
+
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Issues) != 0 {
+		t.Fatalf("clean exposition has lint issues: %v", res.Issues)
+	}
+	// counter + gauge + histogram + the tracer's span-dropped gauge
+	if res.Families != 4 || res.Histograms != 1 {
+		t.Fatalf("got %d families, %d histograms; want 4, 1", res.Families, res.Histograms)
+	}
+}
+
+// TestLintCatches feeds hand-broken expositions and requires a
+// diagnostic mentioning the right thing for each.
+func TestLintCatches(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"no TYPE", "foo 1\n", "no TYPE"},
+		{"bad type", "# TYPE foo widget\nfoo 1\n", "unknown type"},
+		{"TYPE after samples", "# TYPE foo counter\nfoo 1\n# TYPE foo counter\n", "duplicate TYPE"},
+		{"bad value", "# TYPE foo counter\nfoo banana\n", "not a float"},
+		{"bad name", "# TYPE foo counter\nfoo 1\n2foo 3\n", "invalid metric name"},
+		{"interleaved", "# TYPE a counter\n# TYPE b counter\na 1\nb 2\na 3\n", "interleaved"},
+		{"unquoted label", "# TYPE foo counter\nfoo{x=1} 2\n", "not quoted"},
+		{"no inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 4\nh_count 3\n", "+Inf"},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 4\nh_count 3\n", "!= _count"},
+		{"shrinking buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 4\nh_count 3\n", "decrease"},
+		{"no sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n", "_sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := lint(strings.NewReader(tc.in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Issues) == 0 {
+				t.Fatalf("lint accepted broken input %q", tc.in)
+			}
+			found := false
+			for _, is := range res.Issues {
+				found = found || strings.Contains(is, tc.want)
+			}
+			if !found {
+				t.Fatalf("no issue mentions %q; got %v", tc.want, res.Issues)
+			}
+		})
+	}
+}

@@ -108,12 +108,15 @@ func main() {
 // globals binds the flags every subcommand shares — the topology, the
 // master seed and the optional live metrics address — to one FlagSet.
 type globals struct {
-	fs      *flag.FlagSet
-	topo    *string
-	seed    *int64
-	metrics *string
+	fs       *flag.FlagSet
+	topo     *string
+	seed     *int64
+	metrics  *string
+	traceOut *string
 	// reg is non-nil after parse when -metrics named an address.
 	reg *telemetry.Registry
+	// tracer is non-nil after parse when -trace-out named a file.
+	tracer *telemetry.Tracer
 }
 
 func newGlobals(verb, defTopo string) *globals {
@@ -121,7 +124,8 @@ func newGlobals(verb, defTopo string) *globals {
 	g := &globals{fs: fs}
 	g.topo = fs.String("topo", defTopo, "topology: built-in name or generator spec (ring:24, grid:4x8, rand:24@7)")
 	g.seed = fs.Int64("seed", 0, "master seed (0 = the mode's documented default); every derived stream sub-seeds from it")
-	g.metrics = fs.String("metrics", "", "serve telemetry JSON snapshots on this address while the run executes (e.g. localhost:6060)")
+	g.metrics = fs.String("metrics", "", "serve telemetry snapshots on this address while the run executes (e.g. localhost:6060; /metrics negotiates Prometheus text vs JSON, /debug/pprof is mounted)")
+	g.traceOut = fs.String("trace-out", "", "write the run's control-plane span tree as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 	return g
 }
 
@@ -135,8 +139,37 @@ func (g *globals) parse(args []string) error {
 		if err != nil {
 			return fmt.Errorf("-metrics %s: %w", *g.metrics, err)
 		}
-		fmt.Printf("# telemetry: serving JSON snapshots on http://%s/metrics\n", srv.Addr)
+		fmt.Printf("# telemetry: serving snapshots on http://%s/metrics (Prometheus text or JSON), pprof on /debug/pprof/\n", srv.Addr)
 	}
+	if *g.traceOut != "" {
+		// A large ring: a CLI trace capture should hold the whole run, not
+		// just its tail.
+		g.tracer = telemetry.NewTracer(1 << 16)
+		if g.reg != nil {
+			g.reg.RegisterCollector(g.tracer)
+		}
+	}
+	return nil
+}
+
+// writeTrace dumps the tracer's span ring — plus any per-epoch timeline
+// — as Chrome trace-event JSON to the -trace-out file. A nil tracer
+// (no -trace-out) is a no-op.
+func (g *globals) writeTrace(epochs []telemetry.Epoch) error {
+	if g.tracer == nil {
+		return nil
+	}
+	f, err := os.Create(*g.traceOut)
+	if err != nil {
+		return fmt.Errorf("-trace-out: %w", err)
+	}
+	defer f.Close()
+	snap := g.tracer.SpanSnapshot()
+	if err := telemetry.WriteChromeTrace(f, snap, epochs); err != nil {
+		return fmt.Errorf("-trace-out %s: %w", *g.traceOut, err)
+	}
+	fmt.Printf("# trace: wrote %d spans (%d evicted) to %s — open in chrome://tracing or Perfetto\n",
+		len(snap.Spans), snap.Dropped, *g.traceOut)
 	return nil
 }
 
@@ -191,7 +224,7 @@ func cmdCertify(args []string) error {
 		return err
 	}
 	cfg := eval.CertifyConfig{
-		Panel:    eval.Panel{Topologies: names, Seed: g.seedOr(1), Metrics: g.reg},
+		Panel:    eval.Panel{Topologies: names, Seed: g.seedOr(1), Metrics: g.reg, Tracer: g.tracer},
 		K:        *k,
 		Mode:     m,
 		Baseline: *baseline,
@@ -201,6 +234,9 @@ func cmdCertify(args []string) error {
 	}
 	certs, err := eval.WriteCertifyReport(os.Stdout, cfg)
 	if err != nil {
+		return err
+	}
+	if err := g.writeTrace(nil); err != nil {
 		return err
 	}
 	if !*baseline {
@@ -242,7 +278,7 @@ func cmdSoak(args []string) error {
 		return err
 	}
 	return runSoak(*g.topo, *scenario, eval.SoakConfig{
-		Panel:        eval.Panel{Seed: g.seedOr(1), Metrics: g.reg},
+		Panel:        eval.Panel{Seed: g.seedOr(1), Metrics: g.reg, Tracer: g.tracer},
 		Flows:        *flows,
 		Duration:     *duration,
 		Traffic:      *trafficArg,
@@ -250,7 +286,7 @@ func cmdSoak(args []string) error {
 		Shards:       *shards,
 		BatchSize:    *batch,
 		BandwidthBps: *egressBw,
-	})
+	}, g)
 }
 
 func cmdCompile(args []string) error {
@@ -258,7 +294,10 @@ func cmdCompile(args []string) error {
 	if err := g.parse(args); err != nil {
 		return err
 	}
-	return runCompile(*g.topo, g.seedOr(1))
+	if err := runCompile(*g.topo, g.seedOr(1), g.tracer); err != nil {
+		return err
+	}
+	return g.writeTrace(nil)
 }
 
 func cmdChurn(args []string) error {
@@ -267,7 +306,10 @@ func cmdChurn(args []string) error {
 	if err := g.parse(args); err != nil {
 		return err
 	}
-	return runChurn(*g.topo, *edits, g.seedOr(1), g.reg)
+	if err := runChurn(*g.topo, *edits, g.seedOr(1), g.reg, g.tracer); err != nil {
+		return err
+	}
+	return g.writeTrace(nil)
 }
 
 func cmdThroughput(args []string) error {
@@ -441,12 +483,12 @@ func legacyMain() {
 		}
 	case *churn:
 		legacyShim("churn")
-		if err := runChurn(*topoName, *churnEdits, seedOr(1), mreg); err != nil {
+		if err := runChurn(*topoName, *churnEdits, seedOr(1), mreg, nil); err != nil {
 			fatal(err)
 		}
 	case *compileRpt:
 		legacyShim("compile")
-		if err := runCompile(*topoName, seedOr(1)); err != nil {
+		if err := runCompile(*topoName, seedOr(1), nil); err != nil {
 			fatal(err)
 		}
 	case *resilience:
@@ -471,7 +513,7 @@ func legacyMain() {
 			Shards:       *shards,
 			BatchSize:    *batchSize,
 			BandwidthBps: *egressBw,
-		}); err != nil {
+		}, nil); err != nil {
 			fatal(err)
 		}
 	case *ablation != "":
@@ -895,7 +937,7 @@ func runTrace(topoName string, topoSet bool, spec string, draws int, seed int64,
 // prints the refereed account, the per-epoch timeline and the verdict
 // line. A failing verdict is also a non-zero exit, so CI can gate on
 // either. A -scenario starting with '@' loads a scripted scenario file.
-func runSoak(topoName, spec string, cfg eval.SoakConfig) error {
+func runSoak(topoName, spec string, cfg eval.SoakConfig, g *globals) error {
 	tp, err := topo.ByName(topoName)
 	if err != nil {
 		return err
@@ -917,6 +959,13 @@ func runSoak(topoName, spec string, cfg eval.SoakConfig) error {
 		return err
 	}
 	eval.WriteSoakReport(os.Stdout, res)
+	// The trace is written even on a FAIL verdict — a failing soak is
+	// exactly when the span timeline is worth staring at.
+	if g != nil {
+		if err := g.writeTrace(res.Epochs); err != nil {
+			return err
+		}
+	}
 	if !res.Pass {
 		return fmt.Errorf("soak verdict FAIL: %s", strings.Join(res.FailReasons, "; "))
 	}
@@ -929,7 +978,7 @@ func runSoak(topoName, spec string, cfg eval.SoakConfig) error {
 // batches while delta-recompiled FIBs are swapped in (Engine.ApplyDelta);
 // every submitted packet must come out decided, i.e. zero loss across
 // the swaps.
-func runChurn(topoName string, edits int, seed int64, reg *telemetry.Registry) error {
+func runChurn(topoName string, edits int, seed int64, reg *telemetry.Registry, tracer *telemetry.Tracer) error {
 	if edits <= 0 {
 		return fmt.Errorf("-churn needs -edits ≥ 1 (got %d)", edits)
 	}
@@ -941,7 +990,7 @@ func runChurn(topoName string, edits int, seed int64, reg *telemetry.Registry) e
 	}
 	fmt.Printf("# topology churn: full vs delta recompile, %d random single-link weight edits per topology (seed %d)\n", edits, seed)
 	if err := eval.WriteChurnReport(os.Stdout, eval.ChurnConfig{
-		Panel: eval.Panel{Topologies: names, Seed: seed},
+		Panel: eval.Panel{Topologies: names, Seed: seed, Metrics: reg, Tracer: tracer},
 		Edits: edits,
 	}); err != nil {
 		return err
@@ -970,11 +1019,13 @@ func runChurn(topoName string, edits int, seed int64, reg *telemetry.Registry) e
 	if reg != nil {
 		rec.Register(reg)
 	}
+	rec.SetTracer(tracer)
 	var submitted atomic.Uint64
 	free := make(chan *dataplane.Batch, 64)
 	eng := dataplane.NewEngine(rec.FIB(), dataplane.EngineConfig{
 		OnDone:  func(b *dataplane.Batch) { free <- b },
 		Metrics: reg,
+		Tracer:  tracer,
 	})
 	n := g.NumNodes()
 	for i := 0; i < 16; i++ {
@@ -1048,7 +1099,7 @@ func runChurn(topoName string, edits int, seed int64, reg *telemetry.Registry) e
 // FIB fill) sequential versus at GOMAXPROCS workers, resident FIB bytes
 // dense versus shared-column, and delta-apply latency single-edit versus
 // a coalesced duplicate-target batch.
-func runCompile(topoName string, seed int64) error {
+func runCompile(topoName string, seed int64, tracer *telemetry.Tracer) error {
 	tp, err := topo.ByName(topoName)
 	if err != nil {
 		return err
@@ -1083,14 +1134,14 @@ func runCompile(topoName string, seed int64) error {
 		ph.quant = time.Since(start)
 		start = time.Now()
 		dense, err := dataplane.CompileWithOptions(prot, quant,
-			dataplane.CompileOptions{Workers: workers, Columns: dataplane.ColumnsDense})
+			dataplane.CompileOptions{Workers: workers, Columns: dataplane.ColumnsDense, Tracer: tracer})
 		if err != nil {
 			return ph, err
 		}
 		ph.dense = time.Since(start)
 		start = time.Now()
 		shared, err := dataplane.CompileWithOptions(prot, quant,
-			dataplane.CompileOptions{Workers: workers, Columns: dataplane.ColumnsShared})
+			dataplane.CompileOptions{Workers: workers, Columns: dataplane.ColumnsShared, Tracer: tracer})
 		if err != nil {
 			return ph, err
 		}
@@ -1141,6 +1192,7 @@ func runCompile(topoName string, seed int64) error {
 	}
 	recReg := telemetry.NewRegistry()
 	rec.Register(recReg)
+	rec.SetTracer(tracer)
 	rng := rand.New(rand.NewSource(seed))
 	const rounds = 8
 	var single, batch time.Duration

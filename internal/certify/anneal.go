@@ -8,6 +8,7 @@ import (
 	"recycle/internal/failure"
 	"recycle/internal/graph"
 	"recycle/internal/par"
+	"recycle/internal/telemetry"
 )
 
 // Annealing schedule, in the style of internal/embedding/anneal.go:
@@ -26,16 +27,17 @@ const (
 // current walk consulted, the same cut-targeting signal the DFS branches
 // on. Everything is driven by sub-seeds of cfg.Seed, so a certificate is
 // reproducible run-to-run.
-func annealSearch(g *graph.Graph, w Walker, sp *space, cfg Config, dsts []graph.NodeID, srcs [][]graph.NodeID) ([]Violation, SearchStats) {
+func annealSearch(g *graph.Graph, w Walker, sp *space, cfg Config, parent telemetry.SpanID, dsts []graph.NodeID, srcs [][]graph.NodeID) ([]Violation, SearchStats) {
 	if sp.size() == 0 {
 		return nil, SearchStats{}
 	}
 	pairs := hardestPairs(w, cfg, dsts, srcs)
 	stats := make([]SearchStats, len(pairs))
 	viols := make([][]Violation, len(pairs))
-	par.For(len(pairs), cfg.Workers, func(_, lo, hi int) {
+	obs := cfg.Tracer.RangeObserver("certify.anneal.worker", parent)
+	par.ForObserved(len(pairs), cfg.Workers, obs, func(_, lo, hi int) {
 		for pi := lo; pi < hi; pi++ {
-			viols[pi] = annealPair(g, w, sp, cfg, pairs[pi], pi, &stats[pi])
+			viols[pi] = annealPair(g, w, sp, cfg, parent, pairs[pi], pi, &stats[pi])
 		}
 	})
 	var all []Violation
@@ -85,7 +87,7 @@ func hardestPairs(w Walker, cfg Config, dsts []graph.NodeID, srcs [][]graph.Node
 }
 
 // annealPair runs cfg.Restarts seeded annealing chains against one pair.
-func annealPair(g *graph.Graph, w Walker, sp *space, cfg Config, p Pair, ordinal int, st *SearchStats) []Violation {
+func annealPair(g *graph.Graph, w Walker, sp *space, cfg Config, parent telemetry.SpanID, p Pair, ordinal int, st *SearchStats) []Violation {
 	var out []Violation
 	minimal := &found{}
 	n := sp.size()
@@ -94,7 +96,12 @@ func annealPair(g *graph.Graph, w Walker, sp *space, cfg Config, p Pair, ordinal
 		startSize = n
 	}
 	for r := 0; r < cfg.Restarts; r++ {
-		rng := rand.New(rand.NewSource(failure.DrawSeed(cfg.Seed, ordinal*cfg.Restarts+r)))
+		seed := failure.DrawSeed(cfg.Seed, ordinal*cfg.Restarts+r)
+		restart := cfg.Tracer.Start("certify.anneal.restart", parent)
+		restart.SetAttr(telemetry.AttrDest, int64(p.Dst))
+		restart.SetAttr(telemetry.AttrCount, int64(r))
+		restart.SetAttr(telemetry.AttrSeed, seed)
+		rng := rand.New(rand.NewSource(seed))
 		cur := failure.RandomSubset(rng, n, startSize)
 		curScore, curWalk := annealScore(g, w, sp, p, cur, st)
 		cool := math.Pow(annealTEnd/annealTStart, 1/float64(cfg.Iters))
@@ -115,6 +122,7 @@ func annealPair(g *graph.Graph, w Walker, sp *space, cfg Config, p Pair, ordinal
 			}
 			t *= cool
 		}
+		restart.End()
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 
 	"recycle/internal/graph"
 	"recycle/internal/par"
+	"recycle/internal/telemetry"
 )
 
 // Guided hunts counterexamples without enumerating the whole ≤K universe,
@@ -37,15 +38,23 @@ func Guided(g *graph.Graph, w Walker, cfg Config) (*Certificate, error) {
 	sp := newSpace(g, cfg.Mode)
 	dsts, srcs := pairsByDst(g, cfg.Pairs)
 
+	root := cfg.Tracer.Start("certify.guided", cfg.TraceParent)
+	root.SetAttr(telemetry.AttrNodes, int64(g.NumNodes()))
+	root.SetAttr(telemetry.AttrCount, int64(len(dsts)))
+	defer root.End()
+
 	stats := make([]SearchStats, len(dsts))
 	viols := make([][]Violation, len(dsts))
-	par.For(len(dsts), cfg.Workers, func(_, lo, hi int) {
+	dfsSpan := cfg.Tracer.Start("certify.dfs", root.ID())
+	obs := cfg.Tracer.RangeObserver("certify.dfs.worker", dfsSpan.ID())
+	par.ForObserved(len(dsts), cfg.Workers, obs, func(_, lo, hi int) {
 		for di := lo; di < hi; di++ {
 			for _, src := range srcs[di] {
 				viols[di] = append(viols[di], dfsPair(g, w, sp, cfg, src, dsts[di], &stats[di])...)
 			}
 		}
 	})
+	dfsSpan.End()
 
 	var all []Violation
 	var total SearchStats
@@ -54,7 +63,9 @@ func Guided(g *graph.Graph, w Walker, cfg Config) (*Certificate, error) {
 		total.merge(stats[i])
 	}
 
-	annealed, annealStats := annealSearch(g, w, sp, cfg, dsts, srcs)
+	annealSpan := cfg.Tracer.Start("certify.anneal", root.ID())
+	annealed, annealStats := annealSearch(g, w, sp, cfg, annealSpan.ID(), dsts, srcs)
+	annealSpan.End()
 	all = append(all, annealed...)
 	total.merge(annealStats)
 

@@ -44,6 +44,12 @@ type Config struct {
 	// Metrics optionally receives the search-progress counters
 	// (certify.* names); nil records nothing.
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives the search's span tree: a root
+	// "certify.exhaustive" or "certify.guided" span with per-worker
+	// sweep/DFS children and, for the guided strategy, per-restart
+	// annealing chains. TraceParent parents the root (0 makes it a root).
+	Tracer      *telemetry.Tracer
+	TraceParent telemetry.SpanID
 	// Restarts is the annealing restart count per attacked pair (default
 	// 2); Iters the iteration budget per restart (default 400).
 	Restarts int
@@ -235,9 +241,15 @@ func Exhaustive(g *graph.Graph, w Walker, cfg Config) (*Certificate, error) {
 	sp := newSpace(g, cfg.Mode)
 	dsts, srcs := pairsByDst(g, cfg.Pairs)
 
+	root := cfg.Tracer.Start("certify.exhaustive", cfg.TraceParent)
+	root.SetAttr(telemetry.AttrNodes, int64(g.NumNodes()))
+	root.SetAttr(telemetry.AttrCount, int64(len(dsts)))
+	defer root.End()
+
 	stats := make([]SearchStats, len(dsts))
 	viols := make([][]Violation, len(dsts))
-	par.For(len(dsts), cfg.Workers, func(_, lo, hi int) {
+	obs := cfg.Tracer.RangeObserver("certify.sweep.worker", root.ID())
+	par.ForObserved(len(dsts), cfg.Workers, obs, func(_, lo, hi int) {
 		for di := lo; di < hi; di++ {
 			viols[di] = sweepDst(g, w, sp, cfg, dsts[di], srcs[di], &stats[di])
 		}

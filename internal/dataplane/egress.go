@@ -297,6 +297,44 @@ func (q *TxQueue) Backlog(d rotation.DartID) time.Duration {
 // NumDarts returns the size of the current dart space.
 func (q *TxQueue) NumDarts() int { return len(q.cur.Load().darts) }
 
+// SampleBacklog observes every dart's instantaneous queueing delay into
+// a histogram per dart class — forward darts (even IDs, the link's
+// tail→head direction) and reverse darts (odd IDs) — and returns each
+// class's maximum this sample. Either histogram may be nil (that class
+// is then only maxed, not binned). One scan under the per-dart mutexes,
+// meant to be called at flush cadence, never per packet; the sampled
+// distribution is the queue-sizing telemetry a single peak gauge hides.
+func (q *TxQueue) SampleBacklog(fwd, rev *telemetry.Histogram) (maxFwd, maxRev time.Duration) {
+	gen := q.cur.Load()
+	now := q.now()
+	for i := range gen.darts {
+		dq := &gen.darts[i]
+		dq.mu.Lock()
+		free := dq.free
+		dq.mu.Unlock()
+		b := free - now
+		if b < 0 {
+			b = 0
+		}
+		if i&1 == 0 {
+			if fwd != nil {
+				fwd.Observe(int64(b))
+			}
+			if b > maxFwd {
+				maxFwd = b
+			}
+		} else {
+			if rev != nil {
+				rev.Observe(int64(b))
+			}
+			if b > maxRev {
+				maxRev = b
+			}
+		}
+	}
+	return maxFwd, maxRev
+}
+
 // MaxBacklog returns the largest per-dart queueing delay across the
 // current dart space — the queue-depth headline a soak run watches.
 func (q *TxQueue) MaxBacklog() time.Duration {

@@ -84,6 +84,10 @@ type EngineConfig struct {
 	// decision cost is one non-atomic increment; with Metrics nil the
 	// hot path pays a single pointer test per batch.
 	Metrics *telemetry.Registry
+	// Tracer receives a span tree per SwapFIB/ApplyDelta — barrier wait
+	// vs. apply — attributing hot-swap latency. Nil traces nothing; the
+	// per-packet decide path is never spanned.
+	Tracer *telemetry.Tracer
 }
 
 // Engine metric names, per decision event and outcome. The bank slot
@@ -103,7 +107,17 @@ const (
 	MetricQueueDepth    = "engine.queue.depth"
 	MetricBatchNs       = "engine.batch_ns"
 	MetricFIBMemBytes   = "fib.mem.bytes"
+	// MetricSwapBarrierNs / MetricSwapApplyNs split each hot-swap's
+	// latency: time spent waiting on the writer mutex (the swap barrier
+	// contending with SetLink and other swaps) vs. time rebinding the
+	// egress and publishing the new state. One observation per swap,
+	// 1µs…262ms exponential buckets.
+	MetricSwapBarrierNs = "engine.swap_barrier_ns"
+	MetricSwapApplyNs   = "engine.swap_apply_ns"
 )
+
+// swapBuckets spans 1µs to ~262ms.
+func swapBuckets() []int64 { return telemetry.ExponentialBuckets(1000, 4, 10) }
 
 // shardMetrics is one worker's private instrumentation: a local tally
 // (slots 0–4 mirror core.Event, 5 no-route, 6–7 the wire verdicts)
@@ -167,6 +181,10 @@ type Engine struct {
 	// on (fib.mem.bytes), re-published at every swap. Nil when the
 	// engine is uninstrumented.
 	memGauge *telemetry.Gauge
+	// swapBarrierNs/swapApplyNs attribute each hot-swap's latency; nil
+	// when the engine is uninstrumented.
+	swapBarrierNs *telemetry.Histogram
+	swapApplyNs   *telemetry.Histogram
 }
 
 // engineState is the RCU unit: a FIB and an interface-state snapshot
@@ -260,6 +278,8 @@ func NewEngine(fib *FIB, cfg EngineConfig) *Engine {
 	if cfg.Metrics != nil {
 		e.memGauge = cfg.Metrics.Gauge(MetricFIBMemBytes)
 		e.memGauge.Set(fib.MemBytes())
+		e.swapBarrierNs = cfg.Metrics.Histogram(MetricSwapBarrierNs, swapBuckets())
+		e.swapApplyNs = cfg.Metrics.Histogram(MetricSwapApplyNs, swapBuckets())
 		depthGauge := cfg.Metrics.Gauge(MetricQueueDepth)
 		cfg.Metrics.RegisterCollector(telemetry.CollectorFunc(func(*telemetry.Snapshot) {
 			var n int64
@@ -316,7 +336,14 @@ func (e *Engine) SwapFIB(f *FIB, linkMap []graph.LinkID) error {
 	if f == nil {
 		return fmt.Errorf("dataplane: nil FIB")
 	}
+	root := e.cfg.Tracer.Start("engine.swap", 0)
+	defer root.End()
+	barrier, barrierT0 := e.cfg.Tracer.Start("engine.swap.barrier", root.ID()), time.Now()
 	e.mu.Lock()
+	barrier.End()
+	if e.swapBarrierNs != nil {
+		e.swapBarrierNs.Observe(int64(time.Since(barrierT0)))
+	}
 	defer e.mu.Unlock()
 	cur := e.cur.Load()
 	if linkMap == nil && f.NumLinks() != cur.fib.NumLinks() {
@@ -326,15 +353,19 @@ func (e *Engine) SwapFIB(f *FIB, linkMap []graph.LinkID) error {
 	if linkMap != nil && len(linkMap) != cur.fib.NumLinks() {
 		return fmt.Errorf("dataplane: link map covers %d links; FIB has %d", len(linkMap), cur.fib.NumLinks())
 	}
+	var rb DartRebinder
 	if e.cfg.Egress != nil && (linkMap != nil || f.NumLinks() != cur.fib.NumLinks()) {
 		// A non-nil map means the link set changed even if the count did
 		// not (add+remove in one delta): the per-dart egress queues'
 		// backlog and pacing clocks would throttle the wrong links
 		// unless the egress can rebind its dart space.
-		rb, ok := e.cfg.Egress.(DartRebinder)
-		if !ok {
+		var ok bool
+		if rb, ok = e.cfg.Egress.(DartRebinder); !ok {
 			return fmt.Errorf("dataplane: egress %T is keyed by dart and cannot rebind; rebuild the engine for structural edits", e.cfg.Egress)
 		}
+	}
+	apply, applyT0 := e.cfg.Tracer.Start("engine.swap.apply", root.ID()), time.Now()
+	if rb != nil {
 		// Rebind before publishing: every batch decided on the new FIB
 		// transmits into the new dart space. Batches still in flight on
 		// the old pair land in the retired generation (or count a stale-
@@ -357,6 +388,10 @@ func (e *Engine) SwapFIB(f *FIB, linkMap []graph.LinkID) error {
 	e.cur.Store(&engineState{fib: f, links: links})
 	if e.memGauge != nil {
 		e.memGauge.Set(f.MemBytes())
+	}
+	apply.End()
+	if e.swapApplyNs != nil {
+		e.swapApplyNs.Observe(int64(time.Since(applyT0)))
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package dataplane
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"recycle/internal/core"
 	"recycle/internal/graph"
@@ -10,7 +11,16 @@ import (
 	"recycle/internal/par"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
+	"recycle/internal/telemetry"
 )
+
+// MetricCompilePhaseNs is the shared-registry histogram of compile
+// phase durations (quantiser build, column fill, dart fill) — one
+// observation per phase per compile, 10µs…2.6s exponential buckets.
+const MetricCompilePhaseNs = "compile.phase_ns"
+
+// compilePhaseBuckets spans 10µs to ~2.6s.
+func compilePhaseBuckets() []int64 { return telemetry.ExponentialBuckets(10_000, 4, 10) }
 
 // Codec identifies the wire encoding a compiled network stamps its PR
 // marks with, selected by Compile from the quantised DD bit budget.
@@ -121,6 +131,16 @@ type CompileOptions struct {
 	// PageSize is the shared-page size in rows (rounded down to a power
 	// of two; 0 means the default).
 	PageSize int
+	// Tracer receives the compile's span tree — a root "compile" span
+	// with per-phase children (quantiser build, column fill with one
+	// grandchild per fan-out worker, dart fill). Nil traces nothing and
+	// costs nothing.
+	Tracer *telemetry.Tracer
+	// TraceParent parents the compile's root span (0 makes it a root).
+	TraceParent telemetry.SpanID
+	// Metrics, when set, receives per-phase durations into the
+	// MetricCompilePhaseNs histogram.
+	Metrics *telemetry.Registry
 }
 
 // Compile flattens a core.Protocol into a FIB and selects the wire codec:
@@ -156,11 +176,24 @@ func CompileWithOptions(p *core.Protocol, quant *core.Quantiser, opts CompileOpt
 	// would compare mismatched units. The protocol's own quantiser wins
 	// over the supplied one — they are identical by construction, but the
 	// protocol's is the one its walks actually stamp from.
+	tr := opts.Tracer
+	var phaseHist *telemetry.Histogram
+	if opts.Metrics != nil {
+		phaseHist = opts.Metrics.Histogram(MetricCompilePhaseNs, compilePhaseBuckets())
+	}
+	root := tr.Start("compile", opts.TraceParent)
+	root.SetAttr(telemetry.AttrNodes, int64(n))
+	defer root.End()
 	quantised := p.Quantiser() != nil
 	if quantised {
 		quant = p.Quantiser()
 	} else if quant == nil {
+		sp, t0 := tr.Start("compile.quantise", root.ID()), time.Now()
 		quant = core.BuildQuantiser(tbl)
+		sp.End()
+		if phaseHist != nil {
+			phaseHist.Observe(int64(time.Since(t0)))
+		}
 	}
 	f := &FIB{
 		variant:  p.Variant(),
@@ -186,6 +219,8 @@ func CompileWithOptions(p *core.Protocol, quant *core.Quantiser, opts CompileOpt
 		// nodes fall back to dense planes.
 		shared = false
 	}
+	fillSpan, fillT0 := tr.Start("compile.fill", root.ID()), time.Now()
+	obs := tr.RangeObserver("compile.fill.worker", fillSpan.ID())
 	if shared {
 		// Raw dd pages are only needed when the stamp space is neither
 		// ranks nor hop counts; otherwise ddAt derives dd from the rank.
@@ -196,7 +231,7 @@ func CompileWithOptions(p *core.Protocol, quant *core.Quantiser, opts CompileOpt
 		}
 		f.pages = newFIBPages(n, ps, rawDD)
 		st := newPageStores()
-		par.For(n, opts.Workers, func(_, lo, hi int) {
+		par.ForObserved(n, opts.Workers, obs, func(_, lo, hi int) {
 			sc := newColScratch(n, rawDD)
 			for dst := lo; dst < hi; dst++ {
 				f.computeColumn(graph.NodeID(dst), tbl, sys, quant, quantised, sc)
@@ -207,13 +242,22 @@ func CompileWithOptions(p *core.Protocol, quant *core.Quantiser, opts CompileOpt
 		f.nextDart = make([]int32, n*n)
 		f.dd = make([]float64, n*n)
 		f.ddQ = make([]uint32, n*n)
-		par.For(n, opts.Workers, func(_, lo, hi int) {
+		par.ForObserved(n, opts.Workers, obs, func(_, lo, hi int) {
 			for dst := lo; dst < hi; dst++ {
 				f.fillDest(graph.NodeID(dst), tbl, sys, quant, quantised)
 			}
 		})
 	}
+	fillSpan.End()
+	if phaseHist != nil {
+		phaseHist.Observe(int64(time.Since(fillT0)))
+	}
+	dartSpan, dartT0 := tr.Start("compile.darts", root.ID()), time.Now()
 	f.fillDarts(sys)
+	dartSpan.End()
+	if phaseHist != nil {
+		phaseHist.Observe(int64(time.Since(dartT0)))
+	}
 	return f, nil
 }
 

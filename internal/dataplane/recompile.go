@@ -52,7 +52,15 @@ type Recompiler struct {
 	// workers pins the Apply fan-out; 0 = automatic (see SetWorkers).
 	workers int
 	stats   recompileCounters
+	// tracer receives Apply's span tree (nil traces nothing): a root
+	// "recompile.apply" with coalesce / per-edit repair or structural
+	// replay / rebuild / patch children, repairs and patches carrying
+	// per-worker grandchildren.
+	tracer *telemetry.Tracer
 }
+
+// SetTracer arms span tracing on subsequent Applies (nil disarms).
+func (r *Recompiler) SetTracer(t *telemetry.Tracer) { r.tracer = t }
 
 // recompileCounters accumulates recompiler work; Register publishes the
 // totals as the recompile.* snapshot names alongside the repairer pool's
@@ -218,11 +226,16 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 	if len(edits) == 0 {
 		return nil, nil
 	}
+	root := r.tracer.Start("recompile.apply", 0)
+	root.SetAttr(telemetry.AttrCount, int64(len(edits)))
+	defer root.End()
 	origEdits := len(edits)
 	coalesced := 0
+	coalesceSpan := r.tracer.Start("recompile.coalesce", root.ID())
 	if net, ok := coalesceEdits(r.g, edits); ok {
 		coalesced = origEdits - len(net)
 		if len(net) == 0 {
+			coalesceSpan.End()
 			r.stats.applies++
 			r.stats.edits += origEdits
 			r.stats.coalescedEdits += int64(coalesced)
@@ -230,6 +243,7 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 		}
 		edits = net
 	}
+	coalesceSpan.End()
 	n := r.g.NumNodes()
 	curG := r.g
 	trees := make([]*graph.SPTree, n)
@@ -273,10 +287,18 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Weight edits are incremental repairs; structural edits replay
+		// the touched destinations from scratch — the spans name which.
+		spanName, workerName := "recompile.repair", "recompile.repair.worker"
+		if e.Kind != graph.EditWeight {
+			spanName, workerName = "recompile.replay", "recompile.replay.worker"
+		}
+		editSpan := r.tracer.Start(spanName, root.ID())
+		obs := r.tracer.RangeObserver(workerName, editSpan.ID())
 		switch e.Kind {
 		case graph.EditWeight:
 			oldW := curG.Weight(e.Link)
-			par.For(n, workers, func(w, lo, hi int) {
+			par.ForObserved(n, workers, obs, func(w, lo, hi int) {
 				rep := &reps[w]
 				for d := lo; d < hi; d++ {
 					nt, changed := rep.WeightChange(nextG, trees[d], e.Link, oldW)
@@ -290,7 +312,7 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 			structural = true
 			ensureOrders()
 			w := e.Weight
-			par.For(n, workers, func(_, lo, hi int) {
+			par.ForObserved(n, workers, obs, func(_, lo, hi int) {
 				for d := lo; d < hi; d++ {
 					tr := trees[d]
 					da, db := tr.Dist[e.A], tr.Dist[e.B]
@@ -311,7 +333,7 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 			structural, renumbered = true, true
 			ensureOrders()
 			link := curG.Link(e.Link)
-			par.For(n, workers, func(_, lo, hi int) {
+			par.ForObserved(n, workers, obs, func(_, lo, hi int) {
 				for d := lo; d < hi; d++ {
 					tr := trees[d]
 					// Only an endpoint can have the removed link as its next
@@ -342,8 +364,10 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 			}
 		}
 		curG = nextG
+		editSpan.End()
 	}
 
+	rebuildSpan := r.tracer.Start("recompile.rebuild", root.ID())
 	var sys *rotation.System
 	var err error
 	if structural {
@@ -383,7 +407,10 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 		return nil, fmt.Errorf("dataplane: quantised DD needs %d bits; flow label carries %d",
 			quant.Bits(), header.FlowLabelDDBits)
 	}
+	rebuildSpan.End()
 
+	patchSpan := r.tracer.Start("recompile.patch", root.ID())
+	patchSpan.SetAttr(telemetry.AttrCount, int64(len(dirtyList)))
 	fib := r.fib.cloneFor(curG.NumLinks(), structural, !structural && len(rerank) == 0)
 	if structural {
 		fib.fillDarts(sys)
@@ -395,7 +422,7 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 	fib.codec = CodecFor(fib.ddBits)
 	// Dirty columns are disjoint (one pointer-table stripe or dense
 	// stride per destination), so the patch pass fans out too.
-	par.For(len(dirtyList), workers, func(_, lo, hi int) {
+	par.ForObserved(len(dirtyList), workers, r.tracer.RangeObserver("recompile.patch.worker", patchSpan.ID()), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst := dirtyList[i]
 			switch {
@@ -412,6 +439,7 @@ func (r *Recompiler) Apply(edits ...graph.Edit) (*Delta, error) {
 			}
 		}
 	})
+	patchSpan.End()
 
 	var pq *core.Quantiser
 	if r.quantised {

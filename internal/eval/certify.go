@@ -15,8 +15,9 @@ import (
 
 // CertifyConfig parameterises a k-failure certification run: the
 // adversarial counterpart of ResilienceConfig's Monte-Carlo sampling.
-// The embedded Panel's Topologies, Seed and Metrics are consumed
-// (certify.* search-progress counters land in Metrics); the
+// The embedded Panel's Topologies, Seed, Metrics and Tracer are consumed
+// (certify.* search-progress counters land in Metrics, the search's span
+// tree in Tracer); the
 // failure-process fields are ignored — the adversary enumerates failure
 // sets, it does not sample a process.
 type CertifyConfig struct {
@@ -77,7 +78,9 @@ func RunCertify(tp topo.Topology, cfg CertifyConfig) (*certify.Certificate, erro
 		if err != nil {
 			return nil, err
 		}
-		fib, err := dataplane.Compile(prot)
+		fib, err := dataplane.CompileWithOptions(prot, nil, dataplane.CompileOptions{
+			Tracer: eff.Tracer, Metrics: eff.Metrics,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -93,6 +96,7 @@ func RunCertify(tp topo.Topology, cfg CertifyConfig) (*certify.Certificate, erro
 		Label:    tp.Name,
 		Genus:    genus,
 		Metrics:  eff.Metrics,
+		Tracer:   eff.Tracer,
 		Restarts: eff.Restarts,
 		Iters:    eff.Iters,
 	})

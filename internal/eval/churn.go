@@ -13,6 +13,7 @@ import (
 	"recycle/internal/graph"
 	"recycle/internal/rotation"
 	"recycle/internal/route"
+	"recycle/internal/telemetry"
 	"recycle/internal/topo"
 )
 
@@ -38,8 +39,11 @@ type Churn struct {
 }
 
 // ChurnConfig parameterises the churn comparison. The embedded Panel's
-// Topologies and Seed are consumed; its failure-process and metrics
-// fields are ignored (churn has no failure dimension).
+// Topologies, Seed, Metrics and Tracer are consumed; its
+// failure-process fields are ignored (churn has no failure dimension).
+// A shared Metrics registry accumulates the full path's compile-phase
+// latency histogram, and a Tracer receives every compile's and every
+// delta Apply's span tree.
 type ChurnConfig struct {
 	Panel
 	// Edits is how many random single-link weight edits to time per
@@ -82,6 +86,10 @@ func MeasureChurn(tp topo.Topology, cfg ChurnConfig) (Churn, error) {
 	if err != nil {
 		return c, err
 	}
+	rec.SetTracer(eff.Tracer)
+	if eff.Metrics != nil {
+		rec.Register(eff.Metrics)
+	}
 
 	rng := rand.New(rand.NewSource(seed))
 	plan := make([]graph.Edit, edits)
@@ -115,7 +123,8 @@ func MeasureChurn(tp topo.Topology, cfg ChurnConfig) (Churn, error) {
 		fullQuant := core.BuildQuantiser(fullTbl)
 		fullP, err := core.New(nextG, fullSys, fullTbl, core.Config{Variant: core.Full})
 		if err == nil {
-			_, err = dataplane.CompileWith(fullP, fullQuant)
+			_, err = dataplane.CompileWithOptions(fullP, fullQuant,
+				dataplane.CompileOptions{Tracer: eff.Tracer, Metrics: eff.Metrics})
 		}
 		if err != nil {
 			return c, err
@@ -148,10 +157,15 @@ func median(ds []time.Duration) time.Duration {
 
 // WriteChurnReport renders the full-vs-delta recompile comparison over
 // the config's topology panel — the "Topology churn" table in README.md
-// and the panel behind prsim churn.
+// and the panel behind prsim churn — followed by the per-stage compile
+// latency distribution (p50/p99) the runs accumulated.
 func WriteChurnReport(w io.Writer, cfg ChurnConfig) error {
 	fmt.Fprintf(w, "%-10s %-5s %-5s | %-10s %-10s %-8s | %-9s\n",
 		"topology", "nodes", "links", "full", "delta", "speedup", "dirty/dst")
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	base := cfg.Metrics.Snapshot()
 	panel, err := cfg.Panel.topologies()
 	if err != nil {
 		return err
@@ -166,5 +180,6 @@ func WriteChurnReport(w io.Writer, cfg ChurnConfig) error {
 			c.FullMedian.Round(time.Microsecond), c.DeltaMedian.Round(time.Microsecond),
 			c.Speedup, c.DirtyMean, c.Nodes)
 	}
+	writeStageLatencies(w, cfg.Metrics.Snapshot().Sub(base))
 	return nil
 }

@@ -35,6 +35,12 @@ type Panel struct {
 	// HTTP by `prsim -metrics`); nil gives the harness a private one.
 	// Runs subtract a base snapshot, so sharing never double-counts.
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives the run's control-plane span tree
+	// (compiles, hot-swaps, scenario events) and is registered as a
+	// collector on the run's registry, so snapshots — and the epoch
+	// timeline — carry the spans that ended inside them. Harnesses
+	// tolerate nil at zero cost.
+	Tracer *telemetry.Tracer
 }
 
 // withDefaults resolves the Panel's empty fields: defaultSpec fills

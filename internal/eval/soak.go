@@ -59,7 +59,19 @@ const (
 	MetricSoakLagNs       = "soak.calendar_lag_ns"
 	MetricSoakHeapBytes   = "soak.heap_alloc_bytes"
 	MetricSoakTxBacklogNs = "soak.tx_backlog_ns"
+	// Per-dart-class backlog distributions, sampled by the pump at flush
+	// cadence: forward darts (even IDs) and reverse darts (odd IDs) each
+	// get a histogram of instantaneous queueing delay plus a peak gauge —
+	// the queue-sizing telemetry the single MaxBacklog gauge hides.
+	MetricSoakTxBacklogFwdNs    = "soak.tx_backlog.fwd_ns"
+	MetricSoakTxBacklogRevNs    = "soak.tx_backlog.rev_ns"
+	MetricSoakTxBacklogFwdMaxNs = "soak.tx_backlog.fwd_max_ns"
+	MetricSoakTxBacklogRevMaxNs = "soak.tx_backlog.rev_max_ns"
 )
+
+// backlogBuckets bins sampled per-dart backlog: 1 µs .. ~262 ms, with
+// idle darts (zero backlog) landing in the first bucket.
+func backlogBuckets() []int64 { return telemetry.ExponentialBuckets(1000, 4, 10) }
 
 // DefaultSoakSpec is the soak's background failure process: per-link
 // exponential 20 s MTBF / 200 ms MTTR. On a 100-link topology that is
@@ -480,11 +492,26 @@ func RunSoak(tp topo.Topology, cfg SoakConfig) (*SoakResult, error) {
 			return nil, err
 		}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	tracer := cfg.Tracer
+	if tracer != nil {
+		reg.RegisterCollector(tracer)
+	}
+	runSpan := tracer.Start("soak.run", 0)
+	runSpan.SetAttr(telemetry.AttrNodes, int64(n))
+	runSpan.SetAttr(telemetry.AttrSeed, cfg.Seed)
+	defer runSpan.End()
+
 	prot, err := core.New(g, sys, route.Build(g, route.HopCount), core.Config{Variant: core.Full})
 	if err != nil {
 		return nil, err
 	}
-	fib, err := dataplane.Compile(prot)
+	fib, err := dataplane.CompileWithOptions(prot, nil, dataplane.CompileOptions{
+		Tracer: tracer, TraceParent: runSpan.ID(), Metrics: reg,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -492,6 +519,7 @@ func RunSoak(tp topo.Topology, cfg SoakConfig) (*SoakResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec.SetTracer(tracer)
 
 	proc, err := cfg.process()
 	if err != nil {
@@ -519,10 +547,6 @@ func RunSoak(tp topo.Topology, cfg SoakConfig) (*SoakResult, error) {
 		return nil, err
 	}
 
-	reg := cfg.Metrics
-	if reg == nil {
-		reg = telemetry.NewRegistry()
-	}
 	tx := dataplane.NewTxQueue(fib, dataplane.TxConfig{BandwidthBps: cfg.BandwidthBps, Metrics: reg})
 	rec.Register(reg)
 	reg.Gauge(MetricSoakFlows).Set(int64(cfg.Flows))
@@ -573,7 +597,14 @@ func RunSoak(tp topo.Topology, cfg SoakConfig) (*SoakResult, error) {
 		churn:  churn,
 		rng:    rand.New(rand.NewSource(failure.DrawSeed(cfg.Seed, 3))),
 		lag:    reg.Gauge(MetricSoakLagNs),
+		tracer: tracer,
+		root:   runSpan.ID(),
+		tx:     tx,
 	}
+	p.backFwd = reg.Histogram(MetricSoakTxBacklogFwdNs, backlogBuckets())
+	p.backRev = reg.Histogram(MetricSoakTxBacklogRevNs, backlogBuckets())
+	p.backFwdMax = reg.Gauge(MetricSoakTxBacklogFwdMaxNs)
+	p.backRevMax = reg.Gauge(MetricSoakTxBacklogRevMaxNs)
 	p.generated = reg.Counter(MetricSoakGenerated).Handle()
 	p.delivered = reg.Counter(MetricSoakDelivered).Handle()
 	p.noRoute = reg.Counter(MetricSoakDropNoRoute).Handle()
@@ -607,6 +638,7 @@ func RunSoak(tp topo.Topology, cfg SoakConfig) (*SoakResult, error) {
 		Shards:  cfg.Shards,
 		Egress:  tx,
 		Metrics: reg,
+		Tracer:  tracer,
 		OnDoneState: func(b *dataplane.Batch, f *dataplane.FIB, _ *dataplane.LinkState) {
 			p.done <- soakDone{sb: p.byBatch[b], fib: f}
 		},
@@ -624,6 +656,8 @@ func RunSoak(tp topo.Topology, cfg SoakConfig) (*SoakResult, error) {
 		events: events, start: start,
 		baseGenus: sys.Genus(),
 		rng:       rand.New(rand.NewSource(failure.DrawSeed(cfg.Seed, 4))),
+		tracer:    tracer,
+		root:      runSpan.ID(),
 	}
 	ctlDone := make(chan struct{})
 	go func() {
@@ -733,6 +767,16 @@ type soakPump struct {
 	byBatch map[*dataplane.Batch]*soakBatch
 	idle    []*soakBatch
 
+	tracer *telemetry.Tracer
+	root   telemetry.SpanID
+	tx     *dataplane.TxQueue
+	// Per-dart-class backlog sampling (forward/reverse darts), taken on
+	// the pump goroutine each time a flush of decided batches drains.
+	backFwd    *telemetry.Histogram
+	backRev    *telemetry.Histogram
+	backFwdMax *telemetry.Gauge
+	backRevMax *telemetry.Gauge
+
 	generated telemetry.CounterHandle
 	delivered telemetry.CounterHandle
 	noRoute   telemetry.CounterHandle
@@ -752,6 +796,14 @@ func (p *soakPump) run(start time.Time) {
 	horizon := p.cfg.Duration
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
+	// The pump span covers the traffic/referee goroutine's lifetime; the
+	// drain span (opened when the horizon passes with packets still in
+	// flight) isolates the post-horizon resolution tail — the recovery
+	// latency the referee's verdicts depend on.
+	pumpSpan := p.tracer.Start("soak.pump", p.root)
+	defer pumpSpan.End()
+	var drain telemetry.Span
+	defer drain.End()
 	for {
 		now := time.Since(start)
 		// Fill idle batches with due emissions and submit them.
@@ -767,6 +819,9 @@ func (p *soakPump) run(start time.Time) {
 		}
 		if now >= horizon && p.emitted == p.resolved {
 			return // drained: every emitted packet has a verdict
+		}
+		if now >= horizon && drain.ID() == 0 {
+			drain = p.tracer.Start("soak.drain", pumpSpan.ID())
 		}
 		// Calendar-lag gauge: how far emissions trail their schedule
 		// (saturation telemetry — offered load beyond the pump).
@@ -796,9 +851,22 @@ func (p *soakPump) run(start time.Time) {
 					drained = true
 				}
 			}
+			p.sampleBacklog()
 		case <-timer.C:
 		}
 	}
+}
+
+// sampleBacklog observes every dart's instantaneous backlog into the
+// per-class histograms and peak gauges. Called once per flush of decided
+// batches — O(darts), never per packet.
+func (p *soakPump) sampleBacklog() {
+	if p.tx == nil {
+		return
+	}
+	mf, mr := p.tx.SampleBacklog(p.backFwd, p.backRev)
+	p.backFwdMax.SetMax(int64(mf))
+	p.backRevMax.SetMax(int64(mr))
 }
 
 // fill tops an idle batch up with due emissions.
@@ -920,6 +988,8 @@ type soakControl struct {
 	start     time.Time
 	baseGenus int
 	rng       *rand.Rand
+	tracer    *telemetry.Tracer
+	root      telemetry.SpanID
 
 	swaps         int
 	structural    int
@@ -986,7 +1056,14 @@ func (c *soakControl) run() {
 			} else {
 				c.tl.Annotate(label)
 			}
+			name := "soak.link.up"
+			if ev.Down {
+				name = "soak.link.down"
+			}
+			sp := c.tracer.Start(name, c.root)
+			sp.SetAttr(telemetry.AttrLink, int64(ev.Link))
 			c.eng.SetLink(ev.Link, ev.Down)
+			sp.End()
 			applied := time.Since(c.start)
 			c.churn.record(applied)
 			c.churn.noteLag(applied - next)
@@ -999,6 +1076,13 @@ func (c *soakControl) run() {
 // swap lands one hot-swap on the running engine: a weight tweak, or at
 // the scheduled indices a structural chord add / remove.
 func (c *soakControl) swap(idx int, at time.Duration, addAt, removeAt int) {
+	// The swap span brackets the whole attempt — recompile and engine
+	// ApplyDelta included. Those publish their own root span trees
+	// ("recompile.apply", "engine.swap"); the Chrome export shows them
+	// temporally nested inside this one on the control-plane track.
+	sp := c.tracer.Start("soak.swap", c.root)
+	sp.SetAttr(telemetry.AttrCount, int64(idx))
+	defer sp.End()
 	var (
 		d     *dataplane.Delta
 		label string
@@ -1129,6 +1213,12 @@ func WriteSoakReport(w io.Writer, r *SoakResult) {
 			time.Duration(r.Aggregate.Gauge(MetricSoakTxBacklogNs)),
 			r.Aggregate.Gauge(MetricSoakHeapBytes),
 			r.Aggregate.Gauge(dataplane.MetricFIBMemBytes))
+		writeBacklogClass(w, r.Aggregate, "fwd darts", MetricSoakTxBacklogFwdNs, MetricSoakTxBacklogFwdMaxNs)
+		writeBacklogClass(w, r.Aggregate, "rev darts", MetricSoakTxBacklogRevNs, MetricSoakTxBacklogRevMaxNs)
+		writeStageLatencies(w, r.Aggregate)
+		if sp := r.Aggregate.Spans; sp != nil {
+			fmt.Fprintf(w, "spans       %12d captured (%d evicted)\n", len(sp.Spans), sp.Dropped)
+		}
 	}
 
 	fmt.Fprintf(w, "\n%-5s %-12s %-12s %-40s %9s %9s %8s %6s %5s %6s %7s\n",
@@ -1152,4 +1242,51 @@ func WriteSoakReport(w io.Writer, r *SoakResult) {
 		fmt.Fprintf(w, "; %s", reason)
 	}
 	fmt.Fprintf(w, ")\n")
+}
+
+// writeBacklogClass prints one dart class's sampled backlog
+// distribution: p50/p99 (bucket upper bounds) over every flush-cadence
+// sample of every dart in the class, plus the true peak from the
+// high-watermark gauge.
+func writeBacklogClass(w io.Writer, a *telemetry.Snapshot, label, hist, maxGauge string) {
+	h, ok := a.Histograms[hist]
+	if !ok || h.Count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "backlog     %-10s p50 ≤%v  p99 ≤%v  max %v  (%d samples)\n",
+		label,
+		time.Duration(h.Quantile(0.5)).Round(time.Microsecond),
+		time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(a.Gauge(maxGauge)),
+		h.Count)
+}
+
+// writeStageLatencies prints the control- and data-plane stage latency
+// histograms the run accumulated — compile phases, swap barrier/apply,
+// engine decide batches, tx queue waits — as p50/p99 bucket bounds, the
+// latency-attribution summary of the span-traced seams.
+func writeStageLatencies(w io.Writer, a *telemetry.Snapshot) {
+	stages := []struct{ label, name string }{
+		{"compile phase", dataplane.MetricCompilePhaseNs},
+		{"swap barrier", dataplane.MetricSwapBarrierNs},
+		{"swap apply", dataplane.MetricSwapApplyNs},
+		{"decide batch", dataplane.MetricBatchNs},
+		{"tx queue wait", dataplane.MetricTxQueueWaitNs},
+	}
+	wrote := false
+	for _, st := range stages {
+		h, ok := a.Histograms[st.name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(w, "\nstage latency (p50/p99 are bucket upper bounds):\n")
+			wrote = true
+		}
+		fmt.Fprintf(w, "  %-14s p50 ≤%-12v p99 ≤%-12v %d samples\n",
+			st.label,
+			time.Duration(h.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+			h.Count)
+	}
 }

@@ -34,6 +34,13 @@ func Workers(n int) int {
 	return w
 }
 
+// RangeObserver watches a fan-out: it is called on each worker's
+// goroutine with the range the worker is about to process, and the
+// closure it returns (which may be nil) runs when that range finishes —
+// even if fn panics. The tracing integration hangs per-worker child
+// spans off this hook without par importing the telemetry package.
+type RangeObserver func(worker, lo, hi int) func()
+
 // For runs fn over the contiguous spans of a static partition of [0, n)
 // into `workers` blocks, one goroutine per block, and waits for all of
 // them. fn(worker, lo, hi) processes indices [lo, hi) and must only
@@ -43,6 +50,12 @@ func Workers(n int) int {
 // no goroutines. A panic in any worker is re-raised on the caller after
 // the remaining workers finish, so partial fan-outs never leak.
 func For(n, workers int, fn func(worker, lo, hi int)) {
+	ForObserved(n, workers, nil, fn)
+}
+
+// ForObserved is For with a RangeObserver around every worker range
+// (nil observes nothing and is exactly For).
+func ForObserved(n, workers int, obs RangeObserver, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -52,8 +65,17 @@ func For(n, workers int, fn func(worker, lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
+	run := fn
+	if obs != nil {
+		run = func(w, lo, hi int) {
+			if done := obs(w, lo, hi); done != nil {
+				defer done()
+			}
+			fn(w, lo, hi)
+		}
+	}
 	if workers <= 1 {
-		fn(0, 0, n)
+		run(0, 0, n)
 		return
 	}
 	span := (n + workers - 1) / workers
@@ -81,7 +103,7 @@ func For(n, workers int, fn func(worker, lo, hi int)) {
 					mu.Unlock()
 				}
 			}()
-			fn(w, lo, hi)
+			run(w, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()

@@ -68,3 +68,37 @@ func BenchmarkTelemetryHistogram(b *testing.B) {
 		h.Observe(int64(i & 0xffff))
 	}
 }
+
+// TestSpanHotPathZeroAllocs is the span twin of TestHotPathZeroAllocs:
+// opening a span, attaching attributes and publishing it into the ring
+// must not allocate — spans are values, attrs are inline, and the ring
+// slot is claimed in place.
+func TestSpanHotPathZeroAllocs(t *testing.T) {
+	tr := NewTracer(64)
+	root := tr.Start("root", 0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("child", root.ID())
+		sp.SetAttr(AttrWorker, 3)
+		sp.SetAttr(AttrLo, 0)
+		sp.SetAttr(AttrHi, 128)
+		sp.End()
+	}); allocs != 0 {
+		t.Errorf("span start/attr/end: %v allocs/op, want 0", allocs)
+	}
+	root.End()
+}
+
+// BenchmarkSpanStartEnd is the CI-gated cost of one complete span —
+// Start, one attribute, End into the ring — the unit every control-plane
+// phase and worker range pays. Gated at 0 allocs/op: the two clock reads
+// dominate, the ring publication is a short mutexed copy.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer(DefaultSpanRing)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("bench", 0)
+		sp.SetAttr(AttrCount, int64(i))
+		sp.End()
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export: a SpanSnapshot (and optionally the epoch
+// timeline) rendered as the JSON object format chrome://tracing and
+// Perfetto open directly. Spans become complete ("X") events on pid 1 —
+// worker child spans on their own tid rows so the fan-out is visible as
+// parallel tracks — and timeline epochs become "X" events on pid 2,
+// whose clock is the scenario clock, not the tracer's monotonic one.
+
+// chromeEvent is one trace event; ts/dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object-format envelope.
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	Metadata    map[string]string `json:"metadata,omitempty"`
+}
+
+// span/epoch process IDs in the emitted trace.
+const (
+	chromePidSpans  = 1
+	chromePidEpochs = 2
+)
+
+// WriteChromeTrace renders spans (and epochs, which may be nil) as
+// Chrome trace-event JSON. Spans carrying an AttrWorker attribute land
+// on tid 2+worker; every other span shares tid 1, nesting by time
+// containment as chrome://tracing renders it.
+func WriteChromeTrace(w io.Writer, s *SpanSnapshot, epochs []Epoch) error {
+	tr := chromeTrace{
+		TraceEvents: []chromeEvent{},
+		Metadata:    map[string]string{"source": "recycle telemetry tracer"},
+	}
+	if s != nil {
+		for _, r := range s.Spans {
+			ev := chromeEvent{
+				Name: r.Name,
+				Cat:  "span",
+				Ph:   "X",
+				Ts:   float64(r.Start) / 1e3,
+				Dur:  float64(r.Dur) / 1e3,
+				Pid:  chromePidSpans,
+				Tid:  1,
+				Args: map[string]any{"id": r.ID, "seq": r.Seq},
+			}
+			if r.Parent != 0 {
+				ev.Args["parent"] = r.Parent
+			}
+			for _, a := range r.Attrs {
+				ev.Args[a.Key.String()] = a.Val
+				if a.Key == AttrWorker {
+					ev.Tid = 2 + int(a.Val)
+				}
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ev)
+		}
+	}
+	for _, e := range epochs {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: e.Label,
+			Cat:  "epoch",
+			Ph:   "X",
+			Ts:   float64(e.Start) / 1e3,
+			Dur:  float64(e.End-e.Start) / 1e3,
+			Pid:  chromePidEpochs,
+			Tid:  1,
+			Args: map[string]any{"epoch": e.Index},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

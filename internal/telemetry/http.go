@@ -4,30 +4,50 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 )
 
-// Handler serves the registry as an expvar-style JSON endpoint: every
-// GET takes a fresh Snapshot and writes it, so scraping the URL during
-// a run watches the counters move.
+// Handler serves the registry snapshot with content negotiation: the
+// Prometheus text format for `?format=prom` (or an Accept header naming
+// text/plain), indented expvar-style JSON otherwise. Every GET takes a
+// fresh Snapshot, so scraping the URL during a run watches the counters
+// move; both bodies carry an explicit Content-Type.
 func Handler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(r.Snapshot()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		format := req.URL.Query().Get("format")
+		if format == "" && strings.Contains(req.Header.Get("Accept"), "text/plain") {
+			format = "prom"
+		}
+		switch format {
+		case "prom":
+			w.Header().Set("Content-Type", PromContentType)
+			if err := WritePrometheus(w, r.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(r.Snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "unknown format "+format+" (want prom or json)", http.StatusBadRequest)
 		}
 	})
 }
 
 // Serve exposes the registry on addr (e.g. "localhost:6060") at
 // /metrics and / in a background goroutine, returning the server for
-// shutdown. The listen happens synchronously so a bad or occupied
-// address is an error here, not a phantom endpoint; the returned
-// server's Addr carries the bound address (useful with a ":0" addr).
-// Errors after the listener is up (including normal shutdown) are
-// discarded — once serving, the metrics endpoint is best-effort
-// observability, never a reason to fail a run.
+// shutdown, with the net/http/pprof profiling handlers mounted under
+// /debug/pprof/ so a CPU or heap profile of a live soak is one curl
+// away. The listen happens synchronously so a bad or occupied address
+// is an error here, not a phantom endpoint; the returned server's Addr
+// carries the bound address (useful with a ":0" addr). Errors after the
+// listener is up (including normal shutdown) are discarded — once
+// serving, the metrics endpoint is best-effort observability, never a
+// reason to fail a run.
 func Serve(addr string, r *Registry) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -37,6 +57,11 @@ func Serve(addr string, r *Registry) (*http.Server, error) {
 	h := Handler(r)
 	mux.Handle("/", h)
 	mux.Handle("/metrics", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, nil

@@ -1,0 +1,312 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"recycle/internal/par"
+)
+
+func TestSpanNilTracerAndZeroSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", 0)
+	sp.SetAttr(AttrCount, 1)
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatalf("nil-tracer span has ID %d", sp.ID())
+	}
+	if snap := tr.SpanSnapshot(); snap != nil {
+		t.Fatalf("nil tracer snapshot = %+v", snap)
+	}
+	if obs := tr.RangeObserver("x", 0); obs != nil {
+		t.Fatal("nil tracer returned a non-nil observer")
+	}
+
+	var zero Span
+	zero.SetAttr(AttrCount, 1)
+	zero.End() // must not panic
+}
+
+func TestSpanDoubleEndPublishesOnce(t *testing.T) {
+	tr := NewTracer(16)
+	sp := tr.Start("once", 0)
+	sp.End()
+	sp.End()
+	snap := tr.SpanSnapshot()
+	if len(snap.Spans) != 1 || snap.MaxSeq != 1 {
+		t.Fatalf("double End published %d spans (MaxSeq %d), want 1", len(snap.Spans), snap.MaxSeq)
+	}
+}
+
+// TestConcurrentRangeChildrenParentCorrectly drives a real par fan-out
+// through RangeObserver under -race: every worker span must parent to
+// the root, carry its worker identity, and the recorded ranges must
+// tile [0, n) exactly. Free-floating child spans started inside the
+// worker bodies must link to the root as well.
+func TestConcurrentRangeChildrenParentCorrectly(t *testing.T) {
+	const n, workers = 1024, 8
+	tr := NewTracer(4096)
+	root := tr.Start("root", 0)
+
+	var mu sync.Mutex
+	covered := make([]bool, n)
+	par.ForObserved(n, workers, tr.RangeObserver("range", root.ID()), func(w, lo, hi int) {
+		item := tr.Start("item", root.ID())
+		item.SetAttr(AttrLo, int64(lo))
+		item.End()
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			covered[i] = true
+		}
+		mu.Unlock()
+	})
+	root.End()
+
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("index %d never visited", i)
+		}
+	}
+	snap := tr.SpanSnapshot()
+	roots := snap.ByName("root")
+	if len(roots) != 1 {
+		t.Fatalf("got %d root spans", len(roots))
+	}
+	ranges := snap.ByName("range")
+	if len(ranges) == 0 {
+		t.Fatal("no range spans recorded")
+	}
+	tiled := make([]bool, n)
+	for _, r := range ranges {
+		if r.Parent != roots[0].ID {
+			t.Fatalf("range span %d parents to %d, want root %d", r.ID, r.Parent, roots[0].ID)
+		}
+		if _, ok := r.Attr(AttrWorker); !ok {
+			t.Fatalf("range span %d has no worker attribute", r.ID)
+		}
+		lo, _ := r.Attr(AttrLo)
+		hi, _ := r.Attr(AttrHi)
+		for i := lo; i < hi; i++ {
+			if tiled[i] {
+				t.Fatalf("index %d covered by two range spans", i)
+			}
+			tiled[i] = true
+		}
+	}
+	for i, c := range tiled {
+		if !c {
+			t.Fatalf("index %d not covered by any range span", i)
+		}
+	}
+	for _, r := range snap.ByName("item") {
+		if r.Parent != roots[0].ID {
+			t.Fatalf("item span parents to %d, want %d", r.Parent, roots[0].ID)
+		}
+	}
+	// Everything ended inside the root's window.
+	for _, r := range snap.Spans {
+		if r.Seq == roots[0].Seq {
+			continue
+		}
+		if r.Start < roots[0].Start || r.End() > roots[0].End() {
+			t.Fatalf("span %s [%v,%v) outside root [%v,%v)", r.Name, r.Start, r.End(), roots[0].Start, roots[0].End())
+		}
+	}
+}
+
+// TestWraparoundNeverOrphansLiveParent floods a tiny ring with
+// short-lived children while their parent is still open. Eviction may
+// discard any number of finished children, but the parent — live, so
+// never in the ring — must publish on End with its original identity,
+// and every surviving child must still link to it.
+func TestWraparoundNeverOrphansLiveParent(t *testing.T) {
+	tr := NewTracer(4) // ring of 4
+	parent := tr.Start("parent", 0)
+	const kids = 100
+	for i := 0; i < kids; i++ {
+		c := tr.Start("kid", parent.ID())
+		c.End()
+	}
+	parent.End()
+
+	snap := tr.SpanSnapshot()
+	if snap.MaxSeq != kids+1 {
+		t.Fatalf("MaxSeq %d, want %d", snap.MaxSeq, kids+1)
+	}
+	if want := uint64(kids + 1 - 4); snap.Dropped != want {
+		t.Fatalf("Dropped %d, want %d", snap.Dropped, want)
+	}
+	parents := snap.ByName("parent")
+	if len(parents) != 1 {
+		t.Fatalf("parent span evicted or duplicated: %d records", len(parents))
+	}
+	if parents[0].ID != parent.ID() {
+		t.Fatalf("parent published as ID %d, want %d", parents[0].ID, parent.ID())
+	}
+	for _, k := range snap.ByName("kid") {
+		if k.Parent != parent.ID() {
+			t.Fatalf("kid %d orphaned: parent %d, want %d", k.ID, k.Parent, parent.ID())
+		}
+	}
+}
+
+// TestSpanSnapshotMergeOrderInvariant splits a run into three epoch
+// deltas via Sub and checks Merge reassembles the identical aggregate
+// regardless of merge order, including with duplicated inputs.
+func TestSpanSnapshotMergeOrderInvariant(t *testing.T) {
+	tr := NewTracer(64)
+	end := func(name string) {
+		sp := tr.Start(name, 0)
+		sp.End()
+	}
+	var cuts []*SpanSnapshot
+	base := tr.SpanSnapshot()
+	for i, burst := range []int{3, 5, 2} {
+		for j := 0; j < burst; j++ {
+			end("s")
+		}
+		_ = i
+		cuts = append(cuts, tr.SpanSnapshot())
+	}
+	d1 := cuts[0].Sub(base)
+	d2 := cuts[1].Sub(cuts[0])
+	d3 := cuts[2].Sub(cuts[1])
+	if len(d1.Spans) != 3 || len(d2.Spans) != 5 || len(d3.Spans) != 2 {
+		t.Fatalf("delta sizes %d/%d/%d, want 3/5/2", len(d1.Spans), len(d2.Spans), len(d3.Spans))
+	}
+	want := cuts[2].Sub(base).Spans
+
+	orders := [][]*SpanSnapshot{
+		{d1, d2, d3}, {d3, d2, d1}, {d2, d1, d3},
+		{d1, d1, d2, d3, d3}, // duplicates collapse by Seq
+	}
+	for _, ord := range orders {
+		var m *SpanSnapshot
+		for _, d := range ord {
+			m = m.Merge(d)
+		}
+		if !reflect.DeepEqual(m.Spans, want) {
+			t.Fatalf("merge order %v changed the aggregate: %d spans, want %d", ord, len(m.Spans), len(want))
+		}
+	}
+}
+
+// TestTimelineCarriesSpanDeltas pins the acceptance sum check: with a
+// tracer registered as a collector, each Timeline epoch carries exactly
+// the spans that ended inside it, and merging every epoch delta
+// reproduces the aggregate snapshot — same records, same TotalDur.
+func TestTimelineCarriesSpanDeltas(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(256)
+	reg.RegisterCollector(tr)
+	c := reg.Counter("work")
+
+	tl := NewTimeline(reg)
+	base := reg.Snapshot()
+	for e := 0; e < 3; e++ {
+		for j := 0; j <= e; j++ {
+			sp := tr.Start("phase", 0)
+			sp.SetAttr(AttrEpoch, int64(e))
+			c.Add(1)
+			sp.End()
+		}
+		if e < 2 {
+			tl.Roll(time.Duration(e+1)*time.Millisecond, "tick")
+		}
+	}
+	epochs := tl.Finish(10 * time.Millisecond)
+	if len(epochs) != 3 {
+		t.Fatalf("got %d epochs, want 3", len(epochs))
+	}
+	for e, ep := range epochs {
+		if got := len(ep.Delta.Spans.Spans); got != e+1 {
+			t.Fatalf("epoch %d carries %d spans, want %d", e, got, e+1)
+		}
+		for _, r := range ep.Delta.Spans.Spans {
+			if v, _ := r.Attr(AttrEpoch); v != int64(e) {
+				t.Fatalf("epoch %d carries a span tagged epoch %d", e, v)
+			}
+		}
+	}
+
+	agg := reg.Snapshot().Sub(base)
+	merged := NewSnapshot()
+	for _, ep := range epochs {
+		merged.Merge(ep.Delta)
+	}
+	if !reflect.DeepEqual(merged.Spans.Spans, agg.Spans.Spans) {
+		t.Fatalf("merged epoch spans != aggregate (%d vs %d records)",
+			len(merged.Spans.Spans), len(agg.Spans.Spans))
+	}
+	if merged.Spans.TotalDur() != agg.Spans.TotalDur() {
+		t.Fatalf("merged TotalDur %v != aggregate %v", merged.Spans.TotalDur(), agg.Spans.TotalDur())
+	}
+	if merged.Counters["work"] != 6 {
+		t.Fatalf("merged counter %d, want 6", merged.Counters["work"])
+	}
+}
+
+// TestWriteChromeTraceShape renders a small span tree plus epochs and
+// checks the emitted JSON against the trace-event contract: complete
+// events, µs clock, worker spans on their own tid, epochs on pid 2.
+func TestWriteChromeTraceShape(t *testing.T) {
+	tr := NewTracer(64)
+	root := tr.Start("compile", 0)
+	w := tr.Start("fill", root.ID())
+	w.SetAttr(AttrWorker, 3)
+	w.End()
+	root.End()
+	epochs := []Epoch{{Index: 0, Start: 0, End: 2 * time.Millisecond, Label: "start"}}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.SpanSnapshot(), epochs); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(out.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+		byName[ev.Name] = i
+	}
+	comp := out.TraceEvents[byName["compile"]]
+	fill := out.TraceEvents[byName["fill"]]
+	ep := out.TraceEvents[byName["start"]]
+	if comp.Pid != 1 || comp.Tid != 1 || comp.Cat != "span" {
+		t.Fatalf("root span on pid %d tid %d cat %q", comp.Pid, comp.Tid, comp.Cat)
+	}
+	if fill.Tid != 2+3 {
+		t.Fatalf("worker span on tid %d, want %d", fill.Tid, 2+3)
+	}
+	if fill.Args["parent"] == nil {
+		t.Fatal("worker span lost its parent arg")
+	}
+	if ep.Pid != 2 || ep.Cat != "epoch" || ep.Dur != 2000 {
+		t.Fatalf("epoch event pid %d cat %q dur %v", ep.Pid, ep.Cat, ep.Dur)
+	}
+	if fill.Ts < comp.Ts || fill.Ts+fill.Dur > comp.Ts+comp.Dur+0.001 {
+		t.Fatalf("child [%v,%v) not nested in parent [%v,%v)", fill.Ts, fill.Ts+fill.Dur, comp.Ts, comp.Ts+comp.Dur)
+	}
+}

@@ -297,10 +297,13 @@ func (r *Registry) Snapshot() *Snapshot {
 
 // Snapshot is a point-in-time reading of a Registry: plain maps, safe to
 // retain, compare and serialise (the HTTP endpoint emits it as JSON).
+// Spans is populated when a Tracer is registered as a Collector and
+// participates in Sub/Merge like every other instrument.
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      *SpanSnapshot                `json:"spans,omitempty"`
 }
 
 // NewSnapshot returns an empty snapshot (used by tests and collectors).
@@ -349,6 +352,7 @@ func (s *Snapshot) Sub(prev *Snapshot) *Snapshot {
 	for name, h := range s.Histograms {
 		d.Histograms[name] = h.sub(prev.Histograms[name])
 	}
+	d.Spans = s.Spans.Sub(prev.Spans)
 	return d
 }
 
@@ -364,6 +368,9 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	}
 	for name, h := range o.Histograms {
 		s.Histograms[name] = s.Histograms[name].merge(h)
+	}
+	if o.Spans != nil {
+		s.Spans = s.Spans.Merge(o.Spans)
 	}
 }
 

@@ -55,16 +55,51 @@ type MetricsTimeline = telemetry.Timeline
 // and delta snapshot.
 type MetricsEpoch = telemetry.Epoch
 
-// MetricsHandler returns an http.Handler serving JSON snapshots of a
-// registry (an expvar-style endpoint).
+// MetricsHandler returns an http.Handler serving registry snapshots
+// with content negotiation: Prometheus text format for ?format=prom
+// (or an Accept header naming text/plain), JSON otherwise.
 func MetricsHandler(r *MetricsRegistry) http.Handler { return telemetry.Handler(r) }
 
-// ServeMetrics serves JSON registry snapshots on addr ("/" and
-// "/metrics") in a background goroutine. The listen is synchronous: a
-// bad or occupied address is an error here, not a phantom endpoint. The
-// returned server's Addr carries the bound address (useful with ":0").
+// ServeMetrics serves registry snapshots on addr ("/" and "/metrics",
+// Prometheus text or JSON by negotiation) in a background goroutine,
+// with net/http/pprof mounted under /debug/pprof/. The listen is
+// synchronous: a bad or occupied address is an error here, not a
+// phantom endpoint. The returned server's Addr carries the bound
+// address (useful with ":0").
 func ServeMetrics(addr string, r *MetricsRegistry) (*http.Server, error) {
 	return telemetry.Serve(addr, r)
+}
+
+// Tracer produces causally-linked control-plane spans into a bounded
+// ring: compile phases, recompile stages, swap barrier/apply, soak and
+// certify lifecycle. Register it on a MetricsRegistry (RegisterCollector)
+// to carry spans in every snapshot, or hand it to SoakConfig.Tracer /
+// CertifyConfig.Tracer. A nil *Tracer is fully inert, so instrumented
+// code needs no enabled? branches.
+type Tracer = telemetry.Tracer
+
+// TracerSpan is one live span: a value — call End exactly once.
+type TracerSpan = telemetry.Span
+
+// SpanSnapshot is a point-in-time reading of a tracer's ended spans,
+// participating in the MetricsSnapshot Sub/Merge delta algebra.
+type SpanSnapshot = telemetry.SpanSnapshot
+
+// NewTracer returns a tracer whose ring holds at least capacity ended
+// spans (<= 0 selects the default of 4096).
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// WriteChromeTrace renders a span snapshot (plus an optional epoch
+// timeline) as Chrome trace-event JSON — open the file in
+// chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, s *SpanSnapshot, epochs []MetricsEpoch) error {
+	return telemetry.WriteChromeTrace(w, s, epochs)
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4).
+func WritePrometheus(w io.Writer, s *MetricsSnapshot) error {
+	return telemetry.WritePrometheus(w, s)
 }
 
 // TraceResult is one flight-recorded resilience draw: the retained
